@@ -1,0 +1,204 @@
+//! Stereo disparity (§5.6).
+//!
+//! Disparity computes, for each pixel, the shift at which the left and
+//! right images best match (minimum absolute difference over a window).
+//! The kernels exercise three access patterns (Figure 17): row-major,
+//! columnar, and "pixelated" — and the paper's point is that the
+//! software-managed DMEM via the DMS makes the awkward patterns easy:
+//! "the pixelated access pattern is reduced to gathering pixels with two
+//! different strides into two sections of the DMEM". A fine-grained
+//! (tile-per-core, lockstep) decomposition wins over a coarse-grained
+//! (shift-per-core) one thanks to low-latency ATE barriers, at 8.6×
+//! performance/watt over the OpenMP baseline.
+
+use xeon_model::Xeon;
+
+/// A grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Pixel accessor (0 outside bounds, simplifying window edges).
+    pub fn at(&self, x: i64, y: i64) -> i64 {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            0
+        } else {
+            self.pixels[y as usize * self.width + x as usize] as i64
+        }
+    }
+}
+
+/// A synthetic stereo pair: a textured scene shifted by a known,
+/// depth-dependent amount.
+pub fn synthetic_pair(width: usize, height: usize, true_shift: usize, seed: u64) -> (Image, Image) {
+    use dpu_sim::SplitMix64;
+    let mut rng = SplitMix64::new(seed);
+    let mut left = Image::new(width, height);
+    for p in left.pixels.iter_mut() {
+        *p = rng.next_below(256) as u8;
+    }
+    // Right image: left shifted by `true_shift` (with wrap for texture).
+    let mut right = Image::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let sx = (x + true_shift) % width;
+            right.pixels[y * width + x] = left.pixels[y * width + sx];
+        }
+    }
+    (left, right)
+}
+
+/// Computes the disparity map by SAD block matching over windows of
+/// `(2·radius+1)²` pixels for shifts `0..=max_shift`.
+pub fn disparity_map(left: &Image, right: &Image, max_shift: usize, radius: i64) -> Vec<u8> {
+    assert_eq!((left.width, left.height), (right.width, right.height), "image size mismatch");
+    let (w, h) = (left.width, left.height);
+    let mut out = vec![0u8; w * h];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let mut best = (i64::MAX, 0usize);
+            for shift in 0..=max_shift {
+                let mut sad = 0i64;
+                for dy in -radius..=radius {
+                    for dx in -radius..=radius {
+                        sad += (left.at(x + dx + shift as i64, y + dy) - right.at(x + dx, y + dy))
+                            .abs();
+                    }
+                }
+                if sad < best.0 {
+                    best = (sad, shift);
+                }
+            }
+            out[y as usize * w + x as usize] = best.1 as u8;
+        }
+    }
+    out
+}
+
+/// Parallel decomposition strategies (§5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decomposition {
+    /// Tiles of pixels per core, kernels in lockstep (needs barriers).
+    FineGrained,
+    /// One pixel-shift per core, final aggregation (poor bandwidth use).
+    CoarseGrained,
+}
+
+/// Seconds for the DPU to compute a disparity map.
+///
+/// Both decompositions stream `(max_shift+1)` passes over both images;
+/// fine-grained overlaps compute with the DMS at 90% stream efficiency
+/// (strided/pixelated gathers handled by the DMS), while coarse-grained
+/// re-reads whole images per core with poor locality (≈40%) and skips
+/// barrier costs.
+pub fn dpu_seconds(w: usize, h: usize, max_shift: usize, decomp: Decomposition) -> f64 {
+    let passes = (max_shift + 1) as f64;
+    let bytes = (2 * w * h) as f64 * passes;
+    // SAD compute: ~3 cycles per window pixel pair with running-sum reuse
+    // amortizing the window to ~3 ops/pixel/shift.
+    let compute_cycles = (w * h) as f64 * passes * 3.0;
+    let compute = compute_cycles / (32.0 * 800.0e6);
+    match decomp {
+        Decomposition::FineGrained => {
+            // ATE barrier per kernel phase: cheap (tens of cycles × passes).
+            let barriers = passes * 200.0 / 800.0e6;
+            (bytes / (0.90 * dpu_sql::plan::DPU_STREAM_BW)).max(compute) + barriers
+        }
+        Decomposition::CoarseGrained => {
+            (bytes / (0.40 * dpu_sql::plan::DPU_STREAM_BW)).max(compute)
+        }
+    }
+}
+
+/// Seconds for the OpenMP x86 baseline: the columnar/pixelated patterns
+/// waste cache lines, capping effective bandwidth at ≈70% even with
+/// tiling.
+pub fn xeon_seconds(w: usize, h: usize, max_shift: usize, xeon: &Xeon) -> f64 {
+    let passes = (max_shift + 1) as f64;
+    let bytes = (2 * w * h) as f64 * passes;
+    let compute = (w * h) as f64 * passes * 1.0 / (xeon.config.threads as f64 * xeon.config.clock_hz);
+    (bytes / (0.70 * xeon.config.stream_bw)).max(compute)
+}
+
+/// The Figure 14 disparity gain (fine-grained DPU vs OpenMP).
+pub fn gain(w: usize, h: usize, max_shift: usize, xeon: &Xeon) -> f64 {
+    let dpu = dpu_seconds(w, h, max_shift, Decomposition::FineGrained);
+    let x = xeon_seconds(w, h, max_shift, xeon);
+    (x / dpu) * (xeon.tdp_watts() / 6.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_known_uniform_shift() {
+        let (l, r) = synthetic_pair(64, 32, 5, 3);
+        let d = disparity_map(&l, &r, 10, 2);
+        // Away from the wrap seam, the winning shift is the true one.
+        let mut correct = 0;
+        let mut total = 0;
+        for y in 4..28 {
+            for x in 4..48 {
+                total += 1;
+                if d[y * 64 + x] == 5 {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "only {correct}/{total} pixels recovered the shift"
+        );
+    }
+
+    #[test]
+    fn zero_shift_pair_maps_to_zero() {
+        let (l, _) = synthetic_pair(32, 16, 0, 9);
+        let d = disparity_map(&l, &l, 6, 1);
+        assert!(d.iter().filter(|&&v| v == 0).count() > d.len() * 9 / 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_images_rejected() {
+        let a = Image::new(8, 8);
+        let b = Image::new(9, 8);
+        disparity_map(&a, &b, 1, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_zero() {
+        let img = Image::new(4, 4);
+        assert_eq!(img.at(-1, 0), 0);
+        assert_eq!(img.at(0, 99), 0);
+    }
+
+    #[test]
+    fn fine_grained_beats_coarse_grained() {
+        let fine = dpu_seconds(640, 480, 32, Decomposition::FineGrained);
+        let coarse = dpu_seconds(640, 480, 32, Decomposition::CoarseGrained);
+        assert!(
+            fine < coarse,
+            "fine {fine:.4}s should beat coarse {coarse:.4}s"
+        );
+    }
+
+    #[test]
+    fn gain_is_about_8_6x() {
+        let g = gain(640, 480, 32, &Xeon::new());
+        assert!((7.0..10.5).contains(&g), "disparity gain {g:.2}");
+    }
+}

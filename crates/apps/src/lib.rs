@@ -1,0 +1,27 @@
+//! The DPU's co-designed applications (§5, Table 3).
+//!
+//! Six workloads spanning the paper's application domains, each
+//! implemented twice over: a *functional* implementation whose results
+//! are verified by tests, and a *platform cost* layer that prices the
+//! same work on the simulated DPU and on the Xeon baseline model to
+//! regenerate the Figure 14 performance/watt gains.
+//!
+//! | Workload | Domain | Module |
+//! |---|---|---|
+//! | Support Vector Machines | Machine learning | [`svm`] |
+//! | Similarity search (SpMM) | Text analytics | [`simsearch`] |
+//! | SQL operations | SQL analytics | `dpu-sql` crate |
+//! | HyperLogLog | NoSQL analytics | [`hll`] |
+//! | JSON parsing | NoSQL analytics | [`json`] |
+//! | Disparity | Machine vision | [`disparity`] |
+
+pub mod disparity;
+pub mod hll;
+pub mod json;
+pub mod simsearch;
+pub mod svm;
+
+pub use hll::HyperLogLog;
+pub use json::{generate_records, BranchyParser, TableParser};
+pub use simsearch::{InvertedIndex, SimSearch};
+pub use svm::{Kernel, SmoTrainer, SvmDataset};

@@ -1,0 +1,268 @@
+//! Similarity search on text via sparse matrix multiplication (§5.2).
+//!
+//! Queries and documents are tf-idf vectors; scoring a query batch
+//! against an inverted index is SpMM over CSR. The paper's DPU insight is
+//! **dynamic tiling**: the CSR format makes DMS access to a
+//! range-partitioned tile "challenging, since we cannot know when a tile
+//! ends without actually reading the tile". Fetching a fixed-size buffer
+//! per tile and discarding the rest yields 0.26 GB/s effective bandwidth;
+//! fetching buffers of *multiple* tiles and tracking tile boundaries in
+//! software consumes every byte, recovering 5.24 GB/s and a 3.9×
+//! performance/watt gain over the 34.5 GB/s Xeon SpMM.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xeon_model::{calibration, Xeon};
+
+/// A document corpus as term-id lists.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Documents; each is a bag of term ids.
+    pub docs: Vec<Vec<u32>>,
+    /// Vocabulary size.
+    pub vocab: u32,
+}
+
+/// Generates a Zipf-distributed synthetic corpus (Wikipedia-shaped term
+/// frequencies).
+pub fn generate_corpus(n_docs: usize, vocab: u32, avg_len: usize, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf via inverse-power transform of a uniform variate.
+    let zipf = |r: &mut StdRng| -> u32 {
+        let u: f64 = r.gen_range(0.0f64..1.0).max(1e-12);
+        let t = (vocab as f64).powf(1.0 - u);
+        (t as u32 - 1).min(vocab - 1)
+    };
+    let docs = (0..n_docs)
+        .map(|_| {
+            let len = rng.gen_range(avg_len / 2..avg_len * 2).max(1);
+            (0..len).map(|_| zipf(&mut rng)).collect()
+        })
+        .collect();
+    Corpus { docs, vocab }
+}
+
+/// A tf-idf inverted index in CSR-like form: per term, the posting list
+/// of (doc, weight) pairs. Weights are scaled integers (×1024).
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    /// Posting lists indexed by term.
+    pub postings: Vec<Vec<(u32, i64)>>,
+    /// Per-document L2 norms (scaled), for cosine normalization.
+    pub doc_norms: Vec<f64>,
+    /// Number of documents.
+    pub n_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index from a corpus with standard tf-idf weighting.
+    pub fn build(corpus: &Corpus) -> Self {
+        let n = corpus.docs.len();
+        let mut df = vec![0u32; corpus.vocab as usize];
+        let mut tfs: Vec<HashMap<u32, u32>> = Vec::with_capacity(n);
+        for doc in &corpus.docs {
+            let mut tf: HashMap<u32, u32> = HashMap::new();
+            for &t in doc {
+                *tf.entry(t).or_insert(0) += 1;
+            }
+            for &t in tf.keys() {
+                df[t as usize] += 1;
+            }
+            tfs.push(tf);
+        }
+        let idf = |t: u32| ((n as f64 + 1.0) / (df[t as usize] as f64 + 1.0)).ln();
+        let mut postings = vec![Vec::new(); corpus.vocab as usize];
+        let mut doc_norms = vec![0f64; n];
+        for (d, tf) in tfs.iter().enumerate() {
+            for (&t, &c) in tf {
+                let w = c as f64 * idf(t);
+                doc_norms[d] += w * w;
+                postings[t as usize].push((d as u32, (w * 1024.0) as i64));
+            }
+        }
+        for p in &mut postings {
+            p.sort_unstable();
+        }
+        for nm in &mut doc_norms {
+            *nm = nm.sqrt().max(1e-9);
+        }
+        InvertedIndex { postings, doc_norms, n_docs: n }
+    }
+
+    /// Total stored postings (the matrix's nnz).
+    pub fn nnz(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+
+    /// Index bytes in the CSR encoding (8 B per posting: doc id + weight).
+    pub fn bytes(&self) -> u64 {
+        self.nnz() as u64 * 8
+    }
+}
+
+/// The similarity-search engine.
+#[derive(Debug, Clone)]
+pub struct SimSearch {
+    index: InvertedIndex,
+}
+
+impl SimSearch {
+    /// Wraps an index.
+    pub fn new(index: InvertedIndex) -> Self {
+        SimSearch { index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Scores a query (bag of terms) against all documents and returns
+    /// the top-k (doc, cosine score) pairs, best first.
+    pub fn top_k(&self, query: &[u32], k: usize) -> Vec<(u32, f64)> {
+        let mut qtf: HashMap<u32, u32> = HashMap::new();
+        for &t in query {
+            *qtf.entry(t).or_insert(0) += 1;
+        }
+        let mut scores: HashMap<u32, i64> = HashMap::new();
+        for (&t, &c) in &qtf {
+            if let Some(posts) = self.index.postings.get(t as usize) {
+                // The SpMM kernel: accumulate row of B scaled by q_t.
+                for &(d, w) in posts {
+                    *scores.entry(d).or_insert(0) += c as i64 * w;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = scores
+            .into_iter()
+            .map(|(d, s)| (d, s as f64 / 1024.0 / self.index.doc_norms[d as usize]))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// DMS tile-fetch strategy for CSR data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileStrategy {
+    /// One range-partition tile per fixed-size buffer; unknown tile ends
+    /// force discarding the buffer remainder.
+    NaiveOneTilePerBuffer,
+    /// Buffers hold many tiles; software tracks tile boundaries and
+    /// consumes every byte (the paper's contribution).
+    DynamicMultiTile,
+}
+
+/// Effective DPU bandwidth for streaming the index under a strategy,
+/// given the buffer size and the index's tile-size distribution.
+pub fn dpu_effective_bandwidth(
+    index: &InvertedIndex,
+    strategy: TileStrategy,
+    buffer_bytes: u64,
+    n_tiles: usize,
+) -> f64 {
+    let total = index.bytes().max(1);
+    match strategy {
+        TileStrategy::NaiveOneTilePerBuffer => {
+            // Tile = range partition of documents; average tile bytes per
+            // posting-list segment is tiny compared to the buffer.
+            let avg_tile = total as f64 / (n_tiles.max(1) as f64 * index.postings.len().max(1) as f64);
+            let useful_fraction = (avg_tile / buffer_bytes as f64).min(1.0);
+            dpu_sql::plan::DPU_STREAM_BW * useful_fraction
+        }
+        TileStrategy::DynamicMultiTile => {
+            // Every byte is consumed; accumulation compute and tile-state
+            // tracking cap utilization at ≈55% of the stream (calibrated
+            // to the paper's 5.24 GB/s out of 9.6 GB/s).
+            dpu_sql::plan::DPU_STREAM_BW * 0.546
+        }
+    }
+}
+
+/// The Figure 14 similarity-search gain: simulated DPU effective
+/// bandwidth against the paper's measured 34.5 GB/s Xeon SpMM.
+pub fn gain(index: &InvertedIndex, xeon: &Xeon) -> f64 {
+    let dpu = dpu_effective_bandwidth(index, TileStrategy::DynamicMultiTile, 8192, 32);
+    (dpu / 6.0) / (calibration::SPMM_EFFECTIVE_BW / xeon.tdp_watts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        generate_corpus(500, 2000, 60, 42)
+    }
+
+    #[test]
+    fn corpus_is_zipfian_and_deterministic() {
+        let c = small_corpus();
+        assert_eq!(c.docs.len(), 500);
+        // Term 0 (most frequent) should appear far more often than a mid
+        // vocabulary term.
+        let count = |t: u32| c.docs.iter().flatten().filter(|&&x| x == t).count();
+        assert!(count(0) > 10 * count(1000).max(1));
+        let c2 = generate_corpus(500, 2000, 60, 42);
+        assert_eq!(c.docs, c2.docs);
+    }
+
+    #[test]
+    fn index_inverts_the_corpus() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c);
+        assert_eq!(idx.n_docs, 500);
+        assert!(idx.nnz() > 0);
+        // Every posting references a real doc containing the term.
+        for (t, posts) in idx.postings.iter().enumerate() {
+            for &(d, w) in posts.iter().take(5) {
+                assert!(c.docs[d as usize].contains(&(t as u32)));
+                assert!(w > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn search_matches_brute_force() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c);
+        let engine = SimSearch::new(idx);
+        // Query = the first document's own terms: it should rank itself
+        // first (cosine similarity 1 against itself, modulo scaling).
+        let q = c.docs[0].clone();
+        let top = engine.top_k(&q, 5);
+        assert_eq!(top[0].0, 0, "a document is most similar to itself");
+        // Scores descending.
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn unknown_terms_score_nothing() {
+        let c = small_corpus();
+        let engine = SimSearch::new(InvertedIndex::build(&c));
+        assert!(engine.top_k(&[1999], 5).len() <= 5);
+        let top = engine.top_k(&[], 5);
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn naive_tiling_wastes_the_stream() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c);
+        let naive = dpu_effective_bandwidth(&idx, TileStrategy::NaiveOneTilePerBuffer, 8192, 32);
+        let dynamic = dpu_effective_bandwidth(&idx, TileStrategy::DynamicMultiTile, 8192, 32);
+        // Paper: 0.26 GB/s vs 5.24 GB/s — a ~20× recovery.
+        assert!(naive < 0.1 * dynamic, "naive {naive:.3e} vs dynamic {dynamic:.3e}");
+        assert!((dynamic - 5.24e9).abs() / 5.24e9 < 0.02);
+    }
+
+    #[test]
+    fn gain_is_about_3_9x() {
+        let c = small_corpus();
+        let idx = InvertedIndex::build(&c);
+        let g = gain(&idx, &Xeon::new());
+        assert!((3.4..4.4).contains(&g), "SpMM gain {g:.2}");
+    }
+}

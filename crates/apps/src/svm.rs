@@ -1,0 +1,381 @@
+//! Support vector machine training via parallel SMO (§5.1).
+//!
+//! The paper implements "a variation of the Parallel SMO algorithm
+//! proposed by Cao et al.": each dpCore scans its shard of the samples
+//! for the maximally KKT-violating pair, the per-core candidates are
+//! reduced at a master core over the ATE, and the pair's coefficients are
+//! updated with kernels generated on the fly (no kernel cache — the DMS
+//! streams samples at line speed instead). All arithmetic is Q10.22
+//! fixed point; the paper observed convergence in ~35% fewer iterations
+//! with no accuracy loss.
+
+use dpu_fixed::{dot, Q10_22};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xeon_model::Xeon;
+
+/// A labelled dataset with features normalized into the Q10.22 sweet
+/// spot.
+#[derive(Debug, Clone)]
+pub struct SvmDataset {
+    /// Sample features, row-major (n × d).
+    pub x: Vec<Vec<Q10_22>>,
+    /// Labels in {-1, +1}.
+    pub y: Vec<i8>,
+}
+
+impl SvmDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Generates a HIGGS-shaped synthetic binary classification problem:
+    /// `n` samples of `dims` features drawn from two Gaussian clusters
+    /// separated by `margin` standard deviations.
+    pub fn synthetic(n: usize, dims: usize, margin: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        // Cluster direction: all-ones normalized.
+        let shift = margin / (dims as f64).sqrt();
+        for i in 0..n {
+            let label: i8 = if i % 2 == 0 { 1 } else { -1 };
+            let mut row = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                let noise: f64 = rng.gen_range(-1.0..1.0);
+                row.push(Q10_22::from_f64(noise + label as f64 * shift));
+            }
+            x.push(row);
+            y.push(label);
+        }
+        SvmDataset { x, y }
+    }
+}
+
+/// The kernel function (generated on the fly per §5.1 — no kernel cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `K(x, y) = x·y`.
+    Linear,
+    /// `K(x, y) = exp(-γ‖x−y‖²)` with γ in Q10.22 (uses the fixed-point
+    /// `exp` the dpCore library provides).
+    Rbf {
+        /// Kernel width, as raw Q10.22 bits (Copy-friendly).
+        gamma_raw: i32,
+    },
+}
+
+impl Kernel {
+    /// An RBF kernel with the given width.
+    pub fn rbf(gamma: f64) -> Self {
+        Kernel::Rbf { gamma_raw: Q10_22::from_f64(gamma).raw() }
+    }
+
+    /// Evaluates the kernel on two samples.
+    pub fn eval(self, a: &[Q10_22], b: &[Q10_22]) -> Q10_22 {
+        match self {
+            Kernel::Linear => dot(a, b),
+            Kernel::Rbf { gamma_raw } => {
+                let gamma = Q10_22::from_raw(gamma_raw);
+                let mut d2 = Q10_22::ZERO;
+                for (&x, &y) in a.iter().zip(b) {
+                    let d = x - y;
+                    d2 += d * d;
+                }
+                (-(gamma * d2)).exp()
+            }
+        }
+    }
+}
+
+/// A trained (linear-kernel) model.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    /// Weight vector.
+    pub w: Vec<Q10_22>,
+    /// Bias.
+    pub b: Q10_22,
+    /// SMO iterations to convergence.
+    pub iterations: u32,
+}
+
+impl SvmModel {
+    /// Classifies one sample.
+    pub fn predict(&self, x: &[Q10_22]) -> i8 {
+        if (dot(&self.w, x) + self.b) >= Q10_22::ZERO {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Fraction of correctly classified samples.
+    pub fn accuracy(&self, data: &SvmDataset) -> f64 {
+        let correct = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// The parallel SMO trainer.
+#[derive(Debug, Clone)]
+pub struct SmoTrainer {
+    /// Regularization bound.
+    pub c: Q10_22,
+    /// KKT tolerance.
+    pub tol: Q10_22,
+    /// Iteration cap.
+    pub max_iter: u32,
+    /// Worker shards (dpCores cooperating on the violating-pair search).
+    pub workers: usize,
+}
+
+impl Default for SmoTrainer {
+    fn default() -> Self {
+        SmoTrainer {
+            c: Q10_22::from_f64(1.0),
+            tol: Q10_22::from_f64(0.01),
+            max_iter: 2000,
+            workers: 32,
+        }
+    }
+}
+
+impl SmoTrainer {
+    /// Trains on `data` with a linear kernel, maintaining an error cache
+    /// updated with generated-on-the-fly kernel rows (no kernel cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn train(&self, data: &SvmDataset) -> SvmModel {
+        assert!(!data.is_empty(), "empty dataset");
+        let n = data.len();
+        let d = data.dims();
+        let mut alpha = vec![Q10_22::ZERO; n];
+        // f_i = w·x_i - y_i maintained incrementally via w.
+        let mut w = vec![Q10_22::ZERO; d];
+        let mut b = Q10_22::ZERO;
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            // Parallel step: each of `workers` shards proposes its most
+            // violating pair (max over E_i - E_j with feasibility).
+            let shard = n.div_ceil(self.workers);
+            let mut best_up: Option<(Q10_22, usize)> = None; // max E over y*alpha can increase
+            let mut best_dn: Option<(Q10_22, usize)> = None;
+            for wk in 0..self.workers {
+                let (s, e) = (wk * shard, ((wk + 1) * shard).min(n));
+                for i in s..e {
+                    let yi = Q10_22::from_int(data.y[i] as i32);
+                    let err = dot(&w, &data.x[i]) + b - yi;
+                    let can_up = (data.y[i] > 0 && alpha[i] < self.c)
+                        || (data.y[i] < 0 && alpha[i] > Q10_22::ZERO);
+                    let can_dn = (data.y[i] > 0 && alpha[i] > Q10_22::ZERO)
+                        || (data.y[i] < 0 && alpha[i] < self.c);
+                    if can_up && best_up.is_none_or(|(e0, _)| err < e0) {
+                        best_up = Some((err, i));
+                    }
+                    if can_dn && best_dn.is_none_or(|(e0, _)| err > e0) {
+                        best_dn = Some((err, i));
+                    }
+                }
+            }
+            let (Some((e_up, i)), Some((e_dn, j))) = (best_up, best_dn) else {
+                break;
+            };
+            // Master reduction: converged when no violating pair remains.
+            if e_dn - e_up <= self.tol || i == j {
+                break;
+            }
+
+            // Analytic two-variable update (linear kernel).
+            let kii = dot(&data.x[i], &data.x[i]);
+            let kjj = dot(&data.x[j], &data.x[j]);
+            let kij = dot(&data.x[i], &data.x[j]);
+            let eta = kii + kjj - kij - kij;
+            if eta <= Q10_22::ZERO {
+                break;
+            }
+            let yi = Q10_22::from_int(data.y[i] as i32);
+            let yj = Q10_22::from_int(data.y[j] as i32);
+            let old_ai = alpha[i];
+            let old_aj = alpha[j];
+            // Move alpha_i up, alpha_j down along the constraint.
+            let delta = ((e_dn - e_up) / eta).min(self.c).max(-self.c);
+            let new_ai = (old_ai + yi * delta).clamp(Q10_22::ZERO, self.c);
+            let actual = (new_ai - old_ai) * yi;
+            let new_aj = (old_aj - yj * actual).clamp(Q10_22::ZERO, self.c);
+            let actual_j = (old_aj - new_aj) * yj;
+            alpha[i] = new_ai;
+            alpha[j] = old_aj - (old_aj - new_aj);
+
+            // Broadcast the coefficient update to the weight vector
+            // (what the ATE broadcast does on the chip).
+            for k in 0..d {
+                w[k] += data.x[i][k] * (alpha[i] - old_ai) * yi
+                    + data.x[j][k] * (alpha[j] - old_aj) * yj;
+            }
+            let _ = actual_j;
+            // Bias: midpoint rule.
+            b -= (e_up + e_dn) / Q10_22::from_int(2);
+
+            if (alpha[i] - old_ai).abs() <= Q10_22::EPSILON
+                && (alpha[j] - old_aj).abs() <= Q10_22::EPSILON
+            {
+                break;
+            }
+        }
+
+        SvmModel { w, b, iterations }
+    }
+}
+
+/// DPU seconds per SMO iteration: the DMS streams all n×d 4-byte fixed-
+/// point features while the cores compute dot products (multiplier-stall
+/// bound), a roofline per §5.1.
+pub fn dpu_iteration_seconds(n: u64, d: u64) -> f64 {
+    let bytes = n * d * 4;
+    let mem = bytes as f64 / dpu_sql::plan::DPU_STREAM_BW;
+    // 8 cycles per multiply-accumulate on the variable-latency multiplier.
+    let compute = (n * d * 8) as f64 / (32.0 * 800.0e6);
+    mem.max(compute)
+}
+
+/// Xeon (LIBSVM) seconds per iteration: LIBSVM's sparse float rows cost
+/// 8 bytes/element of traffic and its scalar kernel loop ≈4 cycles per
+/// element on the paper's 18 OpenMP threads.
+pub fn xeon_iteration_seconds(n: u64, d: u64, xeon: &Xeon) -> f64 {
+    let mem = (n * d * 8) as f64 / xeon.config.stream_bw;
+    let compute = (n * d * 4) as f64 / (18.0 * xeon.config.clock_hz);
+    mem.max(compute)
+}
+
+/// The Figure 14 SVM gain, including the fixed-point iteration advantage
+/// the paper reports ("converges in 35% fewer iterations, with no loss in
+/// classification accuracy").
+pub fn gain(n: u64, d: u64, xeon: &Xeon) -> f64 {
+    let iter_ratio = 1.0 / 0.65;
+    let per_iter = xeon_iteration_seconds(n, d, xeon) / dpu_iteration_seconds(n, d);
+    per_iter * iter_ratio * (xeon.tdp_watts() / 6.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_data_is_balanced_and_deterministic() {
+        let ds = SvmDataset::synthetic(1000, 28, 2.0, 1);
+        assert_eq!(ds.len(), 1000);
+        assert_eq!(ds.dims(), 28);
+        let pos = ds.y.iter().filter(|&&y| y > 0).count();
+        assert_eq!(pos, 500);
+        let ds2 = SvmDataset::synthetic(1000, 28, 2.0, 1);
+        assert_eq!(ds.y, ds2.y);
+        assert_eq!(ds.x[0], ds2.x[0]);
+    }
+
+    #[test]
+    fn trains_separable_data_to_high_accuracy() {
+        let ds = SvmDataset::synthetic(400, 8, 3.0, 7);
+        let model = SmoTrainer::default().train(&ds);
+        let acc = model.accuracy(&ds);
+        assert!(acc > 0.95, "training accuracy {acc}");
+        assert!(model.iterations > 0);
+    }
+
+    #[test]
+    fn noisy_data_still_beats_chance() {
+        let ds = SvmDataset::synthetic(400, 8, 1.0, 9);
+        let model = SmoTrainer::default().train(&ds);
+        let acc = model.accuracy(&ds);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn generalizes_to_unseen_samples() {
+        let train = SvmDataset::synthetic(600, 12, 3.0, 11);
+        let test = SvmDataset::synthetic(200, 12, 3.0, 999);
+        let model = SmoTrainer::default().train(&train);
+        let acc = model.accuracy(&test);
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_model() {
+        let ds = SvmDataset::synthetic(300, 6, 2.5, 3);
+        let m1 = SmoTrainer { workers: 1, ..Default::default() }.train(&ds);
+        let m32 = SmoTrainer { workers: 32, ..Default::default() }.train(&ds);
+        // The sharded argmax scans the same candidates: identical result.
+        assert_eq!(m1.iterations, m32.iterations);
+        assert_eq!(m1.w, m32.w);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        SmoTrainer::default().train(&SvmDataset { x: vec![], y: vec![] });
+    }
+
+    #[test]
+    fn dpu_iteration_is_memory_bound_at_higgs_shape() {
+        // 128K × 28 features: the DMS stream dominates the 8-cycle MACs.
+        let mem = (128 * 1024 * 28 * 4) as f64 / dpu_sql::plan::DPU_STREAM_BW;
+        let t = dpu_iteration_seconds(128 * 1024, 28);
+        assert!((t - mem.max((128 * 1024 * 28 * 8) as f64 / 25.6e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rbf_kernel_behaves_like_a_similarity() {
+        let k = Kernel::rbf(0.5);
+        let a: Vec<Q10_22> = (0..8).map(|i| Q10_22::from_f64(i as f64 * 0.1)).collect();
+        // Self-similarity is 1.
+        assert!((k.eval(&a, &a).to_f64() - 1.0).abs() < 1e-4);
+        // Similarity decays with distance.
+        let near: Vec<Q10_22> = a.iter().map(|&v| v + Q10_22::from_f64(0.1)).collect();
+        let far: Vec<Q10_22> = a.iter().map(|&v| v + Q10_22::from_f64(2.0)).collect();
+        let (kn, kf) = (k.eval(&a, &near).to_f64(), k.eval(&a, &far).to_f64());
+        assert!(kn > kf, "near {kn} should exceed far {kf}");
+        assert!(kf >= 0.0 && kn < 1.0);
+        // Linear kernel is just the dot product.
+        assert_eq!(Kernel::Linear.eval(&a, &a), dpu_fixed::dot(&a, &a));
+    }
+
+    #[test]
+    fn rbf_separates_a_radial_dataset_where_linear_cannot() {
+        // A ring dataset: class +1 inside radius, −1 outside — linearly
+        // inseparable, separable by RBF distance.
+        let k = Kernel::rbf(2.0);
+        let inner: Vec<Q10_22> = vec![Q10_22::from_f64(0.1), Q10_22::from_f64(0.1)];
+        let outer: Vec<Q10_22> = vec![Q10_22::from_f64(2.0), Q10_22::from_f64(2.0)];
+        let origin: Vec<Q10_22> = vec![Q10_22::ZERO, Q10_22::ZERO];
+        assert!(k.eval(&origin, &inner).to_f64() > 0.9);
+        assert!(k.eval(&origin, &outer).to_f64() < 0.1);
+    }
+
+    #[test]
+    fn gain_lands_in_the_paper_band() {
+        let g = gain(128 * 1024, 28, &Xeon::new());
+        assert!(
+            (10.0..25.0).contains(&g),
+            "SVM gain {g:.1} outside the band around 15×"
+        );
+    }
+}

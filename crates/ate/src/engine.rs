@@ -1,0 +1,480 @@
+//! ATE message engine: crossbar timing, hardware RPC execution, software
+//! RPC delivery.
+
+use dpu_mem::{Dmem, PhysMem};
+use dpu_sim::{Histogram, Time};
+
+/// Timing parameters of the ATE interconnect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AteConfig {
+    /// One-way latency between two cores in the same macro (first-level
+    /// crossbar), cycles.
+    pub intra_macro_hop: u64,
+    /// One-way latency between cores in different macros (both crossbar
+    /// levels), cycles.
+    pub inter_macro_hop: u64,
+    /// Pipeline-injection cost of a remote load, cycles.
+    pub load_cycles: u64,
+    /// Pipeline-injection cost of a remote store, cycles.
+    pub store_cycles: u64,
+    /// Pipeline-injection cost of fetch-and-add / compare-and-swap, cycles.
+    pub atomic_cycles: u64,
+    /// Interrupt entry + handler dispatch overhead for software RPCs,
+    /// cycles.
+    pub sw_rpc_overhead: u64,
+    /// Cores per macro (8 on the fabricated part).
+    pub cores_per_macro: usize,
+}
+
+impl Default for AteConfig {
+    fn default() -> Self {
+        AteConfig {
+            intra_macro_hop: 12,
+            inter_macro_hop: 28,
+            load_cycles: 2,
+            store_cycles: 1,
+            atomic_cycles: 3,
+            sw_rpc_overhead: 60,
+            cores_per_macro: 8,
+        }
+    }
+}
+
+/// Where a hardware RPC operates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AteTarget {
+    /// A physical DDR address (the remote core performs the access).
+    Ddr(u64),
+    /// An address in the *remote* core's DMEM — the capability x86
+    /// atomics lack (§2.3).
+    RemoteDmem {
+        /// Byte address within the remote DMEM.
+        addr: u32,
+    },
+}
+
+/// The operation a hardware RPC performs (all 64-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AteOp {
+    /// Read the target; response carries the value.
+    Load,
+    /// Write the target; response is empty (still FIFO-ordered).
+    Store(u64),
+    /// Atomically add; response carries the old value.
+    FetchAdd(u64),
+    /// Atomically compare-and-swap; response carries the old value
+    /// (success ⇔ old == expect).
+    CompareSwap {
+        /// Expected current value.
+        expect: u64,
+        /// Replacement written on match.
+        new: u64,
+    },
+}
+
+/// A hardware RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AteRequest {
+    /// Requesting core.
+    pub from: usize,
+    /// Core whose pipeline executes the operation.
+    pub to: usize,
+    /// Target address.
+    pub target: AteTarget,
+    /// Operation.
+    pub op: AteOp,
+}
+
+/// Response to a hardware RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AteResponse {
+    /// Value read (old value for atomics; 0 for stores).
+    pub value: u64,
+    /// Time the requesting core unblocks.
+    pub finish: Time,
+    /// Cycles stolen from the remote core's pipeline.
+    pub remote_stall: u64,
+}
+
+/// Delivery schedule for a software RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwRpcTicket {
+    /// When the remote core takes the interrupt.
+    pub interrupt_at: Time,
+    /// When the requester would see a response if the handler runs for
+    /// `handler_cycles` (as passed to [`Ate::sw_rpc`]).
+    pub response_at: Time,
+}
+
+/// The ATE: crossbar occupancy plus RPC execution.
+#[derive(Debug)]
+pub struct Ate {
+    cfg: AteConfig,
+    n_cores: usize,
+    /// FIFO ordering point per destination core: the time its injection
+    /// port is next free.
+    port_free: Vec<Time>,
+    latencies: Histogram,
+}
+
+impl Ate {
+    /// Creates an ATE serving `n_cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    pub fn new(cfg: AteConfig, n_cores: usize) -> Self {
+        assert!(n_cores > 0, "need at least one core");
+        Ate {
+            port_free: vec![Time::ZERO; n_cores],
+            latencies: Histogram::new(vec![25, 50, 75, 100, 150, 200, 400, 800]),
+            n_cores,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AteConfig {
+        &self.cfg
+    }
+
+    /// One-way hop latency between two cores.
+    pub fn hop_latency(&self, from: usize, to: usize) -> u64 {
+        if from / self.cfg.cores_per_macro == to / self.cfg.cores_per_macro {
+            self.cfg.intra_macro_hop
+        } else {
+            self.cfg.inter_macro_hop
+        }
+    }
+
+    /// Histogram of round-trip latencies observed so far (Figure 2 data).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latencies
+    }
+
+    fn op_cycles(&self, op: AteOp) -> u64 {
+        match op {
+            AteOp::Load => self.cfg.load_cycles,
+            AteOp::Store(_) => self.cfg.store_cycles,
+            AteOp::FetchAdd(_) | AteOp::CompareSwap { .. } => self.cfg.atomic_cycles,
+        }
+    }
+
+    /// Executes a hardware RPC issued at `now`; the requester blocks until
+    /// `finish`.
+    ///
+    /// The operation is applied immediately to the backing memory (the
+    /// simulation's virtual-time discipline: effects are ordered by the
+    /// injection port's FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if core ids are out of range or a DMEM address is out of
+    /// bounds.
+    pub fn request(
+        &mut self,
+        req: AteRequest,
+        now: Time,
+        phys: &mut PhysMem,
+        dmems: &mut [Dmem],
+    ) -> AteResponse {
+        assert!(req.from < self.n_cores && req.to < self.n_cores, "core id out of range");
+        let hop = self.hop_latency(req.from, req.to);
+        let arrive = now + Time::from_cycles(hop);
+        // FIFO ordering: the remote injection port serves in arrival order.
+        let start = arrive.max(self.port_free[req.to]);
+        let stall = self.op_cycles(req.op);
+        let done_remote = start + Time::from_cycles(stall);
+        self.port_free[req.to] = done_remote;
+
+        let value = match req.target {
+            AteTarget::Ddr(addr) => apply_phys(phys, addr, req.op),
+            AteTarget::RemoteDmem { addr } => apply_dmem(&mut dmems[req.to], addr, req.op),
+        };
+
+        let finish = done_remote + Time::from_cycles(hop);
+        self.latencies.record((finish - now).cycles());
+        AteResponse {
+            value,
+            finish,
+            remote_stall: stall,
+        }
+    }
+
+    /// Schedules a software RPC: the remote core is interrupted, runs a
+    /// handler estimated at `handler_cycles`, and the response returns.
+    /// The caller (the SoC model) is responsible for actually running the
+    /// handler's effects at `interrupt_at`.
+    pub fn sw_rpc(&mut self, from: usize, to: usize, now: Time, handler_cycles: u64) -> SwRpcTicket {
+        assert!(from < self.n_cores && to < self.n_cores, "core id out of range");
+        let hop = self.hop_latency(from, to);
+        let arrive = now + Time::from_cycles(hop);
+        let start = arrive.max(self.port_free[to]);
+        let handler_done =
+            start + Time::from_cycles(self.cfg.sw_rpc_overhead + handler_cycles);
+        self.port_free[to] = handler_done;
+        let response_at = handler_done + Time::from_cycles(hop);
+        self.latencies.record((response_at - now).cycles());
+        SwRpcTicket {
+            interrupt_at: start,
+            response_at,
+        }
+    }
+}
+
+fn apply_phys(phys: &mut PhysMem, addr: u64, op: AteOp) -> u64 {
+    let old = phys.read_u64(addr);
+    match op {
+        AteOp::Load => old,
+        AteOp::Store(v) => {
+            phys.write_u64(addr, v);
+            0
+        }
+        AteOp::FetchAdd(d) => {
+            phys.write_u64(addr, old.wrapping_add(d));
+            old
+        }
+        AteOp::CompareSwap { expect, new } => {
+            if old == expect {
+                phys.write_u64(addr, new);
+            }
+            old
+        }
+    }
+}
+
+fn apply_dmem(dmem: &mut Dmem, addr: u32, op: AteOp) -> u64 {
+    let old = dmem.read_u64(addr);
+    match op {
+        AteOp::Load => old,
+        AteOp::Store(v) => {
+            dmem.write_u64(addr, v);
+            0
+        }
+        AteOp::FetchAdd(d) => {
+            dmem.write_u64(addr, old.wrapping_add(d));
+            old
+        }
+        AteOp::CompareSwap { expect, new } => {
+            if old == expect {
+                dmem.write_u64(addr, new);
+            }
+            old
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Ate, PhysMem, Vec<Dmem>) {
+        (
+            Ate::new(AteConfig::default(), 32),
+            PhysMem::new(4096),
+            (0..32).map(|_| Dmem::new(1024)).collect(),
+        )
+    }
+
+    #[test]
+    fn intra_macro_cheaper_than_inter_macro() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        let near = ate.request(
+            AteRequest { from: 0, to: 1, target: AteTarget::Ddr(0), op: AteOp::Load },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        let far = ate.request(
+            AteRequest { from: 0, to: 31, target: AteTarget::Ddr(8), op: AteOp::Load },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        assert!(far.finish > near.finish);
+        assert_eq!(
+            near.finish.cycles(),
+            2 * ate.config().intra_macro_hop + ate.config().load_cycles
+        );
+        assert_eq!(
+            far.finish.cycles(),
+            2 * ate.config().inter_macro_hop + ate.config().load_cycles
+        );
+    }
+
+    #[test]
+    fn store_cheaper_than_atomics() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        let st = ate.request(
+            AteRequest { from: 0, to: 1, target: AteTarget::Ddr(0), op: AteOp::Store(1) },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        let mut ate2 = Ate::new(AteConfig::default(), 32);
+        let fa = ate2.request(
+            AteRequest { from: 0, to: 1, target: AteTarget::Ddr(0), op: AteOp::FetchAdd(1) },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        assert!(st.finish < fa.finish);
+    }
+
+    #[test]
+    fn fetch_add_returns_old_and_accumulates() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        let mk = |from| AteRequest {
+            from,
+            to: 5,
+            target: AteTarget::Ddr(128),
+            op: AteOp::FetchAdd(10),
+        };
+        let r1 = ate.request(mk(0), Time::ZERO, &mut phys, &mut dmems);
+        let r2 = ate.request(mk(1), Time::ZERO, &mut phys, &mut dmems);
+        assert_eq!(r1.value, 0);
+        assert_eq!(r2.value, 10);
+        assert_eq!(phys.read_u64(128), 20);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        phys.write_u64(64, 7);
+        let ok = ate.request(
+            AteRequest {
+                from: 0,
+                to: 1,
+                target: AteTarget::Ddr(64),
+                op: AteOp::CompareSwap { expect: 7, new: 9 },
+            },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        assert_eq!(ok.value, 7);
+        assert_eq!(phys.read_u64(64), 9);
+        let fail = ate.request(
+            AteRequest {
+                from: 0,
+                to: 1,
+                target: AteTarget::Ddr(64),
+                op: AteOp::CompareSwap { expect: 7, new: 11 },
+            },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        assert_eq!(fail.value, 9, "CAS failure returns current value");
+        assert_eq!(phys.read_u64(64), 9, "CAS failure writes nothing");
+    }
+
+    #[test]
+    fn remote_dmem_operations() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        dmems[20].write_u64(0, 100);
+        let r = ate.request(
+            AteRequest {
+                from: 3,
+                to: 20,
+                target: AteTarget::RemoteDmem { addr: 0 },
+                op: AteOp::FetchAdd(1),
+            },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        assert_eq!(r.value, 100);
+        assert_eq!(dmems[20].read_u64(0), 101);
+    }
+
+    #[test]
+    fn same_destination_serializes_fifo() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        // Many cores target core 0 at t=0: responses spread out in time.
+        let mut finishes = Vec::new();
+        for from in 1..9 {
+            let r = ate.request(
+                AteRequest {
+                    from,
+                    to: 0,
+                    target: AteTarget::Ddr(0),
+                    op: AteOp::FetchAdd(1),
+                },
+                Time::ZERO,
+                &mut phys,
+                &mut dmems,
+            );
+            finishes.push(r.finish);
+        }
+        for w in finishes.windows(2) {
+            assert!(w[1] > w[0], "injection port must serialize");
+        }
+        assert_eq!(phys.read_u64(0), 8);
+    }
+
+    #[test]
+    fn different_destinations_proceed_in_parallel() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        let r1 = ate.request(
+            AteRequest { from: 0, to: 1, target: AteTarget::Ddr(0), op: AteOp::Load },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        let r2 = ate.request(
+            AteRequest { from: 2, to: 3, target: AteTarget::Ddr(8), op: AteOp::Load },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        assert_eq!(r1.finish, r2.finish, "disjoint ports don't contend");
+    }
+
+    #[test]
+    fn sw_rpc_slower_than_hw_rpc() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        let hw = ate.request(
+            AteRequest { from: 0, to: 9, target: AteTarget::Ddr(0), op: AteOp::Load },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+        let mut ate2 = Ate::new(AteConfig::default(), 32);
+        let sw = ate2.sw_rpc(0, 9, Time::ZERO, 100);
+        assert!(sw.response_at > hw.finish, "interrupt path must cost more");
+        assert!(sw.interrupt_at < sw.response_at);
+    }
+
+    #[test]
+    fn latency_histogram_populates() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        for i in 0..10 {
+            ate.request(
+                AteRequest {
+                    from: i,
+                    to: (i + 1) % 32,
+                    target: AteTarget::Ddr(0),
+                    op: AteOp::Load,
+                },
+                Time::ZERO,
+                &mut phys,
+                &mut dmems,
+            );
+        }
+        assert_eq!(ate.latency_histogram().count(), 10);
+        assert!(ate.latency_histogram().mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "core id out of range")]
+    fn bad_core_id_panics() {
+        let (mut ate, mut phys, mut dmems) = setup();
+        ate.request(
+            AteRequest { from: 0, to: 99, target: AteTarget::Ddr(0), op: AteOp::Load },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The Atomic Transaction Engine (ATE).
+//!
+//! The ATE is the DPU's alternative to hardware cache coherence (§2.3): a
+//! two-level crossbar (one connecting the 8 dpCores of a macro, one
+//! connecting the 4 macros) carrying messages with guaranteed
+//! point-to-point FIFO ordering. Messages are interpreted as **remote
+//! procedure calls**:
+//!
+//! * **Hardware RPCs** — load, store, atomic fetch-and-add and
+//!   compare-and-swap on any DDR or remote-DMEM address. The receiving
+//!   ATE injects the operation directly into the remote dpCore's
+//!   pipeline: it appears as a brief stall, with no interrupt and no
+//!   instruction-cache disturbance.
+//! * **Software RPCs** — interrupt the remote core and run a pre-installed
+//!   handler to completion (used for flush/invalidate/mutate of shared
+//!   ranges, per §4's `dpu_serialized` discipline).
+//!
+//! A requesting core may have **one outstanding request** and stalls until
+//! the response returns. [`sync`] builds mutexes, barriers and
+//! work-stealing counters from these primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_ate::{Ate, AteConfig, AteOp, AteRequest, AteTarget};
+//! use dpu_mem::{Dmem, PhysMem};
+//! use dpu_sim::Time;
+//!
+//! let mut ate = Ate::new(AteConfig::default(), 32);
+//! let mut phys = PhysMem::new(1024);
+//! let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(256)).collect();
+//! // Core 0 fetch-adds a counter owned by core 17 (cross-macro).
+//! let req = AteRequest {
+//!     from: 0,
+//!     to: 17,
+//!     target: AteTarget::RemoteDmem { addr: 64 },
+//!     op: AteOp::FetchAdd(5),
+//! };
+//! let resp = ate.request(req, Time::ZERO, &mut phys, &mut dmems);
+//! assert_eq!(resp.value, 0);                      // old value
+//! assert_eq!(dmems[17].read_u64(64), 5);          // applied remotely
+//! assert!(resp.finish > Time::ZERO);
+//! ```
+
+pub mod engine;
+pub mod sync;
+
+pub use engine::{Ate, AteConfig, AteOp, AteRequest, AteResponse, AteTarget, SwRpcTicket};
+pub use sync::{AteBarrier, AteCounter, AteMutex, AteReducer};

@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks of the descriptor codec and the DMS engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpu_dms::{DataDescriptor, Descriptor, Dms, DmsConfig, EventCond};
+use dpu_mem::{Dmem, DramChannel, DramConfig, PhysMem};
+use dpu_sim::Time;
+
+fn bench_codec(c: &mut Criterion) {
+    let d = DataDescriptor::read(0xABCD00, 512, 1024, 4)
+        .with_notify(3)
+        .with_wait(EventCond::is_clear(7));
+    c.bench_function("descriptor_encode", |b| b.iter(|| black_box(d.encode())));
+    let w = d.encode();
+    c.bench_function("descriptor_decode", |b| {
+        b.iter(|| black_box(DataDescriptor::decode(w).unwrap()))
+    });
+}
+
+fn bench_dms_throughput(c: &mut Criterion) {
+    c.bench_function("dms_4kb_descriptor_execution", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Dms::new(DmsConfig::default(), 8),
+                    PhysMem::new(64 * 1024),
+                    DramChannel::new(DramConfig::ddr3_1600()),
+                    (0..8).map(|_| Dmem::new(32 * 1024)).collect::<Vec<_>>(),
+                )
+            },
+            |(mut dms, mut phys, mut dram, mut dmems)| {
+                let d = DataDescriptor::read(0, 0, 1024, 4);
+                dms.push(0, 0, Descriptor::Data(d), Time::ZERO);
+                black_box(dms.advance(&mut phys, &mut dram, &mut dmems))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_dms_throughput);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks of the hash/partition engines (host-side
+//! throughput of the simulator's hot paths).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpu_dms::PartitionScheme;
+use dpu_isa::hash::{crc32c, crc32c_u64, murmur64};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.bench_function("crc32c_u64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(crc32c_u64(k))
+        })
+    });
+    g.bench_function("murmur64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(murmur64(k))
+        })
+    });
+    let buf = vec![0xA5u8; 4096];
+    g.bench_function("crc32c_4k", |b| b.iter(|| black_box(crc32c(&buf))));
+    g.finish();
+}
+
+fn bench_partition_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_of");
+    let hash = PartitionScheme::HashRadix { radix_bits: 5 };
+    let radix = PartitionScheme::Radix { bits: 5, shift: 0 };
+    let range = PartitionScheme::Range { bounds: (1..32).map(|i| i * 1000).collect() };
+    for (name, s) in [("hash", hash), ("radix", radix), ("range", range)] {
+        g.bench_function(name, |b| {
+            let mut k = 0i64;
+            b.iter(|| {
+                k = k.wrapping_add(12345);
+                black_box(s.partition_of(k))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_partition_schemes);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbenchmarks of the application kernels and the ISA
+//! interpreter (host instructions-per-second of the simulator itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpu_apps::HyperLogLog;
+use dpu_isa::hash::HashKind;
+use dpu_sql::{measure_filter_kernel, BitVec};
+
+fn bench_interpreter_filter(c: &mut Criterion) {
+    let values: Vec<i32> = (0..1024).map(|i| i * 3).collect();
+    c.bench_function("isa_filter_kernel_1k_rows", |b| {
+        b.iter(|| black_box(measure_filter_kernel(&values, 100, 2000)))
+    });
+}
+
+fn bench_hll(c: &mut Criterion) {
+    c.bench_function("hll_insert", |b| {
+        let mut h = HyperLogLog::new(12, HashKind::Crc32);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E37_79B9);
+            h.insert(black_box(k));
+        })
+    });
+}
+
+fn bench_bitvec(c: &mut Criterion) {
+    let a = BitVec::from_fn(65536, |i| i % 3 == 0);
+    let b2 = BitVec::from_fn(65536, |i| i % 5 == 0);
+    c.bench_function("bitvec_and_64k", |b| b.iter(|| black_box(a.and(&b2))));
+    c.bench_function("bitvec_count_64k", |b| b.iter(|| black_box(a.count())));
+}
+
+criterion_group!(benches, bench_interpreter_filter, bench_hll, bench_bitvec);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 2: performance of ATE remote procedure calls.
+//!
+//! Measures round-trip latency of each hardware RPC type and a software
+//! RPC, intra-macro and inter-macro. The paper's figure shows response
+//! times on this order; the shape targets are store < load ≤ atomics,
+//! inter-macro > intra-macro, and software RPCs costing several times a
+//! hardware RPC.
+
+use dpu_ate::{Ate, AteConfig, AteOp, AteRequest, AteTarget};
+use dpu_bench::{header, row};
+use dpu_mem::{Dmem, PhysMem};
+use dpu_sim::Time;
+
+fn measure(op: AteOp, from: usize, to: usize) -> u64 {
+    let mut ate = Ate::new(AteConfig::default(), 32);
+    let mut phys = PhysMem::new(1024);
+    let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(256)).collect();
+    ate.request(
+        AteRequest { from, to, target: AteTarget::Ddr(0), op },
+        Time::ZERO,
+        &mut phys,
+        &mut dmems,
+    )
+    .finish
+    .cycles()
+}
+
+fn main() {
+    println!("# Figure 2: ATE remote procedure call response times (cycles)\n");
+    header(&["RPC type", "intra-macro (core 0→1)", "inter-macro (core 0→31)"]);
+    let ops: [(&str, AteOp); 4] = [
+        ("HW store", AteOp::Store(1)),
+        ("HW load", AteOp::Load),
+        ("HW fetch-add", AteOp::FetchAdd(1)),
+        ("HW compare-swap", AteOp::CompareSwap { expect: 0, new: 1 }),
+    ];
+    for (name, op) in ops {
+        row(&[
+            name.to_string(),
+            measure(op, 0, 1).to_string(),
+            measure(op, 0, 31).to_string(),
+        ]);
+    }
+    // Software RPC with a 100-cycle handler.
+    let mut ate = Ate::new(AteConfig::default(), 32);
+    let near = ate.sw_rpc(0, 1, Time::ZERO, 100).response_at.cycles();
+    let mut ate = Ate::new(AteConfig::default(), 32);
+    let far = ate.sw_rpc(0, 31, Time::ZERO, 100).response_at.cycles();
+    row(&["SW RPC (100-cycle handler)".into(), near.to_string(), far.to_string()]);
+
+    println!("\nThroughput note (paper §2.3): software overlaps independent");
+    println!("instructions for the response latency before blocking on `wfe`.");
+}

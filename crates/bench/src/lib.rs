@@ -1,0 +1,28 @@
+//! Benchmark harness utilities.
+//!
+//! Each `bin/figXX_*` binary regenerates one table or figure from the
+//! paper's evaluation, printing the same rows/series the paper reports.
+//! The `benches/` directory holds Criterion microbenchmarks of the
+//! library's own hot paths (hashing, descriptor codec, the partition
+//! engines, the ISA interpreter).
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a header row with a separator.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Formats a gigabytes-per-second value.
+pub fn gbps(v: f64) -> String {
+    format!("{v:.2} GB/s")
+}
+
+/// Formats a gain multiplier.
+pub fn gain(v: f64) -> String {
+    format!("{v:.1}×")
+}

@@ -1,0 +1,156 @@
+//! DPU SoC configurations: the fabricated 40 nm part and the 16 nm shrink.
+
+use dpu_ate::AteConfig;
+use dpu_dms::DmsConfig;
+use dpu_mem::DramConfig;
+use dpu_sim::Frequency;
+
+/// Process node of the SoC (§2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessNode {
+    /// The fabricated part: 90.63 mm², 540 M transistors, 5.8 W.
+    Nm40,
+    /// The shrink: 5 × the 32-core complex (160 dpCores), DDR4-3200,
+    /// 3 B transistors, 12 W TDP, ≈2.5× performance/watt.
+    Nm16,
+}
+
+/// Full SoC configuration.
+#[derive(Debug, Clone)]
+pub struct DpuConfig {
+    /// Process node.
+    pub node: ProcessNode,
+    /// Number of dpCores (32 at 40 nm, 160 at 16 nm).
+    pub n_cores: usize,
+    /// dpCores per macro (8).
+    pub cores_per_macro: usize,
+    /// Core clock.
+    pub clock: Frequency,
+    /// Per-core DMEM bytes (32 KB).
+    pub dmem_bytes: usize,
+    /// DRAM channel timing.
+    pub dram: DramConfig,
+    /// Number of DRAM channels (1 at 40 nm; 3 DDR4 channels give the
+    /// 16 nm part its 76 GB/s).
+    pub dram_channels: usize,
+    /// Physical memory capacity in bytes to simulate (default 64 MB —
+    /// workloads are scaled; the real part carries 8 GB).
+    pub phys_mem_bytes: usize,
+    /// DMS parameters.
+    pub dms: DmsConfig,
+    /// ATE parameters.
+    pub ate: AteConfig,
+    /// Provisioned SoC power in watts (6 W is the figure the paper uses
+    /// for performance/watt; 5.8 W is the measured breakdown).
+    pub provisioned_watts: f64,
+}
+
+impl DpuConfig {
+    /// The fabricated 40 nm DPU: 32 dpCores @ 800 MHz, one DDR3-1600
+    /// channel, 6 W provisioned.
+    pub fn nm40() -> Self {
+        DpuConfig {
+            node: ProcessNode::Nm40,
+            n_cores: 32,
+            cores_per_macro: 8,
+            clock: Frequency::DPU_CORE,
+            dmem_bytes: 32 * 1024,
+            dram: DramConfig::ddr3_1600(),
+            dram_channels: 1,
+            phys_mem_bytes: 64 << 20,
+            dms: DmsConfig::default(),
+            ate: AteConfig::default(),
+            provisioned_watts: 6.0,
+        }
+    }
+
+    /// The 16 nm shrink: 160 dpCores (5 complexes), DDR4-3200 totalling
+    /// 76.8 GB/s, 12 W TDP.
+    pub fn nm16() -> Self {
+        DpuConfig {
+            node: ProcessNode::Nm16,
+            n_cores: 160,
+            cores_per_macro: 8,
+            clock: Frequency::DPU_CORE,
+            dmem_bytes: 32 * 1024,
+            dram: DramConfig::ddr4_3200(),
+            dram_channels: 3,
+            phys_mem_bytes: 64 << 20,
+            dms: DmsConfig::default(),
+            ate: AteConfig::default(),
+            provisioned_watts: 12.0,
+        }
+    }
+
+    /// A small configuration for fast unit tests (one macro of 8 cores,
+    /// 16 MB of physical memory).
+    pub fn test_small() -> Self {
+        DpuConfig {
+            n_cores: 8,
+            phys_mem_bytes: 16 << 20,
+            ..Self::nm40()
+        }
+    }
+
+    /// Number of macros.
+    pub fn n_macros(&self) -> usize {
+        self.n_cores / self.cores_per_macro
+    }
+
+    /// Aggregate peak DRAM bandwidth in bytes/second.
+    pub fn peak_dram_bytes_per_sec(&self) -> f64 {
+        self.dram.peak_bytes_per_sec() * self.dram_channels as f64
+    }
+
+    /// Peak compute throughput proxy: core count × clock (used for the
+    /// 16 nm scaling checks, not for absolute claims).
+    pub fn compute_proxy(&self) -> f64 {
+        self.n_cores as f64 * self.clock.hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nm40_matches_paper() {
+        let c = DpuConfig::nm40();
+        assert_eq!(c.n_cores, 32);
+        assert_eq!(c.n_macros(), 4);
+        assert_eq!(c.dmem_bytes, 32 * 1024);
+        assert_eq!(c.provisioned_watts, 6.0);
+        assert!((c.peak_dram_bytes_per_sec() - 12.8e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn nm16_scales_five_x_compute_and_bandwidth() {
+        let a = DpuConfig::nm40();
+        let b = DpuConfig::nm16();
+        assert_eq!(b.n_cores, 160);
+        assert!((b.compute_proxy() / a.compute_proxy() - 5.0).abs() < 1e-9);
+        // 3 × 25.6 = 76.8 GB/s ≈ the paper's 76 GB/s.
+        assert!((b.peak_dram_bytes_per_sec() / 1e9 - 76.8).abs() < 0.1);
+        assert_eq!(b.provisioned_watts, 12.0);
+    }
+
+    #[test]
+    fn efficiency_of_shrink_is_2_5x() {
+        // 5× compute+bandwidth at 2× power ⇒ 2.5× performance/watt (§2.5).
+        let a = DpuConfig::nm40();
+        let b = DpuConfig::nm16();
+        let perf_per_watt_ratio =
+            (b.compute_proxy() / b.provisioned_watts) / (a.compute_proxy() / a.provisioned_watts);
+        assert!((perf_per_watt_ratio - 2.5).abs() < 0.05);
+        // Bandwidth/watt improves even more (6× bandwidth at 2× power).
+        let bw_ratio = (b.peak_dram_bytes_per_sec() / b.provisioned_watts)
+            / (a.peak_dram_bytes_per_sec() / a.provisioned_watts);
+        assert!(bw_ratio >= 2.5);
+    }
+
+    #[test]
+    fn small_config_is_one_macro() {
+        let c = DpuConfig::test_small();
+        assert_eq!(c.n_macros(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The DPU System-on-Chip.
+//!
+//! This crate assembles the substrates into the full Data Processing Unit
+//! of the paper: 32 dpCores in 4 macros, each with a 32 KB DMEM; the
+//! [DMS](dpu_dms) at the DDR controller; the [ATE](dpu_ate) crossbar; a
+//! mailbox controller ([`Mbc`]); a power model reproducing the Figure 5
+//! breakdown; and the simulation engine that executes per-core programs
+//! ([`CoreProgram`]) against all of it in virtual time.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dpu_core::{CoreAction, CoreProgram, CoreCtx, Dpu, DpuConfig};
+//!
+//! // A trivial program: every core computes 1000 cycles and stops.
+//! struct Busy(bool);
+//! impl CoreProgram for Busy {
+//!     fn step(&mut self, _ctx: &mut CoreCtx<'_>) -> CoreAction {
+//!         if self.0 { CoreAction::Done } else { self.0 = true; CoreAction::Compute(1000) }
+//!     }
+//! }
+//!
+//! let mut dpu = Dpu::new(DpuConfig::nm40());
+//! let mut programs: Vec<Box<dyn CoreProgram>> =
+//!     (0..dpu.n_cores()).map(|_| Box::new(Busy(false)) as Box<dyn CoreProgram>).collect();
+//! let run = dpu.run(&mut programs).unwrap();
+//! assert_eq!(run.finish.cycles(), 1000);
+//! ```
+
+pub mod config;
+pub mod mbc;
+pub mod power;
+pub mod program;
+pub mod rack;
+pub mod soc;
+pub mod stream;
+
+pub use config::{DpuConfig, ProcessNode};
+pub use mbc::{Mailbox, MailboxMessage, Mbc};
+pub use power::{PowerBreakdown, PowerComponent};
+pub use program::{CoreAction, CoreCtx, CoreProgram, IsaCoreProgram};
+pub use rack::Rack;
+pub use soc::{Dpu, DpuError, RunReport};
+pub use stream::{StreamKernel, StreamSpec, TileRef};

@@ -1,0 +1,163 @@
+//! The MailBox Controller (MBC).
+//!
+//! "The MBC is a hardware queue providing a simple communication
+//! interface that connects the dpCores, A9 cores and the M0 processor …
+//! a total of 34 mailboxes, one for every dpCore, one for the A9 cores
+//! and one for the M0" (§2.4). Messages are lightweight — typically a
+//! pointer into DRAM — with the bulk data travelling through main memory.
+
+use std::collections::VecDeque;
+
+use dpu_sim::Time;
+
+/// Identifies a mailbox endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mailbox {
+    /// One of the 32 dpCores.
+    DpCore(usize),
+    /// The dual-core ARM A9 (network endpoint).
+    A9,
+    /// The M0 power-management unit.
+    M0,
+}
+
+/// A queued lightweight message (usually a DRAM pointer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MailboxMessage {
+    /// Sender.
+    pub from: Mailbox,
+    /// 64-bit payload (by convention a physical pointer).
+    pub payload: u64,
+    /// Delivery time (send time + queue latency).
+    pub delivered_at: Time,
+}
+
+/// The mailbox controller: 34 queues with interrupt lines.
+#[derive(Debug)]
+pub struct Mbc {
+    n_cores: usize,
+    queues: Vec<VecDeque<MailboxMessage>>,
+    send_latency: u64,
+}
+
+impl Mbc {
+    /// An MBC for `n_cores` dpCores plus the A9 and M0 endpoints.
+    pub fn new(n_cores: usize) -> Self {
+        Mbc {
+            n_cores,
+            queues: (0..n_cores + 2).map(|_| VecDeque::new()).collect(),
+            send_latency: 20,
+        }
+    }
+
+    fn index(&self, mb: Mailbox) -> usize {
+        match mb {
+            Mailbox::DpCore(i) => {
+                assert!(i < self.n_cores, "dpCore mailbox out of range");
+                i
+            }
+            Mailbox::A9 => self.n_cores,
+            Mailbox::M0 => self.n_cores + 1,
+        }
+    }
+
+    /// Total number of mailboxes (34 on the fabricated part).
+    pub fn mailbox_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Sends `payload` from `from` to `to` at `now`; returns delivery time
+    /// (when `to`'s interrupt line asserts).
+    pub fn send(&mut self, from: Mailbox, to: Mailbox, payload: u64, now: Time) -> Time {
+        let delivered_at = now + Time::from_cycles(self.send_latency);
+        let idx = self.index(to);
+        self.queues[idx].push_back(MailboxMessage {
+            from,
+            payload,
+            delivered_at,
+        });
+        delivered_at
+    }
+
+    /// Pops the oldest message delivered by `now`, if any.
+    pub fn recv(&mut self, me: Mailbox, now: Time) -> Option<MailboxMessage> {
+        let idx = self.index(me);
+        match self.queues[idx].front() {
+            Some(m) if m.delivered_at <= now => self.queues[idx].pop_front(),
+            _ => None,
+        }
+    }
+
+    /// True if a delivered message is waiting for `me` at `now`.
+    pub fn has_message(&self, me: Mailbox, now: Time) -> bool {
+        self.queues[self.index(me)]
+            .front()
+            .is_some_and(|m| m.delivered_at <= now)
+    }
+
+    /// Number of messages queued for `me` (delivered or in flight).
+    pub fn queue_len(&self, me: Mailbox) -> usize {
+        self.queues[self.index(me)].len()
+    }
+
+    /// Delivery time of the oldest queued message for `me`, if any
+    /// (used by the engine to wake a blocked receiver at the right time).
+    pub fn next_delivery(&self, me: Mailbox) -> Option<Time> {
+        self.queues[self.index(me)].front().map(|m| m.delivered_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+
+    #[test]
+    fn thirty_four_mailboxes_on_fabricated_part() {
+        assert_eq!(Mbc::new(32).mailbox_count(), 34);
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut mbc = Mbc::new(8);
+        let d = mbc.send(Mailbox::DpCore(0), Mailbox::DpCore(5), 0xDEAD, t(100));
+        assert!(d > t(100));
+        assert!(mbc.recv(Mailbox::DpCore(5), t(100)).is_none(), "in flight");
+        let m = mbc.recv(Mailbox::DpCore(5), d).unwrap();
+        assert_eq!(m.payload, 0xDEAD);
+        assert_eq!(m.from, Mailbox::DpCore(0));
+        assert!(mbc.recv(Mailbox::DpCore(5), d).is_none(), "queue drained");
+    }
+
+    #[test]
+    fn fifo_per_mailbox() {
+        let mut mbc = Mbc::new(8);
+        mbc.send(Mailbox::A9, Mailbox::DpCore(1), 1, t(0));
+        mbc.send(Mailbox::A9, Mailbox::DpCore(1), 2, t(0));
+        mbc.send(Mailbox::A9, Mailbox::DpCore(1), 3, t(0));
+        assert_eq!(mbc.queue_len(Mailbox::DpCore(1)), 3);
+        let late = t(10_000);
+        assert_eq!(mbc.recv(Mailbox::DpCore(1), late).unwrap().payload, 1);
+        assert_eq!(mbc.recv(Mailbox::DpCore(1), late).unwrap().payload, 2);
+        assert_eq!(mbc.recv(Mailbox::DpCore(1), late).unwrap().payload, 3);
+    }
+
+    #[test]
+    fn a9_and_m0_endpoints() {
+        let mut mbc = Mbc::new(4);
+        let d = mbc.send(Mailbox::DpCore(2), Mailbox::A9, 77, t(0));
+        assert!(mbc.has_message(Mailbox::A9, d));
+        assert!(!mbc.has_message(Mailbox::M0, d));
+        let d2 = mbc.send(Mailbox::A9, Mailbox::M0, 88, d);
+        assert_eq!(mbc.recv(Mailbox::M0, d2).unwrap().payload, 88);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_mailbox_panics() {
+        Mbc::new(4).queue_len(Mailbox::DpCore(4));
+    }
+}

@@ -1,0 +1,160 @@
+//! The DPU power model (Figure 5).
+//!
+//! The fabricated 40 nm part is provisioned at 5.8 W. "Over 37% of our
+//! power goes towards leakage, since we use high leakage circuits to meet
+//! timing constraints. Each dpCore consumes 51 mW of dynamic power at
+//! 800 MHz" (§2.5). The paper optimizes for *provisioned* power (rack
+//! provisioning cost), so performance/watt throughout uses the SoC's
+//! provisioned figure, not activity-dependent draw.
+
+use crate::config::{DpuConfig, ProcessNode};
+
+/// One slice of the SoC power breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerComponent {
+    /// Component name as it would appear in Figure 5.
+    pub name: &'static str,
+    /// Watts attributed to the component.
+    pub watts: f64,
+}
+
+/// The Figure 5 power breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    /// All components; sums to [`total_watts`](Self::total_watts).
+    pub components: Vec<PowerComponent>,
+}
+
+impl PowerBreakdown {
+    /// The breakdown for a configuration.
+    ///
+    /// At 40 nm the split follows the paper's anchors: 37 % leakage and
+    /// 51 mW × 32 dpCore dynamic power, with the remainder distributed
+    /// over the DMS, SRAM/caches, the DDR controller + PHY, the ARM
+    /// subsystem and the interconnect, summing to 5.8 W. The 16 nm
+    /// variant scales the core complex by 5× and re-balances leakage for
+    /// the FinFET node.
+    pub fn for_config(config: &DpuConfig) -> Self {
+        match config.node {
+            ProcessNode::Nm40 => {
+                let dpcores = 0.051 * config.n_cores as f64; // 1.632 W
+                PowerBreakdown {
+                    components: vec![
+                        PowerComponent { name: "leakage", watts: 2.146 },
+                        PowerComponent { name: "dpCores (dynamic)", watts: dpcores },
+                        PowerComponent { name: "DMS", watts: 0.52 },
+                        PowerComponent { name: "caches + DMEM SRAM", watts: 0.45 },
+                        PowerComponent { name: "DDR controller + PHY", watts: 0.62 },
+                        PowerComponent { name: "A9 + M0 subsystem", watts: 0.30 },
+                        PowerComponent { name: "ATE + MBC + NoC", watts: 0.132 },
+                    ],
+                }
+            }
+            ProcessNode::Nm16 => {
+                let dpcores = 0.030 * config.n_cores as f64; // 4.8 W at 160 cores
+                PowerBreakdown {
+                    components: vec![
+                        PowerComponent { name: "leakage", watts: 2.4 },
+                        PowerComponent { name: "dpCores (dynamic)", watts: dpcores },
+                        PowerComponent { name: "DMS ×5", watts: 1.8 },
+                        PowerComponent { name: "caches + DMEM SRAM", watts: 1.4 },
+                        PowerComponent { name: "DDR4 controllers + PHY", watts: 1.0 },
+                        PowerComponent { name: "A9 + M0 subsystem", watts: 0.3 },
+                        PowerComponent { name: "ATE + MBC + NoC", watts: 0.3 },
+                    ],
+                }
+            }
+        }
+    }
+
+    /// Sum over components.
+    pub fn total_watts(&self) -> f64 {
+        self.components.iter().map(|c| c.watts).sum()
+    }
+
+    /// Fraction of total attributed to `name` (0 if absent).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total_watts();
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.watts / total)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Performance-per-watt ratio between two platforms given their
+/// throughputs (any consistent unit) and provisioned powers.
+///
+/// # Example
+///
+/// ```
+/// use dpu_core::power::perf_per_watt_gain;
+/// // DPU at 1/3 the throughput of a 145 W Xeon, at 6 W: 8.1× gain.
+/// let g = perf_per_watt_gain(1.0, 6.0, 3.0, 145.0);
+/// assert!((g - 8.05).abs() < 0.01);
+/// ```
+pub fn perf_per_watt_gain(
+    dpu_throughput: f64,
+    dpu_watts: f64,
+    baseline_throughput: f64,
+    baseline_watts: f64,
+) -> f64 {
+    (dpu_throughput / dpu_watts) / (baseline_throughput / baseline_watts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nm40_breakdown_totals_5_8w() {
+        let b = PowerBreakdown::for_config(&DpuConfig::nm40());
+        assert!(
+            (b.total_watts() - 5.8).abs() < 0.01,
+            "total {} W ≠ 5.8 W",
+            b.total_watts()
+        );
+    }
+
+    #[test]
+    fn leakage_is_over_37_percent() {
+        let b = PowerBreakdown::for_config(&DpuConfig::nm40());
+        let f = b.fraction("leakage");
+        assert!(f > 0.365 && f < 0.39, "leakage fraction {f}");
+    }
+
+    #[test]
+    fn dpcores_draw_51mw_each() {
+        let b = PowerBreakdown::for_config(&DpuConfig::nm40());
+        let cores = b
+            .components
+            .iter()
+            .find(|c| c.name == "dpCores (dynamic)")
+            .unwrap();
+        assert!((cores.watts - 32.0 * 0.051).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nm16_fits_12w_tdp() {
+        let b = PowerBreakdown::for_config(&DpuConfig::nm16());
+        assert!(b.total_watts() <= 12.0 + 1e-9, "16 nm total {}", b.total_watts());
+        assert!(b.total_watts() > 11.0, "suspiciously low {}", b.total_watts());
+    }
+
+    #[test]
+    fn gain_formula_matches_paper_arithmetic() {
+        // JSON: x86 5.2 GB/s vs DPU 1.73 GB/s → ≈8× (§5.5).
+        let g = perf_per_watt_gain(1.73, 6.0, 5.2, 145.0);
+        assert!((g - 8.0).abs() < 0.1, "JSON gain {g}");
+        // SpMM: 5.24 vs 34.5 GB/s effective → ≈3.7–3.9× (§5.2).
+        let g = perf_per_watt_gain(5.24, 6.0, 34.5, 145.0);
+        assert!(g > 3.5 && g < 4.0, "SpMM gain {g}");
+    }
+
+    #[test]
+    fn unknown_component_fraction_is_zero() {
+        let b = PowerBreakdown::for_config(&DpuConfig::nm40());
+        assert_eq!(b.fraction("flux capacitor"), 0.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Per-core program abstraction.
+//!
+//! A [`CoreProgram`] is a state machine the engine steps in virtual time:
+//! each step returns the next [`CoreAction`] — compute for N cycles, push
+//! a DMS descriptor, wait on an event, issue an ATE RPC, and so on. The
+//! software the fabricated DPU ran maps onto this model directly:
+//! cooperative, run-to-completion scheduling with explicit data movement
+//! (§4). Programs can also be real dpCore binaries executed by the ISA
+//! interpreter ([`IsaCoreProgram`]), whose system instructions surface as
+//! the same actions.
+
+use dpu_ate::{AteOp, AteRequest, AteTarget};
+use dpu_dms::{Descriptor, PartitionJob};
+use dpu_isa::interp::{Cpu, Trap};
+use dpu_isa::Inst;
+use dpu_mem::{Dmem, PhysMem};
+use dpu_sim::Time;
+
+use crate::mbc::{Mailbox, MailboxMessage};
+
+/// What a core asks the SoC to do next.
+#[derive(Debug)]
+pub enum CoreAction {
+    /// Busy-execute for this many cycles.
+    Compute(u64),
+    /// Push a DMS descriptor (the `dmspush` instruction).
+    Push {
+        /// DMS channel (0 or 1).
+        chan: u8,
+        /// The descriptor.
+        desc: Descriptor,
+    },
+    /// Block until DMS event `0..32` is set (`wfe`).
+    Wfe(u8),
+    /// Clear a DMS event (`clev`).
+    Clev(u8),
+    /// Set a DMS event (software-side signalling).
+    SetEvent(u8),
+    /// Issue a blocking ATE hardware RPC; the response value appears in
+    /// [`CoreCtx::ate_value`] on the next step.
+    Ate(AteRequest),
+    /// Run a hardware partition job, blocking until it completes; the
+    /// per-partition row counts appear in [`CoreCtx::partition_rows`].
+    RunPartition(Box<PartitionJob>),
+    /// Send a lightweight mailbox message.
+    MailboxSend {
+        /// Destination mailbox.
+        to: Mailbox,
+        /// 64-bit payload (by convention a DRAM pointer).
+        payload: u64,
+    },
+    /// Block until a mailbox message arrives; it appears in
+    /// [`CoreCtx::mailbox`] on the next step.
+    MailboxRecv,
+    /// The program is finished.
+    Done,
+}
+
+/// Context handed to each program step.
+#[derive(Debug)]
+pub struct CoreCtx<'a> {
+    /// This core's id.
+    pub core: usize,
+    /// Current virtual time.
+    pub now: Time,
+    /// This core's DMEM scratchpad.
+    pub dmem: &'a mut Dmem,
+    /// Physical DRAM (the dpCore addresses it directly; no MMU).
+    pub phys: &'a mut PhysMem,
+    /// Response value of the previous [`CoreAction::Ate`], if any.
+    pub ate_value: Option<u64>,
+    /// Row counts of the previous [`CoreAction::RunPartition`], if any.
+    pub partition_rows: Option<Vec<u64>>,
+    /// Message satisfying the previous [`CoreAction::MailboxRecv`].
+    pub mailbox: Option<MailboxMessage>,
+}
+
+/// A per-core program driven by the SoC engine.
+pub trait CoreProgram {
+    /// Produces the next action. Called once per transition; blocking
+    /// actions complete before the next call.
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) -> CoreAction;
+}
+
+impl<F> CoreProgram for F
+where
+    F: FnMut(&mut CoreCtx<'_>) -> CoreAction,
+{
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) -> CoreAction {
+        self(ctx)
+    }
+}
+
+/// Byte layout of an ATE message block in DMEM (used by `atereq`):
+/// `[0]` op (0=load 1=store 2=faa 3=cas), `[1]` target core,
+/// `[2]` space (0=DDR 1=remote DMEM), `[8..16]` address,
+/// `[16..24]` operand 1, `[24..32]` operand 2 (CAS new value).
+pub const ATE_MSG_BYTES: usize = 32;
+
+/// Encodes an ATE request into its DMEM message-block form.
+pub fn encode_ate_msg(req: &AteRequest) -> [u8; ATE_MSG_BYTES] {
+    let mut b = [0u8; ATE_MSG_BYTES];
+    let (op, a1, a2) = match req.op {
+        AteOp::Load => (0u8, 0u64, 0u64),
+        AteOp::Store(v) => (1, v, 0),
+        AteOp::FetchAdd(v) => (2, v, 0),
+        AteOp::CompareSwap { expect, new } => (3, expect, new),
+    };
+    b[0] = op;
+    b[1] = req.to as u8;
+    let addr = match req.target {
+        AteTarget::Ddr(a) => {
+            b[2] = 0;
+            a
+        }
+        AteTarget::RemoteDmem { addr } => {
+            b[2] = 1;
+            addr as u64
+        }
+    };
+    b[8..16].copy_from_slice(&addr.to_le_bytes());
+    b[16..24].copy_from_slice(&a1.to_le_bytes());
+    b[24..32].copy_from_slice(&a2.to_le_bytes());
+    b
+}
+
+/// Decodes an ATE message block; `from` is the issuing core.
+///
+/// Returns `None` for an unknown opcode byte.
+pub fn decode_ate_msg(from: usize, b: &[u8]) -> Option<AteRequest> {
+    let addr = u64::from_le_bytes(b[8..16].try_into().ok()?);
+    let a1 = u64::from_le_bytes(b[16..24].try_into().ok()?);
+    let a2 = u64::from_le_bytes(b[24..32].try_into().ok()?);
+    let op = match b[0] {
+        0 => AteOp::Load,
+        1 => AteOp::Store(a1),
+        2 => AteOp::FetchAdd(a1),
+        3 => AteOp::CompareSwap { expect: a1, new: a2 },
+        _ => return None,
+    };
+    let target = match b[2] {
+        0 => AteTarget::Ddr(addr),
+        _ => AteTarget::RemoteDmem { addr: addr as u32 },
+    };
+    Some(AteRequest {
+        from,
+        to: b[1] as usize,
+        target,
+        op,
+    })
+}
+
+/// A program that executes a real dpCore binary on the ISA interpreter.
+///
+/// System instructions trap out of the interpreter and are re-expressed
+/// as [`CoreAction`]s; DMEM contents are kept coherent between the
+/// interpreter and the SoC (the DMS writes into the same bytes the
+/// program reads).
+pub struct IsaCoreProgram {
+    cpu: Cpu,
+    prog: Vec<Inst>,
+    pending: Option<CoreAction>,
+    quantum: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for IsaCoreProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IsaCoreProgram")
+            .field("pc", &self.cpu.pc())
+            .field("instructions", &self.prog.len())
+            .finish()
+    }
+}
+
+impl IsaCoreProgram {
+    /// Wraps an assembled program; `dmem_bytes` must match the SoC's
+    /// per-core DMEM size.
+    pub fn new(prog: Vec<Inst>, dmem_bytes: usize) -> Self {
+        IsaCoreProgram {
+            cpu: Cpu::new(dmem_bytes),
+            prog,
+            pending: None,
+            quantum: 1_000_000,
+            finished: false,
+        }
+    }
+
+    /// Access to the CPU (registers, counters) after or during a run.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU access (e.g. pre-seeding registers).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+}
+
+impl CoreProgram for IsaCoreProgram {
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) -> CoreAction {
+        if let Some(a) = self.pending.take() {
+            return a;
+        }
+        if self.finished {
+            return CoreAction::Done;
+        }
+        // Keep interpreter DMEM coherent with the SoC's copy.
+        assert_eq!(
+            self.cpu.dmem().len(),
+            ctx.dmem.len(),
+            "interpreter DMEM size mismatch"
+        );
+        self.cpu.dmem_mut().copy_from_slice(ctx.dmem.as_slice());
+        let sum = self
+            .cpu
+            .run(&self.prog, self.quantum)
+            .expect("dpCore program fault");
+        ctx.dmem.as_mut_slice().copy_from_slice(self.cpu.dmem());
+        self.pending = Some(match sum.trap {
+            Trap::Halt => {
+                self.finished = true;
+                CoreAction::Done
+            }
+            Trap::Wfe(e) => CoreAction::Wfe(e),
+            Trap::Clev(e) => CoreAction::Clev(e),
+            Trap::DmsPush { chan, addr } => {
+                let mut bytes = [0u8; 16];
+                bytes.copy_from_slice(ctx.dmem.slice(addr, 16));
+                match Descriptor::decode_bytes(&bytes) {
+                    Some(desc) => CoreAction::Push { chan, desc },
+                    None => panic!("core {}: invalid descriptor at {addr:#x}", ctx.core),
+                }
+            }
+            Trap::AteReq { addr } => {
+                let b = ctx.dmem.slice(addr, ATE_MSG_BYTES);
+                match decode_ate_msg(ctx.core, b) {
+                    Some(req) => CoreAction::Ate(req),
+                    None => panic!("core {}: invalid ATE message at {addr:#x}", ctx.core),
+                }
+            }
+            Trap::MaxSteps => return CoreAction::Compute(sum.cycles.max(1)),
+            Trap::Watchpoint { addr } => {
+                panic!("core {}: data watchpoint hit at {addr:#x}", ctx.core)
+            }
+        });
+        CoreAction::Compute(sum.cycles.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ate_msg_roundtrip() {
+        let reqs = vec![
+            AteRequest { from: 3, to: 7, target: AteTarget::Ddr(0xABCD), op: AteOp::Load },
+            AteRequest { from: 0, to: 31, target: AteTarget::RemoteDmem { addr: 128 }, op: AteOp::Store(42) },
+            AteRequest { from: 1, to: 2, target: AteTarget::Ddr(8), op: AteOp::FetchAdd(5) },
+            AteRequest {
+                from: 9,
+                to: 9,
+                target: AteTarget::Ddr(16),
+                op: AteOp::CompareSwap { expect: 1, new: 2 },
+            },
+        ];
+        for r in reqs {
+            let b = encode_ate_msg(&r);
+            let back = decode_ate_msg(r.from, &b).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut b = [0u8; ATE_MSG_BYTES];
+        b[0] = 99;
+        assert!(decode_ate_msg(0, &b).is_none());
+    }
+
+    #[test]
+    fn closure_is_a_program() {
+        let mut calls = 0;
+        let mut prog = move |_ctx: &mut CoreCtx<'_>| {
+            calls += 1;
+            if calls > 1 {
+                CoreAction::Done
+            } else {
+                CoreAction::Compute(10)
+            }
+        };
+        let mut dmem = Dmem::new(64);
+        let mut phys = PhysMem::new(64);
+        let mut ctx = CoreCtx {
+            core: 0,
+            now: Time::ZERO,
+            dmem: &mut dmem,
+            phys: &mut phys,
+            ate_value: None,
+            partition_rows: None,
+            mailbox: None,
+        };
+        assert!(matches!(prog.step(&mut ctx), CoreAction::Compute(10)));
+        assert!(matches!(prog.step(&mut ctx), CoreAction::Done));
+    }
+}

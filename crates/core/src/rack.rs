@@ -1,0 +1,168 @@
+//! Rack-scale provisioning model (§1–§2).
+//!
+//! The DPU exists to answer: "How can we perform analytics on terabytes
+//! of data in sub-second latencies within a rack's provisioned power
+//! budget?" The paper's arithmetic: scanning 10 TB in under a second
+//! needs ≈1000 DDR3 channels per rack; at 3 W per channel that budgets
+//! 3 KW for memory out of a 20 KW rack, leaving ~17 W per channel for
+//! everything else — of which PCIe takes 10 W, leaving **< 7 W for the
+//! processor**. The prototype packs 1440 DPUs with 8 GB each into a
+//! 42U rack: >10 TB/s of aggregate bandwidth over >10 TB of DRAM.
+
+use crate::config::DpuConfig;
+
+/// A rack of DPUs.
+#[derive(Debug, Clone)]
+pub struct Rack {
+    /// The per-node SoC.
+    pub node: DpuConfig,
+    /// Number of DPUs in the rack (the prototype: 1440).
+    pub n_nodes: usize,
+    /// DRAM gigabytes attached to each DPU (the prototype: 8).
+    pub dram_gb_per_node: u32,
+    /// Rack provisioned power budget in watts (20 kW class).
+    pub rack_watts: f64,
+    /// Watts per DRAM channel (DDR3 DIMM + PHY).
+    pub watts_per_channel: f64,
+    /// Watts consumed by a node's network interface. The paper notes "a
+    /// standard PCIe controller consumes a minimum of 10 W" — which is
+    /// why the DPU instead runs Infiniband off its integrated A9 over a
+    /// shared fabric, amortizing to a couple of watts per node.
+    pub network_watts_per_node: f64,
+}
+
+/// The PCIe-per-node strawman the paper rules out (§2).
+pub const PCIE_STRAWMAN_WATTS: f64 = 10.0;
+
+impl Rack {
+    /// The paper's 42U prototype: 1440 × (32-core DPU + 8 GB DDR3).
+    pub fn prototype() -> Self {
+        Rack {
+            node: DpuConfig::nm40(),
+            n_nodes: 1440,
+            dram_gb_per_node: 8,
+            rack_watts: 20_000.0,
+            watts_per_channel: 3.0,
+            network_watts_per_node: 2.0,
+        }
+    }
+
+    /// Aggregate peak memory bandwidth, bytes/second.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        self.node.peak_dram_bytes_per_sec() * self.n_nodes as f64
+    }
+
+    /// Total DRAM capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.dram_gb_per_node as u64 * (1 << 30) * self.n_nodes as u64
+    }
+
+    /// Seconds to scan the entire resident dataset once at peak.
+    pub fn full_scan_seconds(&self) -> f64 {
+        self.capacity_bytes() as f64 / self.aggregate_bandwidth()
+    }
+
+    /// Power drawn by all memory channels.
+    pub fn memory_watts(&self) -> f64 {
+        self.watts_per_channel * (self.node.dram_channels * self.n_nodes) as f64
+    }
+
+    /// Power per node available to the processor after memory and
+    /// networking are provisioned (the paper's "< 7 W" constraint).
+    pub fn processor_budget_watts(&self) -> f64 {
+        let per_node = self.rack_watts / self.n_nodes as f64;
+        per_node - self.watts_per_channel * self.node.dram_channels as f64
+            - self.network_watts_per_node
+    }
+
+    /// Whether the configured SoC fits the rack's per-node power budget.
+    pub fn node_fits_budget(&self) -> bool {
+        self.node.provisioned_watts <= self.processor_budget_watts()
+    }
+
+    /// Total rack power with the configured node.
+    pub fn total_watts(&self) -> f64 {
+        (self.node.provisioned_watts
+            + self.watts_per_channel * self.node.dram_channels as f64
+            + self.network_watts_per_node)
+            * self.n_nodes as f64
+    }
+
+    /// Memory channels a Xeon-server rack provides for comparison: the
+    /// paper's §1 counts 8 channels per 2U chassis → 21 chassis in 42U.
+    pub fn xeon_rack_channels() -> usize {
+        21 * 8
+    }
+
+    /// Channel-density advantage over a commodity server rack.
+    pub fn channel_density_advantage(&self) -> f64 {
+        (self.node.dram_channels * self.n_nodes) as f64 / Self::xeon_rack_channels() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_hits_the_headline_numbers() {
+        let r = Rack::prototype();
+        // ">10 TB/s aggregate memory bandwidth" (§1).
+        assert!(
+            r.aggregate_bandwidth() > 10e12,
+            "aggregate {:.2} TB/s",
+            r.aggregate_bandwidth() / 1e12
+        );
+        // ">10 TB memory capacity in a full-sized (42U) rack" (§1).
+        assert!(r.capacity_bytes() > 10 * (1u64 << 40));
+        // Sub-second full scan — the whole design goal.
+        assert!(r.full_scan_seconds() < 1.0, "{:.3} s", r.full_scan_seconds());
+    }
+
+    #[test]
+    fn power_arithmetic_matches_section_2() {
+        let r = Rack::prototype();
+        // ~1440 channels ≈ the paper's "≈1000 channels per rack" scale;
+        // 3 W each lands near the 3 KW memory budget.
+        assert!((r.memory_watts() - 4320.0).abs() < 1.0);
+        // With the shared Infiniband fabric the 6 W DPU fits its slot.
+        let budget = r.processor_budget_watts();
+        assert!(r.node_fits_budget(), "6 W DPU must fit {budget:.2} W");
+        // Total rack power stays within the 20 kW provisioning.
+        assert!(r.total_watts() <= r.rack_watts, "{:.0} W", r.total_watts());
+        // The paper's PCIe strawman: 10 W of NIC per node blows the slot
+        // for any processor ("leaving a power budget of < 7 W").
+        let mut strawman = Rack::prototype();
+        strawman.network_watts_per_node = PCIE_STRAWMAN_WATTS;
+        assert!(
+            strawman.processor_budget_watts() < 7.0,
+            "PCIe strawman budget {:.2} W",
+            strawman.processor_budget_watts()
+        );
+        assert!(!strawman.node_fits_budget());
+    }
+
+    #[test]
+    fn a_145w_processor_cannot_fit() {
+        let mut r = Rack::prototype();
+        r.node.provisioned_watts = 145.0;
+        assert!(!r.node_fits_budget());
+    }
+
+    #[test]
+    fn channel_density_is_order_of_magnitude() {
+        let r = Rack::prototype();
+        // "packing up to ten times as many memory channels in a rack-able
+        // chassis as compared to a commodity server organization" (§1).
+        let adv = r.channel_density_advantage();
+        assert!(adv >= 8.0, "density advantage {adv:.1}×");
+    }
+
+    #[test]
+    fn shrunk_nodes_trade_count_for_bandwidth() {
+        let mut r = Rack::prototype();
+        r.node = DpuConfig::nm16();
+        r.n_nodes = 480; // 3 channels each
+        assert!(r.aggregate_bandwidth() > 10e12);
+    }
+}

@@ -1,0 +1,803 @@
+//! The DPU SoC and its virtual-time execution engine.
+//!
+//! [`Dpu`] owns all shared state — physical DRAM, the DDR channel timing
+//! model, the DMS, the ATE, the mailbox controller and the per-core
+//! DMEMs — and [`Dpu::run`] executes one [`CoreProgram`] per dpCore to
+//! completion. Scheduling is greedy in virtual time: the runnable core
+//! with the earliest timestamp steps next, and blocking actions resolve
+//! through the DMS event timelines, ATE responses, or mailbox delivery
+//! times.
+
+use dpu_dms::{Dms, DmsError};
+use dpu_mem::{Dmem, DramChannel, DramConfig, PhysMem};
+use dpu_sim::Time;
+
+use dpu_ate::Ate;
+
+use crate::config::DpuConfig;
+use crate::mbc::{Mailbox, Mbc};
+use crate::program::{CoreAction, CoreCtx, CoreProgram};
+
+/// Why a run could not complete.
+#[derive(Debug)]
+pub enum DpuError {
+    /// The DMS hit a fatal condition (e.g. the gather FIFO bug).
+    Dms(DmsError),
+    /// Every unfinished core is blocked and nothing can unblock them.
+    Deadlock {
+        /// Ids of the blocked cores.
+        blocked: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for DpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpuError::Dms(e) => write!(f, "DMS hang: {e}"),
+            DpuError::Deadlock { blocked } => {
+                write!(f, "deadlock: cores {blocked:?} blocked forever")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpuError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time at which the last core finished.
+    pub finish: Time,
+    /// Per-core compute-busy cycles.
+    pub busy: Vec<u64>,
+    /// Bytes moved by the DMS during the run.
+    pub dms_bytes: u64,
+}
+
+impl RunReport {
+    /// Aggregate DMS throughput in GB/s at the given clock.
+    pub fn dms_gbytes_per_sec(&self, clock: dpu_sim::Frequency) -> f64 {
+        clock.bytes_per_sec(self.dms_bytes, self.finish) / 1e9
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    Ready(Time),
+    WaitEvent { ev: u8, since: Time },
+    WaitMail { since: Time },
+    Done(Time),
+}
+
+/// The DPU SoC.
+pub struct Dpu {
+    config: DpuConfig,
+    phys: PhysMem,
+    dram: DramChannel,
+    dms: Dms,
+    ate: Ate,
+    mbc: Mbc,
+    dmems: Vec<Dmem>,
+}
+
+impl std::fmt::Debug for Dpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dpu")
+            .field("node", &self.config.node)
+            .field("n_cores", &self.config.n_cores)
+            .finish()
+    }
+}
+
+impl Dpu {
+    /// Builds a DPU from a configuration.
+    ///
+    /// Multiple DRAM channels are modelled as one channel of aggregate
+    /// bandwidth and bank count (interleaved channels behave this way for
+    /// the streaming workloads under study).
+    pub fn new(config: DpuConfig) -> Self {
+        let mut dram_cfg = config.dram.clone();
+        dram_cfg.bus_bytes_per_cycle *= config.dram_channels as u64;
+        dram_cfg.banks *= config.dram_channels;
+        let mut dms_cfg = config.dms.clone();
+        dms_cfg.cores_per_macro = config.cores_per_macro;
+        let mut ate_cfg = config.ate.clone();
+        ate_cfg.cores_per_macro = config.cores_per_macro;
+        Dpu {
+            phys: PhysMem::new(config.phys_mem_bytes),
+            dram: DramChannel::new(dram_cfg),
+            dms: Dms::new(dms_cfg, config.n_cores),
+            ate: Ate::new(ate_cfg, config.n_cores),
+            mbc: Mbc::new(config.n_cores),
+            dmems: (0..config.n_cores)
+                .map(|_| Dmem::new(config.dmem_bytes))
+                .collect(),
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DpuConfig {
+        &self.config
+    }
+
+    /// Number of dpCores.
+    pub fn n_cores(&self) -> usize {
+        self.config.n_cores
+    }
+
+    /// Physical DRAM (for loading workloads and checking results).
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// Mutable physical DRAM.
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// A core's DMEM.
+    pub fn dmem(&self, core: usize) -> &Dmem {
+        &self.dmems[core]
+    }
+
+    /// A core's DMEM, mutably.
+    pub fn dmem_mut(&mut self, core: usize) -> &mut Dmem {
+        &mut self.dmems[core]
+    }
+
+    /// The DMS (events, configuration, error state).
+    pub fn dms(&self) -> &Dms {
+        &self.dms
+    }
+
+    /// The ATE (latency histogram for Figure 2).
+    pub fn ate(&self) -> &Ate {
+        &self.ate
+    }
+
+    /// The DRAM channel model (bandwidth statistics).
+    pub fn dram(&self) -> &DramChannel {
+        &self.dram
+    }
+
+    /// The effective DRAM configuration (after channel aggregation).
+    pub fn effective_dram_config(&self) -> &DramConfig {
+        self.dram.config()
+    }
+
+    /// Resets timing state between experiments (memory contents persist).
+    pub fn reset_timing(&mut self) {
+        self.dram.reset();
+    }
+
+    /// Runs one program per core to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpuError::Dms`] if the DMS hangs (e.g. the gather bug)
+    /// and [`DpuError::Deadlock`] if blocked cores can never wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` differs from the core count.
+    pub fn run(&mut self, programs: &mut [Box<dyn CoreProgram>]) -> Result<RunReport, DpuError> {
+        assert_eq!(
+            programs.len(),
+            self.config.n_cores,
+            "one program per core required"
+        );
+        let n = self.config.n_cores;
+        let mut state = vec![CoreState::Ready(Time::ZERO); n];
+        let mut busy = vec![0u64; n];
+        let mut ate_values: Vec<Option<u64>> = vec![None; n];
+        let mut part_rows: Vec<Option<Vec<u64>>> = vec![None; n];
+        let mut mail_in: Vec<Option<crate::mbc::MailboxMessage>> = vec![None; n];
+        let mut dms_bytes = 0u64;
+        let mut last_finish = Time::ZERO;
+
+        loop {
+            // Pick the earliest-ready core.
+            let next = state
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    CoreState::Ready(t) => Some((i, *t)),
+                    _ => None,
+                })
+                .min_by_key(|&(i, t)| (t, i));
+
+            let (core, now) = match next {
+                Some(x) => x,
+                None => {
+                    // Nobody runnable: try to resolve waiters.
+                    if let Some(e) = self.dms.error() {
+                        return Err(DpuError::Dms(e.clone()));
+                    }
+                    let mut resolved = false;
+                    for i in 0..n {
+                        match state[i] {
+                            CoreState::WaitEvent { ev, since } => {
+                                if let Some(t) = self.dms.event_time(i, ev, since, true) {
+                                    state[i] = CoreState::Ready(t);
+                                    resolved = true;
+                                }
+                            }
+                            CoreState::WaitMail { since } => {
+                                if let Some(d) = self.mbc.next_delivery(Mailbox::DpCore(i)) {
+                                    let t = d.max(since);
+                                    mail_in[i] = self.mbc.recv(Mailbox::DpCore(i), t);
+                                    state[i] = CoreState::Ready(t + Time::from_cycles(1));
+                                    resolved = true;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if resolved {
+                        continue;
+                    }
+                    let blocked: Vec<usize> = state
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !matches!(s, CoreState::Done(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if blocked.is_empty() {
+                        break; // all done
+                    }
+                    return Err(DpuError::Deadlock { blocked });
+                }
+            };
+
+            let mut ctx = CoreCtx {
+                core,
+                now,
+                dmem: &mut self.dmems[core],
+                phys: &mut self.phys,
+                ate_value: ate_values[core].take(),
+                partition_rows: part_rows[core].take(),
+                mailbox: mail_in[core].take(),
+            };
+            let action = programs[core].step(&mut ctx);
+
+            match action {
+                CoreAction::Compute(c) => {
+                    busy[core] += c;
+                    state[core] = CoreState::Ready(now + Time::from_cycles(c));
+                }
+                CoreAction::Push { chan, desc } => {
+                    self.dms.push(core, chan as usize, desc, now);
+                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems)
+                    {
+                        dms_bytes += comp.bytes;
+                        last_finish = last_finish.max(comp.finish);
+                    }
+                    if let Some(e) = self.dms.error() {
+                        return Err(DpuError::Dms(e.clone()));
+                    }
+                    state[core] = CoreState::Ready(now + Time::from_cycles(2));
+                }
+                CoreAction::Wfe(ev) => match self.dms.event_time(core, ev, now, true) {
+                    Some(t) => state[core] = CoreState::Ready(t),
+                    None => state[core] = CoreState::WaitEvent { ev, since: now },
+                },
+                CoreAction::Clev(ev) => {
+                    self.dms.clear_event(core, ev, now);
+                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems)
+                    {
+                        dms_bytes += comp.bytes;
+                        last_finish = last_finish.max(comp.finish);
+                    }
+                    state[core] = CoreState::Ready(now + Time::from_cycles(1));
+                }
+                CoreAction::SetEvent(ev) => {
+                    self.dms.set_event(core, ev, now);
+                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems)
+                    {
+                        dms_bytes += comp.bytes;
+                        last_finish = last_finish.max(comp.finish);
+                    }
+                    state[core] = CoreState::Ready(now + Time::from_cycles(1));
+                }
+                CoreAction::Ate(req) => {
+                    let resp = self.ate.request(req, now, &mut self.phys, &mut self.dmems);
+                    ate_values[core] = Some(resp.value);
+                    // The injected operation steals cycles from the remote
+                    // core's pipeline.
+                    if req.to != core {
+                        if let CoreState::Ready(t) = state[req.to] {
+                            state[req.to] = CoreState::Ready(t + Time::from_cycles(resp.remote_stall));
+                        }
+                    }
+                    state[core] = CoreState::Ready(resp.finish);
+                }
+                CoreAction::RunPartition(job) => {
+                    match self.dms.run_partition(
+                        &job,
+                        now,
+                        &mut self.phys,
+                        &mut self.dram,
+                        &mut self.dmems,
+                    ) {
+                        Ok(outcome) => {
+                            dms_bytes += outcome.bytes_in;
+                            last_finish = last_finish.max(outcome.finish);
+                            part_rows[core] = Some(outcome.rows_per_partition);
+                            state[core] = CoreState::Ready(outcome.finish);
+                        }
+                        Err(e) => return Err(DpuError::Dms(e)),
+                    }
+                }
+                CoreAction::MailboxSend { to, payload } => {
+                    self.mbc.send(Mailbox::DpCore(core), to, payload, now);
+                    state[core] = CoreState::Ready(now + Time::from_cycles(1));
+                }
+                CoreAction::MailboxRecv => {
+                    if let Some(d) = self.mbc.next_delivery(Mailbox::DpCore(core)) {
+                        let t = d.max(now);
+                        mail_in[core] = self.mbc.recv(Mailbox::DpCore(core), t);
+                        state[core] = CoreState::Ready(t + Time::from_cycles(1));
+                    } else {
+                        state[core] = CoreState::WaitMail { since: now };
+                    }
+                }
+                CoreAction::Done => {
+                    state[core] = CoreState::Done(now);
+                    last_finish = last_finish.max(now);
+                }
+            }
+        }
+
+        Ok(RunReport {
+            finish: last_finish,
+            busy,
+            dms_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dms::{DataDescriptor, Descriptor};
+
+    fn boxed<P: CoreProgram + 'static>(p: P) -> Box<dyn CoreProgram> {
+        Box::new(p)
+    }
+
+    /// Program that streams `tiles` tiles through a double buffer.
+    struct Streamer {
+        base: u64,
+        tiles: usize,
+        issued: usize,
+        consumed: usize,
+        state: u8,
+        checksum: u64,
+    }
+
+    impl Streamer {
+        fn new(base: u64, tiles: usize) -> Self {
+            Streamer { base, tiles, issued: 0, consumed: 0, state: 0, checksum: 0 }
+        }
+    }
+
+    const TILE_ROWS: u16 = 256; // 1 KB tiles of 4 B
+
+    impl CoreProgram for Streamer {
+        fn step(&mut self, ctx: &mut CoreCtx<'_>) -> CoreAction {
+            loop {
+                match self.state {
+                    // Prefill both buffers.
+                    0 | 1 => {
+                        let i = self.state as usize;
+                        self.state += 1;
+                        if i < self.tiles {
+                            self.issued += 1;
+                            let d = DataDescriptor::read(
+                                self.base + i as u64 * 1024,
+                                (i % 2) as u16 * 1024,
+                                TILE_ROWS,
+                                4,
+                            )
+                            .with_notify((i % 2) as u8);
+                            return CoreAction::Push { chan: 0, desc: Descriptor::Data(d) };
+                        }
+                    }
+                    2 => {
+                        // Wait for the buffer holding tile `consumed`.
+                        if self.consumed >= self.tiles {
+                            return CoreAction::Done;
+                        }
+                        self.state = 3;
+                        return CoreAction::Wfe((self.consumed % 2) as u8);
+                    }
+                    3 => {
+                        // Consume: checksum the tile (real data!).
+                        let buf = (self.consumed % 2) as u32 * 1024;
+                        for r in 0..TILE_ROWS as u32 {
+                            self.checksum =
+                                self.checksum.wrapping_add(ctx.dmem.read_u32(buf + r * 4) as u64);
+                        }
+                        self.state = 4;
+                        return CoreAction::Compute(TILE_ROWS as u64);
+                    }
+                    4 => {
+                        self.state = 5;
+                        return CoreAction::Clev((self.consumed % 2) as u8);
+                    }
+                    5 => {
+                        self.consumed += 1;
+                        self.state = 2;
+                        // Refill the buffer with the next tile, if any.
+                        if self.issued < self.tiles {
+                            let i = self.issued;
+                            self.issued += 1;
+                            let d = DataDescriptor::read(
+                                self.base + i as u64 * 1024,
+                                (i % 2) as u16 * 1024,
+                                TILE_ROWS,
+                                4,
+                            )
+                            .with_notify((i % 2) as u8);
+                            return CoreAction::Push { chan: 0, desc: Descriptor::Data(d) };
+                        }
+                    }
+                    _ => return CoreAction::Done,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_stream_checksums_correctly() {
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        let mut expect = 0u64;
+        for i in 0..4096u32 {
+            dpu.phys_mut().write_u32(i as u64 * 4, i);
+            expect = expect.wrapping_add(i as u64);
+        }
+        let mut programs: Vec<Box<dyn CoreProgram>> = (0..dpu.n_cores())
+            .map(|c| {
+                if c == 0 {
+                    boxed(Streamer::new(0, 16))
+                } else {
+                    boxed(|_: &mut CoreCtx<'_>| CoreAction::Done)
+                }
+            })
+            .collect();
+        let report = dpu.run(&mut programs).unwrap();
+        assert!(report.finish > Time::ZERO);
+        assert_eq!(report.dms_bytes, 16 * 1024);
+        // Extract the checksum by downcasting is awkward for a Box<dyn>;
+        // instead verify via memory: last tile resides in a buffer.
+        // The checksum path is covered in the all-cores test below.
+        assert!(report.busy[0] > 0);
+    }
+
+    /// Streamer that reports its checksum into DRAM at the end.
+    struct ReportingStreamer {
+        inner: Streamer,
+        report_addr: u64,
+        done: bool,
+    }
+
+    impl CoreProgram for ReportingStreamer {
+        fn step(&mut self, ctx: &mut CoreCtx<'_>) -> CoreAction {
+            if self.done {
+                return CoreAction::Done;
+            }
+            match self.inner.step(ctx) {
+                CoreAction::Done => {
+                    ctx.phys.write_u64(self.report_addr, self.inner.checksum);
+                    self.done = true;
+                    CoreAction::Done
+                }
+                a => a,
+            }
+        }
+    }
+
+    #[test]
+    fn all_cores_stream_concurrently_and_share_bandwidth() {
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        let n = dpu.n_cores();
+        let tiles = 16usize;
+        let region = tiles as u64 * 1024;
+        let mut expected = vec![0u64; n];
+        for c in 0..n {
+            for i in 0..(tiles as u32 * 256) {
+                let v = (c as u32) << 16 | i;
+                dpu.phys_mut().write_u32(c as u64 * region + i as u64 * 4, v);
+                expected[c] = expected[c].wrapping_add(v as u64);
+            }
+        }
+        let report_base = (n as u64) * region;
+        let mut programs: Vec<Box<dyn CoreProgram>> = (0..n)
+            .map(|c| {
+                boxed(ReportingStreamer {
+                    inner: Streamer::new(c as u64 * region, tiles),
+                    report_addr: report_base + c as u64 * 8,
+                    done: false,
+                })
+            })
+            .collect();
+        let report = dpu.run(&mut programs).unwrap();
+        for c in 0..n {
+            assert_eq!(
+                dpu.phys().read_u64(report_base + c as u64 * 8),
+                expected[c],
+                "core {c} checksum"
+            );
+        }
+        assert_eq!(report.dms_bytes, (n * tiles) as u64 * 1024);
+        // 8 cores × 16 KB over a shared channel: bandwidth should be high
+        // but below peak.
+        let gbps = report.dms_gbytes_per_sec(dpu.config().clock);
+        assert!(gbps > 5.0, "aggregate streaming too slow: {gbps:.2} GB/s");
+        assert!(gbps < 12.9);
+    }
+
+    #[test]
+    fn ate_between_programs() {
+        use dpu_ate::{AteOp, AteRequest, AteTarget};
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        // Core 1..4 each fetch-add 1 to a counter at DDR 0; core 0 loops
+        // reading until it sees 4 (but here it just finishes).
+        let mut programs: Vec<Box<dyn CoreProgram>> = (0..dpu.n_cores())
+            .map(|c| {
+                let mut sent = false;
+                boxed(move |_ctx: &mut CoreCtx<'_>| {
+                    if (1..=4).contains(&c) && !sent {
+                        sent = true;
+                        CoreAction::Ate(AteRequest {
+                            from: c,
+                            to: 0,
+                            target: AteTarget::Ddr(0),
+                            op: AteOp::FetchAdd(1),
+                        })
+                    } else {
+                        CoreAction::Done
+                    }
+                })
+            })
+            .collect();
+        dpu.run(&mut programs).unwrap();
+        assert_eq!(dpu.phys().read_u64(0), 4);
+    }
+
+    #[test]
+    fn mailbox_between_programs() {
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        let mut programs: Vec<Box<dyn CoreProgram>> = (0..dpu.n_cores())
+            .map(|c| -> Box<dyn CoreProgram> {
+                match c {
+                    0 => {
+                        // Receives a pointer, writes a flag there.
+                        let mut stage = 0;
+                        boxed(move |ctx: &mut CoreCtx<'_>| match stage {
+                            0 => {
+                                stage = 1;
+                                CoreAction::MailboxRecv
+                            }
+                            1 => {
+                                let m = ctx.mailbox.take().expect("message");
+                                ctx.phys.write_u64(m.payload, 0xAC4B);
+                                stage = 2;
+                                CoreAction::Done
+                            }
+                            _ => CoreAction::Done,
+                        })
+                    }
+                    1 => {
+                        let mut sent = false;
+                        boxed(move |_ctx: &mut CoreCtx<'_>| {
+                            if sent {
+                                CoreAction::Done
+                            } else {
+                                sent = true;
+                                CoreAction::MailboxSend {
+                                    to: Mailbox::DpCore(0),
+                                    payload: 4096,
+                                }
+                            }
+                        })
+                    }
+                    _ => boxed(|_: &mut CoreCtx<'_>| CoreAction::Done),
+                }
+            })
+            .collect();
+        dpu.run(&mut programs).unwrap();
+        assert_eq!(dpu.phys().read_u64(4096), 0xAC4B);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        let mut programs: Vec<Box<dyn CoreProgram>> = (0..dpu.n_cores())
+            .map(|c| -> Box<dyn CoreProgram> {
+                if c == 0 {
+                    // Waits on an event nobody will ever set.
+                    boxed(|_: &mut CoreCtx<'_>| CoreAction::Wfe(13))
+                } else {
+                    boxed(|_: &mut CoreCtx<'_>| CoreAction::Done)
+                }
+            })
+            .collect();
+        match dpu.run(&mut programs) {
+            Err(DpuError::Deadlock { blocked }) => assert_eq!(blocked, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_action_reports_rows() {
+        use dpu_dms::{PartitionJob, PartitionScheme};
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        for r in 0..1024u64 {
+            dpu.phys_mut().write_u32(r * 4, r as u32);
+        }
+        let mut programs: Vec<Box<dyn CoreProgram>> = (0..dpu.n_cores())
+            .map(|c| -> Box<dyn CoreProgram> {
+                if c == 0 {
+                    let mut stage = 0;
+                    boxed(move |ctx: &mut CoreCtx<'_>| match stage {
+                        0 => {
+                            stage = 1;
+                            CoreAction::RunPartition(Box::new(PartitionJob {
+                                key_col_addr: 0,
+                                data_col_addrs: vec![],
+                                rows: 1024,
+                                col_width: 4,
+                                scheme: PartitionScheme::Radix { bits: 3, shift: 0 },
+                                dest_dmem_base: 0,
+                                dest_capacity: 1024,
+                            }))
+                        }
+                        _ => {
+                            let rows = ctx.partition_rows.take().expect("partition outcome");
+                            assert_eq!(rows.iter().sum::<u64>(), 1024);
+                            assert!(rows.iter().all(|&r| r == 128), "radix on 0..1024 is uniform");
+                            CoreAction::Done
+                        }
+                    })
+                } else {
+                    boxed(|_: &mut CoreCtx<'_>| CoreAction::Done)
+                }
+            })
+            .collect();
+        dpu.run(&mut programs).unwrap();
+        // Core 5's DMEM holds keys with low bits 101.
+        assert_eq!(dpu.dmem(5).read_u32(0) & 7, 5);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::program::{CoreAction, CoreCtx, CoreProgram};
+    use dpu_dms::{DataDescriptor, Descriptor, EventCond};
+
+    fn boxed<P: CoreProgram + 'static>(p: P) -> Box<dyn CoreProgram> {
+        Box::new(p)
+    }
+
+    fn idles(n: usize) -> Vec<Box<dyn CoreProgram>> {
+        (0..n)
+            .map(|_| boxed(|_: &mut CoreCtx<'_>| CoreAction::Done))
+            .collect()
+    }
+
+    #[test]
+    fn set_event_action_unblocks_descriptors() {
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        dpu.phys_mut().write_u32(0, 0xFEED);
+        let mut programs = idles(dpu.n_cores());
+        let mut step = 0;
+        programs[0] = boxed(move |ctx: &mut CoreCtx<'_>| {
+            step += 1;
+            match step {
+                // Descriptor gated on event 6; the program sets it itself
+                // after some compute (software-driven staging).
+                1 => CoreAction::Push {
+                    chan: 0,
+                    desc: Descriptor::Data(
+                        DataDescriptor::read(0, 0, 16, 4)
+                            .with_wait(EventCond::is_set(6))
+                            .with_notify(7),
+                    ),
+                },
+                2 => CoreAction::Compute(500),
+                3 => CoreAction::SetEvent(6),
+                4 => CoreAction::Wfe(7),
+                5 => {
+                    assert_eq!(ctx.dmem.read_u32(0), 0xFEED);
+                    assert!(ctx.now.cycles() >= 500, "transfer started after the set");
+                    CoreAction::Done
+                }
+                _ => CoreAction::Done,
+            }
+        });
+        dpu.run(&mut programs).unwrap();
+    }
+
+    #[test]
+    fn nm16_moves_data_faster_than_nm40() {
+        let run_cfg = |cfg: DpuConfig| {
+            let mut dpu = Dpu::new(cfg);
+            let n = dpu.n_cores();
+            let mut programs = idles(n);
+            // Core 0 streams 256 KB through descriptors.
+            let mut i = 0u64;
+            programs[0] = boxed(move |_: &mut CoreCtx<'_>| {
+                if i < 64 {
+                    i += 1;
+                    CoreAction::Push {
+                        chan: 0,
+                        desc: Descriptor::Data(DataDescriptor::read((i - 1) * 4096, 0, 1024, 4)),
+                    }
+                } else {
+                    CoreAction::Done
+                }
+            });
+            let report = dpu.run(&mut programs).unwrap();
+            report.dms_gbytes_per_sec(dpu.config().clock)
+        };
+        let g40 = run_cfg(DpuConfig::nm40());
+        let g16 = run_cfg(DpuConfig::nm16());
+        assert!(
+            g16 > 2.0 * g40,
+            "DDR4-3200 ×3 channels should far outrun DDR3: {g16:.1} vs {g40:.1} GB/s"
+        );
+    }
+
+    #[test]
+    fn reset_timing_preserves_memory_contents() {
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        dpu.phys_mut().write_u64(128, 0xDADA);
+        dpu.dmem_mut(2).write_u64(0, 0xBEBE);
+        dpu.reset_timing();
+        assert_eq!(dpu.phys().read_u64(128), 0xDADA);
+        assert_eq!(dpu.dmem(2).read_u64(0), 0xBEBE);
+        assert_eq!(dpu.dram().bytes_served(), 0);
+    }
+
+    #[test]
+    fn remote_ate_stall_delays_a_busy_core() {
+        use dpu_ate::{AteOp, AteRequest, AteTarget};
+        let mut dpu = Dpu::new(DpuConfig::test_small());
+        let mut programs = idles(dpu.n_cores());
+        // Core 1 computes for a long time; core 0 fires many atomics at it.
+        let mut done1 = false;
+        programs[1] = boxed(move |ctx: &mut CoreCtx<'_>| {
+            if done1 {
+                ctx.phys.write_u64(2048, ctx.now.cycles());
+                CoreAction::Done
+            } else {
+                done1 = true;
+                CoreAction::Compute(10_000)
+            }
+        });
+        let mut shots = 0;
+        programs[0] = boxed(move |_: &mut CoreCtx<'_>| {
+            if shots < 50 {
+                shots += 1;
+                CoreAction::Ate(AteRequest {
+                    from: 0,
+                    to: 1,
+                    target: AteTarget::Ddr(0),
+                    op: AteOp::FetchAdd(1),
+                })
+            } else {
+                CoreAction::Done
+            }
+        });
+        dpu.run(&mut programs).unwrap();
+        let finish1 = dpu.phys().read_u64(2048);
+        assert!(
+            finish1 > 10_000,
+            "core 1's 10k-cycle task must be delayed by injected RPCs: {finish1}"
+        );
+        assert_eq!(dpu.phys().read_u64(0), 50);
+    }
+}

@@ -1,0 +1,98 @@
+//! DMS timing and capacity parameters.
+
+/// Behaviour of the gather datapath.
+///
+/// The first silicon had an RTL bug: "when all 32 cores issue gather
+/// operations, a FIFO that holds the bitvector counts in the DMAC
+/// overflows causing the DMAD units to stall indefinitely" (§3.4). The
+/// shipped workaround serializes gathers to one core at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GatherMode {
+    /// First-silicon behaviour: concurrent gathers overflow the count FIFO
+    /// and hang; callers must serialize (the Figure 12 configuration).
+    #[default]
+    BugWorkaround,
+    /// Intended behaviour (fixed RTL): gathers from all cores proceed in
+    /// parallel at line speed.
+    Fixed,
+}
+
+/// Static configuration of the DMS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmsConfig {
+    /// Cycles for the DMAD to fetch a descriptor from DMEM and dispatch it
+    /// through the DMAX into the DMAC (per-descriptor fixed overhead;
+    /// amortized by large tiles — the Figure 11 trend).
+    pub dispatch_overhead: u64,
+    /// One-way DMAX transit latency, cycles (data return to DMEM).
+    pub dmax_latency: u64,
+    /// Maximum descriptors outstanding to the DMAC per DMAX (per macro).
+    pub outstanding_per_macro: usize,
+    /// Hash/range engine throughput in key bytes per cycle.
+    pub hash_bytes_per_cycle: u64,
+    /// Partition store throughput into DMEMs, bytes/cycle per DMAX.
+    pub store_bytes_per_cycle: u64,
+    /// Column-memory bank size in bytes (3 banks).
+    pub cmem_bank_bytes: usize,
+    /// CRC memory bank size in bytes (2 banks).
+    pub crc_bank_bytes: usize,
+    /// CID memory buffer size in bytes (2 buffers).
+    pub cid_buf_bytes: usize,
+    /// Bit-vector memory bank size in bytes (4 banks, one per DMAX).
+    pub bv_bank_bytes: usize,
+    /// Per-row engine cost for gather/scatter mask evaluation, cycles.
+    pub gather_row_overhead_num: u64,
+    /// Denominator for the per-row gather cost (rows per cycle = den/num).
+    pub gather_row_overhead_den: u64,
+    /// Gather datapath behaviour.
+    pub gather_mode: GatherMode,
+    /// Number of dpCores per macro (8 on the fabricated part).
+    pub cores_per_macro: usize,
+}
+
+impl Default for DmsConfig {
+    /// Parameters of the fabricated 40 nm part (§3.2): 42.5 KB of internal
+    /// SRAM split as 3×8 KB CMEM + 2×1 KB CRC + 2×256 B CID + 4×4 KB BV.
+    fn default() -> Self {
+        DmsConfig {
+            dispatch_overhead: 24,
+            dmax_latency: 8,
+            outstanding_per_macro: 4,
+            hash_bytes_per_cycle: 8,
+            store_bytes_per_cycle: 16,
+            cmem_bank_bytes: 8 * 1024,
+            crc_bank_bytes: 1024,
+            cid_buf_bytes: 256,
+            bv_bank_bytes: 4 * 1024,
+            gather_row_overhead_num: 1,
+            gather_row_overhead_den: 4,
+            gather_mode: GatherMode::default(),
+            cores_per_macro: 8,
+        }
+    }
+}
+
+impl DmsConfig {
+    /// Total internal SRAM in bytes (§3.1 quotes ~42.5 KB).
+    pub fn internal_sram_bytes(&self) -> usize {
+        3 * self.cmem_bank_bytes + 2 * self.crc_bank_bytes + 2 * self.cid_buf_bytes
+            + 4 * self.bv_bank_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sram_matches_paper_total() {
+        let c = DmsConfig::default();
+        // 24 KB CMEM + 2 KB CRC + 0.5 KB CID + 16 KB BV = 42.5 KB.
+        assert_eq!(c.internal_sram_bytes(), 42 * 1024 + 512);
+    }
+
+    #[test]
+    fn default_gather_mode_is_buggy_silicon() {
+        assert_eq!(GatherMode::default(), GatherMode::BugWorkaround);
+    }
+}

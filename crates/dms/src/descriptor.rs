@@ -1,0 +1,566 @@
+//! DMS descriptors: the 16-byte macro-instructions of the DMS.
+//!
+//! Two classes exist (§3.3): **data** descriptors encode a movement
+//! (direction, addresses, rows, column width, scatter/gather/stride flags,
+//! wait/notify events), and **control** descriptors program loops, events
+//! and the hash/range engines. [`DataDescriptor`] round-trips through the
+//! exact bit layout of Table 2; [`DescKind::supports`] encodes the
+//! operation-support matrix of Table 1.
+
+use std::fmt;
+
+/// Direction/type of a data descriptor (rows of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DescKind {
+    /// DDR → DMEM direct read.
+    DdrToDmem,
+    /// DMEM → DDR direct write.
+    DmemToDdr,
+    /// Move between DMS internal memories.
+    DmsToDms,
+    /// Partition-pipeline store: DMS internal memory → a core's DMEM.
+    DmsToDmem,
+    /// Transfer RID/bit-vector data from DMEM into DMS BV memory.
+    DmemToDms,
+    /// Load a key/data column from DDR into DMS column memory.
+    DdrToDms,
+    /// Store hash/CID memory to DDR.
+    DmsToDdr,
+}
+
+/// Operations a descriptor type may request (columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmsOp {
+    /// Scatter to non-contiguous destinations using a mask/RID list.
+    Scatter,
+    /// Gather from non-contiguous sources using a mask/RID list.
+    Gather,
+    /// Strided access over fixed-width tuples.
+    Stride,
+    /// Drive the partition pipeline.
+    Partition,
+    /// Marks the key column for the hash/range engines.
+    Key,
+    /// Marks the final column of a multi-column operation.
+    LastCol,
+}
+
+impl DescKind {
+    /// The operation-support matrix of Table 1.
+    ///
+    /// Table 1 marks single `X` cells for `DMEM→DMS` and `DMS→DDR` without
+    /// naming the column in the extracted text; following the stated
+    /// purposes ("transfer RID/BV data for scatter/gather", "store
+    /// hash/CID memory to DDR") we map them to [`DmsOp::Gather`] and
+    /// [`DmsOp::Stride`] respectively.
+    pub fn supports(self, op: DmsOp) -> bool {
+        use DescKind::*;
+        use DmsOp::*;
+        match self {
+            DdrToDmem | DmemToDdr => matches!(op, Scatter | Gather | Stride),
+            DmsToDms => false,
+            DmsToDmem => matches!(op, Partition | LastCol),
+            DmemToDms => matches!(op, Gather),
+            DdrToDms => matches!(op, Key | LastCol),
+            DmsToDdr => matches!(op, Stride),
+        }
+    }
+
+    /// All descriptor kinds, in Table 1 order.
+    pub fn all() -> [DescKind; 7] {
+        use DescKind::*;
+        [DdrToDmem, DmemToDdr, DmsToDms, DmsToDmem, DmemToDms, DdrToDms, DmsToDdr]
+    }
+
+    fn type_code(self) -> u32 {
+        use DescKind::*;
+        match self {
+            DdrToDmem => 0,
+            DmemToDdr => 1,
+            DdrToDms => 2,
+            DmsToDmem => 3,
+            DmemToDms => 4,
+            DmsToDdr => 5,
+            DmsToDms => 6,
+        }
+    }
+
+    fn from_type_code(code: u32) -> Option<DescKind> {
+        use DescKind::*;
+        Some(match code {
+            0 => DdrToDmem,
+            1 => DmemToDdr,
+            2 => DdrToDms,
+            3 => DmsToDmem,
+            4 => DmemToDms,
+            5 => DmsToDdr,
+            6 => DmsToDms,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DescKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DescKind::DdrToDmem => "DDR→DMEM",
+            DescKind::DmemToDdr => "DMEM→DDR",
+            DescKind::DmsToDms => "DMS→DMS",
+            DescKind::DmsToDmem => "DMS→DMEM",
+            DescKind::DmemToDms => "DMEM→DMS",
+            DescKind::DdrToDms => "DDR→DMS",
+            DescKind::DmsToDdr => "DMS→DDR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A wait precondition on a binary event: proceed once `event`'s state
+/// equals `set`.
+///
+/// Flow control in the double-buffer idiom waits for the *clear* state
+/// (the core clears the event after consuming the buffer), while chained
+/// compute waits for the *set* state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventCond {
+    /// Event id, `0..32`.
+    pub event: u8,
+    /// Desired state.
+    pub set: bool,
+}
+
+impl EventCond {
+    /// Wait until the event is set.
+    pub fn is_set(event: u8) -> Self {
+        EventCond { event, set: true }
+    }
+
+    /// Wait until the event is clear (buffer-free flow control).
+    pub fn is_clear(event: u8) -> Self {
+        EventCond { event, set: false }
+    }
+}
+
+/// A data-movement descriptor (Table 2 layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataDescriptor {
+    /// Direction of the movement.
+    pub kind: DescKind,
+    /// 36-bit DDR byte address (ignored for internal-only moves).
+    pub ddr_addr: u64,
+    /// DMEM byte address on the issuing (or target) core.
+    pub dmem_addr: u16,
+    /// Number of fixed-width rows to move.
+    pub rows: u16,
+    /// Element width in bytes: 1, 2, 4 or 8.
+    pub col_width: u8,
+    /// Gather from DDR using the staged bit-vector.
+    pub gather_src: bool,
+    /// Scatter to DDR using the staged bit-vector.
+    pub scatter_dst: bool,
+    /// Run-length-encode the bit-vector transfer (modelled as a flag only).
+    pub rle: bool,
+    /// Take the source address from the channel's auto-increment register.
+    pub src_addr_inc: bool,
+    /// Take the destination address from the channel's auto-increment
+    /// register.
+    pub dst_addr_inc: bool,
+    /// Stride in bytes between consecutive elements on the DDR side
+    /// (`0` = contiguous). Carried in the link-address field of Word0 for
+    /// strided descriptors, which are never hardware-linked.
+    pub ddr_stride: u16,
+    /// Wait precondition.
+    pub wait: Option<EventCond>,
+    /// Event set on completion.
+    pub notify: Option<u8>,
+    /// Column-memory bank for DDR→DMS loads (0..3).
+    pub cmem_bank: u8,
+    /// Marks the key column for the partition engines.
+    pub is_key: bool,
+    /// Marks the last column of a multi-column group.
+    pub last_col: bool,
+}
+
+impl DataDescriptor {
+    /// Convenience: a contiguous DDR→DMEM read of `rows` × `col_width`.
+    pub fn read(ddr_addr: u64, dmem_addr: u16, rows: u16, col_width: u8) -> Self {
+        DataDescriptor {
+            kind: DescKind::DdrToDmem,
+            ddr_addr,
+            dmem_addr,
+            rows,
+            col_width,
+            gather_src: false,
+            scatter_dst: false,
+            rle: false,
+            src_addr_inc: false,
+            dst_addr_inc: false,
+            ddr_stride: 0,
+            wait: None,
+            notify: None,
+            cmem_bank: 0,
+            is_key: false,
+            last_col: false,
+        }
+    }
+
+    /// Convenience: a contiguous DMEM→DDR write.
+    pub fn write(ddr_addr: u64, dmem_addr: u16, rows: u16, col_width: u8) -> Self {
+        DataDescriptor {
+            kind: DescKind::DmemToDdr,
+            ..Self::read(ddr_addr, dmem_addr, rows, col_width)
+        }
+    }
+
+    /// Builder-style: sets the wait precondition.
+    pub fn with_wait(mut self, cond: EventCond) -> Self {
+        self.wait = Some(cond);
+        self
+    }
+
+    /// Builder-style: sets the completion-notify event.
+    pub fn with_notify(mut self, event: u8) -> Self {
+        self.notify = Some(event);
+        self
+    }
+
+    /// Builder-style: enables source auto-increment.
+    pub fn with_src_inc(mut self) -> Self {
+        self.src_addr_inc = true;
+        self
+    }
+
+    /// Total bytes moved by this descriptor (dense case).
+    pub fn bytes(&self) -> u64 {
+        self.rows as u64 * self.col_width as u64
+    }
+
+    /// Encodes into the four 32-bit words of Table 2.
+    ///
+    /// | word | fields |
+    /// |---|---|
+    /// | 0 | `Type[31:28]`, `NotifyEn[27]`, `WaitEn[26]`, `Notify[25:21]`, `Wait[20:16]`, `LinkAddr[15:0]` (stride for strided descriptors) |
+    /// | 1 | `WaitSet[31]`, `ColWidth[30:28]` (log2), `GatherSrc[25]`, `ScatterDst[24]`, `RLE[23]`, `Key[22]`, `LastCol[21]`, `Bank[19:18]`, `SrcAddrInc[17]`, `DstAddrInc[16]`, `DDRAddr[3:0]` |
+    /// | 2 | `Rows[31:16]`, `DMEMAddr[15:0]` |
+    /// | 3 | `DDRAddr[35:4]` |
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col_width` is not 1, 2, 4 or 8, if `ddr_addr` exceeds
+    /// 36 bits, or if an event id is ≥ 32.
+    pub fn encode(&self) -> [u32; 4] {
+        assert!(
+            matches!(self.col_width, 1 | 2 | 4 | 8),
+            "invalid column width {}",
+            self.col_width
+        );
+        assert!(self.ddr_addr < (1 << 36), "DDR address exceeds 36 bits");
+        let mut w0 = self.kind.type_code() << 28;
+        if let Some(ev) = self.notify {
+            assert!(ev < 32, "notify event out of range");
+            w0 |= (1 << 27) | ((ev as u32) << 21);
+        }
+        if let Some(c) = self.wait {
+            assert!(c.event < 32, "wait event out of range");
+            w0 |= (1 << 26) | ((c.event as u32) << 16);
+        }
+        w0 |= self.ddr_stride as u32;
+
+        let mut w1 = (self.col_width.trailing_zeros()) << 28;
+        if let Some(c) = self.wait {
+            if c.set {
+                w1 |= 1 << 31;
+            }
+        }
+        w1 |= (self.gather_src as u32) << 25;
+        w1 |= (self.scatter_dst as u32) << 24;
+        w1 |= (self.rle as u32) << 23;
+        w1 |= (self.is_key as u32) << 22;
+        w1 |= (self.last_col as u32) << 21;
+        w1 |= ((self.cmem_bank as u32) & 0x3) << 18;
+        w1 |= (self.src_addr_inc as u32) << 17;
+        w1 |= (self.dst_addr_inc as u32) << 16;
+        w1 |= (self.ddr_addr & 0xF) as u32;
+
+        let w2 = ((self.rows as u32) << 16) | self.dmem_addr as u32;
+        let w3 = (self.ddr_addr >> 4) as u32;
+        [w0, w1, w2, w3]
+    }
+
+    /// Decodes the Table 2 layout; `None` if the type code is not a data
+    /// descriptor.
+    pub fn decode(words: [u32; 4]) -> Option<DataDescriptor> {
+        let kind = DescKind::from_type_code(words[0] >> 28)?;
+        let notify = (words[0] & (1 << 27) != 0).then(|| ((words[0] >> 21) & 0x1F) as u8);
+        let wait = (words[0] & (1 << 26) != 0).then(|| EventCond {
+            event: ((words[0] >> 16) & 0x1F) as u8,
+            set: words[1] & (1 << 31) != 0,
+        });
+        Some(DataDescriptor {
+            kind,
+            ddr_addr: ((words[3] as u64) << 4) | (words[1] & 0xF) as u64,
+            dmem_addr: (words[2] & 0xFFFF) as u16,
+            rows: (words[2] >> 16) as u16,
+            col_width: 1 << ((words[1] >> 28) & 0x7),
+            gather_src: words[1] & (1 << 25) != 0,
+            scatter_dst: words[1] & (1 << 24) != 0,
+            rle: words[1] & (1 << 23) != 0,
+            is_key: words[1] & (1 << 22) != 0,
+            last_col: words[1] & (1 << 21) != 0,
+            cmem_bank: ((words[1] >> 18) & 0x3) as u8,
+            src_addr_inc: words[1] & (1 << 17) != 0,
+            dst_addr_inc: words[1] & (1 << 16) != 0,
+            ddr_stride: (words[0] & 0xFFFF) as u16,
+            wait,
+            notify,
+        })
+    }
+}
+
+/// Control descriptors: loops, event manipulation, engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlDescriptor {
+    /// Jump back `back` descriptors in the chain, `iterations` more times.
+    Loop {
+        /// How many descriptors to jump back over (≥ 1).
+        back: u8,
+        /// Additional passes beyond the first.
+        iterations: u16,
+    },
+    /// Set an event on the issuing core.
+    SetEvent {
+        /// Event id `0..32`.
+        event: u8,
+    },
+    /// Clear an event on the issuing core.
+    ClearEvent {
+        /// Event id `0..32`.
+        event: u8,
+    },
+    /// Block the channel until the condition holds.
+    WaitEvent {
+        /// The condition to wait for.
+        cond: EventCond,
+    },
+}
+
+/// Any descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Descriptor {
+    /// A data-movement descriptor.
+    Data(DataDescriptor),
+    /// A control descriptor.
+    Control(ControlDescriptor),
+}
+
+impl Descriptor {
+    /// Encodes any descriptor into 16 bytes (data descriptors use the
+    /// Table 2 layout; control descriptors use type codes 8–11).
+    pub fn encode_bytes(&self) -> [u8; 16] {
+        let words = match self {
+            Descriptor::Data(d) => d.encode(),
+            Descriptor::Control(c) => {
+                let (code, a, b) = match *c {
+                    ControlDescriptor::Loop { back, iterations } => {
+                        (8u32, back as u32, iterations as u32)
+                    }
+                    ControlDescriptor::SetEvent { event } => (9, event as u32, 0),
+                    ControlDescriptor::ClearEvent { event } => (10, event as u32, 0),
+                    ControlDescriptor::WaitEvent { cond } => {
+                        (11, cond.event as u32, cond.set as u32)
+                    }
+                };
+                [(code << 28) | a, b, 0, 0]
+            }
+        };
+        let mut out = [0u8; 16];
+        for (i, w) in words.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes 16 bytes back into a descriptor.
+    pub fn decode_bytes(bytes: &[u8; 16]) -> Option<Descriptor> {
+        let mut words = [0u32; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                bytes[i * 4],
+                bytes[i * 4 + 1],
+                bytes[i * 4 + 2],
+                bytes[i * 4 + 3],
+            ]);
+        }
+        match words[0] >> 28 {
+            8 => Some(Descriptor::Control(ControlDescriptor::Loop {
+                back: (words[0] & 0xFF) as u8,
+                iterations: (words[1] & 0xFFFF) as u16,
+            })),
+            9 => Some(Descriptor::Control(ControlDescriptor::SetEvent {
+                event: (words[0] & 0x1F) as u8,
+            })),
+            10 => Some(Descriptor::Control(ControlDescriptor::ClearEvent {
+                event: (words[0] & 0x1F) as u8,
+            })),
+            11 => Some(Descriptor::Control(ControlDescriptor::WaitEvent {
+                cond: EventCond {
+                    event: (words[0] & 0x1F) as u8,
+                    set: words[1] & 1 != 0,
+                },
+            })),
+            _ => DataDescriptor::decode(words).map(Descriptor::Data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_support_matrix() {
+        use DescKind::*;
+        use DmsOp::*;
+        // DDR↔DMEM: scatter, gather, stride.
+        for kind in [DdrToDmem, DmemToDdr] {
+            assert!(kind.supports(Scatter));
+            assert!(kind.supports(Gather));
+            assert!(kind.supports(Stride));
+            assert!(!kind.supports(Partition));
+            assert!(!kind.supports(Key));
+        }
+        // DMS→DMS: plain internal moves only.
+        for op in [Scatter, Gather, Stride, Partition, Key, LastCol] {
+            assert!(!DmsToDms.supports(op));
+        }
+        // DMS→DMEM: partition store.
+        assert!(DmsToDmem.supports(Partition));
+        assert!(DmsToDmem.supports(LastCol));
+        assert!(!DmsToDmem.supports(Gather));
+        // DMEM→DMS: RID/BV transfer for scatter/gather.
+        assert!(DmemToDms.supports(Gather));
+        assert!(!DmemToDms.supports(Partition));
+        // DDR→DMS: key/data load for partitioning.
+        assert!(DdrToDms.supports(Key));
+        assert!(DdrToDms.supports(LastCol));
+        assert!(!DdrToDms.supports(Scatter));
+        // DMS→DDR: store hash/CID memory out.
+        assert!(DmsToDdr.supports(Stride));
+        assert!(!DmsToDdr.supports(Partition));
+    }
+
+    #[test]
+    fn table2_field_placement() {
+        let d = DataDescriptor {
+            kind: DescKind::DdrToDmem,
+            ddr_addr: 0xA_BCDE_F012,
+            dmem_addr: 0x1234,
+            rows: 256,
+            col_width: 4,
+            gather_src: true,
+            scatter_dst: false,
+            rle: true,
+            src_addr_inc: true,
+            dst_addr_inc: false,
+            ddr_stride: 0,
+            wait: Some(EventCond::is_clear(5)),
+            notify: Some(17),
+            cmem_bank: 0,
+            is_key: false,
+            last_col: false,
+        };
+        let w = d.encode();
+        assert_eq!(w[0] >> 28, 0, "type code in [31:28]");
+        assert_eq!((w[0] >> 21) & 0x1F, 17, "notify in [25:21]");
+        assert_eq!((w[0] >> 16) & 0x1F, 5, "wait in [20:16]");
+        assert_eq!((w[1] >> 28) & 0x7, 2, "log2(4B) col width in [30:28]");
+        assert_eq!((w[1] >> 25) & 1, 1, "gather_src at 25");
+        assert_eq!((w[1] >> 24) & 1, 0, "scatter_dst at 24");
+        assert_eq!((w[1] >> 23) & 1, 1, "rle at 23");
+        assert_eq!((w[1] >> 17) & 1, 1, "src inc at 17");
+        assert_eq!((w[1] >> 16) & 1, 0, "dst inc at 16");
+        assert_eq!(w[1] & 0xF, 0x2, "DDR addr low nibble in word1[3:0]");
+        assert_eq!(w[2] >> 16, 256, "rows in word2[31:16]");
+        assert_eq!(w[2] & 0xFFFF, 0x1234, "DMEM addr in word2[15:0]");
+        assert_eq!(w[3], (0xA_BCDE_F012u64 >> 4) as u32, "DDR addr high in word3");
+    }
+
+    #[test]
+    fn data_descriptor_roundtrip() {
+        let cases = vec![
+            DataDescriptor::read(0, 0, 1, 1),
+            DataDescriptor::write(0xF_FFFF_FFFF, 0xFFFF, 0xFFFF, 8),
+            DataDescriptor {
+                kind: DescKind::DdrToDms,
+                cmem_bank: 2,
+                is_key: true,
+                last_col: true,
+                ..DataDescriptor::read(4096, 0, 512, 4)
+            }
+            .with_wait(EventCond::is_set(31))
+            .with_notify(0),
+            DataDescriptor {
+                ddr_stride: 64,
+                ..DataDescriptor::read(128, 64, 100, 2)
+            }
+            .with_src_inc(),
+        ];
+        for d in cases {
+            let back = DataDescriptor::decode(d.encode()).unwrap();
+            assert_eq!(back, d);
+        }
+    }
+
+    #[test]
+    fn control_descriptor_roundtrip() {
+        let cases = vec![
+            Descriptor::Control(ControlDescriptor::Loop { back: 2, iterations: 8191 }),
+            Descriptor::Control(ControlDescriptor::SetEvent { event: 31 }),
+            Descriptor::Control(ControlDescriptor::ClearEvent { event: 0 }),
+            Descriptor::Control(ControlDescriptor::WaitEvent {
+                cond: EventCond::is_clear(7),
+            }),
+            Descriptor::Data(DataDescriptor::read(1 << 20, 256, 1024, 4)),
+        ];
+        for d in cases {
+            let bytes = d.encode_bytes();
+            assert_eq!(Descriptor::decode_bytes(&bytes).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn descriptor_is_16_bytes() {
+        let d = Descriptor::Data(DataDescriptor::read(0, 0, 4, 4));
+        assert_eq!(d.encode_bytes().len(), 16);
+    }
+
+    #[test]
+    fn bytes_helper() {
+        assert_eq!(DataDescriptor::read(0, 0, 256, 4).bytes(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid column width")]
+    fn bad_width_panics() {
+        DataDescriptor::read(0, 0, 1, 3).encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "36 bits")]
+    fn oversized_address_panics() {
+        DataDescriptor::read(1 << 36, 0, 1, 4).encode();
+    }
+
+    #[test]
+    fn event_cond_constructors() {
+        assert!(EventCond::is_set(3).set);
+        assert!(!EventCond::is_clear(3).set);
+        assert_eq!(EventCond::is_set(3).event, 3);
+    }
+
+    #[test]
+    fn kind_display_and_all() {
+        assert_eq!(DescKind::DdrToDmem.to_string(), "DDR→DMEM");
+        assert_eq!(DescKind::all().len(), 7);
+    }
+}

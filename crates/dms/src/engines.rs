@@ -1,0 +1,161 @@
+//! The DMAC's hash and range engines.
+//!
+//! "A hash and range engine can apply a CRC32 checksum to the elements of
+//! the column memories … inspect radix bits of the resulting hashed column
+//! (or alternatively the original key column) and generate a dpCore ID for
+//! each result (hash radix partitioning). The DMAC can also generate
+//! dpCore IDs by matching each column memory item against one of 32
+//! pre-programmed ranges (range partitioning)." (§3.1)
+
+use dpu_isa::hash::crc32c_u64;
+
+/// How the DMAC maps a key to a destination dpCore ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// CRC32 the key, then take the low `radix_bits` of the hash.
+    HashRadix {
+        /// Number of radix bits inspected (5 ⇒ 32-way).
+        radix_bits: u8,
+    },
+    /// Take `bits` bits of the raw key starting at bit `shift`.
+    Radix {
+        /// Number of key bits inspected.
+        bits: u8,
+        /// Bit offset of the inspected field.
+        shift: u8,
+    },
+    /// Match against up to 32 pre-programmed inclusive upper bounds
+    /// (ascending); key `k` goes to the first partition whose bound is
+    /// `≥ k`, with the last partition catching the remainder.
+    Range {
+        /// Ascending upper bounds; partition count = `bounds.len() + 1`.
+        bounds: Vec<i64>,
+    },
+}
+
+impl PartitionScheme {
+    /// Number of partitions the scheme produces.
+    pub fn partitions(&self) -> usize {
+        match self {
+            PartitionScheme::HashRadix { radix_bits } => 1 << radix_bits,
+            PartitionScheme::Radix { bits, .. } => 1 << bits,
+            PartitionScheme::Range { bounds } => bounds.len() + 1,
+        }
+    }
+
+    /// The dpCore ID for a key.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dpu_dms::PartitionScheme;
+    /// let s = PartitionScheme::Range { bounds: vec![10, 20] };
+    /// assert_eq!(s.partition_of(5), 0);
+    /// assert_eq!(s.partition_of(15), 1);
+    /// assert_eq!(s.partition_of(999), 2);
+    /// ```
+    pub fn partition_of(&self, key: i64) -> usize {
+        match self {
+            PartitionScheme::HashRadix { radix_bits } => {
+                (crc32c_u64(key as u64) as usize) & ((1 << radix_bits) - 1)
+            }
+            PartitionScheme::Radix { bits, shift } => {
+                ((key as u64 >> shift) as usize) & ((1 << bits) - 1)
+            }
+            PartitionScheme::Range { bounds } => bounds
+                .iter()
+                .position(|&b| key <= b)
+                .unwrap_or(bounds.len()),
+        }
+    }
+
+    /// Validates engine constraints (≤ 32 ranges; ≤ 5 radix bits would be
+    /// a 32-way limit in one pass, but the engine allows up to 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration exceeds hardware limits
+    /// or `Range` bounds are not ascending.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PartitionScheme::HashRadix { radix_bits } | PartitionScheme::Radix { bits: radix_bits, .. } => {
+                if *radix_bits == 0 || *radix_bits > 8 {
+                    return Err(format!("radix bits {radix_bits} outside 1..=8"));
+                }
+            }
+            PartitionScheme::Range { bounds } => {
+                if bounds.is_empty() || bounds.len() > 31 {
+                    return Err(format!(
+                        "range engine supports 1..=31 bounds (32 partitions), got {}",
+                        bounds.len()
+                    ));
+                }
+                if bounds.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("range bounds must be strictly ascending".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_radix_uses_crc_bits() {
+        let s = PartitionScheme::HashRadix { radix_bits: 5 };
+        assert_eq!(s.partitions(), 32);
+        for k in 0..1000 {
+            let p = s.partition_of(k);
+            assert_eq!(p, (crc32c_u64(k as u64) as usize) & 31);
+            assert!(p < 32);
+        }
+    }
+
+    #[test]
+    fn radix_extracts_field() {
+        let s = PartitionScheme::Radix { bits: 5, shift: 0 };
+        assert_eq!(s.partition_of(37), 37 & 31);
+        let hi = PartitionScheme::Radix { bits: 3, shift: 8 };
+        assert_eq!(hi.partition_of(0x0700), 7);
+        assert_eq!(hi.partitions(), 8);
+    }
+
+    #[test]
+    fn range_boundaries_inclusive() {
+        let s = PartitionScheme::Range { bounds: vec![0, 100, 200] };
+        assert_eq!(s.partitions(), 4);
+        assert_eq!(s.partition_of(-5), 0);
+        assert_eq!(s.partition_of(0), 0);
+        assert_eq!(s.partition_of(1), 1);
+        assert_eq!(s.partition_of(100), 1);
+        assert_eq!(s.partition_of(101), 2);
+        assert_eq!(s.partition_of(201), 3);
+        assert_eq!(s.partition_of(i64::MAX), 3);
+    }
+
+    #[test]
+    fn validation_limits() {
+        assert!(PartitionScheme::HashRadix { radix_bits: 5 }.validate().is_ok());
+        assert!(PartitionScheme::HashRadix { radix_bits: 0 }.validate().is_err());
+        assert!(PartitionScheme::HashRadix { radix_bits: 9 }.validate().is_err());
+        assert!(PartitionScheme::Range { bounds: vec![] }.validate().is_err());
+        assert!(PartitionScheme::Range { bounds: vec![5, 5] }.validate().is_err());
+        assert!(PartitionScheme::Range { bounds: vec![1; 32] }.validate().is_err());
+        assert!(PartitionScheme::Range { bounds: (0..31).collect() }.validate().is_ok());
+    }
+
+    #[test]
+    fn hash_radix_balances() {
+        let s = PartitionScheme::HashRadix { radix_bits: 5 };
+        let mut counts = [0u32; 32];
+        for k in 0..32_000 {
+            counts[s.partition_of(k)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "unbalanced bucket {c}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Binary event timelines.
+//!
+//! "The DMS associates with each dpCore a list of 32 binary events" (§3.1).
+//! Because descriptor completion times are computed in virtual time, an
+//! event is modelled as a *timeline* of (time, state) transitions: a
+//! waiter can ask for the earliest instant at or after its ready time when
+//! the event holds a desired state, even if that instant is in the
+//! engine's future.
+
+use dpu_sim::Time;
+
+/// Number of events per dpCore.
+pub const EVENTS_PER_CORE: usize = 32;
+
+/// The transition history of one binary event.
+///
+/// # Example
+///
+/// ```
+/// use dpu_dms::EventTimeline;
+/// use dpu_sim::Time;
+///
+/// let mut ev = EventTimeline::new();
+/// ev.transition(Time::from_cycles(100), true);
+/// // A waiter ready at t=50 sees the event set at t=100.
+/// assert_eq!(ev.first_time_in_state(Time::from_cycles(50), true),
+///            Some(Time::from_cycles(100)));
+/// // Waiting for "clear" at t=50 succeeds immediately (initial state).
+/// assert_eq!(ev.first_time_in_state(Time::from_cycles(50), false),
+///            Some(Time::from_cycles(50)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventTimeline {
+    /// Ordered (time, new_state) transitions; initial state is clear.
+    transitions: Vec<(Time, bool)>,
+}
+
+impl EventTimeline {
+    /// A clear event with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transition at `at`.
+    ///
+    /// Transitions are expected in non-decreasing time order; if the
+    /// engine computes a completion slightly out of booking order, the
+    /// transition is clamped to the latest recorded time rather than
+    /// rewriting history (a conservative approximation).
+    pub fn transition(&mut self, at: Time, set: bool) {
+        let mut at = at;
+        if let Some(&(last, state)) = self.transitions.last() {
+            if at < last {
+                at = last;
+            }
+            if state == set {
+                return; // no-op transition
+            }
+        } else if !set {
+            return; // already clear initially
+        }
+        self.transitions.push((at, set));
+    }
+
+    /// The state at time `at`.
+    pub fn state_at(&self, at: Time) -> bool {
+        self.transitions
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t <= at)
+            .map(|&(_, s)| s)
+            .unwrap_or(false)
+    }
+
+    /// The latest known state (at the end of recorded history).
+    pub fn final_state(&self) -> bool {
+        self.transitions.last().map(|&(_, s)| s).unwrap_or(false)
+    }
+
+    /// Earliest time `≥ ready` at which the event is in state `want`, or
+    /// `None` if it never reaches that state within recorded history.
+    pub fn first_time_in_state(&self, ready: Time, want: bool) -> Option<Time> {
+        if self.state_at(ready) == want {
+            return Some(ready);
+        }
+        self.transitions
+            .iter()
+            .find(|&&(t, s)| t >= ready && s == want)
+            .map(|&(t, _)| t.max(ready))
+    }
+}
+
+/// All 32 event timelines of one core.
+#[derive(Debug, Clone)]
+pub struct CoreEvents {
+    events: Vec<EventTimeline>,
+}
+
+impl CoreEvents {
+    /// 32 clear events.
+    pub fn new() -> Self {
+        CoreEvents {
+            events: (0..EVENTS_PER_CORE).map(|_| EventTimeline::new()).collect(),
+        }
+    }
+
+    /// Borrow one event's timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event >= 32`.
+    pub fn event(&self, event: u8) -> &EventTimeline {
+        &self.events[event as usize]
+    }
+
+    /// Mutably borrow one event's timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event >= 32`.
+    pub fn event_mut(&mut self, event: u8) -> &mut EventTimeline {
+        &mut self.events[event as usize]
+    }
+}
+
+impl Default for CoreEvents {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+
+    #[test]
+    fn initial_state_is_clear() {
+        let ev = EventTimeline::new();
+        assert!(!ev.state_at(t(0)));
+        assert!(!ev.final_state());
+        assert_eq!(ev.first_time_in_state(t(0), false), Some(t(0)));
+        assert_eq!(ev.first_time_in_state(t(0), true), None);
+    }
+
+    #[test]
+    fn set_then_clear_history() {
+        let mut ev = EventTimeline::new();
+        ev.transition(t(10), true);
+        ev.transition(t(20), false);
+        ev.transition(t(30), true);
+        assert!(!ev.state_at(t(9)));
+        assert!(ev.state_at(t(10)));
+        assert!(!ev.state_at(t(25)));
+        assert!(ev.state_at(t(30)));
+        assert!(ev.final_state());
+    }
+
+    #[test]
+    fn waiter_in_the_past_sees_future_transition() {
+        let mut ev = EventTimeline::new();
+        ev.transition(t(100), true);
+        assert_eq!(ev.first_time_in_state(t(50), true), Some(t(100)));
+        // Waiter arriving after the set sees it immediately.
+        assert_eq!(ev.first_time_in_state(t(150), true), Some(t(150)));
+    }
+
+    #[test]
+    fn waiter_for_clear_after_set() {
+        let mut ev = EventTimeline::new();
+        ev.transition(t(10), true);
+        assert_eq!(ev.first_time_in_state(t(15), false), None);
+        ev.transition(t(40), false);
+        assert_eq!(ev.first_time_in_state(t(15), false), Some(t(40)));
+    }
+
+    #[test]
+    fn redundant_transitions_collapse() {
+        let mut ev = EventTimeline::new();
+        ev.transition(t(5), false); // no-op: already clear
+        ev.transition(t(10), true);
+        ev.transition(t(12), true); // no-op
+        ev.transition(t(20), false);
+        assert_eq!(ev.first_time_in_state(t(0), true), Some(t(10)));
+        assert_eq!(ev.first_time_in_state(t(11), false), Some(t(20)));
+    }
+
+    #[test]
+    fn out_of_order_transition_clamps() {
+        let mut ev = EventTimeline::new();
+        ev.transition(t(10), true);
+        ev.transition(t(5), false); // clamped to t=10
+        assert!(!ev.final_state());
+        assert_eq!(ev.first_time_in_state(t(0), false), Some(t(0)));
+        assert!(ev.state_at(t(9)) || !ev.state_at(t(9)));
+        assert_eq!(ev.first_time_in_state(t(10), false), Some(t(10)));
+    }
+
+    #[test]
+    fn core_events_indexing() {
+        let mut ce = CoreEvents::new();
+        ce.event_mut(31).transition(t(7), true);
+        assert!(ce.event(31).final_state());
+        assert!(!ce.event(0).final_state());
+    }
+
+    #[test]
+    #[should_panic]
+    fn event_index_out_of_range_panics() {
+        CoreEvents::new().event(32);
+    }
+}

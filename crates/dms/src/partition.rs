@@ -1,0 +1,464 @@
+//! The DMAC's three-stage hardware partition pipeline.
+//!
+//! Hash partitioning streams a table through the DMAC (Figure 10): the
+//! **load** stage pulls a chunk of the key column (and its data columns)
+//! from DDR into one of the three column-memory banks, the **hash** stage
+//! CRC32s the keys into CRC memory and derives a dpCore ID per row into
+//! the double-buffered CID memory, and the **store** stage scatters each
+//! row's columns into the destination dpCores' DMEMs. The three stages
+//! run on different banks concurrently, so throughput is set by the
+//! slowest stage — the DDR load — which is how the DMS sustains
+//! ≈9.3 GB/s 32-way partitioning (Figure 13) and beats HARP's 6 GB/s.
+
+use dpu_mem::{Dmem, DramChannel, PhysMem};
+use dpu_sim::{PipelineStage, Time};
+
+use crate::config::DmsConfig;
+use crate::descriptor::{ControlDescriptor, DataDescriptor, DescKind, Descriptor};
+use crate::dmac::{Dms, DmsError};
+use crate::engines::PartitionScheme;
+
+/// A hardware partitioning job over a column-major table in DDR.
+#[derive(Debug, Clone)]
+pub struct PartitionJob {
+    /// DDR base address of the key column.
+    pub key_col_addr: u64,
+    /// DDR base addresses of the non-key columns.
+    pub data_col_addrs: Vec<u64>,
+    /// Number of rows.
+    pub rows: u64,
+    /// Element width in bytes (1, 2, 4 or 8) — uniform across columns.
+    pub col_width: u8,
+    /// Partitioning scheme (hash radix / radix / range).
+    pub scheme: PartitionScheme,
+    /// Base DMEM address of the destination region on every target core.
+    pub dest_dmem_base: u32,
+    /// Bytes reserved per column per target core.
+    pub dest_capacity: u32,
+}
+
+/// Result of a completed partitioning job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// Time the last row was stored.
+    pub finish: Time,
+    /// Rows routed to each partition (index = dpCore ID).
+    pub rows_per_partition: Vec<u64>,
+    /// Total bytes read from DDR (all columns).
+    pub bytes_in: u64,
+    /// Number of pipeline chunks processed.
+    pub chunks: u64,
+}
+
+impl PartitionJob {
+    /// Total columns (key + data).
+    pub fn columns(&self) -> usize {
+        1 + self.data_col_addrs.len()
+    }
+
+    /// Rows per pipeline chunk (bounded by one column-memory bank).
+    pub fn chunk_rows(&self, cfg: &DmsConfig) -> u64 {
+        (cfg.cmem_bank_bytes as u64 / self.col_width as u64).max(1)
+    }
+
+    /// The equivalent descriptor program a driver would push: per chunk, a
+    /// key-column `DDR→DMS` load, data-column loads (last one flagged),
+    /// and a partition `DMS→DMEM` store, closed by a loop descriptor.
+    ///
+    /// The job runner executes this same schedule natively for speed; the
+    /// program is exposed so tests (and the curious) can inspect what the
+    /// hardware interface looks like.
+    pub fn descriptor_program(&self, cfg: &DmsConfig) -> Vec<Descriptor> {
+        let chunk = self.chunk_rows(cfg).min(self.rows) as u16;
+        let mut prog = Vec::new();
+        prog.push(Descriptor::Data(DataDescriptor {
+            kind: DescKind::DdrToDms,
+            is_key: true,
+            cmem_bank: 0,
+            src_addr_inc: true,
+            ..DataDescriptor::read(self.key_col_addr, 0, chunk, self.col_width)
+        }));
+        for (i, &addr) in self.data_col_addrs.iter().enumerate() {
+            prog.push(Descriptor::Data(DataDescriptor {
+                kind: DescKind::DdrToDms,
+                cmem_bank: 1,
+                last_col: i + 1 == self.data_col_addrs.len(),
+                src_addr_inc: true,
+                ..DataDescriptor::read(addr, 0, chunk, self.col_width)
+            }));
+        }
+        prog.push(Descriptor::Data(DataDescriptor {
+            kind: DescKind::DmsToDmem,
+            cmem_bank: 2,
+            ..DataDescriptor::read(0, self.dest_dmem_base as u16, chunk, self.col_width)
+        }));
+        let chunks = self.rows.div_ceil(self.chunk_rows(cfg));
+        if chunks > 1 {
+            prog.push(Descriptor::Control(ControlDescriptor::Loop {
+                back: prog.len() as u8,
+                iterations: (chunks - 1) as u16,
+            }));
+        }
+        prog
+    }
+}
+
+impl Dms {
+    /// Runs a hardware partitioning job starting at `now`.
+    ///
+    /// Rows are *really* routed: each row's columns land in the DMEM of
+    /// the dpCore chosen by the scheme, appended per-partition, so tests
+    /// can verify every row ended up where the hash/range engine said.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmsError::BadDescriptor`] if the scheme is invalid, the
+    /// partition count exceeds the core count, or a destination region
+    /// overflows.
+    pub fn run_partition(
+        &mut self,
+        job: &PartitionJob,
+        now: Time,
+        phys: &mut PhysMem,
+        dram: &mut DramChannel,
+        dmems: &mut [Dmem],
+    ) -> Result<PartitionOutcome, DmsError> {
+        job.scheme
+            .validate()
+            .map_err(DmsError::BadDescriptor)?;
+        let parts = job.scheme.partitions();
+        if parts > dmems.len() {
+            return Err(DmsError::BadDescriptor(format!(
+                "{parts} partitions exceed {} target cores",
+                dmems.len()
+            )));
+        }
+        let cfg = self.config().clone();
+        let w = job.col_width as u64;
+        let chunk_rows = job.chunk_rows(&cfg);
+        let n_cols = job.columns() as u64;
+
+        let mut hash_stage = PipelineStage::new("hash");
+        let mut store_stage = PipelineStage::new("store");
+        let mut rows_per_partition = vec![0u64; parts];
+        let mut fill = vec![0u32; parts]; // per-partition bytes used (per column)
+        let mut bytes_in = 0u64;
+        let mut finish = now;
+        let mut chunks = 0u64;
+
+        let mut row0 = 0u64;
+        while row0 < job.rows {
+            let rows = chunk_rows.min(job.rows - row0);
+            let chunk_bytes_per_col = rows * w;
+
+            // Stage 1: load key + data columns from DDR (books bus time; the
+            // chunks of successive iterations overlap with hash/store of
+            // earlier chunks because the DRAM server runs ahead in time).
+            let mut load_done = now + Time::from_cycles(cfg.dispatch_overhead);
+            for col in 0..n_cols {
+                let base = if col == 0 {
+                    job.key_col_addr
+                } else {
+                    job.data_col_addrs[col as usize - 1]
+                };
+                let addr = base + row0 * w;
+                for burst in dpu_mem::axi::split_bursts(addr, chunk_bytes_per_col) {
+                    load_done = load_done.max(dram.request(now, burst.addr, burst.bytes));
+                }
+            }
+            bytes_in += chunk_bytes_per_col * n_cols;
+
+            // Stage 2: hash/range engine over the key chunk.
+            let hash_cycles = chunk_bytes_per_col.div_ceil(cfg.hash_bytes_per_cycle);
+            let hash_done = hash_stage.admit(load_done, Time::from_cycles(hash_cycles));
+
+            // Stage 3: partition store into DMEMs.
+            let store_cycles =
+                (chunk_bytes_per_col * n_cols).div_ceil(cfg.store_bytes_per_cycle);
+            let store_done = store_stage.admit(hash_done, Time::from_cycles(store_cycles))
+                + Time::from_cycles(cfg.dmax_latency);
+            finish = finish.max(store_done);
+
+            // Functional routing: move the rows.
+            for r in 0..rows {
+                let row = row0 + r;
+                let key_addr = job.key_col_addr + row * w;
+                let key_raw = phys.read_uint(key_addr, w as usize);
+                let key = sign_extend(key_raw, w);
+                let p = job.scheme.partition_of(key);
+                let off = fill[p];
+                if off + w as u32 > job.dest_capacity {
+                    return Err(DmsError::BadDescriptor(format!(
+                        "partition {p} overflowed its {}-byte DMEM region",
+                        job.dest_capacity
+                    )));
+                }
+                for col in 0..n_cols {
+                    let base = if col == 0 {
+                        job.key_col_addr
+                    } else {
+                        job.data_col_addrs[col as usize - 1]
+                    };
+                    let src = base + row * w;
+                    let data: Vec<u8> = phys.slice(src, w as usize).to_vec();
+                    let dst = job.dest_dmem_base + col as u32 * job.dest_capacity + off;
+                    dmems[p].write(dst, &data);
+                }
+                fill[p] += w as u32;
+                rows_per_partition[p] += 1;
+            }
+
+            row0 += rows;
+            chunks += 1;
+        }
+
+        Ok(PartitionOutcome {
+            finish,
+            rows_per_partition,
+            bytes_in,
+            chunks,
+        })
+    }
+}
+
+fn sign_extend(raw: u64, width: u64) -> i64 {
+    match width {
+        1 => raw as u8 as i8 as i64,
+        2 => raw as u16 as i16 as i64,
+        4 => raw as u32 as i32 as i64,
+        _ => raw as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_mem::DramConfig;
+    use dpu_sim::Frequency;
+
+    fn setup_table(rows: u64, cols: usize) -> (PhysMem, Vec<u64>) {
+        // Column-major: column c at c * rows * 4.
+        let mut phys = PhysMem::new((rows as usize * cols * 4).max(4096));
+        let addrs: Vec<u64> = (0..cols).map(|c| c as u64 * rows * 4).collect();
+        for c in 0..cols {
+            for r in 0..rows {
+                // Key column: pseudorandom; data columns: r tagged by column.
+                let v = if c == 0 {
+                    (r.wrapping_mul(2_654_435_761)) as u32
+                } else {
+                    (c as u32) << 24 | r as u32
+                };
+                phys.write_u32(addrs[c] + r * 4, v);
+            }
+        }
+        (phys, addrs)
+    }
+
+    fn run(scheme: PartitionScheme, rows: u64, cols: usize) -> (PartitionOutcome, Vec<Dmem>, PhysMem, Vec<u64>) {
+        let (mut phys, addrs) = setup_table(rows, cols);
+        let mut dms = Dms::new(DmsConfig::default(), 32);
+        let mut dram = DramChannel::new(DramConfig::ddr3_1600());
+        let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(32 * 1024)).collect();
+        let job = PartitionJob {
+            key_col_addr: addrs[0],
+            data_col_addrs: addrs[1..].to_vec(),
+            rows,
+            col_width: 4,
+            scheme,
+            dest_dmem_base: 0,
+            dest_capacity: 8 * 1024 / cols as u32,
+        };
+        let out = dms
+            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
+            .unwrap();
+        (out, dmems, phys, addrs)
+    }
+
+    #[test]
+    fn hash_partition_routes_every_row_correctly() {
+        let rows = 4096u64;
+        let scheme = PartitionScheme::HashRadix { radix_bits: 5 };
+        let (out, dmems, phys, addrs) = run(scheme.clone(), rows, 2);
+        assert_eq!(out.rows_per_partition.iter().sum::<u64>(), rows);
+        // Verify each landed row's key actually hashes to that partition,
+        // and the data column traveled with it.
+        let cap = 4 * 1024;
+        for p in 0..32usize {
+            for i in 0..out.rows_per_partition[p] {
+                let key = dmems[p].read_u32((i * 4) as u32) as i64 as i32 as i64;
+                assert_eq!(scheme.partition_of(key), p, "row in wrong partition");
+                let data = dmems[p].read_u32(cap as u32 + (i * 4) as u32);
+                // The data value encodes its original row; check the key
+                // column at that row matches.
+                let orig_row = (data & 0x00FF_FFFF) as u64;
+                assert_eq!(phys.read_u32(addrs[0] + orig_row * 4) as i64, key & 0xFFFF_FFFF);
+            }
+        }
+    }
+
+    #[test]
+    fn range_partition_obeys_bounds() {
+        let rows = 1024u64;
+        // Keys are hash-looking u32s; as i64 they're all ≥ 0.
+        let bounds: Vec<i64> = (1..32).map(|i| i * (u32::MAX as i64) / 32).collect();
+        let scheme = PartitionScheme::Range { bounds: bounds.clone() };
+        let (out, dmems, _, _) = run(scheme.clone(), rows, 1);
+        assert_eq!(out.rows_per_partition.iter().sum::<u64>(), rows);
+        for p in 0..32usize {
+            for i in 0..out.rows_per_partition[p] {
+                let key = dmems[p].read_u32((i * 4) as u32) as i32 as i64;
+                if p > 0 {
+                    assert!(key > bounds[p - 1]);
+                }
+                if p < 31 {
+                    assert!(key <= bounds[p]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn radix_partition_on_key_bits() {
+        let scheme = PartitionScheme::Radix { bits: 5, shift: 0 };
+        let (out, dmems, _, _) = run(scheme.clone(), 512, 1);
+        for p in 0..32usize {
+            for i in 0..out.rows_per_partition[p] {
+                let key = dmems[p].read_u32((i * 4) as u32);
+                assert_eq!((key & 31) as usize, p);
+            }
+        }
+        assert_eq!(out.rows_per_partition.iter().sum::<u64>(), 512);
+    }
+
+    #[test]
+    fn partition_throughput_near_memory_bandwidth() {
+        // Figure 13's claim: ≈9.3 GB/s for 32-way partitioning of a
+        // 4-column table — and in any case beating HARP's 6 GB/s.
+        let rows = 64 * 1024u64;
+        let (mut phys, addrs) = {
+            let mut phys = PhysMem::new(rows as usize * 4 * 4);
+            let addrs: Vec<u64> = (0..4).map(|c| c as u64 * rows * 4).collect();
+            for c in 0..4 {
+                for r in 0..rows {
+                    phys.write_u32(addrs[c] + r * 4, (r as u32).wrapping_mul(0x9E37_79B9));
+                }
+            }
+            (phys, addrs)
+        };
+        let mut dms = Dms::new(DmsConfig::default(), 32);
+        let mut dram = DramChannel::new(DramConfig::ddr3_1600());
+        // Capacity: 64K rows / 32 parts ≈ 2K rows × 4 B ≈ 8 KB with skew
+        // margin; use a large synthetic DMEM since this is a bandwidth test.
+        let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(256 * 1024)).collect();
+        let job = PartitionJob {
+            key_col_addr: addrs[0],
+            data_col_addrs: addrs[1..].to_vec(),
+            rows,
+            col_width: 4,
+            scheme: PartitionScheme::HashRadix { radix_bits: 5 },
+            dest_dmem_base: 0,
+            dest_capacity: 64 * 1024,
+        };
+        let out = dms
+            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
+            .unwrap();
+        let gbps = Frequency::DPU_CORE.bytes_per_sec(out.bytes_in, out.finish) / 1e9;
+        assert!(
+            gbps > 6.0,
+            "hardware partitioning must beat HARP's 6 GB/s, got {gbps:.2}"
+        );
+        assert!(gbps > 8.5, "expected ≈9.3 GB/s, got {gbps:.2}");
+        assert!(gbps < 12.8, "cannot exceed DDR3 peak");
+    }
+
+    #[test]
+    fn too_many_partitions_rejected() {
+        let (mut phys, addrs) = setup_table(64, 1);
+        let mut dms = Dms::new(DmsConfig::default(), 8);
+        let mut dram = DramChannel::new(DramConfig::ddr3_1600());
+        let mut dmems: Vec<Dmem> = (0..8).map(|_| Dmem::new(1024)).collect();
+        let job = PartitionJob {
+            key_col_addr: addrs[0],
+            data_col_addrs: vec![],
+            rows: 64,
+            col_width: 4,
+            scheme: PartitionScheme::HashRadix { radix_bits: 5 },
+            dest_dmem_base: 0,
+            dest_capacity: 1024,
+        };
+        assert!(dms
+            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
+            .is_err());
+    }
+
+    #[test]
+    fn overflow_of_destination_region_detected() {
+        let (mut phys, addrs) = setup_table(1024, 1);
+        let mut dms = Dms::new(DmsConfig::default(), 32);
+        let mut dram = DramChannel::new(DramConfig::ddr3_1600());
+        let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(32 * 1024)).collect();
+        let job = PartitionJob {
+            key_col_addr: addrs[0],
+            data_col_addrs: vec![],
+            rows: 1024,
+            col_width: 4,
+            // All rows to one partition → guaranteed overflow of 64 B.
+            scheme: PartitionScheme::Range { bounds: vec![i64::MAX - 1] },
+            dest_dmem_base: 0,
+            dest_capacity: 64,
+        };
+        let err = dms
+            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
+            .unwrap_err();
+        assert!(err.to_string().contains("overflowed"));
+    }
+
+    #[test]
+    fn descriptor_program_shape() {
+        let cfg = DmsConfig::default();
+        let job = PartitionJob {
+            key_col_addr: 0,
+            data_col_addrs: vec![4096, 8192, 12288],
+            rows: 8192,
+            col_width: 4,
+            scheme: PartitionScheme::HashRadix { radix_bits: 5 },
+            dest_dmem_base: 0,
+            dest_capacity: 1024,
+        };
+        let prog = job.descriptor_program(&cfg);
+        // key load + 3 data loads + store + loop.
+        assert_eq!(prog.len(), 6);
+        match &prog[0] {
+            Descriptor::Data(d) => {
+                assert_eq!(d.kind, DescKind::DdrToDms);
+                assert!(d.is_key);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &prog[5] {
+            Descriptor::Control(ControlDescriptor::Loop { back, iterations }) => {
+                assert_eq!(*back, 5);
+                // 8192 rows / 2048 rows-per-chunk = 4 chunks → 3 repeats.
+                assert_eq!(*iterations, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_chunk_program_has_no_loop() {
+        let cfg = DmsConfig::default();
+        let job = PartitionJob {
+            key_col_addr: 0,
+            data_col_addrs: vec![],
+            rows: 100,
+            col_width: 4,
+            scheme: PartitionScheme::HashRadix { radix_bits: 5 },
+            dest_dmem_base: 0,
+            dest_capacity: 1024,
+        };
+        assert_eq!(job.descriptor_program(&cfg).len(), 2);
+        assert_eq!(job.chunk_rows(&cfg), 2048);
+        assert_eq!(job.columns(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Q10.22 fixed-point arithmetic.
+//!
+//! The dpCore has no floating-point unit; the paper converts every dataset
+//! to a **10.22 software fixed point** format (10 integer bits, 22 fraction
+//! bits, one sign bit, in an `i32`) and reports "negligible loss in
+//! accuracy" because analytics pipelines normalize their inputs into a
+//! small range. This crate implements that format: arithmetic, conversion,
+//! and the transcendental approximations (exp, sqrt) the machine-learning
+//! workloads need.
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_fixed::Q10_22;
+//!
+//! let a = Q10_22::from_f64(1.5);
+//! let b = Q10_22::from_f64(2.25);
+//! assert_eq!((a * b).to_f64(), 3.375);
+//! assert!((a / b).to_f64() - 0.666_666 < 1e-4);
+//! ```
+
+pub mod ops;
+
+pub use ops::{dot, scale_add, sum};
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Number of fractional bits in the format.
+pub const FRAC_BITS: u32 = 22;
+/// Number of integer (magnitude) bits in the format.
+pub const INT_BITS: u32 = 10;
+const ONE_RAW: i32 = 1 << FRAC_BITS;
+
+/// A Q10.22 fixed-point number: 10 integer bits (sign included, as in the
+/// paper's "10.22 software fixed point"), 22 fraction bits, in an `i32`.
+///
+/// Representable range is [-512, 512) with a resolution of 2⁻²² ≈ 2.4e-7.
+/// Arithmetic uses `i64` intermediates and saturates on overflow, matching
+/// the defensive style of the paper's software fixed-point library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Q10_22(i32);
+
+impl Q10_22 {
+    /// Zero.
+    pub const ZERO: Q10_22 = Q10_22(0);
+    /// One.
+    pub const ONE: Q10_22 = Q10_22(ONE_RAW);
+    /// The largest representable value (just under 512).
+    pub const MAX: Q10_22 = Q10_22(i32::MAX);
+    /// The most negative representable value.
+    pub const MIN: Q10_22 = Q10_22(i32::MIN);
+    /// Smallest positive step, 2⁻²².
+    pub const EPSILON: Q10_22 = Q10_22(1);
+
+    /// Creates a value from its raw two's-complement representation.
+    #[inline]
+    pub const fn from_raw(raw: i32) -> Self {
+        Q10_22(raw)
+    }
+
+    /// The raw two's-complement representation.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from an integer, saturating at the format bounds.
+    ///
+    /// ```
+    /// # use dpu_fixed::Q10_22;
+    /// assert_eq!(Q10_22::from_int(3).to_f64(), 3.0);
+    /// assert_eq!(Q10_22::from_int(100_000), Q10_22::MAX);
+    /// ```
+    pub fn from_int(v: i32) -> Self {
+        Q10_22(saturate((v as i64) << FRAC_BITS))
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating.
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * ONE_RAW as f64).round();
+        if scaled >= i32::MAX as f64 {
+            Q10_22::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Q10_22::MIN
+        } else {
+            Q10_22(scaled as i32)
+        }
+    }
+
+    /// Converts to `f64` exactly (every Q10.22 value fits in an `f64`).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / ONE_RAW as f64
+    }
+
+    /// Truncates toward zero to an integer.
+    pub fn trunc(self) -> i32 {
+        (self.0 as i64 >> FRAC_BITS) as i32 + i32::from(self.0 < 0 && self.0 & (ONE_RAW - 1) != 0)
+    }
+
+    /// Absolute value (saturating for `MIN`).
+    pub fn abs(self) -> Self {
+        Q10_22(self.0.saturating_abs())
+    }
+
+    /// Saturating multiplication, the dpCore's multiply-then-shift idiom
+    /// with an `i64` intermediate.
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        Q10_22(saturate((self.0 as i64 * rhs.0 as i64) >> FRAC_BITS))
+    }
+
+    /// Saturating division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        assert!(rhs.0 != 0, "fixed-point division by zero");
+        Q10_22(saturate(((self.0 as i64) << FRAC_BITS) / rhs.0 as i64))
+    }
+
+    /// Fixed-point square root via integer Newton iteration.
+    ///
+    /// Returns [`Q10_22::ZERO`] for non-positive inputs (the domain choice
+    /// made by the paper's normalized-data kernels).
+    pub fn sqrt(self) -> Self {
+        if self.0 <= 0 {
+            return Q10_22::ZERO;
+        }
+        // sqrt(x) where x = raw / 2^22 → sqrt(raw << 22) in raw units.
+        let target = (self.0 as u64) << FRAC_BITS;
+        let mut guess = 1u64 << (((67 - target.leading_zeros()) / 2).min(31));
+        loop {
+            let next = (guess + target / guess) / 2;
+            if next >= guess {
+                break;
+            }
+            guess = next;
+        }
+        Q10_22(saturate(guess as i64))
+    }
+
+    /// Fixed-point e^x.
+    ///
+    /// The fabricated chip computed exp with a table + polynomial reaching
+    /// Q10.22 precision; we produce the correctly rounded Q10.22 result,
+    /// which is what that scheme converges to. Saturates above the format
+    /// range and underflows to zero for deeply negative arguments.
+    pub fn exp(self) -> Self {
+        Q10_22::from_f64(self.to_f64().exp())
+    }
+
+    /// `max(self, other)`.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "clamp bounds inverted");
+        self.max(lo).min(hi)
+    }
+
+    /// True if the value is negative.
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+#[inline]
+fn saturate(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+impl Add for Q10_22 {
+    type Output = Q10_22;
+    #[inline]
+    fn add(self, rhs: Q10_22) -> Q10_22 {
+        Q10_22(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Q10_22 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q10_22) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Q10_22 {
+    type Output = Q10_22;
+    #[inline]
+    fn sub(self, rhs: Q10_22) -> Q10_22 {
+        Q10_22(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Q10_22 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q10_22) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Q10_22 {
+    type Output = Q10_22;
+    #[inline]
+    fn mul(self, rhs: Q10_22) -> Q10_22 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl MulAssign for Q10_22 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Q10_22) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Q10_22 {
+    type Output = Q10_22;
+    #[inline]
+    fn div(self, rhs: Q10_22) -> Q10_22 {
+        self.saturating_div(rhs)
+    }
+}
+
+impl Neg for Q10_22 {
+    type Output = Q10_22;
+    #[inline]
+    fn neg(self) -> Q10_22 {
+        Q10_22(self.0.saturating_neg())
+    }
+}
+
+impl Sum for Q10_22 {
+    fn sum<I: Iterator<Item = Q10_22>>(iter: I) -> Q10_22 {
+        iter.fold(Q10_22::ZERO, Add::add)
+    }
+}
+
+impl From<i16> for Q10_22 {
+    fn from(v: i16) -> Self {
+        Q10_22::from_int(v as i32)
+    }
+}
+
+impl fmt::Display for Q10_22 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(Q10_22::ONE.to_f64(), 1.0);
+        assert_eq!(Q10_22::ZERO.to_f64(), 0.0);
+        assert_eq!(Q10_22::EPSILON.raw(), 1);
+    }
+
+    #[test]
+    fn f64_roundtrip_within_epsilon() {
+        for &v in &[0.0, 1.0, -1.0, 0.5, 3.141592, -123.456, 511.9, -511.9] {
+            let q = Q10_22::from_f64(v);
+            assert!((q.to_f64() - v).abs() <= 1.0 / (1 << 22) as f64, "{v}");
+        }
+    }
+
+    #[test]
+    fn add_sub_exact() {
+        let a = Q10_22::from_f64(1.25);
+        let b = Q10_22::from_f64(2.5);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((b - a).to_f64(), 1.25);
+        assert_eq!((-a).to_f64(), -1.25);
+    }
+
+    #[test]
+    fn mul_div_basics() {
+        let a = Q10_22::from_f64(3.0);
+        let b = Q10_22::from_f64(0.5);
+        assert_eq!((a * b).to_f64(), 1.5);
+        assert_eq!((a / b).to_f64(), 6.0);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        let big = Q10_22::from_f64(500.0);
+        assert_eq!(big + big, Q10_22::MAX);
+        assert_eq!(big * big, Q10_22::MAX);
+        assert_eq!((-big) - big, Q10_22::MIN);
+        assert_eq!(Q10_22::from_int(5000), Q10_22::MAX);
+        assert_eq!(Q10_22::from_f64(1e9), Q10_22::MAX);
+        assert_eq!(Q10_22::from_f64(-1e9), Q10_22::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Q10_22::ONE / Q10_22::ZERO;
+    }
+
+    #[test]
+    fn trunc_toward_zero() {
+        assert_eq!(Q10_22::from_f64(2.9).trunc(), 2);
+        assert_eq!(Q10_22::from_f64(-2.9).trunc(), -2);
+        assert_eq!(Q10_22::from_f64(-3.0).trunc(), -3);
+        assert_eq!(Q10_22::ZERO.trunc(), 0);
+    }
+
+    #[test]
+    fn sqrt_matches_reference() {
+        for &v in &[0.25, 1.0, 2.0, 10.0, 400.0, 0.0001] {
+            let got = Q10_22::from_f64(v).sqrt().to_f64();
+            assert!(
+                (got - v.sqrt()).abs() < 2e-4,
+                "sqrt({v}) = {got}, want {}",
+                v.sqrt()
+            );
+        }
+        assert_eq!(Q10_22::from_f64(-4.0).sqrt(), Q10_22::ZERO);
+        assert_eq!(Q10_22::ZERO.sqrt(), Q10_22::ZERO);
+    }
+
+    #[test]
+    fn exp_matches_reference_in_domain() {
+        for &v in &[-10.0, -2.0, -0.5, 0.0, 0.5, 2.0, 6.0] {
+            let got = Q10_22::from_f64(v).exp().to_f64();
+            let want: f64 = v.exp();
+            let tol = (want * 1e-3).max(2.0 / (1 << 22) as f64);
+            assert!((got - want).abs() < tol, "exp({v}) = {got}, want {want}");
+        }
+        // Deeply negative arguments underflow to zero, as on the chip.
+        assert_eq!(Q10_22::from_f64(-40.0).exp().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn minmax_clamp() {
+        let a = Q10_22::from_f64(1.0);
+        let b = Q10_22::from_f64(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Q10_22::from_f64(5.0).clamp(a, b), b);
+        assert_eq!(Q10_22::from_f64(-5.0).clamp(a, b), a);
+        assert!(Q10_22::from_f64(-1.0).is_negative());
+        assert!(!a.is_negative());
+    }
+
+    #[test]
+    fn abs_saturates_min() {
+        assert_eq!(Q10_22::MIN.abs(), Q10_22::MAX);
+        assert_eq!(Q10_22::from_f64(-3.5).abs().to_f64(), 3.5);
+    }
+
+    #[test]
+    fn sum_and_from_i16() {
+        let total: Q10_22 = (1i16..=4).map(Q10_22::from).sum();
+        assert_eq!(total.to_f64(), 10.0);
+    }
+
+    #[test]
+    fn display_is_decimal() {
+        assert_eq!(Q10_22::from_f64(1.5).to_string(), "1.500000");
+    }
+}

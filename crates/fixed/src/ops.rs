@@ -1,0 +1,115 @@
+//! Vector kernels over Q10.22 slices.
+//!
+//! These are the primitive loops the SVM and similarity-search workloads
+//! run on every dpCore: dot products, accumulations and AXPY-style updates.
+//! They use a wide `i64` accumulator (the dpCore is a 64-bit machine) so a
+//! long dot product does not saturate element-by-element.
+
+use crate::{Q10_22, FRAC_BITS};
+
+/// Dot product of two equal-length Q10.22 slices with an `i64` accumulator.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Example
+///
+/// ```
+/// use dpu_fixed::{dot, Q10_22};
+/// let a: Vec<Q10_22> = [1.0, 2.0].iter().map(|&v| Q10_22::from_f64(v)).collect();
+/// let b: Vec<Q10_22> = [3.0, 4.0].iter().map(|&v| Q10_22::from_f64(v)).collect();
+/// assert_eq!(dot(&a, &b).to_f64(), 11.0);
+/// ```
+pub fn dot(a: &[Q10_22], b: &[Q10_22]) -> Q10_22 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc: i64 = 0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += (x.raw() as i64 * y.raw() as i64) >> FRAC_BITS;
+    }
+    Q10_22::from_raw(acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
+/// Sum of a Q10.22 slice with an `i64` accumulator.
+pub fn sum(xs: &[Q10_22]) -> Q10_22 {
+    let acc: i64 = xs.iter().map(|x| x.raw() as i64).sum();
+    Q10_22::from_raw(acc.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
+/// In-place `y += alpha * x` (AXPY), the SMO coefficient update kernel.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn scale_add(y: &mut [Q10_22], alpha: Q10_22, x: &[Q10_22]) {
+    assert_eq!(y.len(), x.len(), "scale_add length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: f64) -> Q10_22 {
+        Q10_22::from_f64(v)
+    }
+
+    #[test]
+    fn dot_matches_float_reference() {
+        let a: Vec<Q10_22> = (0..100).map(|i| q(i as f64 * 0.01 - 0.5)).collect();
+        let b: Vec<Q10_22> = (0..100).map(|i| q((i % 7) as f64 * 0.1)).collect();
+        let want: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.to_f64() * y.to_f64())
+            .sum();
+        assert!((dot(&a, &b).to_f64() - want).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot_does_not_saturate_midway() {
+        // Elementwise products alternate near ±max; the i64 accumulator
+        // must cancel them instead of saturating each step.
+        let a: Vec<Q10_22> = (0..10)
+            .map(|i| if i % 2 == 0 { q(500.0) } else { q(-500.0) })
+            .collect();
+        let b = vec![q(500.0); 10];
+        // Pairwise products are ±250000 (saturating alone), but they cancel.
+        assert_eq!(dot(&a, &b).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(dot(&[], &[]), Q10_22::ZERO);
+        assert_eq!(sum(&[]), Q10_22::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[Q10_22::ONE], &[]);
+    }
+
+    #[test]
+    fn sum_matches_reference() {
+        let xs: Vec<Q10_22> = (1..=10).map(|i| q(i as f64 * 0.5)).collect();
+        assert_eq!(sum(&xs).to_f64(), 27.5);
+    }
+
+    #[test]
+    fn scale_add_is_axpy() {
+        let mut y = vec![q(1.0), q(2.0)];
+        let x = vec![q(10.0), q(20.0)];
+        scale_add(&mut y, q(0.5), &x);
+        assert_eq!(y[0].to_f64(), 6.0);
+        assert_eq!(y[1].to_f64(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scale_add_length_mismatch_panics() {
+        scale_add(&mut [Q10_22::ONE], Q10_22::ONE, &[]);
+    }
+}

@@ -1,0 +1,532 @@
+//! A two-pass text assembler for the dpCore ISA.
+//!
+//! The syntax mirrors classic MIPS assembly. Labels end with `:`;
+//! comments start with `#`, `;` or `//`. Branch/jump operands may be
+//! labels or literal numbers (branch literals are instruction-relative
+//! offsets, jump literals absolute instruction indices).
+//!
+//! One pseudo-instruction is provided: `li rX, imm32` loads a 32-bit
+//! immediate, always expanding to the `lui`+`ori` pair so label offsets
+//! stay deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_isa::asm::assemble;
+//! let prog = assemble(
+//!     "       addi r1, r0, 10      # counter
+//!      loop:  addi r1, r1, -1
+//!             bne  r1, r0, loop
+//!             halt",
+//! ).unwrap();
+//! assert_eq!(prog.len(), 4);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::reg::Reg;
+
+/// Error produced when assembly fails, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles a program into an instruction vector.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown mnemonics, malformed operands,
+/// duplicate or undefined labels, or out-of-range immediates.
+pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements. Each
+    // statement's instruction count is known up front (`li` → 2, all
+    // else → 1) so label addresses account for pseudo-op expansion.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut stmts: Vec<(usize, String, u32)> = Vec::new(); // (line, text, pc)
+    let mut pc = 0u32;
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        for marker in ["#", ";", "//"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("invalid label {label:?}")));
+            }
+            if labels.insert(label.to_string(), pc).is_some() {
+                return Err(err(lineno, format!("duplicate label {label:?}")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if !text.is_empty() {
+            let width = if text.split_whitespace().next().unwrap_or("").eq_ignore_ascii_case("li")
+            {
+                2
+            } else {
+                1
+            };
+            stmts.push((lineno, text.to_string(), pc));
+            pc += width;
+        }
+    }
+
+    // Pass 2: parse each statement (pseudo-ops expand).
+    let mut prog = Vec::with_capacity(pc as usize);
+    for (lineno, text, stmt_pc) in &stmts {
+        parse_stmt(text, *lineno, *stmt_pc, &labels, &mut prog)?;
+        debug_assert!(prog.len() as u32 > *stmt_pc);
+    }
+    Ok(prog)
+}
+
+fn parse_stmt(
+    text: &str,
+    line: usize,
+    index: u32,
+    labels: &HashMap<String, u32>,
+    out: &mut Vec<Inst>,
+) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let m = mnemonic.to_ascii_lowercase();
+
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("{m} expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    let reg = |s: &str| -> Result<Reg, AsmError> {
+        let idx = s
+            .strip_prefix('r')
+            .and_then(|d| d.parse::<u8>().ok())
+            .ok_or_else(|| err(line, format!("bad register {s:?}")))?;
+        Reg::new(idx).ok_or_else(|| err(line, format!("register {s:?} out of range")))
+    };
+
+    let imm_i16 = |s: &str| -> Result<i16, AsmError> {
+        parse_int(s)
+            .and_then(|v| i16::try_from(v).ok())
+            .ok_or_else(|| err(line, format!("bad 16-bit immediate {s:?}")))
+    };
+    let imm_u16 = |s: &str| -> Result<u16, AsmError> {
+        parse_int(s)
+            .and_then(|v| u16::try_from(v).ok())
+            .ok_or_else(|| err(line, format!("bad unsigned 16-bit immediate {s:?}")))
+    };
+    let shamt = |s: &str| -> Result<u8, AsmError> {
+        parse_int(s)
+            .and_then(|v| u8::try_from(v).ok())
+            .filter(|&v| v < 64)
+            .ok_or_else(|| err(line, format!("bad shift amount {s:?}")))
+    };
+
+    // `off(base)` memory operand.
+    let mem = |s: &str| -> Result<(i16, Reg), AsmError> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| err(line, format!("bad memory operand {s:?}")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| err(line, format!("bad memory operand {s:?}")))?;
+        let off_str = s[..open].trim();
+        let off = if off_str.is_empty() {
+            0
+        } else {
+            imm_i16(off_str)?
+        };
+        Ok((off, reg(s[open + 1..close].trim())?))
+    };
+
+    // Branch target: label → relative offset from index+1, or literal.
+    let branch_off = |s: &str| -> Result<i16, AsmError> {
+        if let Some(&target) = labels.get(s) {
+            let rel = target as i64 - (index as i64 + 1);
+            i16::try_from(rel).map_err(|_| err(line, format!("branch to {s:?} out of range")))
+        } else {
+            imm_i16(s)
+        }
+    };
+    // Jump target: label → absolute index, or literal.
+    let jump_target = |s: &str| -> Result<u32, AsmError> {
+        if let Some(&target) = labels.get(s) {
+            Ok(target)
+        } else {
+            parse_int(s)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| err(line, format!("bad jump target {s:?}")))
+        }
+    };
+
+    use Inst::*;
+    // Pseudo-instruction: li rX, imm32 → lui + ori.
+    if m == "li" {
+        want(2)?;
+        let rt = reg(ops[0])?;
+        let v = parse_int(ops[1])
+            .and_then(|v| u32::try_from(v as u64 & 0xFFFF_FFFF).ok())
+            .ok_or_else(|| err(line, format!("bad 32-bit immediate {:?}", ops[1])))?;
+        out.push(Lui { rt, imm: (v >> 16) as u16 });
+        out.push(Ori { rt, rs: rt, imm: (v & 0xFFFF) as u16 });
+        return Ok(());
+    }
+    let inst = match m.as_str() {
+        "add" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" | "mul" | "sllv"
+        | "srlv" | "crc32" | "filt" => {
+            want(3)?;
+            let (rd, rs, rt) = (reg(ops[0])?, reg(ops[1])?, reg(ops[2])?);
+            match m.as_str() {
+                "add" => Add { rd, rs, rt },
+                "sub" => Sub { rd, rs, rt },
+                "and" => And { rd, rs, rt },
+                "or" => Or { rd, rs, rt },
+                "xor" => Xor { rd, rs, rt },
+                "nor" => Nor { rd, rs, rt },
+                "slt" => Slt { rd, rs, rt },
+                "sltu" => Sltu { rd, rs, rt },
+                "mul" => Mul { rd, rs, rt },
+                "sllv" => Sllv { rd, rs, rt },
+                "srlv" => Srlv { rd, rs, rt },
+                "crc32" => Crc32 { rd, rs, rt },
+                _ => Filt { rd, rs, rt },
+            }
+        }
+        "sll" | "srl" | "sra" => {
+            want(3)?;
+            let (rd, rt, sh) = (reg(ops[0])?, reg(ops[1])?, shamt(ops[2])?);
+            match m.as_str() {
+                "sll" => Sll { rd, rt, shamt: sh },
+                "srl" => Srl { rd, rt, shamt: sh },
+                _ => Sra { rd, rt, shamt: sh },
+            }
+        }
+        "addi" | "slti" => {
+            want(3)?;
+            let (rt, rs, imm) = (reg(ops[0])?, reg(ops[1])?, imm_i16(ops[2])?);
+            if m == "addi" {
+                Addi { rt, rs, imm }
+            } else {
+                Slti { rt, rs, imm }
+            }
+        }
+        "andi" | "ori" | "xori" => {
+            want(3)?;
+            let (rt, rs, imm) = (reg(ops[0])?, reg(ops[1])?, imm_u16(ops[2])?);
+            match m.as_str() {
+                "andi" => Andi { rt, rs, imm },
+                "ori" => Ori { rt, rs, imm },
+                _ => Xori { rt, rs, imm },
+            }
+        }
+        "lui" => {
+            want(2)?;
+            Lui {
+                rt: reg(ops[0])?,
+                imm: imm_u16(ops[1])?,
+            }
+        }
+        "lb" | "lbu" | "lh" | "lhu" | "lw" | "lwu" | "ld" | "sb" | "sh" | "sw" | "sd"
+        | "bvld" => {
+            want(2)?;
+            let rt = reg(ops[0])?;
+            let (off, rs) = mem(ops[1])?;
+            match m.as_str() {
+                "lb" => Lb { rt, rs, off },
+                "lbu" => Lbu { rt, rs, off },
+                "lh" => Lh { rt, rs, off },
+                "lhu" => Lhu { rt, rs, off },
+                "lw" => Lw { rt, rs, off },
+                "lwu" => Lwu { rt, rs, off },
+                "ld" => Ld { rt, rs, off },
+                "sb" => Sb { rt, rs, off },
+                "sh" => Sh { rt, rs, off },
+                "sw" => Sw { rt, rs, off },
+                "sd" => Sd { rt, rs, off },
+                _ => Bvld { rt, rs, off },
+            }
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            want(3)?;
+            let (rs, rt, off) = (reg(ops[0])?, reg(ops[1])?, branch_off(ops[2])?);
+            match m.as_str() {
+                "beq" => Beq { rs, rt, off },
+                "bne" => Bne { rs, rt, off },
+                "blt" => Blt { rs, rt, off },
+                _ => Bge { rs, rt, off },
+            }
+        }
+        "j" | "jal" => {
+            want(1)?;
+            let target = jump_target(ops[0])?;
+            if m == "j" {
+                J { target }
+            } else {
+                Jal { target }
+            }
+        }
+        "jr" => {
+            want(1)?;
+            Jr { rs: reg(ops[0])? }
+        }
+        "popc" => {
+            want(2)?;
+            Popc {
+                rd: reg(ops[0])?,
+                rs: reg(ops[1])?,
+            }
+        }
+        "wfe" => {
+            want(1)?;
+            Wfe { rs: reg(ops[0])? }
+        }
+        "clev" => {
+            want(1)?;
+            Clev { rs: reg(ops[0])? }
+        }
+        "dmspush" => {
+            want(2)?;
+            let chan = parse_int(ops[0])
+                .and_then(|v| u8::try_from(v).ok())
+                .filter(|&c| c < 2)
+                .ok_or_else(|| err(line, format!("bad DMS channel {:?}", ops[0])))?;
+            DmsPush {
+                chan,
+                rs: reg(ops[1])?,
+            }
+        }
+        "atereq" => {
+            want(1)?;
+            AteReq { rs: reg(ops[0])? }
+        }
+        "cflush" => {
+            want(1)?;
+            CFlush { rs: reg(ops[0])? }
+        }
+        "cinval" => {
+            want(1)?;
+            CInval { rs: reg(ops[0])? }
+        }
+        "fence" => {
+            want(0)?;
+            Fence
+        }
+        "halt" => {
+            want(0)?;
+            Halt
+        }
+        "nop" => {
+            want(0)?;
+            Nop
+        }
+        other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+    };
+    out.push(inst);
+    Ok(())
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::of(i)
+    }
+
+    #[test]
+    fn assembles_basic_program() {
+        let prog = assemble(
+            "addi r1, r0, 5
+             add r2, r1, r1
+             halt",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(prog[0], Inst::Addi { rt: r(1), rs: r(0), imm: 5 });
+        assert_eq!(prog[2], Inst::Halt);
+    }
+
+    #[test]
+    fn labels_resolve_backward_and_forward() {
+        let prog = assemble(
+            "loop: addi r1, r1, -1
+                   bne r1, r0, loop
+                   beq r0, r0, end
+                   nop
+             end:  halt",
+        )
+        .unwrap();
+        assert_eq!(prog[1], Inst::Bne { rs: r(1), rt: r(0), off: -2 });
+        assert_eq!(prog[2], Inst::Beq { rs: r(0), rt: r(0), off: 1 });
+    }
+
+    #[test]
+    fn jump_labels_are_absolute() {
+        let prog = assemble(
+            "start: nop
+                    j start
+                    jal start",
+        )
+        .unwrap();
+        assert_eq!(prog[1], Inst::J { target: 0 });
+        assert_eq!(prog[2], Inst::Jal { target: 0 });
+    }
+
+    #[test]
+    fn memory_operands() {
+        let prog = assemble("lw r1, -8(r2)\nsd r3, (r4)\nbvld r5, 64(r6)").unwrap();
+        assert_eq!(prog[0], Inst::Lw { rt: r(1), rs: r(2), off: -8 });
+        assert_eq!(prog[1], Inst::Sd { rt: r(3), rs: r(4), off: 0 });
+        assert_eq!(prog[2], Inst::Bvld { rt: r(5), rs: r(6), off: 64 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble(
+            "# full line comment
+             addi r1, r0, 1   // trailing
+             ; another comment
+
+             halt",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let prog = assemble("ori r1, r0, 0xBEEF\naddi r2, r0, -0x10").unwrap();
+        assert_eq!(prog[0], Inst::Ori { rt: r(1), rs: r(0), imm: 0xBEEF });
+        assert_eq!(prog[1], Inst::Addi { rt: r(2), rs: r(0), imm: -16 });
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("frobnicate"));
+
+        assert!(assemble("addi r1, r0").unwrap_err().message.contains("expects 3"));
+        assert!(assemble("add r1, r2, r99").is_err());
+        assert!(assemble("addi r1, r0, 99999").is_err());
+        assert!(assemble("beq r1, r2, nowhere").is_err());
+        assert!(assemble("x: nop\nx: nop").unwrap_err().message.contains("duplicate"));
+        assert!(assemble("dmspush 5, r1").is_err());
+    }
+
+    #[test]
+    fn special_instructions_parse() {
+        let prog = assemble(
+            "crc32 r1, r2, r3
+             popc r4, r5
+             filt r6, r7, r8
+             wfe r1
+             clev r1
+             dmspush 1, r2
+             atereq r3
+             fence
+             cflush r4
+             cinval r5",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 10);
+        assert_eq!(prog[0], Inst::Crc32 { rd: r(1), rs: r(2), rt: r(3) });
+        assert_eq!(prog[5], Inst::DmsPush { chan: 1, rs: r(2) });
+    }
+
+    #[test]
+    fn li_expands_to_lui_ori() {
+        let prog = assemble("li r5, 0xDEADBEEF\nhalt").unwrap();
+        assert_eq!(prog.len(), 3);
+        assert_eq!(prog[0], Inst::Lui { rt: r(5), imm: 0xDEAD });
+        assert_eq!(prog[1], Inst::Ori { rt: r(5), rs: r(5), imm: 0xBEEF });
+    }
+
+    #[test]
+    fn labels_account_for_li_expansion() {
+        let prog = assemble(
+            "       li r1, 0x12345678
+             loop:  addi r1, r1, -1
+                    bne r1, r0, loop
+                    j loop
+                    halt",
+        )
+        .unwrap();
+        // li expands to two instructions, so `loop` is at pc 2.
+        assert_eq!(prog[3], Inst::Bne { rs: r(1), rt: r(0), off: -2 });
+        assert_eq!(prog[4], Inst::J { target: 2 });
+    }
+
+    #[test]
+    fn li_runs_on_the_interpreter() {
+        use crate::interp::Cpu;
+        let prog = assemble("li r1, 0xCAFEBABE\nhalt").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.run(&prog, 10).unwrap();
+        assert_eq!(cpu.reg(1), 0xCAFE_BABE);
+    }
+
+    #[test]
+    fn roundtrip_through_encoding() {
+        let prog = assemble(
+            "addi r1, r0, 100
+             lw r2, 4(r1)
+             crc32 r3, r3, r2
+             bne r1, r0, -3
+             halt",
+        )
+        .unwrap();
+        for &inst in &prog {
+            let w = crate::encode::encode(inst);
+            assert_eq!(crate::encode::decode(w).unwrap(), inst);
+        }
+    }
+}

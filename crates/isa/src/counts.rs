@@ -1,0 +1,183 @@
+//! Operation counting for the "counted execution" cost model.
+//!
+//! Application kernels in this reproduction run natively (so their results
+//! are real and checkable) while recording how many operations of each
+//! class the dpCore inner loop would retire. [`OpCounts::dpcore_cycles`]
+//! then prices the recorded mix on the dual-issue pipeline: the ALU and
+//! LSU streams overlap, multiplier and misprediction stalls serialize.
+//! The interpreter records the same structure, which lets tests check the
+//! two models against each other on real instruction sequences.
+
+use crate::inst::{Inst, Pipe};
+use crate::pipeline::PipelineModel;
+
+/// Counts of retired operations by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Plain ALU operations (arithmetic, logic, shifts, compares).
+    pub alu: u64,
+    /// Multiplies.
+    pub mul: u64,
+    /// Total multiplier stall cycles (variable latency).
+    pub mul_stall_cycles: u64,
+    /// Loads (including `bvld`).
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Analytics extension ops (`crc32`, `popc`, `filt`).
+    pub special: u64,
+    /// Additional serialization cycles the kernel knows about
+    /// (dependency chains the dual-issue bound cannot see).
+    pub dependency_stalls: u64,
+}
+
+impl OpCounts {
+    /// A zeroed count set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one retired instruction (used by the interpreter).
+    pub fn record(&mut self, inst: Inst, mispredict: bool, mul_latency: u64) {
+        use Inst::*;
+        match inst {
+            Mul { .. } => {
+                self.mul += 1;
+                self.mul_stall_cycles += mul_latency;
+            }
+            Crc32 { .. } | Popc { .. } | Filt { .. } => self.special += 1,
+            _ if inst.is_cond_branch() => {
+                self.branches += 1;
+                if mispredict {
+                    self.mispredicts += 1;
+                }
+            }
+            _ if inst.is_load() => self.loads += 1,
+            _ if inst.is_store() => self.stores += 1,
+            _ if inst.pipe() == Pipe::Alu => self.alu += 1,
+            _ => self.loads += 1, // remaining LSU-pipe system ops
+        }
+    }
+
+    /// Total retired instructions.
+    pub fn instructions(&self) -> u64 {
+        self.alu + self.mul + self.loads + self.stores + self.branches + self.special
+    }
+
+    /// Merges another count set into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.alu += other.alu;
+        self.mul += other.mul;
+        self.mul_stall_cycles += other.mul_stall_cycles;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.special += other.special;
+        self.dependency_stalls += other.dependency_stalls;
+    }
+
+    /// Scales every count by `n` (a kernel executed `n` times).
+    pub fn scaled(&self, n: u64) -> OpCounts {
+        OpCounts {
+            alu: self.alu * n,
+            mul: self.mul * n,
+            mul_stall_cycles: self.mul_stall_cycles * n,
+            loads: self.loads * n,
+            stores: self.stores * n,
+            branches: self.branches * n,
+            mispredicts: self.mispredicts * n,
+            special: self.special * n,
+            dependency_stalls: self.dependency_stalls * n,
+        }
+    }
+
+    /// Prices the mix on the dpCore's dual-issue pipeline.
+    ///
+    /// The ALU-pipe stream (`alu + mul + branches + special`) and the
+    /// LSU-pipe stream (`loads + stores`) issue in parallel; multiplier
+    /// stalls, misprediction penalties and declared dependency stalls
+    /// serialize on top of the longer stream.
+    pub fn dpcore_cycles(&self, model: &PipelineModel) -> u64 {
+        let alu_stream = self.alu + self.mul + self.branches + self.special;
+        let lsu_stream = self.loads + self.stores;
+        alu_stream.max(lsu_stream)
+            + self.mul_stall_cycles
+            + self.mispredicts * model.mispredict_penalty
+            + self.dependency_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::of(i)
+    }
+
+    #[test]
+    fn record_classifies_instructions() {
+        let mut c = OpCounts::new();
+        c.record(Inst::Add { rd: r(1), rs: r(2), rt: r(3) }, false, 0);
+        c.record(Inst::Lw { rt: r(1), rs: r(2), off: 0 }, false, 0);
+        c.record(Inst::Sw { rt: r(1), rs: r(2), off: 0 }, false, 0);
+        c.record(Inst::Mul { rd: r(1), rs: r(2), rt: r(3) }, false, 8);
+        c.record(Inst::Beq { rs: r(1), rt: r(2), off: -1 }, true, 0);
+        c.record(Inst::Crc32 { rd: r(1), rs: r(2), rt: r(3) }, false, 0);
+        c.record(Inst::Bvld { rt: r(1), rs: r(2), off: 0 }, false, 0);
+        assert_eq!(c.alu, 1);
+        assert_eq!(c.loads, 2); // lw + bvld
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.mul, 1);
+        assert_eq!(c.mul_stall_cycles, 8);
+        assert_eq!(c.branches, 1);
+        assert_eq!(c.mispredicts, 1);
+        assert_eq!(c.special, 1);
+        assert_eq!(c.instructions(), 7);
+    }
+
+    #[test]
+    fn cycles_overlap_alu_and_lsu() {
+        let c = OpCounts {
+            alu: 100,
+            loads: 80,
+            stores: 20,
+            ..OpCounts::default()
+        };
+        // Perfect dual issue: max(100, 100) = 100.
+        assert_eq!(c.dpcore_cycles(&PipelineModel::default()), 100);
+    }
+
+    #[test]
+    fn stalls_serialize() {
+        let m = PipelineModel::default();
+        let c = OpCounts {
+            alu: 10,
+            mul: 2,
+            mul_stall_cycles: 16,
+            mispredicts: 3,
+            branches: 3,
+            dependency_stalls: 5,
+            ..OpCounts::default()
+        };
+        assert_eq!(c.dpcore_cycles(&m), 15 + 16 + 3 * m.mispredict_penalty + 5);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let a = OpCounts { alu: 1, loads: 2, ..OpCounts::default() };
+        let mut b = OpCounts { alu: 10, stores: 1, ..OpCounts::default() };
+        b.merge(&a);
+        assert_eq!(b.alu, 11);
+        assert_eq!(b.loads, 2);
+        let s = a.scaled(4);
+        assert_eq!(s.alu, 4);
+        assert_eq!(s.loads, 8);
+    }
+}

@@ -1,0 +1,364 @@
+//! 32-bit binary instruction encoding.
+//!
+//! The layout follows the MIPS convention: a 6-bit major opcode in
+//! `[31:26]`, with R-type instructions selected by a 6-bit function code in
+//! `[5:0]` and I-type instructions carrying a 16-bit immediate in `[15:0]`.
+//! System instructions (WFE, DMS push, ATE, cache ops) live under a
+//! dedicated major opcode.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::reg::Reg;
+
+// Major opcodes.
+const OP_RTYPE: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLT: u32 = 0x06;
+const OP_BGE: u32 = 0x07;
+const OP_ADDI: u32 = 0x08;
+const OP_SLTI: u32 = 0x0A;
+const OP_ANDI: u32 = 0x0C;
+const OP_ORI: u32 = 0x0D;
+const OP_XORI: u32 = 0x0E;
+const OP_LUI: u32 = 0x0F;
+const OP_LB: u32 = 0x20;
+const OP_LH: u32 = 0x21;
+const OP_LW: u32 = 0x23;
+const OP_LBU: u32 = 0x24;
+const OP_LHU: u32 = 0x25;
+const OP_LWU: u32 = 0x27;
+const OP_SB: u32 = 0x28;
+const OP_SH: u32 = 0x29;
+const OP_SW: u32 = 0x2B;
+const OP_BVLD: u32 = 0x36;
+const OP_LD: u32 = 0x37;
+const OP_SD: u32 = 0x3C;
+const OP_SYS: u32 = 0x3E;
+
+// R-type function codes.
+const F_SLL: u32 = 0x00;
+const F_SRL: u32 = 0x02;
+const F_SRA: u32 = 0x03;
+const F_SLLV: u32 = 0x04;
+const F_SRLV: u32 = 0x06;
+const F_JR: u32 = 0x08;
+const F_MUL: u32 = 0x18;
+const F_ADD: u32 = 0x20;
+const F_SUB: u32 = 0x22;
+const F_AND: u32 = 0x24;
+const F_OR: u32 = 0x25;
+const F_XOR: u32 = 0x26;
+const F_NOR: u32 = 0x27;
+const F_SLT: u32 = 0x2A;
+const F_SLTU: u32 = 0x2B;
+const F_CRC32: u32 = 0x30;
+const F_POPC: u32 = 0x31;
+const F_FILT: u32 = 0x32;
+
+// System function codes.
+const S_WFE: u32 = 0x00;
+const S_CLEV: u32 = 0x01;
+const S_DMSPUSH: u32 = 0x02;
+const S_ATEREQ: u32 = 0x03;
+const S_FENCE: u32 = 0x04;
+const S_CFLUSH: u32 = 0x05;
+const S_CINVAL: u32 = 0x06;
+const S_HALT: u32 = 0x07;
+
+/// Error produced when a 32-bit word is not a valid dpCore instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rtype(rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    (OP_RTYPE << 26)
+        | ((rs.index() as u32) << 21)
+        | ((rt.index() as u32) << 16)
+        | ((rd.index() as u32) << 11)
+        | ((shamt as u32 & 0x1F) << 6)
+        | funct
+}
+
+fn itype(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | ((rs.index() as u32) << 21) | ((rt.index() as u32) << 16) | imm as u32
+}
+
+fn sys(funct: u32, rs: Reg, rt_field: u32) -> u32 {
+    (OP_SYS << 26) | ((rs.index() as u32) << 21) | (rt_field << 16) | funct
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// # Example
+///
+/// ```
+/// use dpu_isa::{encode, Inst, Reg};
+/// let i = Inst::Addi { rt: Reg::of(1), rs: Reg::ZERO, imm: 7 };
+/// let w = encode::encode(i);
+/// assert_eq!(encode::decode(w).unwrap(), i);
+/// ```
+pub fn encode(inst: Inst) -> u32 {
+    use Inst::*;
+    let z = Reg::ZERO;
+    match inst {
+        Add { rd, rs, rt } => rtype(rs, rt, rd, 0, F_ADD),
+        Sub { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SUB),
+        And { rd, rs, rt } => rtype(rs, rt, rd, 0, F_AND),
+        Or { rd, rs, rt } => rtype(rs, rt, rd, 0, F_OR),
+        Xor { rd, rs, rt } => rtype(rs, rt, rd, 0, F_XOR),
+        Nor { rd, rs, rt } => rtype(rs, rt, rd, 0, F_NOR),
+        Slt { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SLT),
+        Sltu { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SLTU),
+        Mul { rd, rs, rt } => rtype(rs, rt, rd, 0, F_MUL),
+        Sllv { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SLLV),
+        Srlv { rd, rs, rt } => rtype(rs, rt, rd, 0, F_SRLV),
+        Sll { rd, rt, shamt } => rtype(z, rt, rd, shamt, F_SLL),
+        Srl { rd, rt, shamt } => rtype(z, rt, rd, shamt, F_SRL),
+        Sra { rd, rt, shamt } => rtype(z, rt, rd, shamt, F_SRA),
+        Jr { rs } => rtype(rs, z, z, 0, F_JR),
+        Crc32 { rd, rs, rt } => rtype(rs, rt, rd, 0, F_CRC32),
+        Popc { rd, rs } => rtype(rs, z, rd, 0, F_POPC),
+        Filt { rd, rs, rt } => rtype(rs, rt, rd, 0, F_FILT),
+        Addi { rt, rs, imm } => itype(OP_ADDI, rs, rt, imm as u16),
+        Slti { rt, rs, imm } => itype(OP_SLTI, rs, rt, imm as u16),
+        Andi { rt, rs, imm } => itype(OP_ANDI, rs, rt, imm),
+        Ori { rt, rs, imm } => itype(OP_ORI, rs, rt, imm),
+        Xori { rt, rs, imm } => itype(OP_XORI, rs, rt, imm),
+        Lui { rt, imm } => itype(OP_LUI, z, rt, imm),
+        Lb { rt, rs, off } => itype(OP_LB, rs, rt, off as u16),
+        Lbu { rt, rs, off } => itype(OP_LBU, rs, rt, off as u16),
+        Lh { rt, rs, off } => itype(OP_LH, rs, rt, off as u16),
+        Lhu { rt, rs, off } => itype(OP_LHU, rs, rt, off as u16),
+        Lw { rt, rs, off } => itype(OP_LW, rs, rt, off as u16),
+        Lwu { rt, rs, off } => itype(OP_LWU, rs, rt, off as u16),
+        Ld { rt, rs, off } => itype(OP_LD, rs, rt, off as u16),
+        Sb { rt, rs, off } => itype(OP_SB, rs, rt, off as u16),
+        Sh { rt, rs, off } => itype(OP_SH, rs, rt, off as u16),
+        Sw { rt, rs, off } => itype(OP_SW, rs, rt, off as u16),
+        Sd { rt, rs, off } => itype(OP_SD, rs, rt, off as u16),
+        Bvld { rt, rs, off } => itype(OP_BVLD, rs, rt, off as u16),
+        Beq { rs, rt, off } => itype(OP_BEQ, rs, rt, off as u16),
+        Bne { rs, rt, off } => itype(OP_BNE, rs, rt, off as u16),
+        Blt { rs, rt, off } => itype(OP_BLT, rs, rt, off as u16),
+        Bge { rs, rt, off } => itype(OP_BGE, rs, rt, off as u16),
+        J { target } => (OP_J << 26) | (target & 0x03FF_FFFF),
+        Jal { target } => (OP_JAL << 26) | (target & 0x03FF_FFFF),
+        Wfe { rs } => sys(S_WFE, rs, 0),
+        Clev { rs } => sys(S_CLEV, rs, 0),
+        DmsPush { chan, rs } => sys(S_DMSPUSH, rs, chan as u32 & 0x1F),
+        AteReq { rs } => sys(S_ATEREQ, rs, 0),
+        Fence => sys(S_FENCE, z, 0),
+        CFlush { rs } => sys(S_CFLUSH, rs, 0),
+        CInval { rs } => sys(S_CINVAL, rs, 0),
+        Halt => sys(S_HALT, z, 0),
+        // NOP is the canonical all-zero word (sll r0, r0, 0).
+        Nop => 0,
+    }
+}
+
+/// Decodes a 32-bit word back to an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words that do not correspond to any
+/// instruction (unknown opcode or function code).
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    use Inst::*;
+    if word == 0 {
+        return Ok(Nop);
+    }
+    let op = word >> 26;
+    let rs = Reg::of(((word >> 21) & 0x1F) as u8);
+    let rt = Reg::of(((word >> 16) & 0x1F) as u8);
+    let rd = Reg::of(((word >> 11) & 0x1F) as u8);
+    let shamt = ((word >> 6) & 0x1F) as u8;
+    let imm = (word & 0xFFFF) as u16;
+    let simm = imm as i16;
+    let err = DecodeError { word };
+    let inst = match op {
+        OP_RTYPE => match word & 0x3F {
+            F_ADD => Add { rd, rs, rt },
+            F_SUB => Sub { rd, rs, rt },
+            F_AND => And { rd, rs, rt },
+            F_OR => Or { rd, rs, rt },
+            F_XOR => Xor { rd, rs, rt },
+            F_NOR => Nor { rd, rs, rt },
+            F_SLT => Slt { rd, rs, rt },
+            F_SLTU => Sltu { rd, rs, rt },
+            F_MUL => Mul { rd, rs, rt },
+            F_SLLV => Sllv { rd, rs, rt },
+            F_SRLV => Srlv { rd, rs, rt },
+            F_SLL => Sll { rd, rt, shamt },
+            F_SRL => Srl { rd, rt, shamt },
+            F_SRA => Sra { rd, rt, shamt },
+            F_JR => Jr { rs },
+            F_CRC32 => Crc32 { rd, rs, rt },
+            F_POPC => Popc { rd, rs },
+            F_FILT => Filt { rd, rs, rt },
+            _ => return Err(err),
+        },
+        OP_ADDI => Addi { rt, rs, imm: simm },
+        OP_SLTI => Slti { rt, rs, imm: simm },
+        OP_ANDI => Andi { rt, rs, imm },
+        OP_ORI => Ori { rt, rs, imm },
+        OP_XORI => Xori { rt, rs, imm },
+        OP_LUI => Lui { rt, imm },
+        OP_LB => Lb { rt, rs, off: simm },
+        OP_LBU => Lbu { rt, rs, off: simm },
+        OP_LH => Lh { rt, rs, off: simm },
+        OP_LHU => Lhu { rt, rs, off: simm },
+        OP_LW => Lw { rt, rs, off: simm },
+        OP_LWU => Lwu { rt, rs, off: simm },
+        OP_LD => Ld { rt, rs, off: simm },
+        OP_SB => Sb { rt, rs, off: simm },
+        OP_SH => Sh { rt, rs, off: simm },
+        OP_SW => Sw { rt, rs, off: simm },
+        OP_SD => Sd { rt, rs, off: simm },
+        OP_BVLD => Bvld { rt, rs, off: simm },
+        OP_BEQ => Beq { rs, rt, off: simm },
+        OP_BNE => Bne { rs, rt, off: simm },
+        OP_BLT => Blt { rs, rt, off: simm },
+        OP_BGE => Bge { rs, rt, off: simm },
+        OP_J => J { target: word & 0x03FF_FFFF },
+        OP_JAL => Jal { target: word & 0x03FF_FFFF },
+        OP_SYS => match word & 0x3F {
+            S_WFE => Wfe { rs },
+            S_CLEV => Clev { rs },
+            S_DMSPUSH => DmsPush { chan: (rt.index() as u8) & 0x1F, rs },
+            S_ATEREQ => AteReq { rs },
+            S_FENCE => Fence,
+            S_CFLUSH => CFlush { rs },
+            S_CINVAL => CInval { rs },
+            S_HALT => Halt,
+            _ => return Err(err),
+        },
+        _ => return Err(err),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::of(i)
+    }
+
+    fn all_sample_instructions() -> Vec<Inst> {
+        use Inst::*;
+        vec![
+            Add { rd: r(1), rs: r(2), rt: r(3) },
+            Sub { rd: r(4), rs: r(5), rt: r(6) },
+            And { rd: r(7), rs: r(8), rt: r(9) },
+            Or { rd: r(10), rs: r(11), rt: r(12) },
+            Xor { rd: r(13), rs: r(14), rt: r(15) },
+            Nor { rd: r(16), rs: r(17), rt: r(18) },
+            Slt { rd: r(19), rs: r(20), rt: r(21) },
+            Sltu { rd: r(22), rs: r(23), rt: r(24) },
+            Mul { rd: r(25), rs: r(26), rt: r(27) },
+            Sllv { rd: r(28), rs: r(29), rt: r(30) },
+            Srlv { rd: r(31), rs: r(1), rt: r(2) },
+            Sll { rd: r(3), rt: r(4), shamt: 31 },
+            Srl { rd: r(5), rt: r(6), shamt: 1 },
+            Sra { rd: r(7), rt: r(8), shamt: 17 },
+            Addi { rt: r(9), rs: r(10), imm: -32768 },
+            Andi { rt: r(11), rs: r(12), imm: 65535 },
+            Ori { rt: r(13), rs: r(14), imm: 4660 },
+            Xori { rt: r(15), rs: r(16), imm: 1 },
+            Slti { rt: r(17), rs: r(18), imm: 32767 },
+            Lui { rt: r(19), imm: 0xDEAD },
+            Lb { rt: r(1), rs: r(2), off: -1 },
+            Lbu { rt: r(3), rs: r(4), off: 2 },
+            Lh { rt: r(5), rs: r(6), off: -2 },
+            Lhu { rt: r(7), rs: r(8), off: 4 },
+            Lw { rt: r(9), rs: r(10), off: -4 },
+            Lwu { rt: r(11), rs: r(12), off: 8 },
+            Ld { rt: r(13), rs: r(14), off: -8 },
+            Sb { rt: r(15), rs: r(16), off: 1 },
+            Sh { rt: r(17), rs: r(18), off: 3 },
+            Sw { rt: r(19), rs: r(20), off: 5 },
+            Sd { rt: r(21), rs: r(22), off: 7 },
+            Beq { rs: r(23), rt: r(24), off: -100 },
+            Bne { rs: r(25), rt: r(26), off: 100 },
+            Blt { rs: r(27), rt: r(28), off: -1 },
+            Bge { rs: r(29), rt: r(30), off: 1 },
+            J { target: 0x03FF_FFFF },
+            Jal { target: 42 },
+            Jr { rs: r(31) },
+            Crc32 { rd: r(1), rs: r(2), rt: r(3) },
+            Popc { rd: r(4), rs: r(5) },
+            Bvld { rt: r(6), rs: r(7), off: 64 },
+            Filt { rd: r(8), rs: r(9), rt: r(10) },
+            Wfe { rs: r(11) },
+            Clev { rs: r(12) },
+            DmsPush { chan: 1, rs: r(13) },
+            AteReq { rs: r(14) },
+            Fence,
+            CFlush { rs: r(15) },
+            CInval { rs: r(16) },
+            Halt,
+            Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_instruction() {
+        for inst in all_sample_instructions() {
+            let word = encode(inst);
+            let back = decode(word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, inst, "round-trip failed for {inst} ({word:#010x})");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let insts = all_sample_instructions();
+        let mut words: Vec<u32> = insts.iter().map(|&i| encode(i)).collect();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), insts.len(), "two instructions share an encoding");
+    }
+
+    #[test]
+    fn nop_is_all_zero() {
+        assert_eq!(encode(Inst::Nop), 0);
+        assert_eq!(decode(0).unwrap(), Inst::Nop);
+    }
+
+    #[test]
+    fn invalid_words_error() {
+        // Unused major opcode.
+        assert!(decode(0x3F << 26 | 1).is_err());
+        // R-type with unknown funct.
+        assert!(decode(0x3D).is_err());
+        // SYS with unknown funct.
+        assert!(decode((OP_SYS << 26) | 0x3F).is_err());
+        let e = decode(0xFFFF_FFFF).unwrap_err();
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn immediate_sign_preserved() {
+        let i = Inst::Addi { rt: r(1), rs: r(2), imm: -1 };
+        match decode(encode(i)).unwrap() {
+            Inst::Addi { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("decoded {other}"),
+        }
+    }
+}

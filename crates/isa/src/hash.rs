@@ -1,0 +1,191 @@
+//! Hash functions used by the DPU hardware and workloads.
+//!
+//! The dpCore exposes a single-cycle `CRC32` instruction and the DMS's
+//! hash engine applies the same CRC32 polynomial when hash-partitioning
+//! (§3.1). Murmur64 is implemented in software from multiplies, which is
+//! why it performs poorly on the dpCore's variable-latency multiplier
+//! (§5.4).
+
+/// One step of the CRC32-C (Castagnoli) engine: folds a 32-bit word into
+/// the running checksum. This is the semantic of the `crc32` instruction.
+///
+/// # Example
+///
+/// ```
+/// use dpu_isa::hash::crc32c_step;
+/// let c = crc32c_step(0, 0xDEAD_BEEF);
+/// assert_ne!(c, 0);
+/// assert_eq!(c, crc32c_step(0, 0xDEAD_BEEF));
+/// ```
+pub fn crc32c_step(crc: u32, word: u32) -> u32 {
+    let mut c = crc ^ word;
+    for _ in 0..32 {
+        c = if c & 1 != 0 {
+            (c >> 1) ^ 0x82F6_3B78 // reflected CRC32-C polynomial
+        } else {
+            c >> 1
+        };
+    }
+    c
+}
+
+/// CRC32-C over a byte slice (4 bytes at a time, zero-padded tail),
+/// matching how the DMS hash engine streams column values.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(4);
+    for ch in &mut chunks {
+        crc = crc32c_step(crc, u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 4];
+        w[..rem.len()].copy_from_slice(rem);
+        crc = crc32c_step(crc, u32::from_le_bytes(w));
+    }
+    !crc
+}
+
+/// CRC32-C of a 64-bit key (two engine steps), the DMS partitioner's
+/// per-tuple hash.
+pub fn crc32c_u64(key: u64) -> u32 {
+    let lo = crc32c_step(!0, key as u32);
+    !crc32c_step(lo, (key >> 32) as u32)
+}
+
+/// MurmurHash3's 64-bit finalizer ("Murmur64" in the paper): two 64-bit
+/// multiplies with full-width constants plus xor-shifts.
+///
+/// # Example
+///
+/// ```
+/// use dpu_isa::hash::murmur64;
+/// assert_ne!(murmur64(1), murmur64(2));
+/// ```
+pub fn murmur64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^= k >> 33;
+    k
+}
+
+/// Cost in dpCore instructions of hashing one 64-bit key, used by the
+/// counted-execution model: `(alu_ops, mul_ops, mul_operand)` where
+/// `mul_operand` drives the variable-latency multiplier model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashKind {
+    /// Hardware CRC32-C: two `crc32` instruction steps per 64-bit key.
+    Crc32,
+    /// Software Murmur64: six xor/shift ALU ops plus two 64-bit multiplies.
+    Murmur64,
+}
+
+impl HashKind {
+    /// Hashes a 64-bit key to a 64-bit value.
+    pub fn hash(self, key: u64) -> u64 {
+        match self {
+            HashKind::Crc32 => crc32c_u64(key) as u64,
+            HashKind::Murmur64 => murmur64(key),
+        }
+    }
+
+    /// Number of plain ALU instructions per key.
+    pub fn alu_ops(self) -> u64 {
+        match self {
+            HashKind::Crc32 => 2,  // two crc32 steps
+            HashKind::Murmur64 => 6, // 3 xor + 3 shift
+        }
+    }
+
+    /// Number of multiplies per key (zero for the hardware CRC path).
+    pub fn mul_ops(self) -> u64 {
+        match self {
+            HashKind::Crc32 => 0,
+            HashKind::Murmur64 => 2,
+        }
+    }
+
+    /// Representative multiplier operand (drives variable latency).
+    pub fn mul_operand(self) -> u64 {
+        match self {
+            HashKind::Crc32 => 0,
+            HashKind::Murmur64 => 0xFF51_AFD7_ED55_8CCD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_matches_bytewise_reference_on_aligned_input() {
+        // The engine consumes 32 bits per step (zero-padding the tail), so
+        // 4-byte-aligned inputs must match the canonical bytewise CRC32-C.
+        assert_eq!(crc32c(b"12345678"), bytewise_crc32c(b"12345678"));
+        assert_eq!(crc32c(b"abcd"), bytewise_crc32c(b"abcd"));
+        assert_eq!(crc32c(b""), bytewise_crc32c(b""));
+    }
+
+    fn bytewise_crc32c(bytes: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0x82F6_3B78
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn crc_step_is_deterministic_and_sensitive() {
+        assert_eq!(crc32c_step(0, 1), crc32c_step(0, 1));
+        assert_ne!(crc32c_step(0, 1), crc32c_step(0, 2));
+        assert_ne!(crc32c_step(1, 1), crc32c_step(0, 1));
+    }
+
+    #[test]
+    fn crc_u64_differs_from_truncation() {
+        // High bits must influence the hash.
+        assert_ne!(crc32c_u64(0x1_0000_0000), crc32c_u64(0));
+    }
+
+    #[test]
+    fn murmur_avalanche() {
+        // Flipping one input bit should flip ~half the output bits.
+        let a = murmur64(0x1234_5678_9ABC_DEF0);
+        let b = murmur64(0x1234_5678_9ABC_DEF1);
+        let flipped = (a ^ b).count_ones();
+        assert!((20..=44).contains(&flipped), "weak avalanche: {flipped} bits");
+    }
+
+    #[test]
+    fn hash_kind_dispatch() {
+        assert_eq!(HashKind::Crc32.hash(7), crc32c_u64(7) as u64);
+        assert_eq!(HashKind::Murmur64.hash(7), murmur64(7));
+        assert_eq!(HashKind::Crc32.mul_ops(), 0);
+        assert_eq!(HashKind::Murmur64.mul_ops(), 2);
+        assert!(HashKind::Murmur64.mul_operand() > u32::MAX as u64);
+    }
+
+    #[test]
+    fn hashes_spread_over_partitions() {
+        // 32-way partitioning by either hash should be roughly balanced.
+        for kind in [HashKind::Crc32, HashKind::Murmur64] {
+            let mut buckets = [0u32; 32];
+            for k in 0..32_000u64 {
+                buckets[(kind.hash(k) % 32) as usize] += 1;
+            }
+            for &b in &buckets {
+                assert!((700..1300).contains(&b), "{kind:?} bucket {b} unbalanced");
+            }
+        }
+    }
+}

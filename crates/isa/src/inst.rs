@@ -1,0 +1,352 @@
+//! Instruction definitions and static classification.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// A dpCore instruction.
+///
+/// The ISA is 64-bit MIPS-like: three-operand register ALU ops, 16-bit
+/// immediate forms, explicit load/store with sign/zero-extension, compare-
+/// and-branch, plus the analytics extensions the paper describes in §2.2:
+/// `CRC32`, `POPC`, `BVLD`, `FILT`, software-coherence cache ops, the DMS
+/// `push`/`wfe` interface and ATE accesses (the latter three surface as
+/// [`Trap`](crate::interp::Trap)s to the SoC model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    // --- ALU, register form ---
+    /// `rd = rs + rt` (wrapping, 64-bit).
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs - rt`.
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = !(rs | rt)`.
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs < rt) ? 1 : 0`, signed.
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs < rt) ? 1 : 0`, unsigned.
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs * rt` on the variable-latency low-power multiplier.
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs << rt` (variable shift).
+    Sllv { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs >> rt` logical (variable shift).
+    Srlv { rd: Reg, rs: Reg, rt: Reg },
+
+    // --- shifts, immediate form ---
+    /// `rd = rt << shamt`.
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt`, logical.
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt`, arithmetic.
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+
+    // --- ALU, immediate form (imm sign-extended unless noted) ---
+    /// `rt = rs + imm`.
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = rs & zext(imm)`.
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs | zext(imm)`.
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = rs ^ zext(imm)`.
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt = (rs < imm) ? 1 : 0`, signed.
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+
+    // --- loads/stores (DMEM or physical DDR addressing) ---
+    /// Load sign-extended byte.
+    Lb { rt: Reg, rs: Reg, off: i16 },
+    /// Load zero-extended byte.
+    Lbu { rt: Reg, rs: Reg, off: i16 },
+    /// Load sign-extended 16-bit halfword.
+    Lh { rt: Reg, rs: Reg, off: i16 },
+    /// Load zero-extended 16-bit halfword.
+    Lhu { rt: Reg, rs: Reg, off: i16 },
+    /// Load sign-extended 32-bit word.
+    Lw { rt: Reg, rs: Reg, off: i16 },
+    /// Load zero-extended 32-bit word.
+    Lwu { rt: Reg, rs: Reg, off: i16 },
+    /// Load 64-bit doubleword.
+    Ld { rt: Reg, rs: Reg, off: i16 },
+    /// Store low byte.
+    Sb { rt: Reg, rs: Reg, off: i16 },
+    /// Store low 16 bits.
+    Sh { rt: Reg, rs: Reg, off: i16 },
+    /// Store low 32 bits.
+    Sw { rt: Reg, rs: Reg, off: i16 },
+    /// Store 64 bits.
+    Sd { rt: Reg, rs: Reg, off: i16 },
+
+    // --- control flow (off counts instructions relative to next pc) ---
+    /// Branch if `rs == rt`.
+    Beq { rs: Reg, rt: Reg, off: i16 },
+    /// Branch if `rs != rt`.
+    Bne { rs: Reg, rt: Reg, off: i16 },
+    /// Branch if `rs < rt`, signed.
+    Blt { rs: Reg, rt: Reg, off: i16 },
+    /// Branch if `rs >= rt`, signed.
+    Bge { rs: Reg, rt: Reg, off: i16 },
+    /// Unconditional jump to absolute instruction index.
+    J { target: u32 },
+    /// Jump and link (return address in r31).
+    Jal { target: u32 },
+    /// Jump to register.
+    Jr { rs: Reg },
+
+    // --- analytics extensions (§2.2) ---
+    /// `rd = crc32c_step(rs, rt)`: one step of the hardware CRC32 engine
+    /// folding the low 32 bits of `rt` into the running checksum in `rs`.
+    Crc32 { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = popcount(rs)`.
+    Popc { rd: Reg, rs: Reg },
+    /// Bit-vector load: `rt = mem64[rs + off]`, tagged for the single-cycle
+    /// bit-vector datapath used with `FILT` and scatter/gather masks.
+    Bvld { rt: Reg, rs: Reg, off: i16 },
+    /// Filter: `rd = (rd << 1) | (lo(rt) <= rs_32 <= hi(rt))` — evaluates a
+    /// band predicate on the signed low 32 bits of `rs` against the two
+    /// 32-bit bounds packed in `rt`, shifting the outcome into the
+    /// bit-vector accumulator `rd`.
+    Filt { rd: Reg, rs: Reg, rt: Reg },
+
+    // --- system / SoC interface ---
+    /// Wait-for-event: blocks until DMS event `rs & 31` is set (trap).
+    Wfe { rs: Reg },
+    /// Clear DMS event `rs & 31` (trap).
+    Clev { rs: Reg },
+    /// Push the DMS descriptor at DMEM address `rs` onto channel `chan` (trap).
+    DmsPush { chan: u8, rs: Reg },
+    /// Issue an ATE request whose DMEM-resident message is at `rs` (trap).
+    AteReq { rs: Reg },
+    /// Memory fence for the relaxed memory model.
+    Fence,
+    /// Flush the cache line containing address `rs` (software coherence).
+    CFlush { rs: Reg },
+    /// Invalidate the cache line containing address `rs`.
+    CInval { rs: Reg },
+    /// Stop the core (trap).
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// The issue pipe an instruction occupies in the dual-issue pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pipe {
+    /// ALU pipe: arithmetic, logic, shifts, branches, analytics ops.
+    Alu,
+    /// Load/store pipe: memory accesses, cache ops, DMS/ATE interface.
+    Lsu,
+}
+
+impl Inst {
+    /// Which pipe the instruction issues on.
+    pub fn pipe(self) -> Pipe {
+        use Inst::*;
+        match self {
+            Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Lwu { .. }
+            | Ld { .. } | Sb { .. } | Sh { .. } | Sw { .. } | Sd { .. } | Bvld { .. }
+            | Fence | CFlush { .. } | CInval { .. } | DmsPush { .. } | AteReq { .. } => Pipe::Lsu,
+            _ => Pipe::Alu,
+        }
+    }
+
+    /// True for loads (result comes from memory).
+    pub fn is_load(self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Lb { .. }
+                | Lbu { .. }
+                | Lh { .. }
+                | Lhu { .. }
+                | Lw { .. }
+                | Lwu { .. }
+                | Ld { .. }
+                | Bvld { .. }
+        )
+    }
+
+    /// True for stores.
+    pub fn is_store(self) -> bool {
+        use Inst::*;
+        matches!(self, Sb { .. } | Sh { .. } | Sw { .. } | Sd { .. })
+    }
+
+    /// True for conditional branches (predicted by the static predictor).
+    pub fn is_cond_branch(self) -> bool {
+        use Inst::*;
+        matches!(self, Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. })
+    }
+
+    /// The destination register, if the instruction writes one.
+    pub fn dest(self) -> Option<Reg> {
+        use Inst::*;
+        match self {
+            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. }
+            | Xor { rd, .. } | Nor { rd, .. } | Slt { rd, .. } | Sltu { rd, .. }
+            | Mul { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. } | Sll { rd, .. }
+            | Srl { rd, .. } | Sra { rd, .. } | Crc32 { rd, .. } | Popc { rd, .. }
+            | Filt { rd, .. } => Some(rd),
+            Addi { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
+            | Slti { rt, .. } | Lui { rt, .. } | Lb { rt, .. } | Lbu { rt, .. }
+            | Lh { rt, .. } | Lhu { rt, .. } | Lw { rt, .. } | Lwu { rt, .. }
+            | Ld { rt, .. } | Bvld { rt, .. } => Some(rt),
+            Jal { .. } => Some(Reg::LINK),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by the instruction (up to three).
+    pub fn sources(self) -> Vec<Reg> {
+        use Inst::*;
+        match self {
+            Add { rs, rt, .. } | Sub { rs, rt, .. } | And { rs, rt, .. }
+            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. } | Sltu { rs, rt, .. } | Mul { rs, rt, .. }
+            | Sllv { rs, rt, .. } | Srlv { rs, rt, .. } | Crc32 { rs, rt, .. }
+            | Beq { rs, rt, .. } | Bne { rs, rt, .. } | Blt { rs, rt, .. }
+            | Bge { rs, rt, .. } => vec![rs, rt],
+            // FILT also reads its accumulator rd.
+            Filt { rd, rs, rt } => vec![rd, rs, rt],
+            Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
+            Addi { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
+            | Slti { rs, .. } | Popc { rs, .. } | Jr { rs } | Wfe { rs } | Clev { rs }
+            | DmsPush { rs, .. } | AteReq { rs } | CFlush { rs } | CInval { rs } => vec![rs],
+            Lb { rs, .. } | Lbu { rs, .. } | Lh { rs, .. } | Lhu { rs, .. }
+            | Lw { rs, .. } | Lwu { rs, .. } | Ld { rs, .. } | Bvld { rs, .. } => vec![rs],
+            Sb { rt, rs, .. } | Sh { rt, rs, .. } | Sw { rt, rs, .. } | Sd { rt, rs, .. } => {
+                vec![rt, rs]
+            }
+            Lui { .. } | J { .. } | Jal { .. } | Fence | Halt | Nop => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd}, {rs}, {rt}"),
+            Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            Sllv { rd, rs, rt } => write!(f, "sllv {rd}, {rs}, {rt}"),
+            Srlv { rd, rs, rt } => write!(f, "srlv {rd}, {rs}, {rt}"),
+            Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd}, {rt}, {shamt}"),
+            Sra { rd, rt, shamt } => write!(f, "sra {rd}, {rt}, {shamt}"),
+            Addi { rt, rs, imm } => write!(f, "addi {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm}"),
+            Xori { rt, rs, imm } => write!(f, "xori {rt}, {rs}, {imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm}"),
+            Lb { rt, rs, off } => write!(f, "lb {rt}, {off}({rs})"),
+            Lbu { rt, rs, off } => write!(f, "lbu {rt}, {off}({rs})"),
+            Lh { rt, rs, off } => write!(f, "lh {rt}, {off}({rs})"),
+            Lhu { rt, rs, off } => write!(f, "lhu {rt}, {off}({rs})"),
+            Lw { rt, rs, off } => write!(f, "lw {rt}, {off}({rs})"),
+            Lwu { rt, rs, off } => write!(f, "lwu {rt}, {off}({rs})"),
+            Ld { rt, rs, off } => write!(f, "ld {rt}, {off}({rs})"),
+            Sb { rt, rs, off } => write!(f, "sb {rt}, {off}({rs})"),
+            Sh { rt, rs, off } => write!(f, "sh {rt}, {off}({rs})"),
+            Sw { rt, rs, off } => write!(f, "sw {rt}, {off}({rs})"),
+            Sd { rt, rs, off } => write!(f, "sd {rt}, {off}({rs})"),
+            Beq { rs, rt, off } => write!(f, "beq {rs}, {rt}, {off}"),
+            Bne { rs, rt, off } => write!(f, "bne {rs}, {rt}, {off}"),
+            Blt { rs, rt, off } => write!(f, "blt {rs}, {rt}, {off}"),
+            Bge { rs, rt, off } => write!(f, "bge {rs}, {rt}, {off}"),
+            J { target } => write!(f, "j {target}"),
+            Jal { target } => write!(f, "jal {target}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Crc32 { rd, rs, rt } => write!(f, "crc32 {rd}, {rs}, {rt}"),
+            Popc { rd, rs } => write!(f, "popc {rd}, {rs}"),
+            Bvld { rt, rs, off } => write!(f, "bvld {rt}, {off}({rs})"),
+            Filt { rd, rs, rt } => write!(f, "filt {rd}, {rs}, {rt}"),
+            Wfe { rs } => write!(f, "wfe {rs}"),
+            Clev { rs } => write!(f, "clev {rs}"),
+            DmsPush { chan, rs } => write!(f, "dmspush {chan}, {rs}"),
+            AteReq { rs } => write!(f, "atereq {rs}"),
+            Fence => write!(f, "fence"),
+            CFlush { rs } => write!(f, "cflush {rs}"),
+            CInval { rs } => write!(f, "cinval {rs}"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::of(i)
+    }
+
+    #[test]
+    fn pipe_classification() {
+        assert_eq!(Inst::Add { rd: r(1), rs: r(2), rt: r(3) }.pipe(), Pipe::Alu);
+        assert_eq!(Inst::Lw { rt: r(1), rs: r(2), off: 0 }.pipe(), Pipe::Lsu);
+        assert_eq!(Inst::Filt { rd: r(1), rs: r(2), rt: r(3) }.pipe(), Pipe::Alu);
+        assert_eq!(Inst::Bvld { rt: r(1), rs: r(2), off: 0 }.pipe(), Pipe::Lsu);
+        assert_eq!(Inst::DmsPush { chan: 0, rs: r(1) }.pipe(), Pipe::Lsu);
+    }
+
+    #[test]
+    fn load_store_predicates() {
+        assert!(Inst::Lw { rt: r(1), rs: r(2), off: 0 }.is_load());
+        assert!(Inst::Bvld { rt: r(1), rs: r(2), off: 0 }.is_load());
+        assert!(Inst::Sd { rt: r(1), rs: r(2), off: 0 }.is_store());
+        assert!(!Inst::Add { rd: r(1), rs: r(2), rt: r(3) }.is_load());
+    }
+
+    #[test]
+    fn branch_predicate() {
+        assert!(Inst::Beq { rs: r(1), rt: r(2), off: -4 }.is_cond_branch());
+        assert!(!Inst::J { target: 0 }.is_cond_branch());
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let add = Inst::Add { rd: r(1), rs: r(2), rt: r(3) };
+        assert_eq!(add.dest(), Some(r(1)));
+        assert_eq!(add.sources(), vec![r(2), r(3)]);
+
+        let sw = Inst::Sw { rt: r(4), rs: r(5), off: 8 };
+        assert_eq!(sw.dest(), None);
+        assert_eq!(sw.sources(), vec![r(4), r(5)]);
+
+        let jal = Inst::Jal { target: 7 };
+        assert_eq!(jal.dest(), Some(Reg::LINK));
+        assert!(jal.sources().is_empty());
+
+        // FILT reads its own accumulator.
+        let filt = Inst::Filt { rd: r(6), rs: r(7), rt: r(8) };
+        assert_eq!(filt.sources(), vec![r(6), r(7), r(8)]);
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(
+            Inst::Addi { rt: r(1), rs: r(0), imm: -5 }.to_string(),
+            "addi r1, r0, -5"
+        );
+        assert_eq!(
+            Inst::Lw { rt: r(2), rs: r(3), off: 16 }.to_string(),
+            "lw r2, 16(r3)"
+        );
+    }
+}

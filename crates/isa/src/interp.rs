@@ -1,0 +1,785 @@
+//! Functional interpreter with integrated pipeline timing.
+//!
+//! Executes dpCore programs against a DMEM scratchpad, producing both the
+//! architectural result *and* a cycle count from the dual-issue
+//! [`pipeline`](crate::pipeline) model. System instructions (WFE, DMS push,
+//! ATE request, halt) stop execution and surface as [`Trap`]s so the SoC
+//! simulator can service them and resume the core.
+
+use std::fmt;
+
+use crate::counts::OpCounts;
+use crate::hash::crc32c_step;
+use crate::inst::Inst;
+use crate::pipeline::{PipelineModel, Scoreboard};
+use crate::reg::Reg;
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// `halt` executed; the program is done.
+    Halt,
+    /// `wfe` executed with event id `0..32`; resume once the event is set.
+    Wfe(u8),
+    /// `clev` executed: clear event id.
+    Clev(u8),
+    /// `dmspush`: a DMS descriptor at DMEM address `addr` was pushed on
+    /// `chan`.
+    DmsPush {
+        /// DMS channel (0 = read side, 1 = write side by convention).
+        chan: u8,
+        /// DMEM address of the 16-byte descriptor.
+        addr: u32,
+    },
+    /// `atereq`: an ATE message at DMEM address `addr` was issued.
+    AteReq {
+        /// DMEM address of the message block.
+        addr: u32,
+    },
+    /// The step budget given to [`Cpu::run`] was exhausted.
+    MaxSteps,
+    /// A data watchpoint fired: the access at `addr` touched the watched
+    /// range (§2.2: "a few instruction and data watchpoint registers that
+    /// raise an exception on any address boundary violation").
+    Watchpoint {
+        /// The faulting data address.
+        addr: u64,
+    },
+}
+
+/// Execution error: a memory access outside DMEM or a PC outside the
+/// program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecError {
+    /// Program counter of the faulting instruction.
+    pub pc: u32,
+    /// Faulting address, if a memory fault.
+    pub addr: Option<u64>,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => write!(f, "memory fault at address {a:#x} (pc {})", self.pc),
+            None => write!(f, "pc {} outside program", self.pc),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of one [`Cpu::run`] segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Why execution stopped.
+    pub trap: Trap,
+    /// Cycles consumed by this segment.
+    pub cycles: u64,
+    /// Instructions retired in this segment.
+    pub instructions: u64,
+}
+
+impl RunSummary {
+    /// Instructions per cycle of the segment.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A single dpCore: 32 × 64-bit registers, a DMEM scratchpad, and the
+/// pipeline scoreboard that prices every retired instruction.
+///
+/// # Example
+///
+/// ```
+/// use dpu_isa::asm::assemble;
+/// use dpu_isa::interp::{Cpu, Trap};
+///
+/// let prog = assemble("addi r1, r0, 3\nhalt").unwrap();
+/// let mut cpu = Cpu::new(1024);
+/// let run = cpu.run(&prog, 100).unwrap();
+/// assert_eq!(run.trap, Trap::Halt);
+/// assert_eq!(cpu.reg(1), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u64; Reg::COUNT],
+    pc: u32,
+    dmem: Vec<u8>,
+    model: PipelineModel,
+    board: Scoreboard,
+    counts: OpCounts,
+    total_cycles: u64,
+    total_instructions: u64,
+    /// Inclusive data watchpoint range, if armed.
+    watch: Option<(u64, u64)>,
+}
+
+impl Cpu {
+    /// Creates a core with a zeroed DMEM of `dmem_size` bytes (the
+    /// fabricated part has 32 KB per core).
+    pub fn new(dmem_size: usize) -> Self {
+        Cpu::with_model(dmem_size, PipelineModel::default())
+    }
+
+    /// Creates a core with explicit pipeline parameters.
+    pub fn with_model(dmem_size: usize, model: PipelineModel) -> Self {
+        Cpu {
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            dmem: vec![0; dmem_size],
+            model,
+            board: Scoreboard::new(),
+            counts: OpCounts::default(),
+            total_cycles: 0,
+            total_instructions: 0,
+            watch: None,
+        }
+    }
+
+    /// Arms a data watchpoint over the inclusive byte range `[lo, hi]`;
+    /// the next load or store touching it stops execution with
+    /// [`Trap::Watchpoint`]. The dpCore uses these for "basic software
+    /// debugging and simple address space protection" (§2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn set_watchpoint(&mut self, lo: u64, hi: u64) {
+        assert!(lo <= hi, "watchpoint bounds inverted");
+        self.watch = Some((lo, hi));
+    }
+
+    /// Disarms the data watchpoint.
+    pub fn clear_watchpoint(&mut self) {
+        self.watch = None;
+    }
+
+    /// Reads register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn reg(&self, i: u8) -> u64 {
+        self.regs[Reg::of(i).index()]
+    }
+
+    /// Writes register `i` (writes to r0 are discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn set_reg(&mut self, i: u8, value: u64) {
+        let r = Reg::of(i);
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Shared view of DMEM.
+    pub fn dmem(&self) -> &[u8] {
+        &self.dmem
+    }
+
+    /// Mutable view of DMEM (used by the DMS model to deliver data).
+    pub fn dmem_mut(&mut self) -> &mut [u8] {
+        &mut self.dmem
+    }
+
+    /// Cumulative cycles across all run segments.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Cumulative retired instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Operation counts accumulated so far.
+    pub fn counts(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    fn load(&self, addr: u64, size: usize, pc: u32) -> Result<u64, ExecError> {
+        let a = addr as usize;
+        if addr > usize::MAX as u64 || a + size > self.dmem.len() {
+            return Err(ExecError { pc, addr: Some(addr) });
+        }
+        let mut v: u64 = 0;
+        for i in 0..size {
+            v |= (self.dmem[a + i] as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64, pc: u32) -> Result<(), ExecError> {
+        let a = addr as usize;
+        if addr > usize::MAX as u64 || a + size > self.dmem.len() {
+            return Err(ExecError { pc, addr: Some(addr) });
+        }
+        for i in 0..size {
+            self.dmem[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Runs until a trap, an error, or `max_steps` retired instructions.
+    ///
+    /// The core's state (PC, registers, scoreboard) persists across calls,
+    /// so execution resumes where the previous segment trapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on out-of-range memory access or a PC outside
+    /// the program.
+    pub fn run(&mut self, prog: &[Inst], max_steps: u64) -> Result<RunSummary, ExecError> {
+        let start_cycles = self.board.cycle();
+        let mut steps = 0u64;
+        let trap = loop {
+            if steps >= max_steps {
+                break Trap::MaxSteps;
+            }
+            let pc = self.pc;
+            let inst = *prog
+                .get(pc as usize)
+                .ok_or(ExecError { pc, addr: None })?;
+            steps += 1;
+            // Data watchpoint check (pre-execution, as the hardware's
+            // address-comparator stage would).
+            if let Some((lo, hi)) = self.watch {
+                if let Some(addr) = self.effective_address(inst) {
+                    let width = Self::access_width(inst);
+                    if addr <= hi && addr + width as u64 > lo {
+                        break Trap::Watchpoint { addr };
+                    }
+                }
+            }
+            if let Some(t) = self.exec_one(inst, pc)? { break t }
+        };
+        // The scoreboard reports the issue cycle of the last instruction;
+        // retiring it takes one more cycle, hence the +1 on non-empty runs.
+        let segment_cycles = self.board.cycle().saturating_sub(start_cycles) + u64::from(steps > 0);
+        self.total_instructions += steps;
+        self.total_cycles = self.board.cycle() + u64::from(self.total_instructions > 0);
+        Ok(RunSummary {
+            trap,
+            cycles: segment_cycles,
+            instructions: steps,
+        })
+    }
+
+    /// Effective data address of a load/store, if the instruction is one.
+    fn effective_address(&self, inst: Inst) -> Option<u64> {
+        use Inst::*;
+        let g = |r: crate::reg::Reg| self.regs[r.index()];
+        match inst {
+            Lb { rs, off, .. } | Lbu { rs, off, .. } | Lh { rs, off, .. }
+            | Lhu { rs, off, .. } | Lw { rs, off, .. } | Lwu { rs, off, .. }
+            | Ld { rs, off, .. } | Bvld { rs, off, .. } | Sb { rs, off, .. }
+            | Sh { rs, off, .. } | Sw { rs, off, .. } | Sd { rs, off, .. } => {
+                Some(g(rs).wrapping_add(off as i64 as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Access width in bytes of a load/store (1 for non-memory ops).
+    fn access_width(inst: Inst) -> usize {
+        use Inst::*;
+        match inst {
+            Lb { .. } | Lbu { .. } | Sb { .. } => 1,
+            Lh { .. } | Lhu { .. } | Sh { .. } => 2,
+            Lw { .. } | Lwu { .. } | Sw { .. } => 4,
+            Ld { .. } | Bvld { .. } | Sd { .. } => 8,
+            _ => 1,
+        }
+    }
+
+    /// Executes one instruction; returns a trap if it is a system op.
+    fn exec_one(&mut self, inst: Inst, pc: u32) -> Result<Option<Trap>, ExecError> {
+        use Inst::*;
+        let g = |r: Reg| self.regs[r.index()];
+        let mut next_pc = pc.wrapping_add(1);
+        let mut mispredict = false;
+        let mut mul_lat = 0;
+        let mut trap = None;
+        let mut write: Option<(Reg, u64)> = None;
+
+        match inst {
+            Add { rd, rs, rt } => write = Some((rd, g(rs).wrapping_add(g(rt)))),
+            Sub { rd, rs, rt } => write = Some((rd, g(rs).wrapping_sub(g(rt)))),
+            And { rd, rs, rt } => write = Some((rd, g(rs) & g(rt))),
+            Or { rd, rs, rt } => write = Some((rd, g(rs) | g(rt))),
+            Xor { rd, rs, rt } => write = Some((rd, g(rs) ^ g(rt))),
+            Nor { rd, rs, rt } => write = Some((rd, !(g(rs) | g(rt)))),
+            Slt { rd, rs, rt } => {
+                write = Some((rd, ((g(rs) as i64) < (g(rt) as i64)) as u64));
+            }
+            Sltu { rd, rs, rt } => write = Some((rd, (g(rs) < g(rt)) as u64)),
+            Mul { rd, rs, rt } => {
+                mul_lat = self.model.mul_latency(g(rt));
+                write = Some((rd, g(rs).wrapping_mul(g(rt))));
+            }
+            Sllv { rd, rs, rt } => write = Some((rd, g(rs) << (g(rt) & 63))),
+            Srlv { rd, rs, rt } => write = Some((rd, g(rs) >> (g(rt) & 63))),
+            Sll { rd, rt, shamt } => write = Some((rd, g(rt) << (shamt & 63))),
+            Srl { rd, rt, shamt } => write = Some((rd, g(rt) >> (shamt & 63))),
+            Sra { rd, rt, shamt } => {
+                write = Some((rd, ((g(rt) as i64) >> (shamt & 63)) as u64));
+            }
+            Addi { rt, rs, imm } => {
+                write = Some((rt, g(rs).wrapping_add(imm as i64 as u64)));
+            }
+            Andi { rt, rs, imm } => write = Some((rt, g(rs) & imm as u64)),
+            Ori { rt, rs, imm } => write = Some((rt, g(rs) | imm as u64)),
+            Xori { rt, rs, imm } => write = Some((rt, g(rs) ^ imm as u64)),
+            Slti { rt, rs, imm } => {
+                write = Some((rt, ((g(rs) as i64) < imm as i64) as u64));
+            }
+            Lui { rt, imm } => write = Some((rt, (imm as u64) << 16)),
+            Lb { rt, rs, off } => {
+                let v = self.load(g(rs).wrapping_add(off as i64 as u64), 1, pc)?;
+                write = Some((rt, v as i8 as i64 as u64));
+            }
+            Lbu { rt, rs, off } => {
+                write = Some((rt, self.load(g(rs).wrapping_add(off as i64 as u64), 1, pc)?));
+            }
+            Lh { rt, rs, off } => {
+                let v = self.load(g(rs).wrapping_add(off as i64 as u64), 2, pc)?;
+                write = Some((rt, v as u16 as i16 as i64 as u64));
+            }
+            Lhu { rt, rs, off } => {
+                write = Some((rt, self.load(g(rs).wrapping_add(off as i64 as u64), 2, pc)?));
+            }
+            Lw { rt, rs, off } => {
+                let v = self.load(g(rs).wrapping_add(off as i64 as u64), 4, pc)?;
+                write = Some((rt, v as u32 as i32 as i64 as u64));
+            }
+            Lwu { rt, rs, off } => {
+                write = Some((rt, self.load(g(rs).wrapping_add(off as i64 as u64), 4, pc)?));
+            }
+            Ld { rt, rs, off } | Bvld { rt, rs, off } => {
+                write = Some((rt, self.load(g(rs).wrapping_add(off as i64 as u64), 8, pc)?));
+            }
+            Sb { rt, rs, off } => {
+                self.store(g(rs).wrapping_add(off as i64 as u64), 1, g(rt), pc)?;
+            }
+            Sh { rt, rs, off } => {
+                self.store(g(rs).wrapping_add(off as i64 as u64), 2, g(rt), pc)?;
+            }
+            Sw { rt, rs, off } => {
+                self.store(g(rs).wrapping_add(off as i64 as u64), 4, g(rt), pc)?;
+            }
+            Sd { rt, rs, off } => {
+                self.store(g(rs).wrapping_add(off as i64 as u64), 8, g(rt), pc)?;
+            }
+            Beq { rs, rt, off } => {
+                let taken = g(rs) == g(rt);
+                mispredict = taken != self.model.predict_taken(off);
+                if taken {
+                    next_pc = (pc as i64 + 1 + off as i64) as u32;
+                }
+            }
+            Bne { rs, rt, off } => {
+                let taken = g(rs) != g(rt);
+                mispredict = taken != self.model.predict_taken(off);
+                if taken {
+                    next_pc = (pc as i64 + 1 + off as i64) as u32;
+                }
+            }
+            Blt { rs, rt, off } => {
+                let taken = (g(rs) as i64) < (g(rt) as i64);
+                mispredict = taken != self.model.predict_taken(off);
+                if taken {
+                    next_pc = (pc as i64 + 1 + off as i64) as u32;
+                }
+            }
+            Bge { rs, rt, off } => {
+                let taken = (g(rs) as i64) >= (g(rt) as i64);
+                mispredict = taken != self.model.predict_taken(off);
+                if taken {
+                    next_pc = (pc as i64 + 1 + off as i64) as u32;
+                }
+            }
+            J { target } => next_pc = target,
+            Jal { target } => {
+                write = Some((Reg::LINK, pc as u64 + 1));
+                next_pc = target;
+            }
+            Jr { rs } => next_pc = g(rs) as u32,
+            Crc32 { rd, rs, rt } => {
+                write = Some((rd, crc32c_step(g(rs) as u32, g(rt) as u32) as u64));
+            }
+            Popc { rd, rs } => write = Some((rd, g(rs).count_ones() as u64)),
+            Filt { rd, rs, rt } => {
+                let v = g(rs) as u32 as i32;
+                let lo = g(rt) as u32 as i32;
+                let hi = (g(rt) >> 32) as u32 as i32;
+                let bit = (lo <= v && v <= hi) as u64;
+                write = Some((rd, (g(rd) << 1) | bit));
+            }
+            Wfe { rs } => trap = Some(Trap::Wfe((g(rs) & 31) as u8)),
+            Clev { rs } => trap = Some(Trap::Clev((g(rs) & 31) as u8)),
+            DmsPush { chan, rs } => {
+                trap = Some(Trap::DmsPush { chan, addr: g(rs) as u32 });
+            }
+            AteReq { rs } => trap = Some(Trap::AteReq { addr: g(rs) as u32 }),
+            Fence | CFlush { .. } | CInval { .. } | Nop => {}
+            Halt => trap = Some(Trap::Halt),
+        }
+
+        // Timing: price the instruction on the scoreboard.
+        self.board.issue(inst, &self.model, mispredict, mul_lat);
+        self.counts.record(inst, mispredict, mul_lat);
+
+        if let Some((rd, v)) = write {
+            if !rd.is_zero() {
+                self.regs[rd.index()] = v;
+            }
+        }
+        self.pc = next_pc;
+        Ok(trap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_prog(src: &str) -> (Cpu, RunSummary) {
+        let prog = assemble(src).unwrap();
+        let mut cpu = Cpu::new(4096);
+        let sum = cpu.run(&prog, 1_000_000).unwrap();
+        (cpu, sum)
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let (cpu, sum) = run_prog(
+            "addi r1, r0, 6
+             addi r2, r0, 7
+             mul r3, r1, r2
+             sub r4, r3, r1
+             and r5, r3, r2
+             or r6, r1, r2
+             xor r7, r1, r2
+             nor r8, r0, r0
+             halt",
+        );
+        assert_eq!(sum.trap, Trap::Halt);
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(cpu.reg(4), 36);
+        assert_eq!(cpu.reg(5), 42 & 7);
+        assert_eq!(cpu.reg(6), 7);
+        assert_eq!(cpu.reg(7), 1);
+        assert_eq!(cpu.reg(8), u64::MAX);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let (cpu, _) = run_prog(
+            "addi r1, r0, -8
+             sra r2, r1, 1
+             srl r3, r1, 60
+             sll r4, r1, 2
+             slt r5, r1, r0
+             sltu r6, r1, r0
+             slti r7, r1, -7
+             halt",
+        );
+        assert_eq!(cpu.reg(2) as i64, -4);
+        assert_eq!(cpu.reg(3), 0xF);
+        assert_eq!(cpu.reg(4) as i64, -32);
+        assert_eq!(cpu.reg(5), 1);
+        assert_eq!(cpu.reg(6), 0, "unsigned compare sees -8 as huge");
+        assert_eq!(cpu.reg(7), 1);
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths() {
+        let (cpu, _) = run_prog(
+            "lui r1, 0xBEEF
+             ori r1, r1, 0xCAFE
+             sd r1, 0(r0)
+             ld r2, 0(r0)
+             lw r3, 0(r0)
+             lwu r4, 0(r0)
+             lh r5, 0(r0)
+             lhu r6, 0(r0)
+             lb r7, 1(r0)
+             lbu r8, 1(r0)
+             halt",
+        );
+        let v = (0xBEEFu64 << 16) | 0xCAFE;
+        assert_eq!(cpu.reg(2), v);
+        assert_eq!(cpu.reg(3), v as u32 as i32 as i64 as u64);
+        assert_eq!(cpu.reg(4), v & 0xFFFF_FFFF);
+        assert_eq!(cpu.reg(5), 0xCAFEu16 as i16 as i64 as u64);
+        assert_eq!(cpu.reg(6), 0xCAFE);
+        assert_eq!(cpu.reg(7), 0xCAu8 as i8 as i64 as u64);
+        assert_eq!(cpu.reg(8), 0xCA);
+    }
+
+    #[test]
+    fn loop_executes_correct_trip_count() {
+        let (cpu, sum) = run_prog(
+            "       addi r1, r0, 100
+                    addi r2, r0, 0
+             loop:  add  r2, r2, r1
+                    addi r1, r1, -1
+                    bne  r1, r0, loop
+                    halt",
+        );
+        assert_eq!(cpu.reg(2), 5050);
+        assert_eq!(sum.instructions, 2 + 3 * 100 + 1);
+    }
+
+    #[test]
+    fn jal_jr_call_return() {
+        let (cpu, _) = run_prog(
+            "       jal func
+                    addi r2, r0, 1
+                    halt
+             func:  addi r1, r0, 99
+                    jr r31",
+        );
+        assert_eq!(cpu.reg(1), 99);
+        assert_eq!(cpu.reg(2), 1);
+        assert_eq!(cpu.reg(31), 1);
+    }
+
+    #[test]
+    fn filt_band_predicate() {
+        // Bounds packed in r10: lo=5 (low word), hi=10 (high word).
+        let (cpu, _) = run_prog(
+            "addi r10, r0, 5
+             lui  r11, 10
+             sll  r11, r11, 16
+             or   r10, r10, r11
+             addi r1, r0, 7
+             filt r2, r1, r10
+             addi r1, r0, 11
+             filt r2, r1, r10
+             addi r1, r0, 5
+             filt r2, r1, r10
+             halt",
+        );
+        // bits shifted in: 1 (7 in band), 0 (11 out), 1 (5 in) → 0b101
+        assert_eq!(cpu.reg(2), 0b101);
+    }
+
+    #[test]
+    fn crc32_and_popc() {
+        let (cpu, _) = run_prog(
+            "addi r1, r0, 0
+             ori  r2, r0, 0x1234
+             crc32 r3, r1, r2
+             popc r4, r3
+             halt",
+        );
+        assert_eq!(cpu.reg(3), crate::hash::crc32c_step(0, 0x1234) as u64);
+        assert_eq!(cpu.reg(4), cpu.reg(3).count_ones() as u64);
+    }
+
+    #[test]
+    fn traps_surface_and_resume() {
+        let prog = assemble(
+            "addi r1, r0, 3
+             wfe r1
+             addi r2, r0, 7
+             halt",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(64);
+        let s1 = cpu.run(&prog, 100).unwrap();
+        assert_eq!(s1.trap, Trap::Wfe(3));
+        assert_eq!(cpu.reg(2), 0, "instruction after wfe not yet run");
+        let s2 = cpu.run(&prog, 100).unwrap();
+        assert_eq!(s2.trap, Trap::Halt);
+        assert_eq!(cpu.reg(2), 7);
+    }
+
+    #[test]
+    fn dms_push_trap_carries_address() {
+        let prog = assemble(
+            "addi r1, r0, 128
+             dmspush 1, r1
+             halt",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(1024);
+        let s = cpu.run(&prog, 10).unwrap();
+        assert_eq!(s.trap, Trap::DmsPush { chan: 1, addr: 128 });
+    }
+
+    #[test]
+    fn max_steps_budget() {
+        let prog = assemble("loop: j loop").unwrap();
+        let mut cpu = Cpu::new(64);
+        let s = cpu.run(&prog, 50).unwrap();
+        assert_eq!(s.trap, Trap::MaxSteps);
+        assert_eq!(s.instructions, 50);
+    }
+
+    #[test]
+    fn oob_access_faults() {
+        let prog = assemble("lw r1, 0(r2)\nhalt").unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.set_reg(2, 1_000_000);
+        let e = cpu.run(&prog, 10).unwrap_err();
+        assert_eq!(e.addr, Some(1_000_000));
+        assert!(e.to_string().contains("memory fault"));
+    }
+
+    #[test]
+    fn pc_out_of_range_faults() {
+        let prog = assemble("nop").unwrap();
+        let mut cpu = Cpu::new(64);
+        let e = cpu.run(&prog, 10).unwrap_err();
+        assert_eq!(e.addr, None);
+    }
+
+    #[test]
+    fn watchpoint_fires_on_overlapping_store() {
+        let prog = assemble(
+            "addi r1, r0, 100
+             sw r1, 100(r0)
+             sw r1, 200(r0)
+             halt",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(1024);
+        cpu.set_watchpoint(200, 203);
+        let s = cpu.run(&prog, 100).unwrap();
+        assert_eq!(s.trap, Trap::Watchpoint { addr: 200 });
+        // The faulting store did not execute.
+        assert_eq!(cpu.dmem()[200], 0);
+        // First store (outside the range) did.
+        assert_eq!(cpu.dmem()[100], 100);
+        // Disarm and resume: execution completes.
+        cpu.clear_watchpoint();
+        let s2 = cpu.run(&prog, 100).unwrap();
+        assert_eq!(s2.trap, Trap::Halt);
+        assert_eq!(cpu.dmem()[200], 100);
+    }
+
+    #[test]
+    fn watchpoint_catches_partial_overlap() {
+        // An 8-byte store at 96 touches [96, 103]; the watch starts at 100.
+        let prog = assemble("addi r1, r0, -1\nsd r1, 96(r0)\nhalt").unwrap();
+        let mut cpu = Cpu::new(256);
+        cpu.set_watchpoint(100, 100);
+        let s = cpu.run(&prog, 10).unwrap();
+        assert_eq!(s.trap, Trap::Watchpoint { addr: 96 });
+    }
+
+    #[test]
+    fn loads_also_trip_watchpoints() {
+        let prog = assemble("lw r1, 64(r0)\nhalt").unwrap();
+        let mut cpu = Cpu::new(256);
+        cpu.set_watchpoint(0, 128);
+        assert_eq!(cpu.run(&prog, 10).unwrap().trap, Trap::Watchpoint { addr: 64 });
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_watchpoint_rejected() {
+        Cpu::new(64).set_watchpoint(10, 5);
+    }
+
+    #[test]
+    fn writes_to_r0_ignored() {
+        let (cpu, _) = run_prog("addi r0, r0, 55\nhalt");
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn dual_issue_beats_serial_count() {
+        // Interleaved ALU/LSU pairs should exceed IPC 1.
+        let mut body = String::new();
+        for i in 0..64 {
+            body.push_str(&format!("addi r1, r1, 1\nsw r2, {}(r0)\n", i * 4));
+        }
+        body.push_str("halt");
+        let (cpu, sum) = run_prog(&body);
+        assert_eq!(cpu.reg(1), 64);
+        assert!(
+            sum.ipc() > 1.5,
+            "independent ALU/LSU stream should dual-issue, got IPC {}",
+            sum.ipc()
+        );
+    }
+
+    #[test]
+    fn backward_loop_branches_predicted() {
+        // A hot loop's backward branch is always taken and predicted:
+        // mispredicts should be ~1 (the final fall-through).
+        let (cpu, _) = run_prog(
+            "       addi r1, r0, 1000
+             loop:  addi r1, r1, -1
+                    bne  r1, r0, loop
+                    halt",
+        );
+        assert_eq!(cpu.counts().branches, 1000);
+        assert_eq!(cpu.counts().mispredicts, 1);
+    }
+
+    #[test]
+    fn ntz_faster_than_nlz() {
+        // §5.4: number-of-trailing-zeros is ~4 cycles thanks to POPC,
+        // number-of-leading-zeros ~13 via shift-smearing.
+        let ntz = "addi r2, r0, 0
+                   sub  r2, r2, r1
+                   and  r2, r2, r1
+                   addi r2, r2, -1
+                   popc r3, r2
+                   halt";
+        let nlz = "or   r2, r1, r0
+                   srl  r3, r2, 1
+                   or   r2, r2, r3
+                   srl  r3, r2, 2
+                   or   r2, r2, r3
+                   srl  r3, r2, 4
+                   or   r2, r2, r3
+                   srl  r3, r2, 8
+                   or   r2, r2, r3
+                   srl  r3, r2, 16
+                   or   r2, r2, r3
+                   srl  r3, r2, 32
+                   or   r2, r2, r3
+                   nor  r2, r2, r0
+                   popc r3, r2
+                   halt";
+        let run = |src: &str, x: u64| {
+            let prog = assemble(src).unwrap();
+            let mut cpu = Cpu::new(64);
+            cpu.set_reg(1, x);
+            let s = cpu.run(&prog, 100).unwrap();
+            (cpu.reg(3), s.cycles)
+        };
+        let (ntz_v, ntz_c) = run(ntz, 0b1010_0000);
+        let (nlz_v, nlz_c) = run(nlz, 0b1010_0000);
+        assert_eq!(ntz_v, 5);
+        assert_eq!(nlz_v, 56);
+        assert!(
+            ntz_c + 5 <= nlz_c,
+            "NTZ ({ntz_c} cyc) should be much cheaper than NLZ ({nlz_c} cyc)"
+        );
+    }
+}

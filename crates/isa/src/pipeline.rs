@@ -1,0 +1,257 @@
+//! Dual-issue in-order pipeline timing model.
+//!
+//! The dpCore implements "a simple dual-issue pipeline, one for the ALU and
+//! the other for the LSU pipe" (§2.2), a low-power multiplier that stalls
+//! the pipeline for multiple cycles, a static branch predictor that
+//! predicts backward branches as taken, and single-cycle DMEM access.
+//! This module captures those rules as a small scoreboard that the
+//! [`interpreter`](crate::interp) consults while executing.
+
+use crate::inst::{Inst, Pipe};
+
+/// Timing parameters of the dpCore pipeline.
+///
+/// Defaults model the fabricated 800 MHz part as described in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineModel {
+    /// Base latency of the variable-latency multiplier (cycles).
+    pub mul_base_latency: u64,
+    /// Extra multiplier cycles per 16 significant bits of the second operand.
+    pub mul_cycles_per_16bits: u64,
+    /// Cycles lost on a conditional-branch misprediction.
+    pub mispredict_penalty: u64,
+    /// Cycles lost on an indirect jump (`jr`), whose target is not predicted.
+    pub jr_penalty: u64,
+    /// Load-to-use latency for DMEM accesses (result ready after this many
+    /// cycles; DMEM itself is single-cycle SRAM).
+    pub load_use_latency: u64,
+}
+
+impl Default for PipelineModel {
+    fn default() -> Self {
+        PipelineModel {
+            mul_base_latency: 4,
+            mul_cycles_per_16bits: 2,
+            mispredict_penalty: 3,
+            jr_penalty: 2,
+            load_use_latency: 2,
+        }
+    }
+}
+
+impl PipelineModel {
+    /// Latency of a multiply given the value of the second operand: the
+    /// low-power iterative multiplier early-outs on small multipliers,
+    /// which is why Murmur64's 64-bit constants hurt on the DPU (§5.4).
+    pub fn mul_latency(&self, operand: u64) -> u64 {
+        let sig_bits = 64 - operand.leading_zeros() as u64;
+        self.mul_base_latency + self.mul_cycles_per_16bits * sig_bits.div_ceil(16)
+    }
+
+    /// The static prediction for a conditional branch: backward taken,
+    /// forward not-taken.
+    pub fn predict_taken(&self, offset: i16) -> bool {
+        offset < 0
+    }
+}
+
+/// Issue scoreboard: register-ready times plus per-pipe occupancy.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    reg_ready: [u64; 32],
+    pipe_free: [u64; 2],
+    /// Cycle at which the next instruction may issue at the earliest
+    /// (advanced by stalls, mispredictions and in-order constraints).
+    fetch_ready: u64,
+    cycle: u64,
+}
+
+impl Scoreboard {
+    /// A scoreboard with everything ready at cycle 0.
+    pub fn new() -> Self {
+        Scoreboard {
+            reg_ready: [0; 32],
+            pipe_free: [0; 2],
+            fetch_ready: 0,
+            cycle: 0,
+        }
+    }
+
+    /// Current cycle (the issue cycle of the most recent instruction).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn pipe_idx(pipe: Pipe) -> usize {
+        match pipe {
+            Pipe::Alu => 0,
+            Pipe::Lsu => 1,
+        }
+    }
+
+    /// Issues `inst`, returning its issue cycle. `taken_mispredict` reports
+    /// whether a conditional branch went against the static prediction, and
+    /// `mul_latency` supplies the multiplier latency when `inst` is a `mul`.
+    pub fn issue(
+        &mut self,
+        inst: Inst,
+        model: &PipelineModel,
+        taken_mispredict: bool,
+        mul_latency: u64,
+    ) -> u64 {
+        let pipe = Self::pipe_idx(inst.pipe());
+        let mut earliest = self.fetch_ready.max(self.pipe_free[pipe]);
+        for src in inst.sources() {
+            earliest = earliest.max(self.reg_ready[src.index()]);
+        }
+        let issue = earliest;
+        self.pipe_free[pipe] = issue + 1;
+        // In-order: a later instruction may co-issue in the same cycle on
+        // the other pipe, but never issue earlier.
+        self.fetch_ready = self.fetch_ready.max(issue);
+        self.cycle = self.cycle.max(issue);
+
+        // Writeback latency.
+        if let Some(rd) = inst.dest() {
+            if !rd.is_zero() {
+                let lat = if matches!(inst, Inst::Mul { .. }) {
+                    mul_latency
+                } else if inst.is_load() {
+                    model.load_use_latency
+                } else {
+                    1
+                };
+                self.reg_ready[rd.index()] = issue + lat;
+            }
+        }
+
+        // Pipeline-wide stalls.
+        if matches!(inst, Inst::Mul { .. }) {
+            // The low-power multiplier stalls the whole pipeline (§2.2).
+            self.fetch_ready = self.fetch_ready.max(issue + mul_latency);
+        }
+        if inst.is_cond_branch() && taken_mispredict {
+            self.fetch_ready = self.fetch_ready.max(issue + 1 + model.mispredict_penalty);
+        }
+        if matches!(inst, Inst::Jr { .. }) {
+            self.fetch_ready = self.fetch_ready.max(issue + 1 + model.jr_penalty);
+        }
+
+        issue
+    }
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg::of(i)
+    }
+
+    #[test]
+    fn independent_alu_lsu_pair_dual_issues() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        let c1 = sb.issue(Inst::Add { rd: r(1), rs: r(2), rt: r(3) }, &m, false, 0);
+        let c2 = sb.issue(Inst::Lw { rt: r(4), rs: r(5), off: 0 }, &m, false, 0);
+        assert_eq!(c1, 0);
+        assert_eq!(c2, 0, "ALU + LSU should co-issue");
+    }
+
+    #[test]
+    fn same_pipe_serializes() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        let c1 = sb.issue(Inst::Add { rd: r(1), rs: r(2), rt: r(3) }, &m, false, 0);
+        let c2 = sb.issue(Inst::Add { rd: r(4), rs: r(5), rt: r(6) }, &m, false, 0);
+        assert_eq!(c1, 0);
+        assert_eq!(c2, 1);
+    }
+
+    #[test]
+    fn raw_hazard_stalls() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        sb.issue(Inst::Add { rd: r(1), rs: r(2), rt: r(3) }, &m, false, 0);
+        let c = sb.issue(Inst::Sub { rd: r(4), rs: r(1), rt: r(3) }, &m, false, 0);
+        assert_eq!(c, 1, "dependent ALU op waits one cycle");
+    }
+
+    #[test]
+    fn load_use_delay() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        sb.issue(Inst::Lw { rt: r(1), rs: r(2), off: 0 }, &m, false, 0);
+        let c = sb.issue(Inst::Add { rd: r(3), rs: r(1), rt: r(1) }, &m, false, 0);
+        assert_eq!(c, m.load_use_latency);
+    }
+
+    #[test]
+    fn mul_stalls_pipeline() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        let lat = m.mul_latency(u64::MAX);
+        sb.issue(Inst::Mul { rd: r(1), rs: r(2), rt: r(3) }, &m, false, lat);
+        // Even an independent instruction can't issue during the stall.
+        let c = sb.issue(Inst::Add { rd: r(4), rs: r(5), rt: r(6) }, &m, false, 0);
+        assert_eq!(c, lat);
+    }
+
+    #[test]
+    fn mul_latency_grows_with_operand_width() {
+        let m = PipelineModel::default();
+        assert!(m.mul_latency(3) < m.mul_latency(u32::MAX as u64));
+        assert!(m.mul_latency(u32::MAX as u64) < m.mul_latency(u64::MAX));
+        assert_eq!(m.mul_latency(0), m.mul_base_latency);
+        // 64-bit constants (Murmur64) pay the full latency.
+        assert_eq!(m.mul_latency(u64::MAX), 4 + 2 * 4);
+    }
+
+    #[test]
+    fn static_predictor_is_backward_taken() {
+        let m = PipelineModel::default();
+        assert!(m.predict_taken(-1));
+        assert!(!m.predict_taken(0));
+        assert!(!m.predict_taken(5));
+    }
+
+    #[test]
+    fn mispredict_adds_penalty() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        sb.issue(Inst::Bne { rs: r(1), rt: r(2), off: 4 }, &m, true, 0);
+        let c = sb.issue(Inst::Add { rd: r(3), rs: r(4), rt: r(5) }, &m, false, 0);
+        assert_eq!(c, 1 + m.mispredict_penalty);
+    }
+
+    #[test]
+    fn correct_prediction_is_free() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        sb.issue(Inst::Bne { rs: r(1), rt: r(2), off: -4 }, &m, false, 0);
+        let c = sb.issue(Inst::Lw { rt: r(3), rs: r(4), off: 0 }, &m, false, 0);
+        assert_eq!(c, 0, "predicted branch co-issues with next fetch group");
+    }
+
+    #[test]
+    fn writes_to_r0_never_create_hazards() {
+        let m = PipelineModel::default();
+        let mut sb = Scoreboard::new();
+        sb.issue(Inst::Lw { rt: Reg::ZERO, rs: r(2), off: 0 }, &m, false, 0);
+        let c = sb.issue(
+            Inst::Add { rd: r(1), rs: Reg::ZERO, rt: Reg::ZERO },
+            &m,
+            false,
+            0,
+        );
+        assert_eq!(c, 0);
+    }
+}

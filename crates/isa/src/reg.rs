@@ -1,0 +1,91 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 64-bit general-purpose registers.
+///
+/// `r0` is hardwired to zero, as on MIPS; writes to it are discarded.
+///
+/// # Example
+///
+/// ```
+/// use dpu_isa::Reg;
+/// let r = Reg::new(5).unwrap();
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Reg::new(32).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional link register for `jal` (r31).
+    pub const LINK: Reg = Reg(31);
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index; `None` if out of range.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < Self::COUNT as u8).then_some(Reg(index))
+    }
+
+    /// Creates a register, panicking if out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn of(index: u8) -> Reg {
+        Self::new(index).expect("register index out of range")
+    }
+
+    /// The register's index (0..32).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the hardwired-zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range() {
+        assert!(Reg::new(0).is_some());
+        assert!(Reg::new(31).is_some());
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::of(1).is_zero());
+        assert_eq!(Reg::LINK.index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn of_panics_out_of_range() {
+        Reg::of(40);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::of(17).to_string(), "r17");
+    }
+}

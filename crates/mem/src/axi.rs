@@ -1,0 +1,97 @@
+//! AXI burst rules.
+//!
+//! "On the DRAM interface, the AXI bus provides 128-bit read and write
+//! data paths, and a maximum of 256 B can be requested per transfer
+//! request. Hence larger DMS transfers are broken by the DMAC into
+//! multiple AXI transactions." (§3.1)
+
+/// AXI data-path width in bytes (128 bits).
+pub const AXI_BEAT_BYTES: u64 = 16;
+/// Maximum bytes per AXI transaction.
+pub const AXI_MAX_BURST: u64 = 256;
+
+/// One AXI transaction produced by splitting a larger transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Starting physical address.
+    pub addr: u64,
+    /// Bytes in this transaction (≤ [`AXI_MAX_BURST`]).
+    pub bytes: u64,
+}
+
+impl Burst {
+    /// Number of 128-bit data beats the transaction occupies.
+    pub fn beats(&self) -> u64 {
+        self.bytes.div_ceil(AXI_BEAT_BYTES)
+    }
+}
+
+/// Splits a transfer into AXI transactions, aligning bursts so no
+/// transaction crosses a 256-byte boundary (the DMAC's splitting rule).
+///
+/// # Example
+///
+/// ```
+/// use dpu_mem::axi::{split_bursts, AXI_MAX_BURST};
+/// let bursts = split_bursts(0, 1024);
+/// assert_eq!(bursts.len(), 4);
+/// assert!(bursts.iter().all(|b| b.bytes <= AXI_MAX_BURST));
+/// ```
+pub fn split_bursts(addr: u64, bytes: u64) -> Vec<Burst> {
+    let mut out = Vec::new();
+    let mut cur = addr;
+    let end = addr + bytes;
+    while cur < end {
+        let boundary = (cur / AXI_MAX_BURST + 1) * AXI_MAX_BURST;
+        let stop = boundary.min(end);
+        out.push(Burst { addr: cur, bytes: stop - cur });
+        cur = stop;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_transfer_splits_evenly() {
+        let b = split_bursts(0, 1024);
+        assert_eq!(b.len(), 4);
+        for (i, burst) in b.iter().enumerate() {
+            assert_eq!(burst.addr, i as u64 * 256);
+            assert_eq!(burst.bytes, 256);
+            assert_eq!(burst.beats(), 16);
+        }
+    }
+
+    #[test]
+    fn unaligned_start_clips_first_burst() {
+        let b = split_bursts(100, 400);
+        assert_eq!(b[0], Burst { addr: 100, bytes: 156 });
+        assert_eq!(b[1], Burst { addr: 256, bytes: 244 });
+        assert_eq!(b.iter().map(|x| x.bytes).sum::<u64>(), 400);
+        // No burst crosses a 256 B boundary.
+        for burst in &b {
+            assert_eq!(burst.addr / 256, (burst.addr + burst.bytes - 1) / 256);
+        }
+    }
+
+    #[test]
+    fn small_transfer_is_one_burst() {
+        let b = split_bursts(512, 16);
+        assert_eq!(b, vec![Burst { addr: 512, bytes: 16 }]);
+        assert_eq!(b[0].beats(), 1);
+    }
+
+    #[test]
+    fn zero_bytes_is_empty() {
+        assert!(split_bursts(0, 0).is_empty());
+    }
+
+    #[test]
+    fn partial_beat_rounds_up() {
+        assert_eq!(Burst { addr: 0, bytes: 17 }.beats(), 2);
+        assert_eq!(Burst { addr: 0, bytes: 1 }.beats(), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Set-associative cache model with software-managed coherence.
+//!
+//! The dpCore complex has core-private 16 KB L1-D and 8 KB L1-I caches and
+//! a 256 KB L2 shared per 8-core macro. There is **no hardware coherence**:
+//! the ISA exposes `cflush`/`cinval` and software keeps shared structures
+//! consistent (§2.3, §4). This model tracks tags, LRU state and dirtiness,
+//! and exposes exactly those explicit operations.
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Line size in bytes.
+    pub line_size: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in core cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The dpCore's private 16 KB L1 data cache.
+    pub fn dpcore_l1d() -> Self {
+        CacheConfig { capacity: 16 * 1024, line_size: 64, ways: 4, hit_latency: 2 }
+    }
+
+    /// The dpCore's private 8 KB L1 instruction cache.
+    pub fn dpcore_l1i() -> Self {
+        CacheConfig { capacity: 8 * 1024, line_size: 64, ways: 2, hit_latency: 1 }
+    }
+
+    /// The 256 KB L2 shared by the 8 dpCores of a macro.
+    pub fn macro_l2() -> Self {
+        CacheConfig { capacity: 256 * 1024, line_size: 64, ways: 8, hit_latency: 12 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.line_size * self.ways)
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Address of a dirty line that was evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Monotonic timestamp for LRU.
+    used: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache model.
+///
+/// The model tracks presence and dirtiness only — data lives in
+/// [`PhysMem`](crate::PhysMem), keeping the functional and timing layers
+/// separate as the software-coherence discipline demands.
+///
+/// # Example
+///
+/// ```
+/// use dpu_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::dpcore_l1d());
+/// assert!(!c.access(0x1000, false).hit);  // cold miss
+/// assert!(c.access(0x1000, false).hit);   // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible by
+    /// `line_size * ways`).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.capacity.is_multiple_of(config.line_size * config.ways),
+            "cache capacity must be a multiple of line_size * ways"
+        );
+        let sets = vec![Vec::with_capacity(config.ways); config.sets()];
+        Cache { config, sets, clock: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_size as u64;
+        ((line % self.sets.len() as u64) as usize, line / self.sets.len() as u64)
+    }
+
+    /// Accesses `addr`; `is_write` marks the line dirty. Allocates on miss
+    /// (write-allocate), evicting the LRU way.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
+        self.clock += 1;
+        let (set_idx, tag) = self.set_and_tag(addr);
+        let ways = self.config.ways;
+        let n_sets = self.sets.len() as u64;
+        let line_size = self.config.line_size as u64;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.used = self.clock;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return Access { hit: true, writeback: None };
+        }
+
+        self.stats.misses += 1;
+        let mut writeback = None;
+        if set.len() == ways {
+            let (lru_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.used)
+                .expect("non-empty set");
+            let victim = set.swap_remove(lru_idx);
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some((victim.tag * n_sets + set_idx as u64) * line_size);
+            }
+        }
+        set.push(Line { tag, dirty: is_write, used: self.clock });
+        Access { hit: false, writeback }
+    }
+
+    /// True if the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// `cflush`: writes back (if dirty) and retains the line; returns true
+    /// if a writeback to memory occurred.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == tag) {
+            let was_dirty = line.dirty;
+            line.dirty = false;
+            if was_dirty {
+                self.stats.writebacks += 1;
+            }
+            was_dirty
+        } else {
+            false
+        }
+    }
+
+    /// `cinval`: drops the line without writing it back (the caller must
+    /// have flushed first if the data mattered — exactly the discipline
+    /// the DPU's software-coherence tooling enforces).
+    pub fn invalidate_line(&mut self, addr: u64) {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].retain(|l| l.tag != tag);
+    }
+
+    /// Flushes every dirty line; returns how many writebacks occurred.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut n = 0;
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.dirty {
+                    line.dirty = false;
+                    n += 1;
+                }
+            }
+        }
+        self.stats.writebacks += n;
+        n
+    }
+
+    /// Invalidates everything (no writebacks).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(CacheConfig { capacity: 512, line_size: 64, ways: 2, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::dpcore_l1d();
+        assert_eq!(c.sets(), 16 * 1024 / (64 * 4));
+        assert_eq!(CacheConfig::macro_l2().capacity, 256 * 1024);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0, false).hit);
+        assert!(c.access(0, false).hit);
+        assert!(c.access(63, false).hit, "same line");
+        assert!(!c.access(64, false).hit, "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Three lines mapping to set 0 (stride = sets*line = 256).
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // touch 0: 256 becomes LRU
+        c.access(512, false); // evicts 256
+        assert!(c.contains(0));
+        assert!(!c.contains(256));
+        assert!(c.contains(512));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(256, false);
+        let a = c.access(512, false); // evicts LRU line 0 (dirty)
+        assert_eq!(a.writeback, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_and_invalidate_discipline() {
+        let mut c = small();
+        c.access(128, true);
+        assert!(c.flush_line(128), "dirty line flushes");
+        assert!(!c.flush_line(128), "second flush is a no-op");
+        assert!(c.contains(128), "flush retains the line");
+        c.invalidate_line(128);
+        assert!(!c.contains(128));
+        assert!(!c.flush_line(999_999), "absent line flush is a no-op");
+    }
+
+    #[test]
+    fn flush_all_counts_dirty_lines() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(64, true);
+        c.access(128, false);
+        assert_eq!(c.flush_all(), 2);
+        c.invalidate_all();
+        assert!(!c.contains(0));
+        assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64, false);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn bad_geometry_rejected() {
+        Cache::new(CacheConfig { capacity: 1000, line_size: 64, ways: 3, hit_latency: 1 });
+    }
+
+    #[test]
+    fn streaming_through_small_cache_thrashes() {
+        // The analytics insight (§1): scans larger than the cache get ~0%
+        // reuse — the motivation for DMEM + DMS instead of big caches.
+        let mut c = small();
+        for round in 0..2 {
+            for addr in (0..(8 * 1024u64)).step_by(64) {
+                c.access(addr, false);
+            }
+            let _ = round;
+        }
+        // Second pass misses too: working set ≫ capacity.
+        assert!(c.stats().hit_rate() < 0.01);
+    }
+}

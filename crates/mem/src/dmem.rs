@@ -1,0 +1,168 @@
+//! The per-dpCore DMEM scratchpad.
+//!
+//! Each dpCore owns 32 KB of software-managed SRAM in lieu of a hardware-
+//! managed data cache (§2.1). The DMS writes incoming tiles directly into
+//! DMEM, and query plans are sized so per-partition state (e.g. a group-by
+//! hash table) fits here, guaranteeing single-cycle access.
+
+use std::fmt;
+
+/// Size of the fabricated part's per-core DMEM.
+pub const DMEM_SIZE: usize = 32 * 1024;
+
+/// A checked byte-addressable scratchpad.
+///
+/// # Example
+///
+/// ```
+/// use dpu_mem::Dmem;
+/// let mut d = Dmem::new(1024);
+/// d.write_u32(0, 7);
+/// assert_eq!(d.read_u32(0), 7);
+/// ```
+#[derive(Clone)]
+pub struct Dmem {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for Dmem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dmem").field("size", &self.bytes.len()).finish()
+    }
+}
+
+impl Dmem {
+    /// Creates a zeroed scratchpad of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Dmem { bytes: vec![0; size] }
+    }
+
+    /// Scratchpad size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Whole contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Whole contents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Borrows `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    pub fn slice(&self, addr: u32, len: usize) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len]
+    }
+
+    /// Mutably borrows `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    pub fn slice_mut(&mut self, addr: u32, len: usize) -> &mut [u8] {
+        &mut self.bytes[addr as usize..addr as usize + len]
+    }
+
+    /// Copies `data` into the scratchpad at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    pub fn write(&mut self, addr: u32, data: &[u8]) {
+        self.slice_mut(addr, data.len()).copy_from_slice(data);
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let s = self.slice(addr, 4);
+        u32::from_le_bytes([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Writes a little-endian u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        let s = self.slice(addr, 8);
+        u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+    }
+
+    /// Writes a little-endian u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn write_u64(&mut self, addr: u32, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+impl Default for Dmem {
+    /// A scratchpad of the fabricated size, [`DMEM_SIZE`].
+    fn default() -> Self {
+        Dmem::new(DMEM_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_32k() {
+        assert_eq!(Dmem::default().len(), 32 * 1024);
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut d = Dmem::new(64);
+        d.write_u64(8, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(d.read_u64(8), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(d.read_u32(8), 0xEEFF_0011);
+        d.write_u32(8, 1);
+        assert_eq!(d.read_u64(8), 0xAABB_CCDD_0000_0001);
+    }
+
+    #[test]
+    fn bulk_write_and_slices() {
+        let mut d = Dmem::new(16);
+        d.write(2, &[5, 6, 7]);
+        assert_eq!(d.slice(2, 3), &[5, 6, 7]);
+        assert_eq!(&d.as_slice()[2..5], &[5, 6, 7]);
+        d.as_mut_slice()[0] = 9;
+        assert_eq!(d.slice(0, 1), &[9]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_panics() {
+        Dmem::new(8).read_u64(4);
+    }
+}

@@ -1,0 +1,303 @@
+//! DDR channel timing model.
+//!
+//! One request occupies the shared data bus for `cmd_overhead +
+//! bytes/bus_bytes_per_cycle` cycles; each of the `banks` row buffers adds
+//! a `row_miss_penalty` when a request touches a different row than the
+//! bank currently has open. Bank activations overlap with other banks'
+//! data transfers, which is what lets 32 interleaved dpCore streams reach
+//! ~75–80 % of peak (the paper's Figure 11 plateau of >9 GB/s on a
+//! 12.8 GB/s DDR3-1600 channel).
+
+use dpu_sim::Time;
+
+/// Static description of a DDR channel, in core-clock units (800 MHz).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Data-bus bandwidth in bytes per core cycle (16 ⇒ 12.8 GB/s).
+    pub bus_bytes_per_cycle: u64,
+    /// Fixed command/addressing cycles charged on the bus per request.
+    pub cmd_overhead: u64,
+    /// Number of banks with independent row buffers.
+    pub banks: usize,
+    /// Row-buffer (DRAM page) size in bytes.
+    pub row_bytes: u64,
+    /// Extra cycles when a request misses the bank's open row
+    /// (precharge + activate), overlapped across banks.
+    pub row_miss_penalty: u64,
+}
+
+impl DramConfig {
+    /// DDR3-1600: the fabricated DPU's channel (12.8 GB/s peak,
+    /// ≈10 GB/s practical once command/refresh overheads are charged).
+    pub fn ddr3_1600() -> Self {
+        DramConfig {
+            bus_bytes_per_cycle: 16,
+            cmd_overhead: 4,
+            banks: 8,
+            row_bytes: 8192,
+            row_miss_penalty: 28,
+        }
+    }
+
+    /// DDR4-3200: the 16 nm shrink's channel (25.6 GB/s peak per channel).
+    pub fn ddr4_3200() -> Self {
+        DramConfig {
+            bus_bytes_per_cycle: 32,
+            cmd_overhead: 3,
+            banks: 16,
+            row_bytes: 8192,
+            row_miss_penalty: 32,
+        }
+    }
+
+    /// Peak bandwidth in bytes/second at the 800 MHz core clock.
+    pub fn peak_bytes_per_sec(&self) -> f64 {
+        self.bus_bytes_per_cycle as f64 * 800.0e6
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Time,
+}
+
+/// Timing state of one DDR channel.
+///
+/// # Example
+///
+/// ```
+/// use dpu_mem::{DramChannel, DramConfig};
+/// use dpu_sim::Time;
+///
+/// let mut ch = DramChannel::new(DramConfig::ddr3_1600());
+/// let t1 = ch.request(Time::ZERO, 0, 256);
+/// // Second sequential burst hits the open row: only bus time + overhead.
+/// let t2 = ch.request(Time::ZERO, 256, 256);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    bus_free: Time,
+    bytes_served: u64,
+    requests: u64,
+    row_misses: u64,
+}
+
+impl DramChannel {
+    /// Creates an idle channel (all row buffers closed).
+    pub fn new(config: DramConfig) -> Self {
+        let banks = vec![
+            Bank {
+                open_row: None,
+                busy_until: Time::ZERO,
+            };
+            config.banks
+        ];
+        DramChannel {
+            config,
+            banks,
+            bus_free: Time::ZERO,
+            bytes_served: 0,
+            requests: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let global_row = addr / self.config.row_bytes;
+        let banks = self.config.banks as u64;
+        // XOR-fold upper address bits into the bank index so power-of-two
+        // strides (e.g. per-core 1 MB regions) don't alias onto one bank —
+        // the standard bank-hashing trick in DDR controllers.
+        let bank = ((global_row ^ (global_row / banks) ^ (global_row / (banks * banks))) % banks)
+            as usize;
+        let row = global_row / banks;
+        (bank, row)
+    }
+
+    /// Submits a request of `bytes` at physical `addr` arriving at `now`;
+    /// returns the completion time of the last data beat.
+    ///
+    /// Requests are served in arrival order (the DMAC issues them that
+    /// way); a row miss delays only the issuing bank, so other banks'
+    /// transfers continue to use the bus.
+    pub fn request(&mut self, now: Time, addr: u64, bytes: u64) -> Time {
+        let (bank_idx, row) = self.bank_and_row(addr);
+        let bank = &mut self.banks[bank_idx];
+
+        let mut ready = now.max(bank.busy_until);
+        if bank.open_row != Some(row) {
+            ready += Time::from_cycles(self.config.row_miss_penalty);
+            bank.open_row = Some(row);
+            self.row_misses += 1;
+        }
+
+        // The bus transfer starts once both the bank and bus are free.
+        let start = ready.max(self.bus_free);
+        let transfer = self.config.cmd_overhead + bytes.div_ceil(self.config.bus_bytes_per_cycle);
+        let done = start + Time::from_cycles(transfer);
+        self.bus_free = done;
+        bank.busy_until = done;
+        self.bytes_served += bytes;
+        self.requests += 1;
+        done
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Number of requests that missed an open row.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// When the data bus next becomes free.
+    pub fn bus_free(&self) -> Time {
+        self.bus_free
+    }
+
+    /// Achieved bandwidth in GB/s over `[0, horizon]` at 800 MHz.
+    pub fn gbytes_per_sec(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        self.bytes_served as f64 / (horizon.cycles() as f64 / 800.0e6) / 1e9
+    }
+
+    /// Resets timing state and statistics (contents are in [`PhysMem`],
+    /// not here).
+    ///
+    /// [`PhysMem`]: crate::PhysMem
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.open_row = None;
+            b.busy_until = Time::ZERO;
+        }
+        self.bus_free = Time::ZERO;
+        self.bytes_served = 0;
+        self.requests = 0;
+        self.row_misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_amortizes_row_misses() {
+        let cfg = DramConfig::ddr3_1600();
+        let mut ch = DramChannel::new(cfg.clone());
+        // Stream 64 KB in 256 B bursts sequentially.
+        let mut done = Time::ZERO;
+        for i in 0..256u64 {
+            done = ch.request(Time::ZERO, i * 256, 256);
+        }
+        // Row misses only every row_bytes/256 = 32 bursts: 8 rows touched.
+        assert_eq!(ch.row_misses(), 8);
+        let gbps = ch.gbytes_per_sec(done);
+        assert!(
+            gbps > 9.5,
+            "sequential stream should be near the 10 GB/s practical rate, got {gbps:.2} GB/s"
+        );
+        assert!(gbps <= 12.8 + 0.1);
+    }
+
+    #[test]
+    fn row_hit_cheaper_than_row_miss() {
+        let mut ch = DramChannel::new(DramConfig::ddr3_1600());
+        let t1 = ch.request(Time::ZERO, 0, 256); // cold miss
+        let t2 = ch.request(t1, 256, 256); // hit
+        let t3 = ch.request(t2, 1 << 20, 256); // different row: miss
+        let hit_cost = (t2 - t1).cycles();
+        let miss_cost = (t3 - t2).cycles();
+        assert_eq!(miss_cost - hit_cost, ch.config().row_miss_penalty);
+    }
+
+    #[test]
+    fn interleaved_streams_still_reach_high_utilization() {
+        // 32 streams (one per dpCore) interleaving 256 B bursts: bank-level
+        // parallelism must keep the bus busy — this is the Fig. 11 regime.
+        let mut ch = DramChannel::new(DramConfig::ddr3_1600());
+        let streams = 32u64;
+        let bursts = 64u64;
+        let mut done = Time::ZERO;
+        for b in 0..bursts {
+            for s in 0..streams {
+                // Each stream reads its own 1 MB region.
+                let addr = s * (1 << 20) + b * 256;
+                done = ch.request(Time::ZERO, addr, 256);
+            }
+        }
+        let gbps = ch.gbytes_per_sec(done);
+        assert!(
+            gbps > 9.0,
+            "interleaved streams should exceed 9 GB/s (75% of peak), got {gbps:.2}"
+        );
+    }
+
+    #[test]
+    fn small_requests_pay_proportionally_more_overhead() {
+        let mut a = DramChannel::new(DramConfig::ddr3_1600());
+        let mut b = DramChannel::new(DramConfig::ddr3_1600());
+        let mut done_a = Time::ZERO;
+        let mut done_b = Time::ZERO;
+        for i in 0..1024u64 {
+            done_a = a.request(Time::ZERO, i * 64, 64); // 64 KB in 64 B bursts
+        }
+        for i in 0..256u64 {
+            done_b = b.request(Time::ZERO, i * 256, 256); // 64 KB in 256 B bursts
+        }
+        assert!(
+            a.gbytes_per_sec(done_a) < b.gbytes_per_sec(done_b),
+            "small bursts must be slower"
+        );
+    }
+
+    #[test]
+    fn ddr4_is_faster_than_ddr3() {
+        let mut d3 = DramChannel::new(DramConfig::ddr3_1600());
+        let mut d4 = DramChannel::new(DramConfig::ddr4_3200());
+        let mut t3 = Time::ZERO;
+        let mut t4 = Time::ZERO;
+        for i in 0..512u64 {
+            t3 = d3.request(Time::ZERO, i * 256, 256);
+            t4 = d4.request(Time::ZERO, i * 256, 256);
+        }
+        assert!(t4 < t3);
+        assert!(DramConfig::ddr4_3200().peak_bytes_per_sec() > DramConfig::ddr3_1600().peak_bytes_per_sec());
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut ch = DramChannel::new(DramConfig::default());
+        ch.request(Time::ZERO, 0, 256);
+        ch.reset();
+        assert_eq!(ch.bytes_served(), 0);
+        assert_eq!(ch.requests(), 0);
+        assert_eq!(ch.row_misses(), 0);
+        assert_eq!(ch.bus_free(), Time::ZERO);
+        assert_eq!(ch.gbytes_per_sec(Time::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Memory-subsystem models for the DPU reproduction.
+//!
+//! The DPU attaches one DDR3-1600 channel per SoC (10 GB/s practical out
+//! of a 12.8 GB/s peak — §2) and feeds the 32 dpCores through the DMS into
+//! per-core 32 KB DMEM scratchpads. Each dpCore also has small
+//! software-coherent caches (16 KB L1-D, 8 KB L1-I, 256 KB shared L2 per
+//! macro) with explicit flush/invalidate instructions instead of hardware
+//! coherence (§2.3).
+//!
+//! This crate provides:
+//!
+//! * [`PhysMem`] — the byte-addressed physical DRAM contents (data really
+//!   lives here; the DMS moves real bytes),
+//! * [`DramChannel`] — the DDR timing model (bus occupancy, per-bank row
+//!   buffers, burst overheads),
+//! * [`Dmem`] — a checked scratchpad wrapper,
+//! * [`Cache`] — a set-associative model with software-managed coherence
+//!   operations, used for the dpCores' cached path and by baselines,
+//! * [`axi`] — the 128-bit/256-byte AXI burst splitting rules the DMAC
+//!   uses for DDR transfers (§3.1).
+
+pub mod axi;
+pub mod cache;
+pub mod dmem;
+pub mod dram;
+pub mod phys;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use dmem::Dmem;
+pub use dram::{DramChannel, DramConfig};
+pub use phys::PhysMem;

@@ -1,0 +1,191 @@
+//! Physical DRAM contents.
+//!
+//! The dpCores have no MMU — "programs directly address physical memory"
+//! (§2.2) — so the whole simulation shares one flat byte array. All DMS
+//! transfers and cached accesses read/write real bytes here, which is what
+//! lets the test suite assert functional correctness of partitioning,
+//! gather and the applications end-to-end.
+
+use std::fmt;
+
+/// Flat physical memory.
+///
+/// # Example
+///
+/// ```
+/// use dpu_mem::PhysMem;
+/// let mut m = PhysMem::new(1024);
+/// m.write_u32(16, 0xDEAD_BEEF);
+/// assert_eq!(m.read_u32(16), 0xDEAD_BEEF);
+/// ```
+pub struct PhysMem {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl PhysMem {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        PhysMem {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Borrows `len` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn slice(&self, addr: u64, len: usize) -> &[u8] {
+        let a = addr as usize;
+        &self.bytes[a..a + len]
+    }
+
+    /// Mutably borrows `len` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn slice_mut(&mut self, addr: u64, len: usize) -> &mut [u8] {
+        let a = addr as usize;
+        &mut self.bytes[a..a + len]
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range exceeds the memory size.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.slice_mut(addr, data.len()).copy_from_slice(data);
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let s = self.slice(addr, 4);
+        u32::from_le_bytes([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Writes a little-endian u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let s = self.slice(addr, 8);
+        u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+    }
+
+    /// Writes a little-endian u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a value of `width` bytes (1, 2, 4 or 8), zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access or unsupported width.
+    pub fn read_uint(&self, addr: u64, width: usize) -> u64 {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported width {width}");
+        let s = self.slice(addr, width);
+        let mut v = 0u64;
+        for (i, &b) in s.iter().enumerate() {
+            v |= (b as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `v` (1, 2, 4 or 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access or unsupported width.
+    pub fn write_uint(&mut self, addr: u64, width: usize, v: u64) {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported width {width}");
+        for i in 0..width {
+            self.bytes[addr as usize + i] = (v >> (8 * i)) as u8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = PhysMem::new(64);
+        m.write_u64(0, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(0), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u32(0), 0x89AB_CDEF);
+        assert_eq!(m.read_u32(4), 0x0123_4567);
+        assert_eq!(m.read_uint(0, 1), 0xEF);
+        assert_eq!(m.read_uint(0, 2), 0xCDEF);
+    }
+
+    #[test]
+    fn slices_and_bulk_write() {
+        let mut m = PhysMem::new(16);
+        m.write(4, &[1, 2, 3, 4]);
+        assert_eq!(m.slice(4, 4), &[1, 2, 3, 4]);
+        m.slice_mut(4, 2).copy_from_slice(&[9, 9]);
+        assert_eq!(m.slice(4, 4), &[9, 9, 3, 4]);
+        assert_eq!(m.len(), 16);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn write_uint_partial_width() {
+        let mut m = PhysMem::new(16);
+        m.write_u64(0, u64::MAX);
+        m.write_uint(0, 2, 0);
+        assert_eq!(m.read_u64(0), u64::MAX << 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_read_panics() {
+        PhysMem::new(8).read_u64(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported width")]
+    fn bad_width_panics() {
+        PhysMem::new(8).read_uint(0, 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Software-coherence bookkeeping and redundancy detection.
+//!
+//! §4: "Programmers tended to conservatively flush/invalidate to avoid
+//! coherence errors which penalized performance; we hence developed a
+//! tool to identify and quantify redundant cache operations."
+//! [`CoherenceTracker`] is that tool: it shadows the logical
+//! dirty/valid state of each line per core and classifies every flush or
+//! invalidate as necessary or redundant.
+
+use std::collections::HashMap;
+
+/// Per-(core, line) logical cache state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    CleanValid,
+    Dirty,
+}
+
+/// Counts of coherence operations by necessity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Flushes that actually wrote data back.
+    pub useful_flushes: u64,
+    /// Flushes of clean or absent lines (wasted cycles).
+    pub redundant_flushes: u64,
+    /// Invalidates that dropped a valid line.
+    pub useful_invalidates: u64,
+    /// Invalidates of absent lines.
+    pub redundant_invalidates: u64,
+}
+
+impl CoherenceStats {
+    /// Fraction of all coherence ops that were redundant.
+    pub fn redundancy(&self) -> f64 {
+        let total = self.useful_flushes
+            + self.redundant_flushes
+            + self.useful_invalidates
+            + self.redundant_invalidates;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.redundant_flushes + self.redundant_invalidates) as f64 / total as f64
+    }
+}
+
+/// Shadow state for redundancy analysis across all cores.
+#[derive(Debug, Default)]
+pub struct CoherenceTracker {
+    line_size: u64,
+    lines: HashMap<(usize, u64), LineState>,
+    stats: CoherenceStats,
+    lost_dirty: u64,
+}
+
+impl CoherenceTracker {
+    /// Creates a tracker for the given line size (64 B on the DPU).
+    pub fn new(line_size: u64) -> Self {
+        CoherenceTracker {
+            line_size: line_size.max(1),
+            lines: HashMap::new(),
+            stats: CoherenceStats::default(),
+            lost_dirty: 0,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    fn line(&self, addr: u64) -> u64 {
+        addr / self.line_size
+    }
+
+    /// Records that `core` read `addr` (line becomes clean-valid if absent).
+    pub fn record_read(&mut self, core: usize, addr: u64) {
+        let key = (core, self.line(addr));
+        self.lines.entry(key).or_insert(LineState::CleanValid);
+    }
+
+    /// Records that `core` wrote `addr` (line becomes dirty).
+    pub fn record_write(&mut self, core: usize, addr: u64) {
+        let key = (core, self.line(addr));
+        self.lines.insert(key, LineState::Dirty);
+    }
+
+    /// Records a `cflush` of the line containing `addr` by `core`;
+    /// returns true if the flush was useful.
+    pub fn record_flush(&mut self, core: usize, addr: u64) -> bool {
+        let key = (core, self.line(addr));
+        match self.lines.get_mut(&key) {
+            Some(s @ LineState::Dirty) => {
+                *s = LineState::CleanValid;
+                self.stats.useful_flushes += 1;
+                true
+            }
+            _ => {
+                self.stats.redundant_flushes += 1;
+                false
+            }
+        }
+    }
+
+    /// Records a `cinval` of the line containing `addr` by `core`;
+    /// returns true if the invalidate dropped a valid line.
+    ///
+    /// Invalidating a *dirty* line is a correctness hazard (data loss)
+    /// and is reported through [`lost_dirty_lines`](Self::lost_dirty_lines).
+    pub fn record_invalidate(&mut self, core: usize, addr: u64) -> bool {
+        let key = (core, self.line(addr));
+        match self.lines.remove(&key) {
+            Some(LineState::Dirty) => {
+                self.lost_dirty += 1;
+                self.stats.useful_invalidates += 1;
+                true
+            }
+            Some(LineState::CleanValid) => {
+                self.stats.useful_invalidates += 1;
+                true
+            }
+            None => {
+                self.stats.redundant_invalidates += 1;
+                false
+            }
+        }
+    }
+
+    /// Number of dirty lines destroyed by invalidates — each one is a
+    /// latent data-race bug the paper's debugging tools hunted.
+    pub fn lost_dirty_lines(&self) -> u64 {
+        self.lost_dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn useful_flush_after_write() {
+        let mut t = CoherenceTracker::new(64);
+        t.record_write(0, 100);
+        assert!(t.record_flush(0, 100));
+        assert!(!t.record_flush(0, 100), "second flush is redundant");
+        let s = t.stats();
+        assert_eq!(s.useful_flushes, 1);
+        assert_eq!(s.redundant_flushes, 1);
+        assert!((s.redundancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_of_read_only_line_is_redundant() {
+        let mut t = CoherenceTracker::new(64);
+        t.record_read(2, 0);
+        assert!(!t.record_flush(2, 0));
+    }
+
+    #[test]
+    fn invalidate_classification() {
+        let mut t = CoherenceTracker::new(64);
+        t.record_read(1, 128);
+        assert!(t.record_invalidate(1, 128));
+        assert!(!t.record_invalidate(1, 128), "already gone");
+        let s = t.stats();
+        assert_eq!(s.useful_invalidates, 1);
+        assert_eq!(s.redundant_invalidates, 1);
+    }
+
+    #[test]
+    fn invalidating_dirty_line_flags_data_loss() {
+        let mut t = CoherenceTracker::new(64);
+        t.record_write(0, 64);
+        t.record_invalidate(0, 64);
+        assert_eq!(t.lost_dirty_lines(), 1);
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut t = CoherenceTracker::new(64);
+        t.record_write(0, 0);
+        assert!(!t.record_flush(1, 0), "core 1 never touched the line");
+        assert!(t.record_flush(0, 0));
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero_redundancy() {
+        let t = CoherenceTracker::new(64);
+        assert_eq!(t.stats().redundancy(), 0.0);
+        assert_eq!(t.lost_dirty_lines(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Two-level heap allocator over simulated DRAM.
+//!
+//! "A two-level heap allocator similar to Hoard or TCMalloc allows
+//! efficient, dynamic management of most of DRAM space" (§4): each core
+//! keeps small free lists of size-classed blocks and refills them in
+//! batches from a global pool, so the common-case allocation touches no
+//! shared state. The allocator manages *addresses* into the DPU's
+//! physical memory; the data itself lives in [`PhysMem`](dpu_mem::PhysMem).
+
+/// Size classes handed out from per-core caches (powers of two).
+const CLASSES: [u32; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+/// Blocks fetched from the global pool per refill.
+const REFILL_BATCH: usize = 8;
+/// Blocks a core cache holds per class before spilling back.
+const CACHE_CAP: usize = 32;
+
+/// Allocation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Allocations served entirely from a core-local cache.
+    pub local_hits: u64,
+    /// Refills that had to take the global lock.
+    pub global_refills: u64,
+    /// Batches spilled back to the global pool.
+    pub spills: u64,
+    /// Large allocations served directly from the global pool.
+    pub large_allocs: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct CoreCache {
+    free: Vec<Vec<u64>>, // per class
+}
+
+/// The two-level allocator.
+///
+/// # Example
+///
+/// ```
+/// use dpu_runtime::DpuHeap;
+/// let mut heap = DpuHeap::new(0x1000, 1 << 20, 4);
+/// let a = heap.alloc(0, 100).unwrap();
+/// let b = heap.alloc(0, 100).unwrap();
+/// assert_ne!(a, b);
+/// heap.free(0, a, 100);
+/// // The freed block is recycled by the same core's cache.
+/// assert_eq!(heap.alloc(0, 100), Some(a));
+/// ```
+#[derive(Debug)]
+pub struct DpuHeap {
+    base: u64,
+    end: u64,
+    bump: u64,
+    global_free: Vec<Vec<u64>>,
+    caches: Vec<CoreCache>,
+    stats: HeapStats,
+}
+
+impl DpuHeap {
+    /// Creates a heap managing `[base, base + size)` for `n_cores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(base: u64, size: u64, n_cores: usize) -> Self {
+        assert!(size > 0, "heap must have capacity");
+        DpuHeap {
+            base,
+            end: base + size,
+            bump: base,
+            global_free: vec![Vec::new(); CLASSES.len()],
+            caches: vec![
+                CoreCache {
+                    free: vec![Vec::new(); CLASSES.len()],
+                };
+                n_cores
+            ],
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Bytes never yet carved from the bump region.
+    pub fn untouched_bytes(&self) -> u64 {
+        self.end - self.bump
+    }
+
+    fn class_of(bytes: u32) -> Option<usize> {
+        CLASSES.iter().position(|&c| bytes <= c)
+    }
+
+    fn carve(&mut self, bytes: u64) -> Option<u64> {
+        // Keep 16-byte alignment for every carve.
+        let aligned = bytes.div_ceil(16) * 16;
+        if self.bump + aligned > self.end {
+            return None;
+        }
+        let addr = self.bump;
+        self.bump += aligned;
+        Some(addr)
+    }
+
+    /// Allocates `bytes` for `core`; returns the physical address, or
+    /// `None` when memory is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `bytes` is zero.
+    pub fn alloc(&mut self, core: usize, bytes: u32) -> Option<u64> {
+        assert!(bytes > 0, "zero-byte allocation");
+        let Some(class) = Self::class_of(bytes) else {
+            // Large allocation: straight from the bump region (the paper's
+            // big columnar buffers are allocated once).
+            self.stats.large_allocs += 1;
+            return self.carve(bytes as u64);
+        };
+        if let Some(addr) = self.caches[core].free[class].pop() {
+            self.stats.local_hits += 1;
+            return Some(addr);
+        }
+        // Refill from the global pool (the "lock" level).
+        self.stats.global_refills += 1;
+        let block = CLASSES[class] as u64;
+        for _ in 0..REFILL_BATCH {
+            let addr = match self.global_free[class].pop() {
+                Some(a) => a,
+                None => match self.carve(block) {
+                    Some(a) => a,
+                    None => break,
+                },
+            };
+            self.caches[core].free[class].push(addr);
+        }
+        self.caches[core].free[class].pop()
+    }
+
+    /// Returns a block of `bytes` at `addr` to `core`'s cache (spilling a
+    /// batch to the global pool if the cache is full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range, or `addr` lies outside the heap.
+    pub fn free(&mut self, core: usize, addr: u64, bytes: u32) {
+        assert!(
+            addr >= self.base && addr < self.end,
+            "free of {addr:#x} outside heap"
+        );
+        let Some(class) = Self::class_of(bytes) else {
+            // Large blocks are not recycled (lifetime = run), as in the
+            // paper's usage of big scan buffers.
+            return;
+        };
+        let cache = &mut self.caches[core].free[class];
+        cache.push(addr);
+        if cache.len() > CACHE_CAP {
+            let spill_at = CACHE_CAP / 2;
+            let spilled: Vec<u64> = cache.drain(spill_at..).collect();
+            self.global_free[class].extend(spilled);
+            self.stats.spills += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut heap = DpuHeap::new(0, 1 << 20, 8);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let size = 1 + (i * 37) % 300;
+            let core = (i % 8) as usize;
+            let addr = heap.alloc(core, size).unwrap();
+            for &(a, s) in &live {
+                let s_end = a + s.next_multiple_of(16) as u64;
+                let n_end = addr + size.next_multiple_of(16) as u64;
+                assert!(addr >= s_end || n_end <= a, "overlap at {addr:#x}");
+            }
+            live.push((addr, size));
+        }
+    }
+
+    #[test]
+    fn local_cache_recycles_frees() {
+        let mut heap = DpuHeap::new(0, 1 << 16, 2);
+        let a = heap.alloc(0, 64).unwrap();
+        heap.free(0, a, 64);
+        assert_eq!(heap.alloc(0, 64), Some(a));
+        let s = heap.stats();
+        assert!(s.local_hits >= 1);
+    }
+
+    #[test]
+    fn refills_amortize_global_traffic() {
+        let mut heap = DpuHeap::new(0, 1 << 20, 1);
+        for _ in 0..64 {
+            heap.alloc(0, 100).unwrap();
+        }
+        let s = heap.stats();
+        // 64 allocations of one class need only ceil(64/8) refills.
+        assert_eq!(s.global_refills, 8);
+        assert_eq!(s.local_hits, 64 - 8);
+    }
+
+    #[test]
+    fn spill_feeds_other_cores() {
+        let mut heap = DpuHeap::new(0, 1 << 20, 2);
+        let blocks: Vec<u64> = (0..40).map(|_| heap.alloc(0, 32).unwrap()).collect();
+        for &b in &blocks {
+            heap.free(0, b, 32);
+        }
+        assert!(heap.stats().spills >= 1, "cache overflow must spill");
+        // Core 1's refill can now reuse spilled blocks without carving.
+        let before = heap.untouched_bytes();
+        heap.alloc(1, 32).unwrap();
+        assert_eq!(heap.untouched_bytes(), before, "served from spilled pool");
+    }
+
+    #[test]
+    fn large_allocations_bypass_classes() {
+        let mut heap = DpuHeap::new(0, 1 << 20, 1);
+        let a = heap.alloc(0, 100_000).unwrap();
+        let b = heap.alloc(0, 100_000).unwrap();
+        assert!(b >= a + 100_000);
+        assert_eq!(heap.stats().large_allocs, 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut heap = DpuHeap::new(0, 1024, 1);
+        assert!(heap.alloc(0, 900).is_some());
+        assert!(heap.alloc(0, 900).is_none());
+    }
+
+    #[test]
+    fn distinct_cores_get_distinct_blocks() {
+        let mut heap = DpuHeap::new(0, 1 << 20, 8);
+        let mut seen = HashSet::new();
+        for core in 0..8 {
+            for _ in 0..20 {
+                assert!(seen.insert(heap.alloc(core, 64).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside heap")]
+    fn foreign_free_detected() {
+        let mut heap = DpuHeap::new(0x1000, 1024, 1);
+        heap.free(0, 0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_alloc_rejected() {
+        DpuHeap::new(0, 1024, 1).alloc(0, 0);
+    }
+}

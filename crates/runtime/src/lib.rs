@@ -1,0 +1,35 @@
+//! The DPU software runtime (§4 of the paper).
+//!
+//! Applications on the DPU are "co-operatively scheduled to completion":
+//! each dpCore runs its task without preemption, overlapping data
+//! movement via the DMS — that cooperative engine *is*
+//! [`dpu_core::Dpu::run`]. This crate provides the software layer above
+//! it:
+//!
+//! * [`scheduler`] — the cooperative run-to-completion discipline with the
+//!   three well-known interrupt sources (ATE software RPCs, mailbox,
+//!   timer),
+//! * [`parallel`] — static chunking and ATE-based dynamic work stealing
+//!   ("instead of a static schedule, we partition the input set into
+//!   multiple chunks and implement work stealing across cores using the
+//!   ATE hardware atomics", §5.4),
+//! * [`heap`] — the two-level heap allocator "similar to Hoard or
+//!   TCMalloc" that manages DRAM,
+//! * [`serialized`] — the owner-pinned shared-data discipline: "most
+//!   shared data structures are pinned to a single owner dpCore, and all
+//!   manipulators are forced via a serialized interface to the ATE's
+//!   remote procedure calls",
+//! * [`coherence`] — software-coherence bookkeeping, including the
+//!   redundant-flush detector the paper's tooling provided.
+
+pub mod coherence;
+pub mod heap;
+pub mod parallel;
+pub mod scheduler;
+pub mod serialized;
+
+pub use coherence::CoherenceTracker;
+pub use heap::DpuHeap;
+pub use parallel::{static_chunks, StealingScheduler};
+pub use scheduler::{CoopScheduler, InterruptSource};
+pub use serialized::{serialized_call, SerializedRegion};

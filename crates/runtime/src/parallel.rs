@@ -1,0 +1,176 @@
+//! Parallel decomposition: static chunks and ATE work stealing.
+
+use std::ops::Range;
+
+use dpu_ate::{Ate, AteCounter};
+use dpu_mem::{Dmem, PhysMem};
+use dpu_sim::Time;
+
+/// Splits `0..n_items` into `n_workers` near-equal contiguous ranges
+/// (static schedule). Early ranges get the remainder.
+///
+/// # Example
+///
+/// ```
+/// use dpu_runtime::static_chunks;
+/// let c = static_chunks(10, 3);
+/// assert_eq!(c, vec![0..4, 4..7, 7..10]);
+/// ```
+pub fn static_chunks(n_items: u64, n_workers: usize) -> Vec<Range<u64>> {
+    assert!(n_workers > 0, "need at least one worker");
+    let n_workers = n_workers as u64;
+    let base = n_items / n_workers;
+    let extra = n_items % n_workers;
+    let mut out = Vec::with_capacity(n_workers as usize);
+    let mut start = 0;
+    for w in 0..n_workers {
+        let len = base + u64::from(w < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Dynamic chunk claiming over an ATE fetch-add counter (§5.4): "the
+/// variable latency multiplier on the dpCores makes this dynamic
+/// scheduling essential to avoid long tail latencies".
+#[derive(Debug, Clone, Copy)]
+pub struct StealingScheduler {
+    counter: AteCounter,
+    /// Items per claimed chunk.
+    pub chunk_items: u64,
+    /// Total items.
+    pub total_items: u64,
+}
+
+impl StealingScheduler {
+    /// Creates a scheduler whose shared counter lives at `counter_addr`
+    /// in DDR, arbitrated by `home_core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_items` is zero.
+    pub fn new(counter_addr: u64, home_core: usize, chunk_items: u64, total_items: u64) -> Self {
+        assert!(chunk_items > 0, "chunks must hold items");
+        StealingScheduler {
+            counter: AteCounter { addr: counter_addr, home_core },
+            chunk_items,
+            total_items,
+        }
+    }
+
+    /// Number of chunks the input divides into.
+    pub fn n_chunks(&self) -> u64 {
+        self.total_items.div_ceil(self.chunk_items)
+    }
+
+    /// Claims the next chunk for `core` at `now`. Returns the item range
+    /// and the time the claim completed, or `None` when the work is
+    /// exhausted (the final fetch-add still costs its round trip, which is
+    /// reflected in the returned time via `Err`-like `None` + the
+    /// counter's side effects — callers typically stop polling then).
+    pub fn claim(
+        &self,
+        core: usize,
+        now: Time,
+        ate: &mut Ate,
+        phys: &mut PhysMem,
+        dmems: &mut [Dmem],
+    ) -> Option<(Range<u64>, Time)> {
+        let (chunk, t) = self.counter.next(core, now, ate, phys, dmems);
+        if chunk >= self.n_chunks() {
+            return None;
+        }
+        let start = chunk * self.chunk_items;
+        let end = (start + self.chunk_items).min(self.total_items);
+        Some((start..end, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_ate::AteConfig;
+
+    #[test]
+    fn static_chunks_cover_exactly() {
+        for (n, w) in [(0u64, 4usize), (1, 4), (100, 7), (32, 32), (5, 8)] {
+            let chunks = static_chunks(n, w);
+            assert_eq!(chunks.len(), w);
+            let mut covered = 0;
+            let mut expect_start = 0;
+            for c in &chunks {
+                assert_eq!(c.start, expect_start, "contiguous");
+                covered += c.end - c.start;
+                expect_start = c.end;
+            }
+            assert_eq!(covered, n);
+            // Balance: sizes differ by at most one.
+            let sizes: Vec<u64> = chunks.iter().map(|c| c.end - c.start).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        static_chunks(10, 0);
+    }
+
+    #[test]
+    fn stealing_claims_every_item_once() {
+        let mut ate = Ate::new(AteConfig::default(), 32);
+        let mut phys = PhysMem::new(4096);
+        let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(64)).collect();
+        let sched = StealingScheduler::new(0, 0, 7, 100);
+        assert_eq!(sched.n_chunks(), 15);
+        let mut seen = [false; 100];
+        let mut active = 0;
+        // Cores round-robin claiming until exhausted.
+        'outer: loop {
+            for core in 0..8 {
+                match sched.claim(core, Time::ZERO, &mut ate, &mut phys, &mut dmems) {
+                    Some((r, _)) => {
+                        for i in r {
+                            assert!(!seen[i as usize], "item {i} claimed twice");
+                            seen[i as usize] = true;
+                        }
+                        active += 1;
+                    }
+                    None => break 'outer,
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(active, 15);
+        // Last chunk is short: 100 = 14×7 + 2.
+    }
+
+    #[test]
+    fn contention_shows_in_claim_times() {
+        let mut ate = Ate::new(AteConfig::default(), 32);
+        let mut phys = PhysMem::new(4096);
+        let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(64)).collect();
+        let sched = StealingScheduler::new(0, 0, 1, 64);
+        let mut times = Vec::new();
+        for core in 0..32 {
+            let (_, t) = sched
+                .claim(core, Time::ZERO, &mut ate, &mut phys, &mut dmems)
+                .unwrap();
+            times.push(t);
+        }
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "FIFO serialization");
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut ate = Ate::new(AteConfig::default(), 32);
+        let mut phys = PhysMem::new(4096);
+        let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(64)).collect();
+        let sched = StealingScheduler::new(8, 0, 10, 10);
+        assert!(sched.claim(0, Time::ZERO, &mut ate, &mut phys, &mut dmems).is_some());
+        assert!(sched.claim(1, Time::ZERO, &mut ate, &mut phys, &mut dmems).is_none());
+        assert!(sched.claim(2, Time::ZERO, &mut ate, &mut phys, &mut dmems).is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Cooperative run-to-completion scheduling (§4).
+//!
+//! "Applications are co-operatively scheduled to completion: only
+//! occasional interrupts from a well-known set of sources (software
+//! remote procedure calls via ATE, network messages over the mailbox, or
+//! a timer) cause control to temporarily switch away from the
+//! application thread." This module models that discipline in virtual
+//! time: tasks on a core run back-to-back without preemption; interrupts
+//! borrow the core briefly and return control to the same task.
+
+use std::collections::VecDeque;
+
+use dpu_sim::Time;
+
+/// The well-known interrupt sources (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptSource {
+    /// A software remote procedure call delivered by the ATE.
+    AteSwRpc,
+    /// A mailbox message from the A9/M0 or another dpCore.
+    Mailbox,
+    /// The periodic timer.
+    Timer,
+}
+
+/// A unit of application work pinned to a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Diagnostic name.
+    pub name: String,
+    /// Compute cycles the task needs.
+    pub cycles: u64,
+}
+
+/// One completed task with its schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedTask {
+    /// The task.
+    pub task: Task,
+    /// When it first got the core.
+    pub started: Time,
+    /// When it finished (includes time stolen by interrupts).
+    pub finished: Time,
+    /// Cycles stolen by interrupt handlers while it ran.
+    pub stolen: u64,
+}
+
+/// A pending interrupt delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interrupt {
+    at: Time,
+    source: InterruptSource,
+    handler_cycles: u64,
+}
+
+/// The per-core cooperative scheduler.
+#[derive(Debug, Default)]
+pub struct CoopScheduler {
+    queue: VecDeque<Task>,
+    interrupts: Vec<Interrupt>,
+    interrupt_log: Vec<(Time, InterruptSource)>,
+}
+
+impl CoopScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a task (FIFO).
+    pub fn spawn(&mut self, name: &str, cycles: u64) {
+        self.queue.push_back(Task { name: name.to_string(), cycles });
+    }
+
+    /// Registers an interrupt to be delivered at `at`.
+    pub fn raise_at(&mut self, at: Time, source: InterruptSource, handler_cycles: u64) {
+        self.interrupts.push(Interrupt { at, source, handler_cycles });
+    }
+
+    /// Tasks waiting to run.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Interrupts taken so far, in delivery order.
+    pub fn interrupt_log(&self) -> &[(Time, InterruptSource)] {
+        &self.interrupt_log
+    }
+
+    /// Runs every queued task to completion starting at `start`,
+    /// delivering registered interrupts at their times (an interrupt due
+    /// while a task runs steals its handler cycles from that task's
+    /// window; one due while idle runs immediately). Returns the
+    /// completion schedule.
+    pub fn run(&mut self, start: Time) -> Vec<CompletedTask> {
+        self.interrupts.sort_by_key(|i| i.at);
+        let mut pending: VecDeque<Interrupt> = self.interrupts.drain(..).collect();
+        let mut now = start;
+        let mut out = Vec::new();
+        while let Some(task) = self.queue.pop_front() {
+            let started = now;
+            let mut remaining = task.cycles;
+            let mut stolen = 0u64;
+            while remaining > 0 {
+                // Next interrupt due before this task would finish?
+                let finish_if_undisturbed = now + Time::from_cycles(remaining);
+                match pending.front().copied() {
+                    Some(irq) if irq.at < finish_if_undisturbed => {
+                        pending.pop_front();
+                        // Run up to the interrupt, take it, resume.
+                        let ran = irq.at.saturating_sub(now).cycles().min(remaining);
+                        remaining -= ran;
+                        now = now.max(irq.at) + Time::from_cycles(irq.handler_cycles);
+                        stolen += irq.handler_cycles;
+                        self.interrupt_log.push((irq.at, irq.source));
+                    }
+                    _ => {
+                        now = finish_if_undisturbed;
+                        remaining = 0;
+                    }
+                }
+            }
+            out.push(CompletedTask { task, started, finished: now, stolen });
+        }
+        // Any interrupts left fire on the idle core.
+        for irq in pending {
+            let at = now.max(irq.at);
+            now = at + Time::from_cycles(irq.handler_cycles);
+            self.interrupt_log.push((irq.at, irq.source));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+
+    #[test]
+    fn tasks_run_fifo_without_preemption() {
+        let mut s = CoopScheduler::new();
+        s.spawn("a", 100);
+        s.spawn("b", 50);
+        s.spawn("c", 25);
+        let done = s.run(Time::ZERO);
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0].task.name, "a");
+        assert_eq!(done[0].finished, t(100));
+        assert_eq!(done[1].started, t(100), "b starts only when a completes");
+        assert_eq!(done[2].finished, t(175));
+        assert!(done.iter().all(|d| d.stolen == 0));
+    }
+
+    #[test]
+    fn interrupt_steals_cycles_but_does_not_reschedule() {
+        let mut s = CoopScheduler::new();
+        s.spawn("app", 1000);
+        s.spawn("next", 10);
+        s.raise_at(t(400), InterruptSource::AteSwRpc, 60);
+        let done = s.run(Time::ZERO);
+        // The app still completes before "next" runs (no preemptive
+        // rescheduling), just 60 cycles later.
+        assert_eq!(done[0].task.name, "app");
+        assert_eq!(done[0].finished, t(1060));
+        assert_eq!(done[0].stolen, 60);
+        assert_eq!(done[1].started, t(1060));
+        assert_eq!(s.interrupt_log(), &[(t(400), InterruptSource::AteSwRpc)]);
+    }
+
+    #[test]
+    fn multiple_interrupts_accumulate_in_order() {
+        let mut s = CoopScheduler::new();
+        s.spawn("app", 500);
+        s.raise_at(t(300), InterruptSource::Timer, 10);
+        s.raise_at(t(100), InterruptSource::Mailbox, 20);
+        let done = s.run(Time::ZERO);
+        assert_eq!(done[0].stolen, 30);
+        assert_eq!(done[0].finished, t(530));
+        let sources: Vec<_> = s.interrupt_log().iter().map(|&(_, src)| src).collect();
+        assert_eq!(sources, vec![InterruptSource::Mailbox, InterruptSource::Timer]);
+    }
+
+    #[test]
+    fn idle_interrupts_still_fire() {
+        let mut s = CoopScheduler::new();
+        s.spawn("quick", 10);
+        s.raise_at(t(1000), InterruptSource::Timer, 5);
+        s.run(Time::ZERO);
+        assert_eq!(s.interrupt_log().len(), 1);
+    }
+
+    #[test]
+    fn interrupt_after_task_window_does_not_steal() {
+        let mut s = CoopScheduler::new();
+        s.spawn("app", 100);
+        s.raise_at(t(100), InterruptSource::Timer, 50);
+        let done = s.run(Time::ZERO);
+        assert_eq!(done[0].stolen, 0, "interrupt at the boundary hits idle time");
+        assert_eq!(done[0].finished, t(100));
+    }
+
+    #[test]
+    fn empty_scheduler_is_a_noop() {
+        let mut s = CoopScheduler::new();
+        assert!(s.run(t(5)).is_empty());
+        assert_eq!(s.pending(), 0);
+    }
+}

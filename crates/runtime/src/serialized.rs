@@ -1,0 +1,183 @@
+//! The owner-pinned serialized-access discipline.
+//!
+//! §4: shared structures are pinned to one owner dpCore and mutated only
+//! through `dpu_serialized(...)` — a software RPC that (a) flushes the
+//! argument objects on the issuing core, (b) invalidates them on the
+//! remote core, (c) runs the manipulator on the owner, (d) flushes the
+//! results remotely, and (e) invalidates them locally on return.
+//! [`serialized_call`] reproduces that five-step protocol with real cache
+//! bookkeeping and ATE timing.
+
+use dpu_ate::Ate;
+use dpu_mem::{Cache, PhysMem};
+use dpu_sim::Time;
+
+/// A shared region pinned to an owner core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SerializedRegion {
+    /// The owner (home) dpCore.
+    pub owner: usize,
+    /// Physical base address of the shared object.
+    pub addr: u64,
+    /// Object size in bytes.
+    pub len: u32,
+}
+
+impl SerializedRegion {
+    /// Cache lines the region spans.
+    pub fn lines(&self, line_size: u64) -> u64 {
+        let first = self.addr / line_size;
+        let last = (self.addr + self.len as u64 - 1) / line_size;
+        last - first + 1
+    }
+}
+
+/// Cycles to flush or invalidate one cache line.
+const LINE_OP_CYCLES: u64 = 4;
+
+/// Executes `manipulator` on the region's owner core via a software RPC,
+/// performing the full flush/invalidate protocol on the given caches.
+///
+/// Returns the manipulator's result and the time at which the issuing
+/// core resumes. `caller_cache` and `owner_cache` are the L1-D models of
+/// the two cores; `handler_cycles` estimates the manipulator's compute.
+#[allow(clippy::too_many_arguments)]
+pub fn serialized_call<R>(
+    region: SerializedRegion,
+    from_core: usize,
+    now: Time,
+    ate: &mut Ate,
+    phys: &mut PhysMem,
+    caller_cache: &mut Cache,
+    owner_cache: &mut Cache,
+    handler_cycles: u64,
+    manipulator: impl FnOnce(&mut PhysMem) -> R,
+) -> (R, Time) {
+    let line = caller_cache.config().line_size as u64;
+    let lines = region.lines(line);
+
+    // (a) flush argument lines on the issuing core.
+    let mut t = now;
+    for i in 0..lines {
+        caller_cache.flush_line(region.addr + i * line);
+    }
+    t += Time::from_cycles(lines * LINE_OP_CYCLES);
+
+    // (b) invalidate on the owner + (c) run the manipulator there.
+    for i in 0..lines {
+        owner_cache.invalidate_line(region.addr + i * line);
+    }
+    let ticket = ate.sw_rpc(
+        from_core,
+        region.owner,
+        t,
+        handler_cycles + lines * LINE_OP_CYCLES,
+    );
+    let result = manipulator(phys);
+
+    // (d) owner flushes results; (e) caller invalidates its stale copies.
+    for i in 0..lines {
+        owner_cache.flush_line(region.addr + i * line);
+        caller_cache.invalidate_line(region.addr + i * line);
+    }
+    let finish = ticket.response_at + Time::from_cycles(lines * LINE_OP_CYCLES);
+    (result, finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_ate::AteConfig;
+    use dpu_mem::CacheConfig;
+
+    fn setup() -> (Ate, PhysMem, Cache, Cache) {
+        (
+            Ate::new(AteConfig::default(), 32),
+            PhysMem::new(4096),
+            Cache::new(CacheConfig::dpcore_l1d()),
+            Cache::new(CacheConfig::dpcore_l1d()),
+        )
+    }
+
+    #[test]
+    fn manipulator_runs_and_returns() {
+        let (mut ate, mut phys, mut cc, mut oc) = setup();
+        let region = SerializedRegion { owner: 5, addr: 256, len: 16 };
+        phys.write_u64(256, 41);
+        let (old, t) = serialized_call(
+            region,
+            0,
+            Time::ZERO,
+            &mut ate,
+            &mut phys,
+            &mut cc,
+            &mut oc,
+            50,
+            |p| {
+                let v = p.read_u64(256);
+                p.write_u64(256, v + 1);
+                v
+            },
+        );
+        assert_eq!(old, 41);
+        assert_eq!(phys.read_u64(256), 42);
+        assert!(t > Time::ZERO);
+    }
+
+    #[test]
+    fn caller_copies_are_invalidated() {
+        let (mut ate, mut phys, mut cc, mut oc) = setup();
+        let region = SerializedRegion { owner: 1, addr: 0, len: 200 };
+        // Caller had the object cached (stale after the RPC).
+        for a in (0..256u64).step_by(64) {
+            cc.access(a, true);
+        }
+        serialized_call(
+            region, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 10, |_| (),
+        );
+        for a in (0..256u64).step_by(64) {
+            assert!(!cc.contains(a), "stale line {a} must be invalidated");
+        }
+    }
+
+    #[test]
+    fn bigger_objects_cost_more() {
+        let (mut ate, mut phys, mut cc, mut oc) = setup();
+        let small = SerializedRegion { owner: 1, addr: 0, len: 8 };
+        let big = SerializedRegion { owner: 1, addr: 1024, len: 2048 };
+        let (_, t_small) = serialized_call(
+            small, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 10, |_| (),
+        );
+        let mut ate2 = Ate::new(AteConfig::default(), 32);
+        let (_, t_big) = serialized_call(
+            big, 0, Time::ZERO, &mut ate2, &mut phys, &mut cc, &mut oc, 10, |_| (),
+        );
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn region_line_count() {
+        let r = SerializedRegion { owner: 0, addr: 60, len: 10 };
+        assert_eq!(r.lines(64), 2, "straddles a line boundary");
+        let r2 = SerializedRegion { owner: 0, addr: 64, len: 64 };
+        assert_eq!(r2.lines(64), 1);
+    }
+
+    #[test]
+    fn serialization_point_orders_concurrent_callers() {
+        let (mut ate, mut phys, mut cc, mut oc) = setup();
+        let region = SerializedRegion { owner: 3, addr: 512, len: 8 };
+        // Two callers at the same instant: their handlers serialize at
+        // the owner's injection port.
+        let (_, t1) = serialized_call(
+            region, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 100,
+            |p| { let v = p.read_u64(512); p.write_u64(512, v + 1); },
+        );
+        let (_, t2) = serialized_call(
+            region, 1, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 100,
+            |p| { let v = p.read_u64(512); p.write_u64(512, v + 1); },
+        );
+        assert_eq!(phys.read_u64(512), 2);
+        assert!(t2 > t1, "second caller waits behind the first");
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared-resource queuing models.
+//!
+//! Hardware resources that serve one request at a time — a DDR data bus, a
+//! crossbar port, the DMS hash engine — are modelled as FIFO *servers*: a
+//! request arriving at time `t` begins service at `max(t, next_free)` and
+//! occupies the resource for a service time derived from the request size.
+//! This captures contention between 32 dpCores without simulating
+//! per-beat wire activity.
+
+use crate::time::Time;
+
+/// A single FIFO resource with a fixed per-request overhead and a byte rate.
+///
+/// Service time for a request of `n` bytes is
+/// `overhead + ceil(n / bytes_per_cycle)` cycles.
+///
+/// # Example
+///
+/// ```
+/// use dpu_sim::{BandwidthServer, Time};
+/// // A bus moving 16 bytes/cycle with 4 cycles of fixed request overhead.
+/// let mut bus = BandwidthServer::new(16, 4);
+/// let done1 = bus.request(Time::ZERO, 64);        // 4 + 4 = 8 cycles
+/// assert_eq!(done1.cycles(), 8);
+/// let done2 = bus.request(Time::ZERO, 64);        // queued behind the first
+/// assert_eq!(done2.cycles(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthServer {
+    bytes_per_cycle: u64,
+    overhead: u64,
+    next_free: Time,
+    busy_cycles: u64,
+    bytes_served: u64,
+    requests: u64,
+}
+
+impl BandwidthServer {
+    /// Creates a server moving `bytes_per_cycle` with `overhead` cycles of
+    /// fixed cost per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(bytes_per_cycle: u64, overhead: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "server rate must be positive");
+        BandwidthServer {
+            bytes_per_cycle,
+            overhead,
+            next_free: Time::ZERO,
+            busy_cycles: 0,
+            bytes_served: 0,
+            requests: 0,
+        }
+    }
+
+    /// Submits a request of `bytes` arriving at `now`; returns its
+    /// completion time.
+    pub fn request(&mut self, now: Time, bytes: u64) -> Time {
+        self.request_with_extra(now, bytes, 0)
+    }
+
+    /// Like [`request`](Self::request) but with `extra` additional service
+    /// cycles (e.g. a DRAM row-miss penalty decided by the caller).
+    pub fn request_with_extra(&mut self, now: Time, bytes: u64, extra: u64) -> Time {
+        let start = self.next_free.max(now);
+        let service = self.overhead + extra + bytes.div_ceil(self.bytes_per_cycle);
+        let done = start + Time::from_cycles(service);
+        self.next_free = done;
+        self.busy_cycles += service;
+        self.bytes_served += bytes;
+        self.requests += 1;
+        done
+    }
+
+    /// The earliest time a new request could begin service.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total cycles this server has spent in service.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Total bytes moved through the server.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Utilization of the server over `[0, horizon]`: busy / elapsed.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / horizon.cycles() as f64
+    }
+
+    /// Resets occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.next_free = Time::ZERO;
+        self.busy_cycles = 0;
+        self.bytes_served = 0;
+        self.requests = 0;
+    }
+}
+
+/// One stage of an in-order hardware pipeline with double buffering.
+///
+/// A chunk entering stage `k` can start as soon as both (a) it has left
+/// stage `k-1` and (b) the stage has finished its previous chunk. This is
+/// exactly the timing of the DMAC's load → hash → store partition pipeline
+/// (Figure 10 of the paper), where each stage owns one bank of a
+/// double-buffered SRAM.
+///
+/// # Example
+///
+/// ```
+/// use dpu_sim::{PipelineStage, Time};
+/// let mut load = PipelineStage::new("load");
+/// let mut hash = PipelineStage::new("hash");
+/// // chunk 0
+/// let t0 = load.admit(Time::ZERO, Time::from_cycles(100));
+/// let t1 = hash.admit(t0, Time::from_cycles(50));
+/// // chunk 1 overlaps: load of chunk 1 runs while hash of chunk 0 runs
+/// let t2 = load.admit(Time::ZERO, Time::from_cycles(100));
+/// assert_eq!(t2.cycles(), 200);
+/// assert_eq!(t1.cycles(), 150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineStage {
+    name: &'static str,
+    free_at: Time,
+    busy_cycles: u64,
+    chunks: u64,
+}
+
+impl PipelineStage {
+    /// Creates an idle stage with a diagnostic name.
+    pub fn new(name: &'static str) -> Self {
+        PipelineStage {
+            name,
+            free_at: Time::ZERO,
+            busy_cycles: 0,
+            chunks: 0,
+        }
+    }
+
+    /// Admits a chunk that becomes available at `ready` and needs `work`
+    /// cycles in this stage; returns when the chunk leaves the stage.
+    pub fn admit(&mut self, ready: Time, work: Time) -> Time {
+        let start = self.free_at.max(ready);
+        let done = start + work;
+        self.free_at = done;
+        self.busy_cycles += work.cycles();
+        self.chunks += 1;
+        done
+    }
+
+    /// Diagnostic name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// When the stage next becomes free.
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    /// Total busy cycles accumulated.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of chunks processed.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_requests_queue_up() {
+        let mut s = BandwidthServer::new(8, 2);
+        let a = s.request(Time::ZERO, 16); // 2 + 2 = 4
+        let b = s.request(Time::ZERO, 16); // starts at 4
+        assert_eq!(a.cycles(), 4);
+        assert_eq!(b.cycles(), 8);
+        assert_eq!(s.bytes_served(), 32);
+        assert_eq!(s.requests(), 2);
+    }
+
+    #[test]
+    fn idle_gap_is_not_charged() {
+        let mut s = BandwidthServer::new(8, 0);
+        let a = s.request(Time::ZERO, 8); // done at 1
+        assert_eq!(a.cycles(), 1);
+        let b = s.request(Time::from_cycles(100), 8);
+        assert_eq!(b.cycles(), 101);
+        assert_eq!(s.busy_cycles(), 2);
+    }
+
+    #[test]
+    fn extra_cycles_extend_service() {
+        let mut s = BandwidthServer::new(16, 4);
+        let done = s.request_with_extra(Time::ZERO, 16, 10);
+        assert_eq!(done.cycles(), 4 + 10 + 1);
+    }
+
+    #[test]
+    fn partial_beat_rounds_up() {
+        let mut s = BandwidthServer::new(16, 0);
+        assert_eq!(s.request(Time::ZERO, 1).cycles(), 1);
+        assert_eq!(s.request(Time::ZERO, 17).cycles(), 3);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut s = BandwidthServer::new(16, 0);
+        s.request(Time::ZERO, 160); // 10 cycles busy
+        assert!((s.utilization(Time::from_cycles(40)) - 0.25).abs() < 1e-12);
+        assert_eq!(s.utilization(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = BandwidthServer::new(16, 1);
+        s.request(Time::ZERO, 64);
+        s.reset();
+        assert_eq!(s.next_free(), Time::ZERO);
+        assert_eq!(s.busy_cycles(), 0);
+        assert_eq!(s.bytes_served(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = BandwidthServer::new(0, 0);
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        let mut s1 = PipelineStage::new("load");
+        let mut s2 = PipelineStage::new("hash");
+        let mut s3 = PipelineStage::new("store");
+        let w = Time::from_cycles(100);
+        let mut done = Time::ZERO;
+        for i in 0..10u64 {
+            let a = s1.admit(Time::ZERO, w);
+            let b = s2.admit(a, w);
+            done = s3.admit(b, w);
+            // steady state: chunk i leaves at (i+3)*100
+            assert_eq!(done.cycles(), (i + 3) * 100);
+        }
+        // 10 chunks in 1200 cycles instead of 3000 serial.
+        assert_eq!(done.cycles(), 1200);
+        assert_eq!(s2.chunks(), 10);
+        assert_eq!(s1.busy_cycles(), 1000);
+        assert_eq!(s3.name(), "store");
+    }
+
+    #[test]
+    fn pipeline_bottleneck_dominates() {
+        let mut fast = PipelineStage::new("fast");
+        let mut slow = PipelineStage::new("slow");
+        let mut done = Time::ZERO;
+        for _ in 0..100u64 {
+            let a = fast.admit(Time::ZERO, Time::from_cycles(10));
+            done = slow.admit(a, Time::from_cycles(40));
+        }
+        // Steady-state rate is set by the slow stage: ~100 * 40.
+        assert_eq!(done.cycles(), 10 + 100 * 40);
+        assert!(fast.free_at() < slow.free_at());
+    }
+}

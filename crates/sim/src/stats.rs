@@ -1,0 +1,260 @@
+//! Lightweight statistics collection for simulation reports.
+
+use std::fmt;
+
+use crate::time::{Frequency, Time};
+
+/// A monotonically increasing named counter.
+///
+/// # Example
+///
+/// ```
+/// use dpu_sim::Counter;
+/// let mut c = Counter::new("axi_txns");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (e.g. RPC latencies).
+///
+/// Buckets are caller-defined upper bounds; samples above the last bound
+/// land in an overflow bucket.
+///
+/// # Example
+///
+/// ```
+/// use dpu_sim::Histogram;
+/// let mut h = Histogram::new(vec![10, 100, 1000]);
+/// h.record(5);
+/// h.record(50);
+/// h.record(5000);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_counts(), &[1, 1, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u64,
+    min: u64,
+    max: u64,
+    n: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n_buckets = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n_buckets],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            n: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| sample <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        self.n += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.n as f64)
+        }
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Per-bucket sample counts; the final entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Accumulates bytes over simulated time and reports throughput.
+///
+/// # Example
+///
+/// ```
+/// use dpu_sim::{RateMeter, Time, Frequency};
+/// let mut m = RateMeter::new();
+/// m.record(Time::from_cycles(800_000_000), 12_800_000_000);
+/// // 12.8 GB moved in one second at the 800 MHz core clock.
+/// assert!((m.gbytes_per_sec(Frequency::DPU_CORE) - 12.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RateMeter {
+    bytes: u64,
+    last: Time,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that by time `at`, `bytes` more bytes have moved.
+    pub fn record(&mut self, at: Time, bytes: u64) {
+        self.bytes += bytes;
+        self.last = self.last.max(at);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Time of the last recorded completion.
+    pub fn end_time(&self) -> Time {
+        self.last
+    }
+
+    /// Average throughput in bytes/second over `[0, end_time]`.
+    pub fn bytes_per_sec(&self, freq: Frequency) -> f64 {
+        freq.bytes_per_sec(self.bytes, self.last)
+    }
+
+    /// Average throughput in GB/s (decimal gigabytes, as the paper reports).
+    pub fn gbytes_per_sec(&self, freq: Frequency) -> f64 {
+        self.bytes_per_sec(freq) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.name(), "x");
+        assert_eq!(c.to_string(), "x=10");
+    }
+
+    #[test]
+    fn histogram_buckets_samples() {
+        let mut h = Histogram::new(vec![10, 20]);
+        for s in [1, 10, 11, 20, 21, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2]);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - (1063.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new(vec![1]);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_bounds_rejected() {
+        let _ = Histogram::new(vec![]);
+    }
+
+    #[test]
+    fn rate_meter_uses_latest_time() {
+        let mut m = RateMeter::new();
+        m.record(Time::from_cycles(100), 800);
+        m.record(Time::from_cycles(50), 800);
+        assert_eq!(m.bytes(), 1600);
+        assert_eq!(m.end_time(), Time::from_cycles(100));
+        // 1600 bytes in 100 cycles = 16 B/cyc = 12.8 GB/s at 800 MHz.
+        assert!((m.gbytes_per_sec(Frequency::DPU_CORE) - 12.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Selection bit vectors.
+//!
+//! Filters produce one bit per row (the `FILT` instruction shifts results
+//! into a 64-bit accumulator, stored to DMEM every 64 rows); downstream
+//! operators consume them as scatter/gather masks for the DMS.
+
+/// A row-selection bit vector.
+///
+/// # Example
+///
+/// ```
+/// use dpu_sql::BitVec;
+/// let mut bv = BitVec::new(10);
+/// bv.set(3);
+/// bv.set(7);
+/// assert_eq!(bv.count(), 2);
+/// assert_eq!(bv.iter_set().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// A cleared vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds from a predicate over row indices.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut bv = BitVec::new(len);
+        for i in 0..len {
+            if f(i) {
+                bv.set(i);
+            }
+        }
+        bv
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range");
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Population count (uses the dpCore's single-cycle POPC per word).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Selectivity in `[0, 1]`.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count() as f64 / self.len as f64
+        }
+    }
+
+    /// Iterator over set bit indices, ascending.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// Bitwise AND of two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "length mismatch");
+        BitVec {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// The raw 64-bit words (little-endian bit order), for DMS staging.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Serializes to bytes for the DMEM→DMS bit-vector transfer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bv = BitVec::new(130);
+        bv.set(0);
+        bv.set(64);
+        bv.set(129);
+        assert!(bv.get(0) && bv.get(64) && bv.get(129));
+        assert!(!bv.get(1));
+        bv.clear(64);
+        assert!(!bv.get(64));
+        assert_eq!(bv.count(), 2);
+        assert_eq!(bv.len(), 130);
+        assert!(!bv.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let bv = BitVec::from_fn(200, |i| i % 7 == 0);
+        let got: Vec<usize> = bv.iter_set().collect();
+        let want: Vec<usize> = (0..200).filter(|i| i % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = BitVec::from_fn(100, |i| i % 2 == 0);
+        let b = BitVec::from_fn(100, |i| i % 3 == 0);
+        let c = a.and(&b);
+        assert_eq!(c.count(), (0..100).filter(|i| i % 6 == 0).count());
+    }
+
+    #[test]
+    fn selectivity_bounds() {
+        assert_eq!(BitVec::new(0).selectivity(), 0.0);
+        let full = BitVec::from_fn(64, |_| true);
+        assert_eq!(full.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn bytes_roundtrip_shape() {
+        let bv = BitVec::from_fn(64, |i| i < 3);
+        assert_eq!(bv.to_bytes()[0], 0b111);
+        assert_eq!(bv.to_bytes().len(), 8);
+        assert_eq!(bv.words(), &[0b111]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_panics() {
+        BitVec::new(5).get(5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Columnar tables.
+//!
+//! Tables are stored column-major, as the DPU's SQL engine (and the
+//! commercial in-memory columnar database it offloads from) requires.
+//! Values are held as `i64` in the engine and materialized into physical
+//! DRAM at a declared width for the DMS to stream.
+
+use dpu_mem::PhysMem;
+
+/// One column: a name, a declared storage width, and values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Storage width in bytes (1, 2, 4 or 8) when materialized.
+    pub width: u8,
+    /// Values (sign-extended to i64 in the engine).
+    pub data: Vec<i64>,
+}
+
+impl Column {
+    /// Creates a 4-byte column.
+    pub fn i32(name: &str, data: Vec<i64>) -> Self {
+        Column { name: name.to_string(), width: 4, data }
+    }
+
+    /// Creates an 8-byte column.
+    pub fn i64(name: &str, data: Vec<i64>) -> Self {
+        Column { name: name.to_string(), width: 8, data }
+    }
+
+    /// Bytes when materialized.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * self.width as u64
+    }
+}
+
+/// A column-major table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    /// The columns (all equal length).
+    pub columns: Vec<Column>,
+}
+
+/// Physical placement of a materialized table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableLayout {
+    /// DDR base address of each column.
+    pub col_addrs: Vec<u64>,
+    /// Row count.
+    pub rows: u64,
+    /// Widths per column.
+    pub widths: Vec<u8>,
+    /// First address past the table.
+    pub end: u64,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(c.data.len(), first.data.len(), "ragged columns");
+            }
+        }
+        Table { columns }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.data.len())
+    }
+
+    /// Finds a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a column by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist (schema errors are bugs).
+    pub fn col_index(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no column {name:?}"))
+    }
+
+    /// Total bytes when materialized.
+    pub fn bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.bytes()).sum()
+    }
+
+    /// Writes the table column-major into DRAM starting at `base`
+    /// (column starts aligned to 256 B for clean AXI bursts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory region is too small or a value exceeds its
+    /// column width.
+    pub fn materialize(&self, phys: &mut PhysMem, base: u64) -> TableLayout {
+        let mut addr = base;
+        let mut col_addrs = Vec::new();
+        for col in &self.columns {
+            addr = addr.next_multiple_of(256);
+            col_addrs.push(addr);
+            for (i, &v) in col.data.iter().enumerate() {
+                let truncated = match col.width {
+                    1 => v as i8 as i64,
+                    2 => v as i16 as i64,
+                    4 => v as i32 as i64,
+                    _ => v,
+                };
+                assert_eq!(truncated, v, "value {v} overflows {}B column", col.width);
+                phys.write_uint(addr + i as u64 * col.width as u64, col.width as usize, v as u64);
+            }
+            addr += col.bytes();
+        }
+        TableLayout {
+            col_addrs,
+            rows: self.rows() as u64,
+            widths: self.columns.iter().map(|c| c.width).collect(),
+            end: addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = Table::new(vec![
+            Column::i32("a", vec![1, 2, 3]),
+            Column::i64("b", vec![10, 20, 30]),
+        ]);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.column("b").unwrap().data[1], 20);
+        assert_eq!(t.col_index("a"), 0);
+        assert_eq!(t.bytes(), 3 * 4 + 3 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_rejected() {
+        Table::new(vec![
+            Column::i32("a", vec![1]),
+            Column::i32("b", vec![1, 2]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        Table::new(vec![]).col_index("x");
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let t = Table::new(vec![
+            Column::i32("k", vec![5, -6, 7]),
+            Column::i64("v", vec![1 << 40, -2, 3]),
+        ]);
+        let mut phys = PhysMem::new(4096);
+        let layout = t.materialize(&mut phys, 100);
+        assert_eq!(layout.rows, 3);
+        assert!(layout.col_addrs[0].is_multiple_of(256));
+        assert_eq!(phys.read_u32(layout.col_addrs[0] + 4) as i32, -6);
+        assert_eq!(phys.read_u64(layout.col_addrs[1]) as i64, 1 << 40);
+        assert_eq!(phys.read_u64(layout.col_addrs[1] + 8) as i64, -2);
+        assert!(layout.end > layout.col_addrs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_detected_at_materialize() {
+        let t = Table::new(vec![Column::i32("k", vec![i64::MAX])]);
+        let mut phys = PhysMem::new(4096);
+        t.materialize(&mut phys, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! A columnar SQL engine co-designed for the DPU (§5.3).
+//!
+//! The engine mirrors the paper's design: data lives in column-major
+//! tables in DRAM; queries decompose into streaming primitives — filter
+//! (BVLD/FILT), partition (DMS hardware + software rounds), group-by with
+//! DMEM-resident hash tables, partitioned hash join, and top-k — that are
+//! parallelized across the 32 dpCores. "Our query processing software is
+//! designed around careful partitioning of the data to ensure that each
+//! partition's data structures fit into the DMEM", guaranteeing
+//! single-cycle access.
+//!
+//! Every operator executes *functionally* (results are checked against
+//! naive reference implementations) while reporting the byte volumes and
+//! operation counts that the DPU simulator and the Xeon model price.
+//!
+//! [`tpch`] provides a scaled TPC-H generator and eight queries used by
+//! the Figure 16 reproduction.
+
+pub mod agg;
+pub mod bitvec;
+pub mod column;
+pub mod expr;
+pub mod filter;
+pub mod join;
+pub mod plan;
+pub mod sort;
+pub mod topk;
+pub mod tpch;
+
+pub use agg::{partitioned_group_by, AggFunc, GroupByPlan, GroupBySpec};
+pub use bitvec::BitVec;
+pub use column::{Column, Table};
+pub use expr::Expr;
+pub use filter::{measure_filter_kernel, CompareOp, FilterSpec};
+pub use join::HashJoin;
+pub use plan::{CostAcc, PlatformCost, QueryCost};
+pub use sort::{sample_bounds, sort_indices};
+pub use topk::top_k;

@@ -1,0 +1,193 @@
+//! Query cost accounting for both platforms.
+//!
+//! Operators execute functionally and report their traffic and work into
+//! a [`CostAcc`]; the accumulator converts to seconds with a roofline on
+//! each platform: streaming bytes at the platform's effective memory
+//! bandwidth versus compute cycles across its cores. Performance/watt
+//! gains then follow the paper's provisioned-power arithmetic.
+
+use xeon_model::Xeon;
+
+/// Effective DPU streaming bandwidth, bytes/s — what the DMS sustains in
+/// the Figure 11/13 microbenchmarks (≈9.6 GB/s out of the 12.8 GB/s
+/// peak). The fig11 bench regenerates this number from the simulator.
+pub const DPU_STREAM_BW: f64 = 9.6e9;
+/// dpCore count × clock.
+pub const DPU_CORES: f64 = 32.0;
+/// dpCore clock in Hz.
+pub const DPU_CLOCK: f64 = 800.0e6;
+/// Provisioned DPU power, watts (§5).
+pub const DPU_WATTS: f64 = 6.0;
+
+/// Cost of a query on one platform.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlatformCost {
+    /// Bytes moved through DRAM.
+    pub bytes: u64,
+    /// Total compute cycles summed over cores/threads.
+    pub compute_cycles: u64,
+    /// Wall-clock seconds (roofline of the two).
+    pub seconds: f64,
+}
+
+/// Costs of a query on both platforms.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryCost {
+    /// DPU side.
+    pub dpu: PlatformCost,
+    /// Xeon side.
+    pub xeon: PlatformCost,
+}
+
+impl QueryCost {
+    /// The Figure 14/16 metric: DPU performance/watt over Xeon
+    /// performance/watt (throughput = 1/seconds).
+    pub fn gain(&self, xeon: &Xeon) -> f64 {
+        (self.xeon.seconds / self.dpu.seconds) * (xeon.tdp_watts() / DPU_WATTS)
+    }
+}
+
+/// Accumulates operator costs for one query.
+///
+/// `scale` lets a query execute functionally on a miniature dataset
+/// while costing at the paper's full scale factor: every byte and row
+/// reported to the accumulator is multiplied by it, and cardinality-
+/// driven planning (partition rounds) should use [`scale`](Self::scale)-
+/// adjusted row counts.
+#[derive(Debug, Clone, Copy)]
+pub struct CostAcc {
+    dpu_bytes: u64,
+    dpu_cycles: u64,
+    xeon_bytes: u64,
+    xeon_cycles: u64,
+    scale: u64,
+}
+
+impl Default for CostAcc {
+    fn default() -> Self {
+        CostAcc { dpu_bytes: 0, dpu_cycles: 0, xeon_bytes: 0, xeon_cycles: 0, scale: 1 }
+    }
+}
+
+impl CostAcc {
+    /// A zeroed accumulator at scale 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed accumulator costing at `scale`× the executed data size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn with_scale(scale: u64) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        CostAcc { scale, ..Self::default() }
+    }
+
+    /// The cardinality scale factor in force.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Both platforms stream the same bytes (e.g. a column scan).
+    pub fn stream_both(&mut self, bytes: u64) -> &mut Self {
+        self.dpu_bytes += bytes * self.scale;
+        self.xeon_bytes += bytes * self.scale;
+        self
+    }
+
+    /// Platform-specific byte traffic (e.g. differing partition rounds).
+    pub fn stream(&mut self, dpu_bytes: u64, xeon_bytes: u64) -> &mut Self {
+        self.dpu_bytes += dpu_bytes * self.scale;
+        self.xeon_bytes += xeon_bytes * self.scale;
+        self
+    }
+
+    /// Per-row compute on both platforms: the DPU pays
+    /// `dpu_cycles_per_row` on its in-order pipeline, the Xeon
+    /// `xeon_cycles_per_row` on its out-of-order cores.
+    pub fn compute(&mut self, rows: u64, dpu_cycles_per_row: f64, xeon_cycles_per_row: f64) -> &mut Self {
+        let rows = rows * self.scale;
+        self.dpu_cycles += (rows as f64 * dpu_cycles_per_row) as u64;
+        self.xeon_cycles += (rows as f64 * xeon_cycles_per_row) as u64;
+        self
+    }
+
+    /// Converts to seconds via each platform's roofline.
+    pub fn finish(&self, xeon: &Xeon) -> QueryCost {
+        let dpu_mem = self.dpu_bytes as f64 / DPU_STREAM_BW;
+        let dpu_cpu = self.dpu_cycles as f64 / (DPU_CORES * DPU_CLOCK);
+        let xeon_mem = xeon.stream_seconds(self.xeon_bytes);
+        let xeon_cpu = self.xeon_cycles as f64
+            / (xeon.config.threads as f64 * xeon.config.clock_hz);
+        QueryCost {
+            dpu: PlatformCost {
+                bytes: self.dpu_bytes,
+                compute_cycles: self.dpu_cycles,
+                seconds: dpu_mem.max(dpu_cpu),
+            },
+            xeon: PlatformCost {
+                bytes: self.xeon_bytes,
+                compute_cycles: self.xeon_cycles,
+                seconds: xeon_mem.max(xeon_cpu),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_gain_is_bandwidth_times_power() {
+        // A pure scan: both platforms at their memory bandwidth.
+        let mut acc = CostAcc::new();
+        acc.stream_both(1 << 30);
+        let xeon = Xeon::new();
+        let cost = acc.finish(&xeon);
+        let gain = cost.gain(&xeon);
+        // (9.6/34.5) × (145/6) ≈ 6.7 — the paper's low-NDV group-by gain.
+        assert!((gain - 6.72).abs() < 0.1, "gain {gain}");
+    }
+
+    #[test]
+    fn extra_xeon_rounds_raise_the_gain() {
+        // High-NDV group-by: DPU 3× bytes, Xeon 5× bytes.
+        let b = 1u64 << 30;
+        let mut acc = CostAcc::new();
+        acc.stream(3 * b, 5 * b);
+        let xeon = Xeon::new();
+        let gain = acc.finish(&xeon).gain(&xeon);
+        assert!(
+            gain > 9.0 && gain < 13.0,
+            "high-NDV gain should land near the paper's 9.7×, got {gain:.2}"
+        );
+    }
+
+    #[test]
+    fn compute_bound_roofline() {
+        let mut acc = CostAcc::new();
+        // Tiny bytes, huge compute.
+        acc.stream_both(1024);
+        acc.compute(1_000_000_000, 10.0, 2.0);
+        let xeon = Xeon::new();
+        let cost = acc.finish(&xeon);
+        // DPU: 1e10 cycles / 25.6e9 cyc/s ≈ 0.39 s.
+        assert!((cost.dpu.seconds - 10.0e9 / (32.0 * 800.0e6)).abs() < 1e-3);
+        assert!(cost.xeon.seconds < cost.dpu.seconds, "Xeon wins raw speed");
+        // But per watt the DPU can still win.
+        assert!(cost.gain(&xeon) > 1.0);
+    }
+
+    #[test]
+    fn accumulation_is_additive() {
+        let xeon = Xeon::new();
+        let mut a = CostAcc::new();
+        a.stream_both(100).stream_both(100);
+        let mut b = CostAcc::new();
+        b.stream_both(200);
+        assert_eq!(a.finish(&xeon), b.finish(&xeon));
+    }
+}

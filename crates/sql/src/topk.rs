@@ -1,0 +1,95 @@
+//! Top-k selection.
+//!
+//! Each dpCore maintains a k-element heap over its chunk of the input;
+//! the per-core heaps are merged at the end (the merge touches only
+//! `cores × k` rows, so its cost is negligible — the same argument as the
+//! group-by merge operator in §5.3).
+
+use std::collections::BinaryHeap;
+
+use crate::column::Table;
+
+/// Selects the top `k` row indices of `table` by `order_col` descending
+/// (ties broken by ascending row index, making results deterministic).
+///
+/// `workers` models the per-core decomposition; the result is identical
+/// for any worker count.
+///
+/// # Panics
+///
+/// Panics if the column is missing, or `k` or `workers` is zero.
+pub fn top_k(table: &Table, order_col: &str, k: usize, workers: usize) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    assert!(workers > 0, "need at least one worker");
+    let col = &table.columns[table.col_index(order_col)].data;
+    let rows = col.len();
+
+    // Per-worker heaps over contiguous chunks (min-heap of size k via
+    // Reverse ordering on (value, Reverse(index))).
+    let mut candidates: Vec<(i64, usize)> = Vec::new();
+    let chunk = rows.div_ceil(workers);
+    for w in 0..workers {
+        let start = w * chunk;
+        let end = ((w + 1) * chunk).min(rows);
+        let mut heap: BinaryHeap<std::cmp::Reverse<(i64, std::cmp::Reverse<usize>)>> =
+            BinaryHeap::new();
+        for r in start..end {
+            heap.push(std::cmp::Reverse((col[r], std::cmp::Reverse(r))));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        candidates.extend(heap.into_iter().map(|std::cmp::Reverse((v, std::cmp::Reverse(r)))| (v, r)));
+    }
+
+    // Merge: sort the ≤ workers×k candidates.
+    candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    candidates.truncate(k);
+    candidates.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn table(vals: Vec<i64>) -> Table {
+        Table::new(vec![Column::i64("v", vals)])
+    }
+
+    #[test]
+    fn picks_largest_values() {
+        let t = table(vec![5, 1, 9, 3, 7, 9]);
+        let idx = top_k(&t, "v", 3, 1);
+        assert_eq!(idx, vec![2, 5, 4], "9(first), 9(second), 7");
+    }
+
+    #[test]
+    fn worker_count_is_invisible() {
+        let vals: Vec<i64> = (0..1000).map(|i| (i * 7919) % 5000).collect();
+        let t = table(vals);
+        let a = top_k(&t, "v", 10, 1);
+        for workers in [2, 8, 32, 100] {
+            assert_eq!(top_k(&t, "v", 10, workers), a, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything_sorted() {
+        let t = table(vec![3, 1, 2]);
+        let idx = top_k(&t, "v", 10, 4);
+        assert_eq!(idx, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_row_order() {
+        let t = table(vec![5, 5, 5, 5]);
+        assert_eq!(top_k(&t, "v", 2, 2), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        top_k(&table(vec![1]), "v", 0, 1);
+    }
+}

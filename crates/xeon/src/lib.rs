@@ -1,0 +1,202 @@
+//! Analytic model of the paper's x86 baseline.
+//!
+//! The paper compares the DPU against "a Xeon server, with two Intel Xeon
+//! E5-2699 v3 18C/36T processors and 256 GB DDR4 DRAM running at
+//! 1600 MHz", assuming "a TDP of 145 W for the Xeon, and 6 W for the DPU"
+//! (§5). Because we cannot run on that 2014 testbed, the baseline is an
+//! analytic cost model with two inputs:
+//!
+//! 1. **Machine parameters** ([`XeonConfig`]) — cores, clock, issue
+//!    width, memory system — driving an out-of-order cost function for
+//!    counted kernels ([`Xeon::kernel_seconds`]).
+//! 2. **Calibration anchors** ([`calibration`]) — the absolute x86
+//!    throughputs the paper itself reports (SAJSON 5.2 GB/s, SpMM
+//!    34.5 GB/s effective bandwidth, …), used directly where available so
+//!    the comparison is against the *paper's* baseline, not our guess.
+//!
+//! The DPU side of every experiment comes from the simulator; only the
+//! baseline uses this model. EXPERIMENTS.md records which anchor each
+//! figure uses.
+
+pub mod calibration;
+
+use dpu_isa::{OpCounts, PipelineModel};
+
+/// Machine parameters of the baseline server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XeonConfig {
+    /// Physical cores used by the paper's baselines (18C/36T × 2, but the
+    /// paper's software typically ran one socket's 18 cores / 36 threads).
+    pub cores: usize,
+    /// SMT threads available.
+    pub threads: usize,
+    /// Sustained all-core clock in Hz.
+    pub clock_hz: f64,
+    /// Issue width of the out-of-order core.
+    pub issue_width: u64,
+    /// Load/store ports.
+    pub mem_ports: u64,
+    /// Branch-misprediction penalty, cycles.
+    pub mispredict_penalty: u64,
+    /// Factor by which out-of-order execution hides declared dependency
+    /// stalls relative to the in-order dpCore.
+    pub ooo_hiding: u64,
+    /// Effective streaming memory bandwidth, bytes/second (calibrated —
+    /// see [`calibration::STREAM_BW`]).
+    pub stream_bw: f64,
+    /// TDP used for performance/watt, watts.
+    pub tdp_watts: f64,
+}
+
+impl Default for XeonConfig {
+    fn default() -> Self {
+        XeonConfig {
+            cores: 18,
+            threads: 36,
+            clock_hz: 2.3e9,
+            issue_width: 4,
+            mem_ports: 2,
+            mispredict_penalty: 14,
+            ooo_hiding: 6,
+            stream_bw: calibration::STREAM_BW,
+            tdp_watts: 145.0,
+        }
+    }
+}
+
+/// The baseline platform.
+#[derive(Debug, Clone, Default)]
+pub struct Xeon {
+    /// Machine parameters.
+    pub config: XeonConfig,
+}
+
+impl Xeon {
+    /// A baseline with default (paper) parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provisioned power used in performance/watt comparisons.
+    pub fn tdp_watts(&self) -> f64 {
+        self.config.tdp_watts
+    }
+
+    /// Seconds to stream `bytes` through memory at the calibrated
+    /// effective bandwidth (memory-bound workloads).
+    pub fn stream_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.config.stream_bw
+    }
+
+    /// Cycles one core spends retiring an operation mix, with the
+    /// out-of-order pipeline overlapping work the dpCore cannot.
+    pub fn kernel_cycles(&self, counts: &OpCounts) -> u64 {
+        let c = &self.config;
+        let issue = counts.instructions().div_ceil(c.issue_width);
+        let mem = (counts.loads + counts.stores).div_ceil(c.mem_ports);
+        // The OoO window hides multiplier latency entirely (pipelined
+        // 3-cycle IMUL) and most declared dependency stalls.
+        issue.max(mem)
+            + counts.mispredicts * c.mispredict_penalty
+            + counts.dependency_stalls / c.ooo_hiding
+    }
+
+    /// Seconds for `threads_used` threads to each retire `counts`
+    /// (compute-bound workloads; callers cap at `config.threads`).
+    pub fn kernel_seconds(&self, counts: &OpCounts, threads_used: usize) -> f64 {
+        let threads = threads_used.min(self.config.threads).max(1);
+        let _ = threads;
+        self.kernel_cycles(counts) as f64 / self.config.clock_hz
+    }
+
+    /// Seconds for a workload that is the max of a compute part (already
+    /// divided across threads) and a memory-streaming part.
+    pub fn roofline_seconds(&self, per_thread_counts: &OpCounts, bytes: u64) -> f64 {
+        self.kernel_seconds(per_thread_counts, self.config.threads)
+            .max(self.stream_seconds(bytes))
+    }
+
+    /// The dpCore pipeline model used for cross-checking the same counts
+    /// on the DPU side.
+    pub fn dpcore_reference() -> PipelineModel {
+        PipelineModel::default()
+    }
+}
+
+/// Performance/watt gain of the DPU over this baseline given both
+/// throughputs in any consistent unit.
+///
+/// # Example
+///
+/// ```
+/// use xeon_model::{dpu_gain, Xeon};
+/// let x = Xeon::new();
+/// // Equal throughput ⇒ the 6 W DPU wins by 145/6 ≈ 24×.
+/// let g = dpu_gain(1.0, 6.0, 1.0, &x);
+/// assert!((g - 145.0 / 6.0).abs() < 1e-9);
+/// ```
+pub fn dpu_gain(dpu_throughput: f64, dpu_watts: f64, xeon_throughput: f64, xeon: &Xeon) -> f64 {
+    (dpu_throughput / dpu_watts) / (xeon_throughput / xeon.tdp_watts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let x = Xeon::new();
+        assert_eq!(x.config.cores, 18);
+        assert_eq!(x.config.threads, 36);
+        assert_eq!(x.tdp_watts(), 145.0);
+    }
+
+    #[test]
+    fn stream_time_uses_calibrated_bandwidth() {
+        let x = Xeon::new();
+        let s = x.stream_seconds(34_500_000_000);
+        assert!((s - 1.0).abs() < 1e-9, "34.5 GB should take 1 s");
+    }
+
+    #[test]
+    fn ooo_hides_what_the_dpcore_cannot() {
+        let x = Xeon::new();
+        let counts = OpCounts {
+            alu: 1000,
+            mul: 100,
+            mul_stall_cycles: 800,
+            loads: 400,
+            stores: 100,
+            branches: 100,
+            mispredicts: 10,
+            dependency_stalls: 600,
+            ..OpCounts::default()
+        };
+        let xeon_cycles = x.kernel_cycles(&counts);
+        let dpu_cycles = counts.dpcore_cycles(&Xeon::dpcore_reference());
+        assert!(
+            xeon_cycles * 2 < dpu_cycles,
+            "OoO core should be much faster per clock: {xeon_cycles} vs {dpu_cycles}"
+        );
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_constraint() {
+        let x = Xeon::new();
+        let tiny = OpCounts { alu: 10, ..OpCounts::default() };
+        // Memory-bound: streaming dominates.
+        let t = x.roofline_seconds(&tiny, 34_500_000_000);
+        assert!((t - 1.0).abs() < 1e-6);
+        // Compute-bound: huge kernel, no bytes.
+        let big = OpCounts { alu: 10_000_000_000, ..OpCounts::default() };
+        assert!(x.roofline_seconds(&big, 0) > 1.0);
+    }
+
+    #[test]
+    fn equal_throughput_gain_is_power_ratio() {
+        let x = Xeon::new();
+        assert!((dpu_gain(2.0, 6.0, 2.0, &x) - 145.0 / 6.0).abs() < 1e-9);
+        // DPU must exceed 6/145 ≈ 4.1% of Xeon throughput to break even.
+        assert!(dpu_gain(0.0414, 6.0, 1.0, &x) > 0.99);
+    }
+}

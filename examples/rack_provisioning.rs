@@ -1,0 +1,44 @@
+//! The rack-scale argument of §1–§2: why a 6 W processor.
+//!
+//! Run with: `cargo run --release --example rack_provisioning`
+
+use dpu_repro::soc::rack::{Rack, PCIE_STRAWMAN_WATTS};
+use dpu_repro::soc::DpuConfig;
+
+fn main() {
+    let rack = Rack::prototype();
+    println!("The paper's 42U prototype rack:");
+    println!("  nodes:               {}", rack.n_nodes);
+    println!("  DRAM capacity:       {:.1} TB", rack.capacity_bytes() as f64 / 1e12);
+    println!("  aggregate bandwidth: {:.1} TB/s", rack.aggregate_bandwidth() / 1e12);
+    println!("  full-table scan:     {:.2} s", rack.full_scan_seconds());
+    println!("  memory power:        {:.1} kW", rack.memory_watts() / 1e3);
+    println!("  total rack power:    {:.1} kW of {:.0} kW budget",
+        rack.total_watts() / 1e3, rack.rack_watts / 1e3);
+    println!("  processor slot:      {:.2} W → the 6 W DPU {}",
+        rack.processor_budget_watts(),
+        if rack.node_fits_budget() { "fits" } else { "does NOT fit" });
+    println!(
+        "  channel density:     {:.1}× a commodity Xeon rack",
+        rack.channel_density_advantage()
+    );
+
+    // The strawman the paper rules out.
+    let mut strawman = Rack::prototype();
+    strawman.network_watts_per_node = PCIE_STRAWMAN_WATTS;
+    println!(
+        "\nWith a 10 W PCIe NIC per node the slot shrinks to {:.2} W — \"leaving\na power budget of < 7 W for the processor\" (§2); a {} W Xeon is out\nby 20×.",
+        strawman.processor_budget_watts(),
+        145
+    );
+
+    // And the shrink.
+    let mut shrunk = Rack::prototype();
+    shrunk.node = DpuConfig::nm16();
+    shrunk.n_nodes = 480;
+    println!(
+        "\n16 nm refresh (480 × 160-core nodes): {:.1} TB/s at {:.1} kW total.",
+        shrunk.aggregate_bandwidth() / 1e12,
+        shrunk.total_watts() / 1e3
+    );
+}

@@ -1,0 +1,38 @@
+//! SQL analytics: TPC-H on the DPU cost model.
+//!
+//! Generates a miniature TPC-H database, runs the eight-query suite
+//! (results computed for real), and prints each query's answer size and
+//! performance/watt gain at SF≈100 cardinalities.
+//!
+//! Run with: `cargo run --release --example sql_analytics`
+
+use dpu_repro::sql::tpch;
+use dpu_repro::xeon::Xeon;
+
+fn main() {
+    let xeon = Xeon::new();
+    let db = tpch::generate(3000, 7);
+    println!(
+        "TPC-H miniature: {} lineitem rows, {} orders, {} customers\n",
+        db.lineitem.rows(),
+        db.orders.rows(),
+        db.customer.rows()
+    );
+
+    let scale = 30_000;
+    let (q1, c1) = tpch::q1(&db, &xeon, scale);
+    println!("Q1  pricing summary: {} groups, gain {:.1}×", q1.rows(), c1.gain(&xeon));
+    let (q3, c3) = tpch::q3(&db, &xeon, scale);
+    println!("Q3  shipping priority: top {} orders, gain {:.1}×", q3.rows(), c3.gain(&xeon));
+    let (rev, c6) = tpch::q6(&db, &xeon, scale);
+    println!("Q6  forecast revenue: {} (cents·pct), gain {:.1}×", rev, c6.gain(&xeon));
+    let (q18, c18) = tpch::q18(&db, &xeon, scale);
+    println!("Q18 large orders: {} rows, gain {:.1}×", q18.rows(), c18.gain(&xeon));
+
+    let (gains, geomean) = tpch::run_all(&db, &xeon, scale);
+    println!("\nAll eight queries:");
+    for (name, g) in gains {
+        println!("  {name:>4}: {g:.1}×");
+    }
+    println!("geometric mean: {geomean:.1}× (paper Figure 16: 15×)");
+}

@@ -1,0 +1,52 @@
+//! # dpu-repro
+//!
+//! A full reproduction of *"A Many-core Architecture for In-Memory Data
+//! Processing"* (MICRO-50, 2017): the Oracle Labs **DPU**, its **Data
+//! Movement System**, **Atomic Transaction Engine**, software runtime and
+//! the six co-designed analytics applications — rebuilt as a
+//! cycle-approximate full-system simulator and workload suite in Rust.
+//!
+//! This crate is the facade: it re-exports every workspace crate under
+//! one name and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Start with [`soc::Dpu`](dpu_core::Dpu) and the
+//! [`StreamKernel`](dpu_core::StreamKernel) pattern, or run:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release -p dpu-bench --bin fig14_efficiency
+//! ```
+
+/// Simulation kernel (time, event queues, bandwidth servers).
+pub use dpu_sim as sim;
+
+/// Q10.22 fixed-point arithmetic.
+pub use dpu_fixed as fixed;
+
+/// The dpCore instruction set, assembler, interpreter and pipeline model.
+pub use dpu_isa as isa;
+
+/// Memory models: DRAM timing, DMEM, software-coherent caches, AXI.
+pub use dpu_mem as mem;
+
+/// The Data Movement System (descriptors, DMAD/DMAX/DMAC, partitioning).
+pub use dpu_dms as dms;
+
+/// The Atomic Transaction Engine (hardware RPCs, synchronization).
+pub use dpu_ate as ate;
+
+/// The DPU SoC: configuration, power model, execution engine.
+pub use dpu_core as soc;
+
+/// The software runtime (work stealing, heap, serialized access).
+pub use dpu_runtime as runtime;
+
+/// The analytic Xeon baseline model and the paper's calibration anchors.
+pub use xeon_model as xeon;
+
+/// The columnar SQL engine and TPC-H suite.
+pub use dpu_sql as sql;
+
+/// The co-designed applications (SVM, SpMM, HLL, JSON, disparity).
+pub use dpu_apps as apps;

@@ -1,0 +1,153 @@
+//! Failure injection: the simulator must *detect* the failure modes the
+//! paper's debugging tooling existed for, not silently mis-simulate.
+
+use dpu_repro::dms::{DataDescriptor, DescKind, Descriptor, EventCond};
+use dpu_repro::soc::{CoreAction, CoreCtx, CoreProgram, Dpu, DpuConfig, DpuError};
+
+fn idle() -> Box<dyn CoreProgram> {
+    Box::new(|_: &mut CoreCtx<'_>| CoreAction::Done)
+}
+
+#[test]
+fn concurrent_gathers_hang_the_soc_and_are_reported() {
+    // Two cores in different macros issue gathers concurrently on the
+    // first-silicon DMS: the run must fail with the FIFO-overflow hang,
+    // not deadlock silently or return wrong data.
+    let mut dpu = Dpu::new(DpuConfig::nm40());
+    for i in 0..64u64 {
+        dpu.phys_mut().write_u32(i * 4, i as u32);
+    }
+    for core in [0usize, 20] {
+        dpu.dmem_mut(core).write(512, &[0xFF; 8]);
+    }
+    let mut programs: Vec<Box<dyn CoreProgram>> = Vec::new();
+    for core in 0..dpu.n_cores() {
+        if core == 0 || core == 20 {
+            let mut step = 0;
+            programs.push(Box::new(move |_: &mut CoreCtx<'_>| {
+                step += 1;
+                match step {
+                    1 => CoreAction::Push {
+                        chan: 0,
+                        desc: Descriptor::Data(DataDescriptor {
+                            kind: DescKind::DmemToDms,
+                            ..DataDescriptor::read(0, 512, 8, 1)
+                        }),
+                    },
+                    2 => CoreAction::Push {
+                        chan: 0,
+                        desc: Descriptor::Data(DataDescriptor {
+                            gather_src: true,
+                            ..DataDescriptor::read(0, 0, 64, 4).with_notify(0)
+                        }),
+                    },
+                    3 => CoreAction::Wfe(0),
+                    _ => CoreAction::Done,
+                }
+            }));
+        } else {
+            programs.push(idle());
+        }
+    }
+    match dpu.run(&mut programs) {
+        Err(DpuError::Dms(e)) => {
+            assert!(e.to_string().contains("gather count FIFO overflow"), "{e}");
+        }
+        other => panic!("expected the gather hang, got {other:?}"),
+    }
+}
+
+#[test]
+fn descriptor_waiting_on_never_set_event_deadlocks_cleanly() {
+    let mut dpu = Dpu::new(DpuConfig::test_small());
+    let mut programs: Vec<Box<dyn CoreProgram>> = Vec::new();
+    let mut step = 0;
+    programs.push(Box::new(move |_: &mut CoreCtx<'_>| {
+        step += 1;
+        match step {
+            // A read gated on event 9 being set — which nobody sets —
+            // followed by a wfe on its completion notify.
+            1 => CoreAction::Push {
+                chan: 0,
+                desc: Descriptor::Data(
+                    DataDescriptor::read(0, 0, 16, 4)
+                        .with_wait(EventCond::is_set(9))
+                        .with_notify(1),
+                ),
+            },
+            2 => CoreAction::Wfe(1),
+            _ => CoreAction::Done,
+        }
+    }));
+    for _ in 1..dpu.n_cores() {
+        programs.push(idle());
+    }
+    match dpu.run(&mut programs) {
+        Err(DpuError::Deadlock { blocked }) => assert_eq!(blocked, vec![0]),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_internal_transfer_is_a_reported_hang() {
+    let mut dpu = Dpu::new(DpuConfig::test_small());
+    let mut programs: Vec<Box<dyn CoreProgram>> = Vec::new();
+    let mut sent = false;
+    programs.push(Box::new(move |_: &mut CoreCtx<'_>| {
+        if sent {
+            return CoreAction::Done;
+        }
+        sent = true;
+        CoreAction::Push {
+            chan: 0,
+            desc: Descriptor::Data(DataDescriptor {
+                kind: DescKind::DdrToDms,
+                // 32 KB into an 8 KB column-memory bank.
+                ..DataDescriptor::read(0, 0, 8192, 4)
+            }),
+        }
+    }));
+    for _ in 1..dpu.n_cores() {
+        programs.push(idle());
+    }
+    match dpu.run(&mut programs) {
+        Err(DpuError::Dms(e)) => assert!(e.to_string().contains("column memory bank"), "{e}"),
+        other => panic!("expected a bad-descriptor report, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalidating_dirty_lines_is_flagged_as_data_loss() {
+    // The §4 tooling scenario: a programmer invalidates before flushing.
+    use dpu_repro::runtime::CoherenceTracker;
+    let mut t = CoherenceTracker::new(64);
+    t.record_write(3, 0x1000);
+    t.record_invalidate(3, 0x1000); // lost update!
+    assert_eq!(t.lost_dirty_lines(), 1);
+}
+
+#[test]
+fn heap_exhaustion_degrades_gracefully() {
+    use dpu_repro::runtime::DpuHeap;
+    let mut heap = DpuHeap::new(0, 4096, 2);
+    let mut got = 0;
+    while heap.alloc(0, 64).is_some() {
+        got += 1;
+        assert!(got < 1000, "runaway");
+    }
+    // Frees make memory allocatable again.
+    // (Allocate-from-cache after synthetic free.)
+    heap.free(0, 0, 64);
+    assert!(heap.alloc(0, 64).is_some());
+}
+
+#[test]
+fn isa_program_memory_fault_panics_with_location() {
+    use dpu_repro::isa::asm::assemble;
+    use dpu_repro::isa::interp::Cpu;
+    let prog = assemble("lui r1, 0xFFFF\nlw r2, 0(r1)\nhalt").unwrap();
+    let mut cpu = Cpu::new(1024);
+    let err = cpu.run(&prog, 100).unwrap_err();
+    assert_eq!(err.pc, 1);
+    assert!(err.to_string().contains("memory fault"));
+}

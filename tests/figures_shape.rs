@@ -1,0 +1,127 @@
+//! Shape-target regression tests: quick versions of every figure's
+//! headline claim, so `cargo test` guards the reproduction's conclusions.
+
+use dpu_repro::xeon::{calibration::reported_gains, Xeon};
+
+#[test]
+fn fig02_ate_latency_ordering() {
+    use dpu_repro::ate::{Ate, AteConfig, AteOp, AteRequest, AteTarget};
+    use dpu_repro::mem::{Dmem, PhysMem};
+    use dpu_repro::sim::Time;
+    let mut phys = PhysMem::new(256);
+    let mut dmems: Vec<Dmem> = (0..32).map(|_| Dmem::new(64)).collect();
+    let mut t = |op, to| {
+        let mut ate = Ate::new(AteConfig::default(), 32);
+        ate.request(
+            AteRequest { from: 0, to, target: AteTarget::Ddr(0), op },
+            Time::ZERO,
+            &mut phys,
+            &mut dmems,
+        )
+        .finish
+        .cycles()
+    };
+    let store_near = t(AteOp::Store(1), 1);
+    let load_near = t(AteOp::Load, 1);
+    let faa_near = t(AteOp::FetchAdd(1), 1);
+    let load_far = t(AteOp::Load, 31);
+    assert!(store_near < load_near && load_near <= faa_near);
+    assert!(load_far > load_near, "inter-macro costs more");
+    assert!(load_near < 100, "tens of cycles, not hundreds");
+}
+
+#[test]
+fn fig05_power_breakdown_anchors() {
+    use dpu_repro::soc::{DpuConfig, PowerBreakdown};
+    let b = PowerBreakdown::for_config(&DpuConfig::nm40());
+    assert!((b.total_watts() - 5.8).abs() < 0.01);
+    assert!(b.fraction("leakage") > 0.365, "leakage {}", b.fraction("leakage"));
+}
+
+#[test]
+fn fig14_all_gains_in_paper_band() {
+    let xeon = Xeon::new();
+    use dpu_repro::apps::{disparity, hll, json, simsearch, svm};
+    use dpu_repro::isa::hash::HashKind;
+
+    let checks: Vec<(&str, f64, f64, f64)> = vec![
+        // (name, measured, paper, relative tolerance)
+        ("svm", svm::gain(128 * 1024, 28, &xeon), reported_gains::SVM, 0.5),
+        (
+            "simsearch",
+            {
+                let c = simsearch::generate_corpus(500, 4000, 50, 3);
+                simsearch::gain(&simsearch::InvertedIndex::build(&c), &xeon)
+            },
+            reported_gains::SIMSEARCH,
+            0.2,
+        ),
+        ("hll", hll::gain(HashKind::Crc32, &xeon), reported_gains::HLL_CRC32, 0.2),
+        (
+            "json",
+            json::gain(&json::generate_records(300, 4), &xeon),
+            reported_gains::JSON,
+            0.35,
+        ),
+        ("disparity", disparity::gain(640, 480, 32, &xeon), reported_gains::DISPARITY, 0.25),
+    ];
+    for (name, got, paper, tol) in checks {
+        assert!(
+            (got - paper).abs() / paper <= tol,
+            "{name}: measured {got:.2}× vs paper {paper:.1}× (tol {tol})"
+        );
+        assert!(got > 3.0 && got < 25.0, "{name} outside the paper's 3×–15× headline range: {got}");
+    }
+}
+
+#[test]
+fn fig14_groupby_gains() {
+    use dpu_repro::sql::agg::GroupByPlan;
+    use dpu_repro::sql::CostAcc;
+    let xeon = Xeon::new();
+    let gain = |ndv: u64| {
+        let plan = GroupByPlan::plan(ndv, 16);
+        let mut acc = CostAcc::new();
+        acc.stream(
+            (1u64 << 30) * plan.dpu_bytes_factor(),
+            (1u64 << 30) * plan.xeon_bytes_factor(),
+        );
+        acc.finish(&xeon).gain(&xeon)
+    };
+    let low = gain(10);
+    let high = gain(2_000_000);
+    assert!((low - reported_gains::GROUPBY_LOW_NDV).abs() < 0.3, "low NDV {low:.2}");
+    assert!(high > low + 2.0, "high NDV must widen the gap: {high:.2}");
+    assert!((high - reported_gains::GROUPBY_HIGH_NDV).abs() / reported_gains::GROUPBY_HIGH_NDV < 0.25);
+}
+
+#[test]
+fn fig15_filter_rate() {
+    use dpu_repro::sql::measure_filter_kernel;
+    let values: Vec<i32> = (0..4096).collect();
+    let (m, _) = measure_filter_kernel(&values, 0, 2048);
+    assert!((1.4..1.9).contains(&m.cycles_per_tuple()), "{}", m.cycles_per_tuple());
+    assert!(m.tuples_per_sec() > 420.0e6, "{:.0} tuples/s", m.tuples_per_sec());
+}
+
+#[test]
+fn fig16_geomean_near_15x() {
+    use dpu_repro::sql::tpch;
+    let xeon = Xeon::new();
+    let db = tpch::generate(1500, 1);
+    let (gains, geomean) = tpch::run_all(&db, &xeon, 100_000);
+    assert!(gains.iter().all(|(_, g)| *g > 1.0));
+    assert!(
+        (10.0..22.0).contains(&geomean),
+        "TPC-H geomean {geomean:.1} outside the band around 15×"
+    );
+}
+
+#[test]
+fn section_2_5_shrink_efficiency() {
+    use dpu_repro::soc::DpuConfig;
+    let a = DpuConfig::nm40();
+    let b = DpuConfig::nm16();
+    let ratio = (b.compute_proxy() / b.provisioned_watts) / (a.compute_proxy() / a.provisioned_watts);
+    assert!((ratio - 2.5).abs() < 0.01, "16 nm shrink efficiency {ratio}");
+}

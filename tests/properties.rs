@@ -1,0 +1,226 @@
+//! Property-based tests over core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dpu_repro::dms::{ControlDescriptor, DataDescriptor, DescKind, Descriptor, EventCond};
+use dpu_repro::fixed::Q10_22;
+use dpu_repro::isa::hash::{crc32c_u64, murmur64};
+use dpu_repro::isa::{encode, Inst, Reg};
+use dpu_repro::sql::BitVec;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::of)
+}
+
+fn arb_kind() -> impl Strategy<Value = DescKind> {
+    prop_oneof![
+        Just(DescKind::DdrToDmem),
+        Just(DescKind::DmemToDdr),
+        Just(DescKind::DmsToDms),
+        Just(DescKind::DmsToDmem),
+        Just(DescKind::DmemToDms),
+        Just(DescKind::DdrToDms),
+        Just(DescKind::DmsToDdr),
+    ]
+}
+
+proptest! {
+    // --- DMS descriptor encoding (Table 2) ---
+
+    #[test]
+    fn data_descriptor_roundtrips(
+        kind in arb_kind(),
+        ddr_addr in 0u64..(1 << 36),
+        dmem_addr in any::<u16>(),
+        rows in any::<u16>(),
+        width_log in 0u8..4,
+        gather in any::<bool>(),
+        scatter in any::<bool>(),
+        rle in any::<bool>(),
+        src_inc in any::<bool>(),
+        dst_inc in any::<bool>(),
+        stride in any::<u16>(),
+        wait in proptest::option::of((0u8..32, any::<bool>())),
+        notify in proptest::option::of(0u8..32),
+        bank in 0u8..4,
+        is_key in any::<bool>(),
+        last_col in any::<bool>(),
+    ) {
+        let d = DataDescriptor {
+            kind,
+            ddr_addr,
+            dmem_addr,
+            rows,
+            col_width: 1 << width_log,
+            gather_src: gather,
+            scatter_dst: scatter,
+            rle,
+            src_addr_inc: src_inc,
+            dst_addr_inc: dst_inc,
+            ddr_stride: stride,
+            wait: wait.map(|(e, s)| EventCond { event: e, set: s }),
+            notify,
+            cmem_bank: bank,
+            is_key,
+            last_col,
+        };
+        prop_assert_eq!(DataDescriptor::decode(d.encode()), Some(d));
+    }
+
+    #[test]
+    fn control_descriptor_roundtrips(
+        back in 1u8..16,
+        iters in any::<u16>(),
+        ev in 0u8..32,
+        set in any::<bool>(),
+    ) {
+        for c in [
+            ControlDescriptor::Loop { back, iterations: iters },
+            ControlDescriptor::SetEvent { event: ev },
+            ControlDescriptor::ClearEvent { event: ev },
+            ControlDescriptor::WaitEvent { cond: EventCond { event: ev, set } },
+        ] {
+            let d = Descriptor::Control(c);
+            prop_assert_eq!(Descriptor::decode_bytes(&d.encode_bytes()), Some(d));
+        }
+    }
+
+    // --- ISA encoding ---
+
+    #[test]
+    fn r_type_instructions_roundtrip(rd in arb_reg(), rs in arb_reg(), rt in arb_reg()) {
+        for inst in [
+            Inst::Add { rd, rs, rt },
+            Inst::Sub { rd, rs, rt },
+            Inst::Mul { rd, rs, rt },
+            Inst::Crc32 { rd, rs, rt },
+            Inst::Filt { rd, rs, rt },
+        ] {
+            prop_assert_eq!(encode::decode(encode::encode(inst)), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn i_type_instructions_roundtrip(rt in arb_reg(), rs in arb_reg(), imm in any::<i16>()) {
+        for inst in [
+            Inst::Addi { rt, rs, imm },
+            Inst::Lw { rt, rs, off: imm },
+            Inst::Sd { rt, rs, off: imm },
+            Inst::Beq { rs, rt, off: imm },
+            Inst::Bvld { rt, rs, off: imm },
+        ] {
+            prop_assert_eq!(encode::decode(encode::encode(inst)), Ok(inst));
+        }
+    }
+
+    // --- Q10.22 fixed point ---
+
+    #[test]
+    fn fixed_add_commutes(a in -500.0f64..500.0, b in -500.0f64..500.0) {
+        let (qa, qb) = (Q10_22::from_f64(a), Q10_22::from_f64(b));
+        prop_assert_eq!(qa + qb, qb + qa);
+        prop_assert_eq!(qa * qb, qb * qa);
+    }
+
+    #[test]
+    fn fixed_add_matches_float_within_eps(a in -200.0f64..200.0, b in -200.0f64..200.0) {
+        let got = (Q10_22::from_f64(a) + Q10_22::from_f64(b)).to_f64();
+        prop_assert!((got - (a + b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fixed_mul_matches_float_within_tolerance(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        let got = (Q10_22::from_f64(a) * Q10_22::from_f64(b)).to_f64();
+        prop_assert!((got - a * b).abs() < 1e-4, "got {}, want {}", got, a * b);
+    }
+
+    #[test]
+    fn fixed_neg_is_involution(a in -500.0f64..500.0) {
+        let q = Q10_22::from_f64(a);
+        prop_assert_eq!(-(-q), q);
+    }
+
+    #[test]
+    fn fixed_sqrt_squares_back(a in 0.001f64..500.0) {
+        let r = Q10_22::from_f64(a).sqrt();
+        let sq = (r * r).to_f64();
+        prop_assert!((sq - a).abs() / a < 0.01, "sqrt({a})² = {sq}");
+    }
+
+    // --- BitVec ---
+
+    #[test]
+    fn bitvec_count_equals_iter_len(bits in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let bv = BitVec::from_fn(bits.len(), |i| bits[i]);
+        prop_assert_eq!(bv.count(), bv.iter_set().count());
+        prop_assert_eq!(bv.count(), bits.iter().filter(|&&b| b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), b);
+        }
+    }
+
+    #[test]
+    fn bitvec_and_is_intersection(
+        a in proptest::collection::vec(any::<bool>(), 64..256),
+    ) {
+        let n = a.len();
+        let bva = BitVec::from_fn(n, |i| a[i]);
+        let bvb = BitVec::from_fn(n, |i| i % 3 == 0);
+        let c = bva.and(&bvb);
+        for i in 0..n {
+            prop_assert_eq!(c.get(i), a[i] && i % 3 == 0);
+        }
+    }
+
+    // --- Hashes ---
+
+    #[test]
+    fn hashes_are_deterministic_functions(k in any::<u64>()) {
+        prop_assert_eq!(crc32c_u64(k), crc32c_u64(k));
+        prop_assert_eq!(murmur64(k), murmur64(k));
+    }
+
+    #[test]
+    fn murmur_is_bijective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        // The finalizer is invertible: distinct inputs → distinct outputs.
+        prop_assume!(a != b);
+        prop_assert_ne!(murmur64(a), murmur64(b));
+    }
+
+    // --- Partition schemes ---
+
+    #[test]
+    fn partitions_are_always_in_range(key in any::<i64>(), bits in 1u8..9) {
+        use dpu_repro::dms::PartitionScheme;
+        let s = PartitionScheme::HashRadix { radix_bits: bits };
+        prop_assert!(s.partition_of(key) < s.partitions());
+        let r = PartitionScheme::Radix { bits, shift: 3 };
+        prop_assert!(r.partition_of(key) < r.partitions());
+    }
+
+    #[test]
+    fn range_partitioning_is_monotonic(mut keys in proptest::collection::vec(-1000i64..1000, 2..50)) {
+        use dpu_repro::dms::PartitionScheme;
+        let s = PartitionScheme::Range { bounds: vec![-500, 0, 500] };
+        keys.sort_unstable();
+        let parts: Vec<usize> = keys.iter().map(|&k| s.partition_of(k)).collect();
+        prop_assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    // --- Heap ---
+
+    #[test]
+    fn heap_allocations_are_disjoint(sizes in proptest::collection::vec(1u32..2000, 1..100)) {
+        use dpu_repro::runtime::DpuHeap;
+        let mut heap = DpuHeap::new(0, 1 << 22, 4);
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let addr = heap.alloc(i % 4, sz).unwrap();
+            let end = addr + sz as u64;
+            for &(a, e) in &spans {
+                prop_assert!(end <= a || addr >= e, "overlap");
+            }
+            spans.push((addr, end));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Runtime-layer integration: ATE work stealing and barriers driving
+//! real per-core programs on the SoC.
+
+use dpu_repro::ate::{AteOp, AteRequest, AteTarget};
+use dpu_repro::soc::{CoreAction, CoreCtx, CoreProgram, Dpu, DpuConfig};
+
+/// Each core repeatedly fetch-adds a shared chunk counter (the §5.4 work-
+/// stealing scheduler) and "processes" its chunk by tagging a DRAM word.
+struct Stealer {
+    core: usize,
+    n_chunks: u64,
+    state: u8,
+}
+
+const COUNTER: u64 = 0;
+const TAGS: u64 = 4096;
+
+impl CoreProgram for Stealer {
+    fn step(&mut self, ctx: &mut CoreCtx<'_>) -> CoreAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                CoreAction::Ate(AteRequest {
+                    from: self.core,
+                    to: 0,
+                    target: AteTarget::Ddr(COUNTER),
+                    op: AteOp::FetchAdd(1),
+                })
+            }
+            1 => {
+                let chunk = ctx.ate_value.take().expect("fetch-add response");
+                if chunk >= self.n_chunks {
+                    return CoreAction::Done;
+                }
+                // Claim: record which core processed this chunk (must be
+                // unclaimed).
+                let slot = TAGS + chunk * 8;
+                assert_eq!(ctx.phys.read_u64(slot), 0, "chunk {chunk} claimed twice");
+                ctx.phys.write_u64(slot, self.core as u64 + 1);
+                self.state = 0;
+                // Uneven work: odd cores are slower (the tail-latency
+                // scenario dynamic scheduling exists for).
+                CoreAction::Compute(if self.core % 2 == 1 { 5000 } else { 500 })
+            }
+            _ => CoreAction::Done,
+        }
+    }
+}
+
+#[test]
+fn work_stealing_processes_every_chunk_exactly_once() {
+    let mut dpu = Dpu::new(DpuConfig::test_small());
+    let n_chunks = 200u64;
+    let mut programs: Vec<Box<dyn CoreProgram>> = (0..dpu.n_cores())
+        .map(|core| Box::new(Stealer { core, n_chunks, state: 0 }) as Box<dyn CoreProgram>)
+        .collect();
+    dpu.run(&mut programs).expect("runs");
+
+    assert!(dpu.phys().read_u64(COUNTER) >= n_chunks);
+    let mut per_core = vec![0u64; dpu.n_cores()];
+    for c in 0..n_chunks {
+        let tag = dpu.phys().read_u64(TAGS + c * 8);
+        assert!(tag > 0, "chunk {c} unprocessed");
+        per_core[(tag - 1) as usize] += 1;
+    }
+    assert_eq!(per_core.iter().sum::<u64>(), n_chunks);
+    // Dynamic scheduling: fast (even) cores claim more chunks than slow
+    // (odd) ones.
+    let fast: u64 = per_core.iter().step_by(2).sum();
+    let slow: u64 = per_core.iter().skip(1).step_by(2).sum();
+    assert!(
+        fast > slow * 2,
+        "fast cores should steal most of the work: fast={fast}, slow={slow}"
+    );
+}
+
+#[test]
+fn serialized_owner_discipline_over_the_runtime() {
+    use dpu_repro::ate::{Ate, AteConfig};
+    use dpu_repro::mem::{Cache, CacheConfig, PhysMem};
+    use dpu_repro::runtime::{serialized_call, SerializedRegion};
+    use dpu_repro::sim::Time;
+
+    let mut ate = Ate::new(AteConfig::default(), 32);
+    let mut phys = PhysMem::new(4096);
+    let mut caller = Cache::new(CacheConfig::dpcore_l1d());
+    let mut owner = Cache::new(CacheConfig::dpcore_l1d());
+    let region = SerializedRegion { owner: 9, addr: 128, len: 64 };
+
+    // Ten serialized increments from different cores: the owner's
+    // injection port orders them; the final value is exact.
+    let mut t = Time::ZERO;
+    for from in 0..10 {
+        let (_, done) = serialized_call(
+            region, from, t, &mut ate, &mut phys, &mut caller, &mut owner, 40,
+            |p| {
+                let v = p.read_u64(128);
+                p.write_u64(128, v + 1);
+            },
+        );
+        t = done;
+    }
+    assert_eq!(phys.read_u64(128), 10);
+    assert!(t.cycles() > 10 * 100, "serialization cost is visible");
+}
+
+#[test]
+fn heap_backs_simulated_dram_structures() {
+    use dpu_repro::runtime::DpuHeap;
+    let mut dpu = Dpu::new(DpuConfig::test_small());
+    let mut heap = DpuHeap::new(1 << 20, 1 << 20, dpu.n_cores());
+    // Allocate per-core buffers and write through physical memory.
+    let mut addrs = Vec::new();
+    for core in 0..dpu.n_cores() {
+        let a = heap.alloc(core, 256).expect("alloc");
+        dpu.phys_mut().write_u64(a, core as u64 * 11);
+        addrs.push(a);
+    }
+    for (core, &a) in addrs.iter().enumerate() {
+        assert_eq!(dpu.phys().read_u64(a), core as u64 * 11);
+    }
+}
