@@ -128,7 +128,8 @@ pub fn dpu_seconds(w: usize, h: usize, max_shift: usize, decomp: Decomposition) 
 pub fn xeon_seconds(w: usize, h: usize, max_shift: usize, xeon: &Xeon) -> f64 {
     let passes = (max_shift + 1) as f64;
     let bytes = (2 * w * h) as f64 * passes;
-    let compute = (w * h) as f64 * passes * 1.0 / (xeon.config.threads as f64 * xeon.config.clock_hz);
+    let compute =
+        (w * h) as f64 * passes * 1.0 / (xeon.config.threads as f64 * xeon.config.clock_hz);
     (bytes / (0.70 * xeon.config.stream_bw)).max(compute)
 }
 
@@ -190,10 +191,7 @@ mod tests {
     fn fine_grained_beats_coarse_grained() {
         let fine = dpu_seconds(640, 480, 32, Decomposition::FineGrained);
         let coarse = dpu_seconds(640, 480, 32, Decomposition::CoarseGrained);
-        assert!(
-            fine < coarse,
-            "fine {fine:.4}s should beat coarse {coarse:.4}s"
-        );
+        assert!(fine < coarse, "fine {fine:.4}s should beat coarse {coarse:.4}s");
     }
 
     #[test]

@@ -238,12 +238,7 @@ impl TableParser {
             }
         }
         valid &= depth == 0 && state == State::Value;
-        ParseResult {
-            tokens,
-            valid,
-            counts,
-            bytes: input.len() as u64,
-        }
+        ParseResult { tokens, valid, counts, bytes: input.len() as u64 }
     }
 }
 
@@ -338,11 +333,7 @@ pub fn split_chunks(input: &[u8], n_chunks: usize) -> Vec<(usize, usize)> {
         }
     }
     boundaries.push(input.len());
-    boundaries
-        .windows(2)
-        .map(|w| (w[0], w[1]))
-        .filter(|(a, b)| a < b)
-        .collect()
+    boundaries.windows(2).map(|w| (w[0], w[1])).filter(|(a, b)| a < b).collect()
 }
 
 /// Generates `n` TPC-H lineitem-shaped JSON records (the paper's ~1 GB
@@ -361,9 +352,8 @@ pub fn generate_records(n: usize, seed: u64) -> Vec<u8> {
         let day = rng.next_below(2405);
         let flag = ["A", "N", "R"][rng.next_below(3) as usize];
         let comment_len = rng.next_below(20) + 5;
-        let comment: String = (0..comment_len)
-            .map(|_| (b'a' + rng.next_below(26) as u8) as char)
-            .collect();
+        let comment: String =
+            (0..comment_len).map(|_| (b'a' + rng.next_below(26) as u8) as char).collect();
         out.extend_from_slice(
             format!(
                 "{{\"l_orderkey\":{i},\"l_quantity\":{qty},\"l_extendedprice\":{price},\
@@ -460,10 +450,7 @@ mod tests {
         let branchy = BranchyParser::new().parse(&corpus);
         let t_cpb = table.dpu_cycles_per_byte();
         let b_cpb = branchy.dpu_cycles_per_byte();
-        assert!(
-            b_cpb > 1.6 * t_cpb,
-            "branchy {b_cpb:.1} c/B should dwarf table {t_cpb:.1} c/B"
-        );
+        assert!(b_cpb > 1.6 * t_cpb, "branchy {b_cpb:.1} c/B should dwarf table {t_cpb:.1} c/B");
         // Table parser ≈15 c/B (1.73 GB/s over 32 cores); the branchy
         // parser's ladder + mispredicts more than double that.
         assert!((11.0..19.0).contains(&t_cpb), "table {t_cpb:.1} c/B");

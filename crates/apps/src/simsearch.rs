@@ -169,7 +169,8 @@ pub fn dpu_effective_bandwidth(
         TileStrategy::NaiveOneTilePerBuffer => {
             // Tile = range partition of documents; average tile bytes per
             // posting-list segment is tiny compared to the buffer.
-            let avg_tile = total as f64 / (n_tiles.max(1) as f64 * index.postings.len().max(1) as f64);
+            let avg_tile =
+                total as f64 / (n_tiles.max(1) as f64 * index.postings.len().max(1) as f64);
             let useful_fraction = (avg_tile / buffer_bytes as f64).min(1.0);
             dpu_sql::plan::DPU_STREAM_BW * useful_fraction
         }

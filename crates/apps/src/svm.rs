@@ -122,12 +122,7 @@ impl SvmModel {
 
     /// Fraction of correctly classified samples.
     pub fn accuracy(&self, data: &SvmDataset) -> f64 {
-        let correct = data
-            .x
-            .iter()
-            .zip(&data.y)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
+        let correct = data.x.iter().zip(&data.y).filter(|(x, &y)| self.predict(x) == y).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -182,13 +177,13 @@ impl SmoTrainer {
             let mut best_dn: Option<(Q10_22, usize)> = None;
             for wk in 0..self.workers {
                 let (s, e) = (wk * shard, ((wk + 1) * shard).min(n));
-                for i in s..e {
+                for (i, &a_i) in alpha.iter().enumerate().take(e).skip(s) {
                     let yi = Q10_22::from_int(data.y[i] as i32);
                     let err = dot(&w, &data.x[i]) + b - yi;
-                    let can_up = (data.y[i] > 0 && alpha[i] < self.c)
-                        || (data.y[i] < 0 && alpha[i] > Q10_22::ZERO);
-                    let can_dn = (data.y[i] > 0 && alpha[i] > Q10_22::ZERO)
-                        || (data.y[i] < 0 && alpha[i] < self.c);
+                    let can_up =
+                        (data.y[i] > 0 && a_i < self.c) || (data.y[i] < 0 && a_i > Q10_22::ZERO);
+                    let can_dn =
+                        (data.y[i] > 0 && a_i > Q10_22::ZERO) || (data.y[i] < 0 && a_i < self.c);
                     if can_up && best_up.is_none_or(|(e0, _)| err < e0) {
                         best_up = Some((err, i));
                     }
@@ -228,8 +223,8 @@ impl SmoTrainer {
 
             // Broadcast the coefficient update to the weight vector
             // (what the ATE broadcast does on the chip).
-            for k in 0..d {
-                w[k] += data.x[i][k] * (alpha[i] - old_ai) * yi
+            for (k, wk) in w.iter_mut().enumerate().take(d) {
+                *wk += data.x[i][k] * (alpha[i] - old_ai) * yi
                     + data.x[j][k] * (alpha[j] - old_aj) * yj;
             }
             let _ = actual_j;
@@ -373,9 +368,6 @@ mod tests {
     #[test]
     fn gain_lands_in_the_paper_band() {
         let g = gain(128 * 1024, 28, &Xeon::new());
-        assert!(
-            (10.0..25.0).contains(&g),
-            "SVM gain {g:.1} outside the band around 15×"
-        );
+        assert!((10.0..25.0).contains(&g), "SVM gain {g:.1} outside the band around 15×");
     }
 }

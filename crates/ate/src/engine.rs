@@ -194,31 +194,29 @@ impl Ate {
 
         let finish = done_remote + Time::from_cycles(hop);
         self.latencies.record((finish - now).cycles());
-        AteResponse {
-            value,
-            finish,
-            remote_stall: stall,
-        }
+        AteResponse { value, finish, remote_stall: stall }
     }
 
     /// Schedules a software RPC: the remote core is interrupted, runs a
     /// handler estimated at `handler_cycles`, and the response returns.
     /// The caller (the SoC model) is responsible for actually running the
     /// handler's effects at `interrupt_at`.
-    pub fn sw_rpc(&mut self, from: usize, to: usize, now: Time, handler_cycles: u64) -> SwRpcTicket {
+    pub fn sw_rpc(
+        &mut self,
+        from: usize,
+        to: usize,
+        now: Time,
+        handler_cycles: u64,
+    ) -> SwRpcTicket {
         assert!(from < self.n_cores && to < self.n_cores, "core id out of range");
         let hop = self.hop_latency(from, to);
         let arrive = now + Time::from_cycles(hop);
         let start = arrive.max(self.port_free[to]);
-        let handler_done =
-            start + Time::from_cycles(self.cfg.sw_rpc_overhead + handler_cycles);
+        let handler_done = start + Time::from_cycles(self.cfg.sw_rpc_overhead + handler_cycles);
         self.port_free[to] = handler_done;
         let response_at = handler_done + Time::from_cycles(hop);
         self.latencies.record((response_at - now).cycles());
-        SwRpcTicket {
-            interrupt_at: start,
-            response_at,
-        }
+        SwRpcTicket { interrupt_at: start, response_at }
     }
 }
 
@@ -324,12 +322,8 @@ mod tests {
     #[test]
     fn fetch_add_returns_old_and_accumulates() {
         let (mut ate, mut phys, mut dmems) = setup();
-        let mk = |from| AteRequest {
-            from,
-            to: 5,
-            target: AteTarget::Ddr(128),
-            op: AteOp::FetchAdd(10),
-        };
+        let mk =
+            |from| AteRequest { from, to: 5, target: AteTarget::Ddr(128), op: AteOp::FetchAdd(10) };
         let r1 = ate.request(mk(0), Time::ZERO, &mut phys, &mut dmems);
         let r2 = ate.request(mk(1), Time::ZERO, &mut phys, &mut dmems);
         assert_eq!(r1.value, 0);
@@ -395,12 +389,7 @@ mod tests {
         let mut finishes = Vec::new();
         for from in 1..9 {
             let r = ate.request(
-                AteRequest {
-                    from,
-                    to: 0,
-                    target: AteTarget::Ddr(0),
-                    op: AteOp::FetchAdd(1),
-                },
+                AteRequest { from, to: 0, target: AteTarget::Ddr(0), op: AteOp::FetchAdd(1) },
                 Time::ZERO,
                 &mut phys,
                 &mut dmems,

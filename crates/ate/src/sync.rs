@@ -70,11 +70,7 @@ impl AteMutex {
         phys: &mut PhysMem,
         dmems: &mut [Dmem],
     ) -> Time {
-        debug_assert_eq!(
-            phys.read_u64(self.lock_addr),
-            core as u64 + 1,
-            "unlock by non-owner"
-        );
+        debug_assert_eq!(phys.read_u64(self.lock_addr), core as u64 + 1, "unlock by non-owner");
         ate.request(
             AteRequest {
                 from: core,
@@ -359,15 +355,16 @@ mod tests {
     #[test]
     fn barrier_releases_all_after_last_arrival() {
         let (mut ate, mut phys, mut dmems) = setup();
-        let b = AteBarrier {
-            counter_addr: 16,
-            generation_addr: 24,
-            home_core: 0,
-            parties: 4,
-        };
+        let b = AteBarrier { counter_addr: 16, generation_addr: 24, home_core: 0, parties: 4 };
         let mut times = Vec::new();
         for core in 0..4 {
-            times.push(b.arrive(core, Time::from_cycles(core as u64 * 10), &mut ate, &mut phys, &mut dmems));
+            times.push(b.arrive(
+                core,
+                Time::from_cycles(core as u64 * 10),
+                &mut ate,
+                &mut phys,
+                &mut dmems,
+            ));
         }
         // Generation bumped exactly once, counter reset.
         assert_eq!(phys.read_u64(24), 1);
@@ -381,12 +378,7 @@ mod tests {
     #[test]
     fn barrier_is_reusable() {
         let (mut ate, mut phys, mut dmems) = setup();
-        let b = AteBarrier {
-            counter_addr: 0,
-            generation_addr: 8,
-            home_core: 0,
-            parties: 2,
-        };
+        let b = AteBarrier { counter_addr: 0, generation_addr: 8, home_core: 0, parties: 2 };
         let mut t = Time::ZERO;
         for round in 1..=3u64 {
             let t0 = b.arrive(0, t, &mut ate, &mut phys, &mut dmems);

@@ -8,6 +8,7 @@
 //! full memory round trip (the dpCore is in-order: one outstanding miss,
 //! no prefetcher). Also sweeps the ATE-vs-static scheduling ablation.
 
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{gbps, header, row};
 use dpu_core::{CoreProgram, Dpu, DpuConfig, StreamKernel, StreamSpec};
 use dpu_mem::{Cache, CacheConfig, DramChannel, DramConfig};
@@ -78,5 +79,14 @@ fn main() {
          hardware prefetchers + big caches would have to close at a power\n\
          cost the 6 W budget cannot pay (paper §1, §2.1).",
         dms / cached
+    );
+    emit(
+        "ablation_no_dms",
+        &Json::obj([
+            ("figure", Json::str("ablation_no_dms")),
+            ("dms_gbps", Json::num(dms)),
+            ("cached_gbps", Json::num(cached)),
+            ("dms_over_cached", Json::num(dms / cached)),
+        ]),
     );
 }

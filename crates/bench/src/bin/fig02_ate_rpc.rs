@@ -7,6 +7,7 @@
 //! hardware RPC.
 
 use dpu_ate::{Ate, AteConfig, AteOp, AteRequest, AteTarget};
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_mem::{Dmem, PhysMem};
 use dpu_sim::Time;
@@ -34,12 +35,15 @@ fn main() {
         ("HW fetch-add", AteOp::FetchAdd(1)),
         ("HW compare-swap", AteOp::CompareSwap { expect: 0, new: 1 }),
     ];
+    let mut series: Vec<Json> = Vec::new();
     for (name, op) in ops {
-        row(&[
-            name.to_string(),
-            measure(op, 0, 1).to_string(),
-            measure(op, 0, 31).to_string(),
-        ]);
+        let (intra, inter) = (measure(op, 0, 1), measure(op, 0, 31));
+        row(&[name.to_string(), intra.to_string(), inter.to_string()]);
+        series.push(Json::obj([
+            ("rpc", Json::str(name)),
+            ("intra_macro_cycles", Json::num(intra as f64)),
+            ("inter_macro_cycles", Json::num(inter as f64)),
+        ]));
     }
     // Software RPC with a 100-cycle handler.
     let mut ate = Ate::new(AteConfig::default(), 32);
@@ -47,7 +51,16 @@ fn main() {
     let mut ate = Ate::new(AteConfig::default(), 32);
     let far = ate.sw_rpc(0, 31, Time::ZERO, 100).response_at.cycles();
     row(&["SW RPC (100-cycle handler)".into(), near.to_string(), far.to_string()]);
+    series.push(Json::obj([
+        ("rpc", Json::str("SW RPC (100-cycle handler)")),
+        ("intra_macro_cycles", Json::num(near as f64)),
+        ("inter_macro_cycles", Json::num(far as f64)),
+    ]));
 
     println!("\nThroughput note (paper §2.3): software overlaps independent");
     println!("instructions for the response latency before blocking on `wfe`.");
+    emit(
+        "fig02_ate_rpc",
+        &Json::obj([("figure", Json::str("fig02_ate_rpc")), ("rpcs", Json::Arr(series))]),
+    );
 }

@@ -1,33 +1,49 @@
 //! Figure 5: DPU power breakdown (total 5.8 W at 40 nm), plus the §2.5
 //! 16 nm shrink comparison.
 
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_core::{DpuConfig, PowerBreakdown};
 
-fn print_node(name: &str, cfg: &DpuConfig) {
+fn print_node(name: &str, cfg: &DpuConfig) -> Json {
     let b = PowerBreakdown::for_config(cfg);
     println!("\n## {name} (total = {:.2} W)\n", b.total_watts());
     header(&["Component", "Watts", "Share"]);
+    let mut comps: Vec<Json> = Vec::new();
     for c in &b.components {
         row(&[
             c.name.to_string(),
             format!("{:.3}", c.watts),
             format!("{:.1}%", 100.0 * c.watts / b.total_watts()),
         ]);
+        comps.push(Json::obj([("component", Json::str(c.name)), ("watts", Json::num(c.watts))]));
     }
+    Json::obj([
+        ("node", Json::str(name.to_string())),
+        ("total_watts", Json::num(b.total_watts())),
+        ("components", Json::Arr(comps)),
+    ])
 }
 
 fn main() {
     println!("# Figure 5: DPU power breakdown");
     let nm40 = DpuConfig::nm40();
     let nm16 = DpuConfig::nm16();
-    print_node("40 nm (fabricated)", &nm40);
-    print_node("16 nm shrink", &nm16);
+    let j40 = print_node("40 nm (fabricated)", &nm40);
+    let j16 = print_node("16 nm shrink", &nm16);
 
     let eff = (nm16.compute_proxy() / nm16.provisioned_watts)
         / (nm40.compute_proxy() / nm40.provisioned_watts);
     println!(
         "\n16 nm: {} dpCores at {:.1} W TDP → {eff:.2}× performance/watt (paper: 2.5×)",
         nm16.n_cores, nm16.provisioned_watts
+    );
+    emit(
+        "fig05_power",
+        &Json::obj([
+            ("figure", Json::str("fig05_power")),
+            ("nodes", Json::Arr(vec![j40, j16])),
+            ("shrink_perf_per_watt_gain", Json::num(eff)),
+        ]),
     );
 }

@@ -7,6 +7,7 @@
 //! with more columns, exceeds 9 GB/s for 8 KB tiles (≈75% of the
 //! 12.8 GB/s DDR3 peak), and RW is below R.
 
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{gbps, header, row};
 use dpu_core::{CoreAction, CoreCtx, CoreProgram, Dpu, DpuConfig, StreamKernel, StreamSpec};
 
@@ -20,8 +21,7 @@ fn run(cols: usize, rows_per_tile: u32, write_back: bool) -> f64 {
     for core in 0..n as u64 {
         for c in 0..cols as u64 {
             for r in 0..rows_total {
-                dpu.phys_mut()
-                    .write_u32(core * region + c * col_span + r * 4, (r ^ c) as u32);
+                dpu.phys_mut().write_u32(core * region + c * col_span + r * 4, (r ^ c) as u32);
             }
         }
     }
@@ -52,6 +52,7 @@ fn run(cols: usize, rows_per_tile: u32, write_back: bool) -> f64 {
 fn main() {
     println!("# Figure 11: DMS bandwidth across 32 dpCores (4 B columns, 4K rows)\n");
     let tile_rows = [16u32, 32, 64, 128, 256, 512];
+    let mut series: Vec<Json> = Vec::new();
     for mode in ["R", "RW"] {
         println!("\n## {mode} bandwidth\n");
         let mut cells = vec!["columns \\ tile".to_string()];
@@ -60,13 +61,24 @@ fn main() {
         for cols in [1usize, 2, 4, 8] {
             let mut out = vec![format!("{cols}")];
             for &t in &tile_rows {
-                out.push(gbps(run(cols, t, mode == "RW")));
+                let bw = run(cols, t, mode == "RW");
+                out.push(gbps(bw));
+                series.push(Json::obj([
+                    ("mode", Json::str(mode)),
+                    ("columns", Json::num(cols as f64)),
+                    ("tile_bytes", Json::num(f64::from(t * 4))),
+                    ("gbps", Json::num(bw)),
+                ]));
             }
             row(&out);
         }
     }
     println!("\nPaper targets: >9 GB/s at 8 KB buffers; slight decrease with");
     println!("more columns; RW < R; large tiles amortize descriptor overheads.");
+    emit(
+        "fig11_dms_bandwidth",
+        &Json::obj([("figure", Json::str("fig11_dms_bandwidth")), ("points", Json::Arr(series))]),
+    );
 
     // Keep the unused-import lints honest.
     let _ = |_: &mut CoreCtx<'_>| CoreAction::Done;

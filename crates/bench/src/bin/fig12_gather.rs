@@ -7,6 +7,7 @@
 //! far below line rate. We reproduce the workaround number and, as an
 //! ablation, the fixed-RTL behaviour.
 
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{gbps, header, row};
 use dpu_dms::{DataDescriptor, DescKind, Descriptor, Dms, DmsConfig, GatherMode};
 use dpu_mem::{Dmem, DramChannel, DramConfig, PhysMem};
@@ -21,8 +22,8 @@ fn run(pattern: u8, mode: GatherMode, serialize: bool) -> f64 {
 
     let rows_per_gather = 4096u16; // 16 KB of 4 B rows per descriptor
     let gathers_per_core = 4u64;
-    for core in 0..32usize {
-        dmems[core].write(16 * 1024, &vec![pattern; (rows_per_gather as usize) / 8]);
+    for dmem in dmems.iter_mut() {
+        dmem.write(16 * 1024, &vec![pattern; (rows_per_gather as usize) / 8]);
     }
     let mut moved = 0u64;
     let mut finish = Time::ZERO;
@@ -93,17 +94,35 @@ fn run(pattern: u8, mode: GatherMode, serialize: bool) -> f64 {
 fn main() {
     println!("# Figure 12: DMS gather bandwidth across 32 dpCores\n");
     header(&["Bit vector", "first silicon + workaround", "fixed RTL (ablation)"]);
+    let mut series: Vec<Json> = Vec::new();
     for (name, pat) in [("dense 0xF7", 0xF7u8), ("sparse 0x13", 0x13u8)] {
-        row(&[
-            name.to_string(),
-            gbps(run(pat, GatherMode::BugWorkaround, true)),
-            gbps(run(pat, GatherMode::Fixed, false)),
-        ]);
+        let workaround = run(pat, GatherMode::BugWorkaround, true);
+        let fixed = run(pat, GatherMode::Fixed, false);
+        row(&[name.to_string(), gbps(workaround), gbps(fixed)]);
+        series.push(Json::obj([
+            ("bit_vector", Json::str(name)),
+            ("workaround_gbps", Json::num(workaround)),
+            ("fixed_rtl_gbps", Json::num(fixed)),
+        ]));
     }
     println!("\nConcurrent gathers on the buggy silicon hang the DMADs:");
     let hung = run(0xF7, GatherMode::BugWorkaround, false);
-    println!("  concurrent issue without workaround → {}",
-        if hung.is_nan() { "gather count FIFO overflow (hang detected)" } else { "unexpected success" });
+    println!(
+        "  concurrent issue without workaround → {}",
+        if hung.is_nan() {
+            "gather count FIFO overflow (hang detected)"
+        } else {
+            "unexpected success"
+        }
+    );
     println!("\nPaper targets: workaround bandwidth far below line rate;");
     println!("dense > sparse (gathered bytes per scanned row).");
+    emit(
+        "fig12_gather",
+        &Json::obj([
+            ("figure", Json::str("fig12_gather")),
+            ("patterns", Json::Arr(series)),
+            ("concurrent_buggy_issue_hangs", Json::Bool(hung.is_nan())),
+        ]),
+    );
 }

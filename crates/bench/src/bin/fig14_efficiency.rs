@@ -8,6 +8,7 @@
 //! analytic machine model elsewhere. EXPERIMENTS.md lists which is which.
 
 use dpu_apps::{disparity, hll, json, simsearch, svm};
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{gain, header, row};
 use dpu_isa::hash::HashKind;
 use dpu_sql::agg::GroupByPlan;
@@ -38,10 +39,20 @@ fn main() {
         ("Group-by, high NDV", groupby_gain(2_000_000, &xeon), reported_gains::GROUPBY_HIGH_NDV),
         ("HyperLogLog (CRC32)", hll::gain(HashKind::Crc32, &xeon), reported_gains::HLL_CRC32),
         ("JSON parsing", json::gain(&json_corpus, &xeon), reported_gains::JSON),
-        ("Disparity (640×480, 32 shifts)", disparity::gain(640, 480, 32, &xeon), reported_gains::DISPARITY),
+        (
+            "Disparity (640×480, 32 shifts)",
+            disparity::gain(640, 480, 32, &xeon),
+            reported_gains::DISPARITY,
+        ),
     ];
+    let mut apps: Vec<Json> = Vec::new();
     for (name, got, paper) in rows {
         row(&[name.to_string(), gain(got), gain(paper)]);
+        apps.push(Json::obj([
+            ("application", Json::str(name)),
+            ("measured_gain", Json::num(got)),
+            ("paper_gain", Json::num(paper)),
+        ]));
     }
 
     println!("\n## Detail: HyperLogLog hash choice (§5.4)\n");
@@ -54,9 +65,11 @@ fn main() {
             gain(hll::gain(kind, &xeon)),
         ]);
     }
-    println!("\nNTZ rank: {} cycles; NLZ rank: {} cycles (§5.4: 4 vs 13).",
+    println!(
+        "\nNTZ rank: {} cycles; NLZ rank: {} cycles (§5.4: 4 vs 13).",
         hll::RankMethod::TrailingZeros.dpcore_cycles(),
-        hll::RankMethod::LeadingZeros.dpcore_cycles());
+        hll::RankMethod::LeadingZeros.dpcore_cycles()
+    );
 
     println!("\n## Detail: SpMM tile strategy (§5.2)\n");
     header(&["Strategy", "effective bandwidth"]);
@@ -73,10 +86,23 @@ fn main() {
 
     println!("\n## Detail: disparity decomposition (§5.6)\n");
     header(&["Decomposition", "seconds (640×480, 32 shifts)"]);
+    let mut decompositions: Vec<Json> = Vec::new();
     for (name, d) in [
         ("fine-grained (tiles + ATE barriers)", disparity::Decomposition::FineGrained),
         ("coarse-grained (shift per core)", disparity::Decomposition::CoarseGrained),
     ] {
-        row(&[name.to_string(), format!("{:.4}", disparity::dpu_seconds(640, 480, 32, d))]);
+        let secs = disparity::dpu_seconds(640, 480, 32, d);
+        row(&[name.to_string(), format!("{secs:.4}")]);
+        decompositions
+            .push(Json::obj([("decomposition", Json::str(name)), ("seconds", Json::num(secs))]));
     }
+
+    emit(
+        "fig14_efficiency",
+        &Json::obj([
+            ("figure", Json::str("fig14_efficiency")),
+            ("applications", Json::Arr(apps)),
+            ("disparity_decompositions", Json::Arr(decompositions)),
+        ]),
+    );
 }

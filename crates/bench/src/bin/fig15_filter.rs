@@ -5,6 +5,7 @@
 //! with the DMS streaming the column. Targets: ≈482 Mtuples/s
 //! (1.65 cycles/tuple) at large tiles and ≈9.6 GB/s aggregate.
 
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_core::{CoreProgram, Dpu, DpuConfig, StreamKernel, StreamSpec};
 use dpu_sql::measure_filter_kernel;
@@ -31,9 +32,8 @@ fn aggregate_bandwidth() -> f64 {
             buffers: 2,
         };
         // 1.65 cycles/tuple of FILT work per tile (measured below).
-        programs.push(Box::new(StreamKernel::new(spec, |_, tile| {
-            (tile.rows as f64 * 1.65) as u64
-        })));
+        programs
+            .push(Box::new(StreamKernel::new(spec, |_, tile| (tile.rows as f64 * 1.65) as u64)));
     }
     let report = dpu.run(&mut programs).expect("run");
     report.dms_gbytes_per_sec(dpu.config().clock)
@@ -42,18 +42,33 @@ fn aggregate_bandwidth() -> f64 {
 fn main() {
     println!("# Figure 15: filter primitive performance\n");
     header(&["Tile rows", "cycles/tuple", "Mtuples/s per dpCore"]);
+    let mut series: Vec<Json> = Vec::new();
     for rows in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let values: Vec<i32> = (0..rows as i32).map(|i| i.wrapping_mul(2654435761u32 as i32)).collect();
+        let values: Vec<i32> =
+            (0..rows as i32).map(|i| i.wrapping_mul(2654435761u32 as i32)).collect();
         let (m, _) = measure_filter_kernel(&values, -1_000_000, 1_000_000);
         row(&[
             rows.to_string(),
             format!("{:.2}", m.cycles_per_tuple()),
             format!("{:.0}", m.tuples_per_sec() / 1e6),
         ]);
+        series.push(Json::obj([
+            ("tile_rows", Json::num(rows as f64)),
+            ("cycles_per_tuple", Json::num(m.cycles_per_tuple())),
+            ("mtuples_per_sec", Json::num(m.tuples_per_sec() / 1e6)),
+        ]));
     }
     println!("\nPaper targets: 482 Mtuples/s = 1.65 cycles/tuple at large tiles.");
+    let aggregate = aggregate_bandwidth();
     println!(
-        "\n32-dpCore aggregate filter bandwidth (DMS-fed): {:.2} GB/s (paper: 9.6 GB/s)",
-        aggregate_bandwidth()
+        "\n32-dpCore aggregate filter bandwidth (DMS-fed): {aggregate:.2} GB/s (paper: 9.6 GB/s)"
+    );
+    emit(
+        "fig15_filter",
+        &Json::obj([
+            ("figure", Json::str("fig15_filter")),
+            ("tiles", Json::Arr(series)),
+            ("aggregate_gbps", Json::num(aggregate)),
+        ]),
     );
 }

@@ -1,0 +1,114 @@
+//! Rack-scale TPC-H: the 8-query suite sharded across 8 simulated DPU
+//! nodes, checked bit-identical against single-node execution, then
+//! served to a closed-loop client population and compared against a
+//! 42U multi-socket Xeon rack on QPS, latency, and performance/watt.
+
+use dpu_bench::json::{emit, Json};
+use dpu_bench::{header, row};
+use dpu_cluster::{serve, Cluster, ClusterConfig, ServeConfig, ShardPolicy, Template};
+use dpu_sql::tpch;
+use xeon_model::XeonRack;
+
+fn main() {
+    const NODES: usize = 8;
+    let scale = 30_000u64; // cost queries at SF≈100 cardinalities
+    let db = tpch::generate(5000, 2026);
+    let policy = ShardPolicy::hash(NODES);
+    let cfg = ClusterConfig::prototype_slice(NODES, scale);
+    let mut cluster = Cluster::new(db, &policy, cfg);
+
+    println!(
+        "# Rack-scale TPC-H: {NODES} DPU nodes, hash-sharded on orderkey ({} lineitem rows)\n",
+        cluster.full.lineitem.rows()
+    );
+    let load = cluster.load_seconds();
+    println!("Initial shard load (scatter + dimension broadcast): {:.3} ms\n", load * 1e3);
+
+    header(&["Query", "local (ms)", "fabric (ms)", "merge (ms)", "total (ms)", "== single-node"]);
+    let results = cluster.run_all();
+    let mut queries: Vec<Json> = Vec::new();
+    let mut templates: Vec<Template> = Vec::new();
+    for r in &results {
+        assert!(r.matches_single(), "{} distributed result diverged from single-node", r.id.name());
+        row(&[
+            r.id.name().to_string(),
+            format!("{:.3}", r.cost.local_seconds * 1e3),
+            format!("{:.3}", r.cost.fabric_seconds * 1e3),
+            format!("{:.3}", r.cost.merge_seconds * 1e3),
+            format!("{:.3}", r.cost.total_seconds() * 1e3),
+            "yes".into(),
+        ]);
+        queries.push(Json::obj([
+            ("query", Json::str(r.id.name())),
+            ("local_seconds", Json::num(r.cost.local_seconds)),
+            ("fabric_seconds", Json::num(r.cost.fabric_seconds)),
+            ("merge_seconds", Json::num(r.cost.merge_seconds)),
+            ("total_seconds", Json::num(r.cost.total_seconds())),
+            ("fabric_bytes", Json::num(r.cost.fabric_bytes as f64)),
+            ("matches_single_node", Json::Bool(true)),
+        ]));
+        templates.push(Template {
+            name: r.id.name(),
+            cost: r.cost.clone(),
+            xeon_seconds: r.single_cost.xeon.seconds,
+        });
+    }
+    println!("\nAll {} distributed query results are bit-identical to single-node.", results.len());
+
+    // Serve the suite to a closed-loop client population.
+    let rack = XeonRack::rack_42u();
+    let serve_cfg = ServeConfig::default();
+    let report = serve(&templates, cluster.watts(), &rack, &serve_cfg);
+
+    println!(
+        "\n## Serving ({} clients, {:.0} s horizon, batch ≤ {})\n",
+        serve_cfg.clients, serve_cfg.duration_seconds, serve_cfg.max_batch
+    );
+    header(&["Metric", "DPU rack slice", "Xeon rack (42U)"]);
+    row(&["QPS".into(), format!("{:.1}", report.qps), format!("{:.1}", report.xeon_qps)]);
+    row(&[
+        "Watts".into(),
+        format!("{:.0}", report.cluster_watts),
+        format!("{:.0}", report.xeon_watts),
+    ]);
+    row(&[
+        "QPS/W".into(),
+        format!("{:.3}", report.qps / report.cluster_watts),
+        format!("{:.3}", report.xeon_qps / report.xeon_watts),
+    ]);
+    println!(
+        "\nLatency: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, mean {:.1} ms (mean batch {:.1})",
+        report.p50 * 1e3,
+        report.p95 * 1e3,
+        report.p99 * 1e3,
+        report.mean_latency * 1e3,
+        report.mean_batch
+    );
+    println!("Admission: {} completed, {} rejected.", report.completed, report.rejected);
+    println!(
+        "\nPerformance/watt vs Xeon rack: {:.1}× (paper's single-node TPC-H geomean: 15×)",
+        report.perf_per_watt_gain
+    );
+
+    emit(
+        "rack_tpch",
+        &Json::obj([
+            ("figure", Json::str("rack_tpch")),
+            ("nodes", Json::num(NODES as f64)),
+            ("scale", Json::num(scale as f64)),
+            ("load_seconds", Json::num(load)),
+            ("queries", Json::Arr(queries)),
+            ("qps", Json::num(report.qps)),
+            ("p50_seconds", Json::num(report.p50)),
+            ("p95_seconds", Json::num(report.p95)),
+            ("p99_seconds", Json::num(report.p99)),
+            ("mean_batch", Json::num(report.mean_batch)),
+            ("completed", Json::num(report.completed as f64)),
+            ("rejected", Json::num(report.rejected as f64)),
+            ("cluster_watts", Json::num(report.cluster_watts)),
+            ("xeon_qps", Json::num(report.xeon_qps)),
+            ("xeon_watts", Json::num(report.xeon_watts)),
+            ("perf_per_watt_gain", Json::num(report.perf_per_watt_gain)),
+        ]),
+    );
+}

@@ -1,5 +1,6 @@
 //! Table 1: DMS data-descriptor types and supported operations.
 
+use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_dms::{DescKind, DmsOp};
 
@@ -14,13 +15,24 @@ fn main() {
         DmsOp::LastCol,
     ];
     header(&["Direction", "Scatter", "Gather", "Stride", "Partition", "Key", "LastCol"]);
+    let op_names = ["scatter", "gather", "stride", "partition", "key", "last_col"];
+    let mut kinds: Vec<Json> = Vec::new();
     for kind in DescKind::all() {
         let mut cells = vec![kind.to_string()];
-        for op in ops {
+        let mut supported = Vec::new();
+        for (op, name) in ops.into_iter().zip(op_names) {
             cells.push(if kind.supports(op) { "X".into() } else { "".into() });
+            supported.push((name, Json::Bool(kind.supports(op))));
         }
         row(&cells);
+        kinds.push(Json::obj(
+            [("direction", Json::str(kind.to_string()))].into_iter().chain(supported),
+        ));
     }
     println!("\n(Table 2's DDR→DMEM bit layout is verified by the descriptor");
     println!("round-trip tests in `dpu-dms::descriptor`.)");
+    emit(
+        "tab01_descriptor_matrix",
+        &Json::obj([("figure", Json::str("tab01_descriptor_matrix")), ("kinds", Json::Arr(kinds))]),
+    );
 }

@@ -1,0 +1,149 @@
+//! Machine-readable benchmark output.
+//!
+//! Every figure binary emits a `BENCH_<figure>.json` file next to its
+//! human-readable table so downstream tooling (plotting, regression
+//! tracking) can consume the numbers without scraping stdout. The
+//! environment has no serde, so this is a small hand-rolled JSON value
+//! type — strings, finite numbers, booleans, arrays, ordered objects —
+//! which is all the figures need.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number from anything convertible to `f64`.
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Integers print without a fraction; `{}` on f64 is
+                    // shortest-roundtrip, always a valid JSON number.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `BENCH_<figure>.json` in the working directory and prints where
+/// it went. Benchmark output is best-effort: an unwritable directory
+/// prints a warning instead of failing the run.
+pub fn emit(figure: &str, value: &Json) {
+    let path = PathBuf::from(format!("BENCH_{figure}.json"));
+    let text = format!("{}\n", value.render());
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("\n[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let j = Json::obj([
+            ("figure", Json::str("fig16")),
+            ("gains", Json::Arr(vec![Json::num(12.5), Json::num(3.0)])),
+            ("ok", Json::Bool(true)),
+        ]);
+        assert_eq!(j.render(), r#"{"figure":"fig16","gains":[12.5,3],"ok":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").render(), r#""\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::num(42.0).render(), "42");
+        assert_eq!(Json::num(0.5).render(), "0.5");
+    }
+}

@@ -6,6 +6,8 @@
 //! library's own hot paths (hashing, descriptor codec, the partition
 //! engines, the ISA interpreter).
 
+pub mod json;
+
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

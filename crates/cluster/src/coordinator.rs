@@ -1,0 +1,725 @@
+//! Distributed scatter/gather plans for the Figure 16 query set.
+//!
+//! Each query runs in phases: every node executes a **local phase**
+//! against its shard (scan/filter/join/partial-aggregate — costed by the
+//! same [`CostAcc`] roofline the single-node engine uses), partial
+//! results move over the [`Fabric`], and a coordinator node **merges**.
+//! Cluster time is therefore `max over nodes + fabric + merge`, with
+//! fabric congestion coming from the queuing model rather than a
+//! constant.
+//!
+//! Because `orders`/`lineitem` are co-sharded by order key and dimensions
+//! are replicated, seven of the eight queries decompose into *run the
+//! single-node query per shard, then merge*: re-aggregation for the
+//! group-bys (Q1, Q5, Q12) and scalar sums (Q6, Q14), top-k candidate
+//! merge for Q3/Q18 (each shard's local top-k provably contains every
+//! global winner). Q10 groups by **customer**, which is not the sharding
+//! key, so it runs a genuine two-phase aggregation: partial group-by
+//! per node, an all-to-all hash reshuffle of partial groups to owner
+//! nodes, owner re-aggregation, then a candidate gather.
+//!
+//! Every distributed result is bit-identical to the single-node engine's
+//! output — asserted by tests and by `examples/rack_tpch.rs`.
+
+use dpu_core::rack::Rack;
+use dpu_sim::Time;
+use dpu_sql::plan::{PlatformCost, DPU_CLOCK, DPU_CORES, DPU_STREAM_BW};
+use dpu_sql::tpch::{self, project_rows, select_rows, TpchDb, D_1995};
+use dpu_sql::{
+    top_k, AggFunc, CompareOp, CostAcc, FilterSpec, GroupBySpec, HashJoin, QueryCost, Table,
+};
+use xeon_model::Xeon;
+
+use crate::fabric::{Fabric, FabricConfig};
+use crate::shard::{shard_table, shard_tpch, ShardPolicy, ShardedTpch};
+
+/// The eight TPC-H queries of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// Pricing summary (scan + aggregate).
+    Q1,
+    /// Shipping priority (3-way join + top-10).
+    Q3,
+    /// Local-supplier volume (6-table join).
+    Q5,
+    /// Revenue forecast (pure scan).
+    Q6,
+    /// Returned items (re-keyed aggregation — needs a shuffle).
+    Q10,
+    /// Shipping modes (join + count).
+    Q12,
+    /// Promotion effect (scalar join).
+    Q14,
+    /// Large-volume customers (group-having + top-100).
+    Q18,
+}
+
+impl QueryId {
+    /// All eight, in Figure 16 order.
+    pub const ALL: [QueryId; 8] = [
+        QueryId::Q1,
+        QueryId::Q3,
+        QueryId::Q5,
+        QueryId::Q6,
+        QueryId::Q10,
+        QueryId::Q12,
+        QueryId::Q14,
+        QueryId::Q18,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q3 => "Q3",
+            QueryId::Q5 => "Q5",
+            QueryId::Q6 => "Q6",
+            QueryId::Q10 => "Q10",
+            QueryId::Q12 => "Q12",
+            QueryId::Q14 => "Q14",
+            QueryId::Q18 => "Q18",
+        }
+    }
+}
+
+/// A query result (tables for reporting queries, scalars for Q6/Q14).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// A result table.
+    Table(Table),
+    /// A single aggregate value.
+    Scalar(i64),
+    /// Q14's (promo, total) revenue pair.
+    Pair(i64, i64),
+}
+
+impl QueryOutput {
+    /// The table, for table-valued queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scalar outputs.
+    pub fn table(&self) -> &Table {
+        match self {
+            QueryOutput::Table(t) => t,
+            other => panic!("not a table output: {other:?}"),
+        }
+    }
+}
+
+/// One node's local-phase cost, split along the roofline axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCost {
+    /// Seconds streaming the shard through DRAM.
+    pub mem_seconds: f64,
+    /// Seconds of dpCore compute.
+    pub cpu_seconds: f64,
+}
+
+impl NodeCost {
+    fn from_dpu(p: &PlatformCost) -> Self {
+        NodeCost {
+            mem_seconds: p.bytes as f64 / DPU_STREAM_BW,
+            cpu_seconds: p.compute_cycles as f64 / (DPU_CORES * DPU_CLOCK),
+        }
+    }
+
+    /// The node's local-phase time (roofline max).
+    pub fn seconds(&self) -> f64 {
+        self.mem_seconds.max(self.cpu_seconds)
+    }
+}
+
+/// The cluster-wide cost of one distributed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterQueryCost {
+    /// Local-phase cost per node.
+    pub per_node: Vec<NodeCost>,
+    /// Slowest node's local phase, seconds.
+    pub local_seconds: f64,
+    /// Time from the last local finish to the last byte landing at the
+    /// coordinator (shuffle + gather + any distributed merge overlapped
+    /// with it), seconds.
+    pub fabric_seconds: f64,
+    /// Coordinator merge compute, seconds.
+    pub merge_seconds: f64,
+    /// Payload bytes that crossed the fabric.
+    pub fabric_bytes: u64,
+}
+
+impl ClusterQueryCost {
+    /// End-to-end latency of one query, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.local_seconds + self.fabric_seconds + self.merge_seconds
+    }
+
+    /// Latency of a batch of `k` same-template queries executed together:
+    /// the nodes stream their shard **once** (sharing the scan) but do
+    /// `k×` the compute, and the per-query fabric and merge phases repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn batch_seconds(&self, k: usize) -> f64 {
+        assert!(k > 0, "empty batch");
+        let local = self
+            .per_node
+            .iter()
+            .map(|n| n.mem_seconds.max(k as f64 * n.cpu_seconds))
+            .fold(0.0, f64::max);
+        local + k as f64 * (self.fabric_seconds + self.merge_seconds)
+    }
+}
+
+/// One executed distributed query with its single-node reference.
+#[derive(Debug, Clone)]
+pub struct DistributedQuery {
+    /// Which query.
+    pub id: QueryId,
+    /// The distributed result.
+    pub output: QueryOutput,
+    /// The single-node engine's result on the unsharded database.
+    pub single_output: QueryOutput,
+    /// Cluster cost breakdown.
+    pub cost: ClusterQueryCost,
+    /// The single-node cost (its `xeon` side is the rack baseline's
+    /// per-socket query time).
+    pub single_cost: QueryCost,
+}
+
+impl DistributedQuery {
+    /// Whether the distributed result is bit-identical to the single-node
+    /// result (it must be — this is the acceptance check).
+    pub fn matches_single(&self) -> bool {
+        self.output == self.single_output
+    }
+
+    /// Cluster queries/second/watt over the Xeon socket's, given total
+    /// cluster watts.
+    pub fn perf_per_watt_gain(&self, cluster_watts: f64, xeon: &Xeon) -> f64 {
+        let cluster_qps = 1.0 / self.cost.total_seconds();
+        let xeon_qps = 1.0 / self.single_cost.xeon.seconds;
+        (cluster_qps / cluster_watts) / (xeon_qps / xeon.tdp_watts())
+    }
+}
+
+/// Cluster sizing and rates.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// DPU nodes executing queries.
+    pub n_nodes: usize,
+    /// Cardinality multiplier applied when costing (the data executes at
+    /// miniature scale; costs are reported at `scale×`).
+    pub scale: u64,
+    /// The fabric connecting the nodes.
+    pub fabric: FabricConfig,
+    /// Provisioned watts per node (SoC + DRAM + NIC).
+    pub watts_per_node: f64,
+}
+
+impl ClusterConfig {
+    /// Derives a config from `n_nodes` of a provisioned rack.
+    pub fn from_rack(rack: &Rack, n_nodes: usize, scale: u64) -> Self {
+        let p = rack.slice(n_nodes).fabric_provision();
+        ClusterConfig {
+            n_nodes,
+            scale,
+            fabric: FabricConfig::from_provision(&p),
+            watts_per_node: p.watts_per_node,
+        }
+    }
+
+    /// An `n_nodes` slice of the paper's prototype rack.
+    pub fn prototype_slice(n_nodes: usize, scale: u64) -> Self {
+        Self::from_rack(&Rack::prototype(), n_nodes, scale)
+    }
+}
+
+/// A simulated DPU cluster holding a sharded TPC-H database.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Sizing and rates.
+    pub cfg: ClusterConfig,
+    /// The unsharded database (single-node reference runs against it).
+    pub full: TpchDb,
+    /// The per-node databases.
+    pub sharded: ShardedTpch,
+    /// The rack network.
+    pub fabric: Fabric,
+    xeon: Xeon,
+}
+
+impl Cluster {
+    /// Shards `db` under `policy` and builds the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's shard count differs from `cfg.n_nodes`.
+    pub fn new(db: TpchDb, policy: &ShardPolicy, cfg: ClusterConfig) -> Self {
+        assert_eq!(policy.shards(), cfg.n_nodes, "policy shards must equal cluster nodes");
+        let sharded = shard_tpch(&db, policy);
+        let fabric = Fabric::new(cfg.n_nodes, cfg.fabric.clone());
+        Cluster { sharded, fabric, full: db, cfg, xeon: Xeon::new() }
+    }
+
+    /// Total provisioned cluster power, watts.
+    pub fn watts(&self) -> f64 {
+        self.cfg.watts_per_node * self.cfg.n_nodes as f64
+    }
+
+    /// The baseline model used for per-socket reference costs.
+    pub fn xeon(&self) -> &Xeon {
+        &self.xeon
+    }
+
+    /// Seconds to load the database over the fabric from node 0: facts
+    /// scattered point-to-point, dimensions broadcast.
+    pub fn load_seconds(&mut self) -> f64 {
+        self.fabric.reset();
+        let n = self.cfg.n_nodes;
+        let mut done = Time::ZERO;
+        for dst in 1..n {
+            let fact_share =
+                self.sharded.nodes[dst].orders.bytes() + self.sharded.nodes[dst].lineitem.bytes();
+            done = done.max(self.fabric.transfer(Time::ZERO, 0, dst, fact_share));
+        }
+        done = done.max(self.fabric.broadcast(Time::ZERO, 0, self.sharded.broadcast_bytes));
+        let s = self.fabric.seconds(done);
+        self.fabric.reset();
+        s
+    }
+
+    /// Runs one query distributed, returning the result, its single-node
+    /// reference, and the cost breakdown.
+    pub fn run(&mut self, id: QueryId) -> DistributedQuery {
+        match id {
+            QueryId::Q1 => self.reagg(id, spec_q1(), tpch::q1),
+            QueryId::Q3 => {
+                self.topk_merge(id, tpch::q3, "revenue", 10, &["l_orderkey", "o_orderdate"])
+            }
+            QueryId::Q5 => self.reagg(id, spec_q5(), tpch::q5),
+            QueryId::Q6 => self.run_q6(),
+            QueryId::Q10 => self.run_q10(),
+            QueryId::Q12 => self.reagg(id, spec_q12(), tpch::q12),
+            QueryId::Q14 => self.run_q14(),
+            QueryId::Q18 => self.topk_merge(id, tpch::q18, "o_totalprice", 100, &["o_orderkey"]),
+        }
+    }
+
+    /// Runs all eight queries.
+    pub fn run_all(&mut self) -> Vec<DistributedQuery> {
+        QueryId::ALL.iter().map(|&q| self.run(q)).collect()
+    }
+
+    /// Gathers per-node partial tables to node 0 and prices the
+    /// coordinator merge over their rows.
+    fn gather_merge_cost(
+        &mut self,
+        per_node: Vec<NodeCost>,
+        partials: &[Table],
+    ) -> ClusterQueryCost {
+        self.fabric.reset();
+        let local_seconds = per_node.iter().map(NodeCost::seconds).fold(0.0, f64::max);
+        let parts: Vec<(usize, Time, u64)> = per_node
+            .iter()
+            .enumerate()
+            .map(|(i, nc)| (i, self.fabric.at_seconds(nc.seconds()), partials[i].bytes()))
+            .collect();
+        let done = self.fabric.gather(&parts, 0);
+        let end = self.fabric.seconds(done).max(local_seconds);
+        let merge_rows: usize = partials.iter().map(Table::rows).sum();
+        ClusterQueryCost {
+            per_node,
+            local_seconds,
+            fabric_seconds: end - local_seconds,
+            merge_seconds: merge_cpu_seconds(merge_rows),
+            fabric_bytes: self.fabric.payload_bytes(),
+        }
+    }
+
+    /// The scatter → gather → re-aggregate plan: run the single-node
+    /// query per shard, merge partial aggregates at the coordinator.
+    fn reagg(
+        &mut self,
+        id: QueryId,
+        spec: GroupBySpec,
+        f: fn(&TpchDb, &Xeon, u64) -> (Table, QueryCost),
+    ) -> DistributedQuery {
+        let (single_output, single_cost) = f(&self.full, &self.xeon, self.cfg.scale);
+        let locals: Vec<(Table, QueryCost)> =
+            self.sharded.nodes.iter().map(|n| f(n, &self.xeon, self.cfg.scale)).collect();
+        let per_node: Vec<NodeCost> =
+            locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
+        let partials: Vec<Table> = locals.into_iter().map(|(t, _)| t).collect();
+        let merged = spec.merge_partials(&partials);
+        let cost = self.gather_merge_cost(per_node, &partials);
+        DistributedQuery {
+            id,
+            output: QueryOutput::Table(merged),
+            single_output: QueryOutput::Table(single_output),
+            cost,
+            single_cost,
+        }
+    }
+
+    /// The scatter → gather → top-k candidate merge plan. Each shard's
+    /// local top-k contains every global winner (a winner's rows live on
+    /// exactly one shard, where it also ranks top-k), so merging the
+    /// candidate lists under the same total order reproduces the
+    /// single-node result exactly.
+    fn topk_merge(
+        &mut self,
+        id: QueryId,
+        f: fn(&TpchDb, &Xeon, u64) -> (Table, QueryCost),
+        value_col: &str,
+        k: usize,
+        tie_cols: &[&str],
+    ) -> DistributedQuery {
+        let (single_output, single_cost) = f(&self.full, &self.xeon, self.cfg.scale);
+        let locals: Vec<(Table, QueryCost)> =
+            self.sharded.nodes.iter().map(|n| f(n, &self.xeon, self.cfg.scale)).collect();
+        let per_node: Vec<NodeCost> =
+            locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
+        let partials: Vec<Table> = locals.into_iter().map(|(t, _)| t).collect();
+        let merged = merge_topk(&partials, value_col, k, tie_cols);
+        let cost = self.gather_merge_cost(per_node, &partials);
+        DistributedQuery {
+            id,
+            output: QueryOutput::Table(merged),
+            single_output: QueryOutput::Table(single_output),
+            cost,
+            single_cost,
+        }
+    }
+
+    fn run_q6(&mut self) -> DistributedQuery {
+        let (single, single_cost) = tpch::q6(&self.full, &self.xeon, self.cfg.scale);
+        let locals: Vec<(i64, QueryCost)> =
+            self.sharded.nodes.iter().map(|n| tpch::q6(n, &self.xeon, self.cfg.scale)).collect();
+        let per_node: Vec<NodeCost> =
+            locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
+        let total: i64 = locals.iter().map(|(v, _)| v).sum();
+        // Each node ships one 8-byte partial sum.
+        let partials: Vec<Table> = locals
+            .iter()
+            .map(|(v, _)| Table::new(vec![dpu_sql::Column::i64("revenue", vec![*v])]))
+            .collect();
+        let cost = self.gather_merge_cost(per_node, &partials);
+        DistributedQuery {
+            id: QueryId::Q6,
+            output: QueryOutput::Scalar(total),
+            single_output: QueryOutput::Scalar(single),
+            cost,
+            single_cost,
+        }
+    }
+
+    fn run_q14(&mut self) -> DistributedQuery {
+        let ((sp, st), single_cost) = tpch::q14(&self.full, &self.xeon, self.cfg.scale);
+        let locals: Vec<((i64, i64), QueryCost)> =
+            self.sharded.nodes.iter().map(|n| tpch::q14(n, &self.xeon, self.cfg.scale)).collect();
+        let per_node: Vec<NodeCost> =
+            locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
+        let promo: i64 = locals.iter().map(|((p, _), _)| p).sum();
+        let total: i64 = locals.iter().map(|((_, t), _)| t).sum();
+        let partials: Vec<Table> = locals
+            .iter()
+            .map(|((p, t), _)| {
+                Table::new(vec![
+                    dpu_sql::Column::i64("promo", vec![*p]),
+                    dpu_sql::Column::i64("total", vec![*t]),
+                ])
+            })
+            .collect();
+        let cost = self.gather_merge_cost(per_node, &partials);
+        DistributedQuery {
+            id: QueryId::Q14,
+            output: QueryOutput::Pair(promo, total),
+            single_output: QueryOutput::Pair(sp, st),
+            cost,
+            single_cost,
+        }
+    }
+
+    /// Q10 groups by `o_custkey`, which is not the sharding key: the
+    /// genuine two-phase plan. Phase 1 computes partial groups per node;
+    /// phase 2 reshuffles partials all-to-all by customer-key hash to
+    /// owner nodes; phase 3 re-aggregates at owners and picks local
+    /// top-20 candidates; phase 4 gathers candidates to the coordinator
+    /// for the final top-20.
+    fn run_q10(&mut self) -> DistributedQuery {
+        let scale = self.cfg.scale;
+        let (single_output, single_cost) = tpch::q10(&self.full, &self.xeon, scale);
+        let spec = spec_q10();
+        let n = self.cfg.n_nodes;
+
+        // Phase 1: local filter + join + partial group-by.
+        let locals: Vec<(Table, QueryCost)> =
+            self.sharded.nodes.iter().map(|d| q10_local(d, &self.xeon, scale)).collect();
+        let per_node: Vec<NodeCost> =
+            locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
+        let local_seconds = per_node.iter().map(NodeCost::seconds).fold(0.0, f64::max);
+
+        // Phase 2: all-to-all reshuffle of partial groups by owner.
+        self.fabric.reset();
+        let owner = ShardPolicy::hash(n);
+        let chunks: Vec<Vec<Table>> =
+            locals.iter().map(|(partial, _)| shard_table(partial, "o_custkey", &owner)).collect();
+        let matrix: Vec<Vec<u64>> =
+            chunks.iter().map(|row| row.iter().map(Table::bytes).collect()).collect();
+        let ready: Vec<Time> =
+            per_node.iter().map(|nc| self.fabric.at_seconds(nc.seconds())).collect();
+        let shuffled = self.fabric.all_to_all(&ready, &matrix);
+
+        // Phase 3: owners re-aggregate their complete groups and pick
+        // local top-20 candidates.
+        let mut candidates = Vec::with_capacity(n);
+        let mut cand_parts = Vec::with_capacity(n);
+        for d in 0..n {
+            let received: Vec<Table> = chunks.iter().map(|row| row[d].clone()).collect();
+            let rows_in: usize = received.iter().map(Table::rows).sum();
+            let complete = spec.merge_partials(&received);
+            let top = top_k(&complete, "revenue", 20.min(complete.rows().max(1)), 32);
+            let cand = project_rows(&complete, &top);
+            let owner_done = shuffled[d] + self.fabric.at_seconds(merge_cpu_seconds(rows_in));
+            cand_parts.push((d, owner_done, cand.bytes()));
+            candidates.push(cand);
+        }
+
+        // Phase 4: gather candidates; final merge at the coordinator.
+        let done = self.fabric.gather(&cand_parts, 0);
+        let merged = merge_topk(&candidates, "revenue", 20, &["o_custkey"]);
+        let end = self.fabric.seconds(done).max(local_seconds);
+        let cand_rows: usize = candidates.iter().map(Table::rows).sum();
+        let cost = ClusterQueryCost {
+            per_node,
+            local_seconds,
+            fabric_seconds: end - local_seconds,
+            merge_seconds: merge_cpu_seconds(cand_rows),
+            fabric_bytes: self.fabric.payload_bytes(),
+        };
+        DistributedQuery {
+            id: QueryId::Q10,
+            output: QueryOutput::Table(merged),
+            single_output: QueryOutput::Table(single_output),
+            cost,
+            single_cost,
+        }
+    }
+}
+
+/// Coordinator-side merge compute: hash re-aggregation at the same
+/// cycles/row as the engine's group-by, on one node's 32 cores.
+fn merge_cpu_seconds(rows: usize) -> f64 {
+    rows as f64 * tpch::AGG_DPU / (DPU_CORES * DPU_CLOCK)
+}
+
+/// Merges per-shard top-k candidate tables: sort by value descending,
+/// break ties by `tie_cols` ascending (the single-node engine's order),
+/// keep `k`.
+fn merge_topk(partials: &[Table], value_col: &str, k: usize, tie_cols: &[&str]) -> Table {
+    let all = Table::concat(partials);
+    let v = all.col_index(value_col);
+    let ties: Vec<usize> = tie_cols.iter().map(|c| all.col_index(c)).collect();
+    let mut idx: Vec<usize> = (0..all.rows()).collect();
+    idx.sort_by(|&a, &b| {
+        all.columns[v].data[b].cmp(&all.columns[v].data[a]).then_with(|| {
+            ties.iter()
+                .map(|&t| all.columns[t].data[a].cmp(&all.columns[t].data[b]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    });
+    idx.truncate(k);
+    project_rows(&all, &idx)
+}
+
+fn spec_q1() -> GroupBySpec {
+    GroupBySpec {
+        group_cols: vec!["l_returnflag".into(), "l_linestatus".into()],
+        aggs: vec![
+            ("sum_qty".into(), AggFunc::Sum("l_quantity".into())),
+            ("sum_base_price".into(), AggFunc::Sum("l_extendedprice".into())),
+            (
+                "sum_disc_price".into(),
+                AggFunc::SumProduct("l_extendedprice".into(), "l_discount".into()),
+            ),
+            ("count_order".into(), AggFunc::Count),
+        ],
+    }
+}
+
+fn spec_q5() -> GroupBySpec {
+    GroupBySpec {
+        group_cols: vec!["n_nationkey".into()],
+        aggs: vec![(
+            "revenue".into(),
+            AggFunc::SumProduct("l_extendedprice".into(), "l_discount".into()),
+        )],
+    }
+}
+
+fn spec_q10() -> GroupBySpec {
+    GroupBySpec {
+        group_cols: vec!["o_custkey".into()],
+        aggs: vec![(
+            "revenue".into(),
+            AggFunc::SumProduct("l_extendedprice".into(), "l_discount".into()),
+        )],
+    }
+}
+
+fn spec_q12() -> GroupBySpec {
+    GroupBySpec {
+        group_cols: vec!["l_shipmode".into()],
+        aggs: vec![("line_count".into(), AggFunc::Count)],
+    }
+}
+
+/// Q10's local phase: the filters and join of [`tpch::q10`] but stopping
+/// at the partial group-by (no top-k — that happens after the shuffle).
+/// Costed with the same per-operator constants as the single-node query.
+fn q10_local(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
+    let ord_sel =
+        FilterSpec::new("o_orderdate", CompareOp::Between(D_1995, D_1995 + 90)).apply(&db.orders);
+    let ord = select_rows(&db.orders, &ord_sel);
+    let li_sel = FilterSpec::new("l_returnflag", CompareOp::Eq(2)).apply(&db.lineitem);
+    let li = select_rows(&db.lineitem, &li_sel);
+    let j = HashJoin {
+        build_key: "o_orderkey".into(),
+        probe_key: "l_orderkey".into(),
+        build_cols: vec!["o_custkey".into()],
+        probe_cols: vec!["l_extendedprice".into(), "l_discount".into()],
+    };
+    let (ol, _) = j.execute(&ord, &li, 32);
+    let partial = spec_q10().execute(&ol, None);
+
+    let col_bytes = |t: &Table, names: &[&str]| -> u64 {
+        names.iter().map(|n| t.column(n).expect("column").bytes()).sum()
+    };
+    let mut acc = CostAcc::with_scale(scale);
+    acc.stream_both(
+        col_bytes(&db.orders, &["o_orderkey", "o_custkey", "o_orderdate"])
+            + col_bytes(
+                &db.lineitem,
+                &["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"],
+            ),
+    );
+    acc.compute((db.orders.rows() + db.lineitem.rows()) as u64, tpch::SCAN_DPU, tpch::SCAN_XEON);
+    tpch::join_cost(
+        &mut acc,
+        ord.rows() as u64,
+        li.rows() as u64,
+        col_bytes(&db.lineitem, &["l_orderkey"]) / 4,
+    );
+    acc.compute(ol.rows() as u64, tpch::AGG_DPU, tpch::AGG_XEON);
+    let mut cost = acc.finish(xeon);
+    cost.xeon.seconds /= tpch::XEON_DB_EFFICIENCY;
+    (partial, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_sql::tpch::generate;
+
+    fn cluster(nodes: usize) -> Cluster {
+        let db = generate(1200, 42);
+        Cluster::new(db, &ShardPolicy::hash(nodes), ClusterConfig::prototype_slice(nodes, 10_000))
+    }
+
+    #[test]
+    fn all_eight_distributed_results_match_single_node() {
+        let mut c = cluster(8);
+        for q in c.run_all() {
+            assert!(
+                q.matches_single(),
+                "{} distributed ≠ single-node:\n{:?}\nvs\n{:?}",
+                q.id.name(),
+                q.output,
+                q.single_output
+            );
+        }
+    }
+
+    #[test]
+    fn range_sharding_also_matches_single_node() {
+        let db = generate(800, 9);
+        let keys: Vec<i64> = db.orders.column("o_orderkey").unwrap().data.clone();
+        let policy = ShardPolicy::range_over(&keys, 8);
+        let mut c =
+            Cluster::new(db, &policy, ClusterConfig::prototype_slice(policy.shards(), 10_000));
+        for q in c.run_all() {
+            assert!(q.matches_single(), "{} mismatch under range sharding", q.id.name());
+        }
+    }
+
+    #[test]
+    fn cluster_cost_decomposes_sanely() {
+        let mut c = cluster(8);
+        let q = c.run(QueryId::Q1);
+        let cost = &q.cost;
+        assert_eq!(cost.per_node.len(), 8);
+        assert!(cost.local_seconds > 0.0);
+        assert!(cost.fabric_seconds > 0.0, "partials must cross the fabric");
+        assert!(cost.merge_seconds > 0.0);
+        assert!(cost.fabric_bytes > 0);
+        let total = cost.total_seconds();
+        assert!(total > cost.local_seconds);
+        // Local phases divide the single-node stream ~n ways: the slowest
+        // shard must be well under the single-node time.
+        assert!(cost.local_seconds < q.single_cost.dpu.seconds * 0.5);
+    }
+
+    #[test]
+    fn q10_shuffles_partials_over_the_fabric() {
+        let mut c = cluster(8);
+        let q = c.run(QueryId::Q10);
+        assert!(q.matches_single());
+        // The reshuffle moves many partial groups, far more than the
+        // final candidate gather alone would.
+        let gathered_only = c.run(QueryId::Q3).cost.fabric_bytes;
+        assert!(q.cost.fabric_bytes > gathered_only);
+    }
+
+    #[test]
+    fn batching_amortizes_the_scan() {
+        let mut c = cluster(8);
+        let cost = c.run(QueryId::Q6).cost;
+        let k = 8;
+        assert!((cost.batch_seconds(1) - cost.total_seconds()).abs() < 1e-12);
+        // A memory-bound scan batch shares the stream: k queries cost
+        // far less than k independent executions.
+        assert!(cost.batch_seconds(k) < 0.9 * k as f64 * cost.total_seconds());
+    }
+
+    #[test]
+    fn more_nodes_cut_local_time() {
+        let db = generate(1200, 42);
+        let mut c4 = Cluster::new(
+            db.clone(),
+            &ShardPolicy::hash(4),
+            ClusterConfig::prototype_slice(4, 10_000),
+        );
+        let mut c16 =
+            Cluster::new(db, &ShardPolicy::hash(16), ClusterConfig::prototype_slice(16, 10_000));
+        let t4 = c4.run(QueryId::Q1).cost.local_seconds;
+        let t16 = c16.run(QueryId::Q1).cost.local_seconds;
+        assert!(t16 < t4 / 2.0, "16 nodes {t16} vs 4 nodes {t4}");
+    }
+
+    #[test]
+    fn perf_per_watt_beats_the_socket() {
+        let mut c = cluster(8);
+        let q = c.run(QueryId::Q6);
+        let g = q.perf_per_watt_gain(c.watts(), c.xeon());
+        assert!(g > 1.0, "rack perf/W gain {g:.2} ≤ 1");
+    }
+
+    #[test]
+    fn load_scatters_the_whole_database() {
+        let mut c = cluster(8);
+        let s = c.load_seconds();
+        assert!(s > 0.0);
+    }
+}

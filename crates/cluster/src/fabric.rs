@@ -1,0 +1,278 @@
+//! The shared-Infiniband rack fabric.
+//!
+//! The paper rejects a PCIe NIC per node (10 W minimum) and instead runs
+//! Infiniband off each DPU's integrated A9 over a shared switch (§2).
+//! This module models that fabric as three queuing resources per
+//! transfer — the sender's NIC, the shared switch, the receiver's NIC —
+//! each a [`BandwidthServer`], plus a fixed per-hop latency. Congestion
+//! falls out of the queuing: two nodes sending to one receiver serialize
+//! on its NIC; an all-to-all shuffle saturates the switch.
+//!
+//! All times are in dpCore cycles ([`dpu_sim::Time`]), matching the rest
+//! of the simulator.
+
+use dpu_core::rack::FabricProvision;
+use dpu_sim::{BandwidthServer, Frequency, Time};
+
+/// Fabric rates and latencies, in dpCore-cycle units.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Per-node NIC bandwidth, bytes per cycle (each direction).
+    pub nic_bytes_per_cycle: u64,
+    /// Shared switch bandwidth, bytes per cycle.
+    pub switch_bytes_per_cycle: u64,
+    /// One-hop propagation + forwarding latency, cycles.
+    pub hop_cycles: u64,
+    /// Fixed per-message cost on a NIC (descriptor setup on the A9).
+    pub message_overhead_cycles: u64,
+    /// The clock all cycle counts are measured against.
+    pub clock: Frequency,
+}
+
+impl FabricConfig {
+    /// The prototype fabric: ~1.6 GB/s per NIC, ~51 GB/s of switch,
+    /// ~1.6 µs per hop at the 800 MHz core clock.
+    pub fn infiniband() -> Self {
+        FabricConfig {
+            nic_bytes_per_cycle: 2,
+            switch_bytes_per_cycle: 64,
+            hop_cycles: 1280,
+            message_overhead_cycles: 256,
+            clock: Frequency::DPU_CORE,
+        }
+    }
+
+    /// Builds a config from the rack model's provisioning bridge.
+    pub fn from_provision(p: &FabricProvision) -> Self {
+        let clock = Frequency::DPU_CORE;
+        FabricConfig {
+            nic_bytes_per_cycle: ((p.nic_bytes_per_sec / clock.hz()).round() as u64).max(1),
+            switch_bytes_per_cycle: ((p.switch_bytes_per_sec / clock.hz()).round() as u64).max(1),
+            hop_cycles: (p.hop_seconds * clock.hz()).round() as u64,
+            message_overhead_cycles: 256,
+            clock,
+        }
+    }
+}
+
+/// The rack network: per-node NICs around a shared switch.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    tx: Vec<BandwidthServer>,
+    rx: Vec<BandwidthServer>,
+    switch: BandwidthServer,
+    transfers: u64,
+    payload_bytes: u64,
+}
+
+impl Fabric {
+    /// A fabric connecting `n_nodes` DPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    pub fn new(n_nodes: usize, cfg: FabricConfig) -> Self {
+        assert!(n_nodes > 0, "a fabric needs nodes");
+        let nic = |c: &FabricConfig| {
+            BandwidthServer::new(c.nic_bytes_per_cycle, c.message_overhead_cycles)
+        };
+        Fabric {
+            tx: (0..n_nodes).map(|_| nic(&cfg)).collect(),
+            rx: (0..n_nodes).map(|_| nic(&cfg)).collect(),
+            switch: BandwidthServer::new(cfg.switch_bytes_per_cycle, 0),
+            cfg,
+            transfers: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Node count.
+    pub fn n_nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Converts a fabric timestamp to seconds.
+    pub fn seconds(&self, t: Time) -> f64 {
+        t.as_secs(self.cfg.clock)
+    }
+
+    /// Converts seconds (e.g. a node's local compute time) to a fabric
+    /// timestamp.
+    pub fn at_seconds(&self, seconds: f64) -> Time {
+        Time::from_cycles((seconds * self.cfg.clock.hz()).ceil() as u64)
+    }
+
+    /// One point-to-point transfer of `bytes` from `src` to `dst`,
+    /// injected at `now`; returns delivery time. A local "transfer"
+    /// (`src == dst`) is free.
+    pub fn transfer(&mut self, now: Time, src: usize, dst: usize, bytes: u64) -> Time {
+        if src == dst {
+            return now;
+        }
+        self.transfers += 1;
+        self.payload_bytes += bytes;
+        let injected = self.tx[src].request(now, bytes);
+        let through = self.switch.request(injected + Time::from_cycles(self.cfg.hop_cycles), bytes);
+        self.rx[dst].request(through + Time::from_cycles(self.cfg.hop_cycles), bytes)
+    }
+
+    /// Gathers one part from each listed `(node, ready, bytes)` source to
+    /// `dst`; returns the time the last part lands.
+    pub fn gather(&mut self, parts: &[(usize, Time, u64)], dst: usize) -> Time {
+        let mut done = Time::ZERO;
+        for &(src, ready, bytes) in parts {
+            done = done.max(self.transfer(ready, src, dst, bytes));
+        }
+        done
+    }
+
+    /// Broadcasts `bytes` from `src` to every other node (the A9 serializes
+    /// the sends on its NIC); returns the time the last copy lands.
+    pub fn broadcast(&mut self, now: Time, src: usize, bytes: u64) -> Time {
+        let mut done = now;
+        for dst in 0..self.n_nodes() {
+            done = done.max(self.transfer(now, src, dst, bytes));
+        }
+        done
+    }
+
+    /// An all-to-all shuffle: node `s` becomes ready at `ready[s]` and
+    /// sends `matrix[s][d]` bytes to node `d`. Sends are issued in
+    /// rotation order (`d = s+1, s+2, …`) so no receiver is hammered by
+    /// every sender at once. Returns the per-destination completion time
+    /// (at least `ready[d]` — a node cannot finish receiving before it
+    /// has finished its own local phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the node count.
+    pub fn all_to_all(&mut self, ready: &[Time], matrix: &[Vec<u64>]) -> Vec<Time> {
+        let n = self.n_nodes();
+        assert_eq!(ready.len(), n, "ready times per node");
+        assert_eq!(matrix.len(), n, "matrix rows per node");
+        let mut done: Vec<Time> = ready.to_vec();
+        for k in 1..n {
+            for s in 0..n {
+                let d = (s + k) % n;
+                assert_eq!(matrix[s].len(), n, "matrix cols per node");
+                let bytes = matrix[s][d];
+                if bytes > 0 {
+                    let t = self.transfer(ready[s], s, d, bytes);
+                    done[d] = done[d].max(t);
+                }
+            }
+        }
+        done
+    }
+
+    /// Transfers issued since construction or [`reset`](Self::reset).
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Payload bytes moved since construction or [`reset`](Self::reset).
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// Clears all queue occupancy and statistics (between queries).
+    pub fn reset(&mut self) {
+        for s in self.tx.iter_mut().chain(self.rx.iter_mut()) {
+            s.reset();
+        }
+        self.switch.reset();
+        self.transfers = 0;
+        self.payload_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric {
+        Fabric::new(n, FabricConfig::infiniband())
+    }
+
+    #[test]
+    fn transfer_pays_wire_time_and_hops() {
+        let mut f = fabric(4);
+        let t = f.transfer(Time::ZERO, 0, 1, 1 << 20);
+        let cfg = f.config();
+        // At least the NIC serialization of 1 MiB plus two hops.
+        let floor = (1u64 << 20) / cfg.nic_bytes_per_cycle + 2 * cfg.hop_cycles;
+        assert!(t.cycles() >= floor, "{} < {floor}", t.cycles());
+        // And the payload crossed each resource exactly once.
+        assert_eq!(f.transfers(), 1);
+        assert_eq!(f.payload_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let mut f = fabric(4);
+        let t = f.transfer(Time::from_cycles(7), 2, 2, 1 << 30);
+        assert_eq!(t.cycles(), 7);
+        assert_eq!(f.transfers(), 0);
+    }
+
+    #[test]
+    fn incast_serializes_on_receiver_nic() {
+        let mut f = fabric(3);
+        let one = f.transfer(Time::ZERO, 1, 0, 1 << 20);
+        let two = f.transfer(Time::ZERO, 2, 0, 1 << 20);
+        // The second sender's payload queues behind the first at node 0's
+        // RX NIC: it must finish roughly one NIC-serialization later.
+        let wire = (1u64 << 20) / f.config().nic_bytes_per_cycle;
+        assert!(two.cycles() >= one.cycles() + wire - f.config().message_overhead_cycles);
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        let mut f = fabric(4);
+        let a = f.transfer(Time::ZERO, 0, 1, 1 << 20);
+        let b = f.transfer(Time::ZERO, 2, 3, 1 << 20);
+        // Different NICs; the shared switch is 32× faster than a NIC, so
+        // the two transfers overlap almost entirely.
+        assert!(b.cycles() < a.cycles() + a.cycles() / 4);
+    }
+
+    #[test]
+    fn all_to_all_respects_ready_times_and_counts_bytes() {
+        let mut f = fabric(4);
+        let ready = vec![Time::from_cycles(1000); 4];
+        let matrix: Vec<Vec<u64>> =
+            (0..4).map(|s| (0..4).map(|d| if s == d { 0 } else { 4096 }).collect()).collect();
+        let done = f.all_to_all(&ready, &matrix);
+        for d in &done {
+            assert!(d.cycles() > 1000);
+        }
+        // 12 off-diagonal messages of 4 KiB each.
+        assert_eq!(f.transfers(), 12);
+        assert_eq!(f.payload_bytes(), 12 * 4096);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut f = fabric(2);
+        let busy = f.transfer(Time::ZERO, 0, 1, 1 << 24);
+        f.reset();
+        let fresh = f.transfer(Time::ZERO, 0, 1, 1 << 10);
+        assert!(fresh < busy, "post-reset transfer must not queue");
+        assert_eq!(f.payload_bytes(), 1 << 10);
+    }
+
+    #[test]
+    fn provision_roundtrip_matches_prototype_rates() {
+        let rack = dpu_core::rack::Rack::prototype();
+        let cfg = FabricConfig::from_provision(&rack.fabric_provision());
+        assert_eq!(cfg.nic_bytes_per_cycle, 2);
+        assert_eq!(cfg.switch_bytes_per_cycle, 64);
+        assert_eq!(cfg.hop_cycles, 1280);
+    }
+}

@@ -1,0 +1,36 @@
+//! Rack-scale distributed query execution over simulated DPU nodes.
+//!
+//! The paper's rack (§2) is not a single SoC: it is ~1440 DPU nodes
+//! behind a shared Infiniband fabric, each owning 8 GB of DRAM, with
+//! queries scattered across nodes and gathered at a coordinator. This
+//! crate models that layer end to end:
+//!
+//! - [`fabric`] — the shared network: per-node NIC bandwidth, a shared
+//!   switch, per-hop latency, with congestion from first principles via
+//!   `dpu_sim::BandwidthServer` queuing.
+//! - [`shard`] — hash/range sharding of the TPC-H database across nodes:
+//!   `orders` and `lineitem` are co-sharded by order key (every row lives
+//!   on exactly one shard), dimension tables are replicated.
+//! - [`coordinator`] — scatter/gather plans for the eight Figure 16
+//!   queries: local scan/filter/partial-aggregate per node, an all-to-all
+//!   shuffle where the group key is not the sharding key (Q10), and a
+//!   coordinator merge. Per-node work is costed by the same roofline the
+//!   single-node engine uses, so cluster time = max over nodes + fabric
+//!   transfer + merge. Distributed results are bit-identical to the
+//!   single-node engine's.
+//! - [`serve`] — a closed-loop multi-client serving front-end with
+//!   admission control and same-template query batching, reporting rack
+//!   QPS, latency percentiles and performance/watt against a
+//!   multi-socket Xeon rack ([`xeon_model::XeonRack`]).
+
+pub mod coordinator;
+pub mod fabric;
+pub mod serve;
+pub mod shard;
+
+pub use coordinator::{
+    Cluster, ClusterConfig, ClusterQueryCost, DistributedQuery, NodeCost, QueryId, QueryOutput,
+};
+pub use fabric::{Fabric, FabricConfig};
+pub use serve::{serve, ServeConfig, ServeReport, Template};
+pub use shard::{shard_table, shard_tpch, ShardPolicy, ShardedTpch};

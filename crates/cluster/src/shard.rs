@@ -1,0 +1,216 @@
+//! Sharding TPC-H across DPU nodes.
+//!
+//! Each node owns 8 GB — a rack-resident dataset must be partitioned.
+//! The layout mirrors what distributed warehouses do on top of the
+//! paper's hardware: the two fact tables (`orders`, `lineitem`) are
+//! **co-sharded by order key**, so every order and all of its line items
+//! live on exactly one node and the orders⋈lineitem join never crosses
+//! the fabric; the small dimension tables (customer, part, supplier,
+//! nation, region) are **replicated** to every node at load time over a
+//! fabric broadcast. Only re-keyed aggregations (Q10's group-by
+//! customer) need a network shuffle at query time.
+
+use dpu_isa::hash::crc32c_u64;
+use dpu_sql::tpch::{project_rows, TpchDb};
+use dpu_sql::{sample_bounds, Table};
+
+/// How rows map to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// `crc32c(key) mod shards` — the same hash the DMS partition engine
+    /// uses, so a node-level reshard can reuse the hardware path.
+    Hash {
+        /// Shard count.
+        shards: usize,
+    },
+    /// Range sharding on sampled inclusive upper bounds (ascending);
+    /// shard `i` holds keys `≤ bounds[i]`, the last shard the rest —
+    /// the DMS range engine's semantics.
+    Range {
+        /// Ascending inclusive upper bounds (one fewer than shards).
+        bounds: Vec<i64>,
+    },
+}
+
+impl ShardPolicy {
+    /// Hash sharding over `shards` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn hash(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardPolicy::Hash { shards }
+    }
+
+    /// Range sharding with bounds sampled from `values` (equi-depth).
+    /// Duplicate-heavy data can yield fewer than `shards` shards.
+    pub fn range_over(values: &[i64], shards: usize) -> Self {
+        ShardPolicy::Range { bounds: sample_bounds(values, shards) }
+    }
+
+    /// Number of shards this policy produces.
+    pub fn shards(&self) -> usize {
+        match self {
+            ShardPolicy::Hash { shards } => *shards,
+            ShardPolicy::Range { bounds } => bounds.len() + 1,
+        }
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: i64) -> usize {
+        match self {
+            ShardPolicy::Hash { shards } => crc32c_u64(key as u64) as usize % shards,
+            ShardPolicy::Range { bounds } => {
+                bounds.iter().position(|&b| key <= b).unwrap_or(bounds.len())
+            }
+        }
+    }
+}
+
+/// Splits `table` into one table per shard by the `key` column, keeping
+/// row order within each shard.
+///
+/// # Panics
+///
+/// Panics if the key column is missing.
+pub fn shard_table(table: &Table, key: &str, policy: &ShardPolicy) -> Vec<Table> {
+    let keys = &table.columns[table.col_index(key)].data;
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); policy.shards()];
+    for (r, &k) in keys.iter().enumerate() {
+        rows[policy.shard_of(k)].push(r);
+    }
+    rows.iter().map(|rs| project_rows(table, rs)).collect()
+}
+
+/// The database distributed across a cluster.
+#[derive(Debug, Clone)]
+pub struct ShardedTpch {
+    /// Per-node databases: sharded facts + replicated dimensions.
+    pub nodes: Vec<TpchDb>,
+    /// The fact-table placement policy.
+    pub policy: ShardPolicy,
+    /// Fact bytes scattered point-to-point at load time (each row once).
+    pub scatter_bytes: u64,
+    /// Dimension bytes each node receives from the load-time broadcast.
+    pub broadcast_bytes: u64,
+}
+
+impl ShardedTpch {
+    /// Node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lineitem rows per node (the skew metric).
+    pub fn lineitem_rows(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.lineitem.rows()).collect()
+    }
+}
+
+/// Distributes `db` across shards: `orders` and `lineitem` co-sharded by
+/// order key under `policy`, dimensions replicated everywhere.
+pub fn shard_tpch(db: &TpchDb, policy: &ShardPolicy) -> ShardedTpch {
+    let orders = shard_table(&db.orders, "o_orderkey", policy);
+    let lineitem = shard_table(&db.lineitem, "l_orderkey", policy);
+    let nodes: Vec<TpchDb> = orders
+        .into_iter()
+        .zip(lineitem)
+        .map(|(o, l)| TpchDb {
+            orders: o,
+            lineitem: l,
+            customer: db.customer.clone(),
+            part: db.part.clone(),
+            supplier: db.supplier.clone(),
+            nation: db.nation.clone(),
+            region: db.region.clone(),
+        })
+        .collect();
+    let broadcast_bytes = db.customer.bytes()
+        + db.part.bytes()
+        + db.supplier.bytes()
+        + db.nation.bytes()
+        + db.region.bytes();
+    ShardedTpch {
+        nodes,
+        policy: policy.clone(),
+        scatter_bytes: db.orders.bytes() + db.lineitem.bytes(),
+        broadcast_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_sql::tpch::generate;
+    use dpu_sql::Column;
+
+    #[test]
+    fn hash_policy_covers_all_shards() {
+        let p = ShardPolicy::hash(8);
+        assert_eq!(p.shards(), 8);
+        let mut seen = [false; 8];
+        for k in 0..1000 {
+            seen[p.shard_of(k)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 keys should hit all 8 shards");
+    }
+
+    #[test]
+    fn range_policy_is_monotone() {
+        let keys: Vec<i64> = (0..10_000).collect();
+        let p = ShardPolicy::range_over(&keys, 8);
+        assert_eq!(p.shards(), 8);
+        let mut last = 0;
+        for k in 0..10_000 {
+            let s = p.shard_of(k);
+            assert!(s >= last, "range shards must be monotone in key");
+            last = s;
+        }
+        assert_eq!(last, 7);
+    }
+
+    #[test]
+    fn shard_table_partitions_rows_exactly() {
+        let t = Table::new(vec![
+            Column::i32("k", (0..100).collect()),
+            Column::i32("v", (100..200).collect()),
+        ]);
+        let p = ShardPolicy::hash(4);
+        let shards = shard_table(&t, "k", &p);
+        assert_eq!(shards.iter().map(Table::rows).sum::<usize>(), 100);
+        for (s, shard) in shards.iter().enumerate() {
+            for r in 0..shard.rows() {
+                let k = shard.column("k").unwrap().data[r];
+                assert_eq!(p.shard_of(k), s);
+                // Row integrity: v rides along with its key.
+                assert_eq!(shard.column("v").unwrap().data[r], k + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn tpch_cosharding_keeps_orders_with_their_lines() {
+        let db = generate(500, 7);
+        let sharded = shard_tpch(&db, &ShardPolicy::hash(8));
+        assert_eq!(sharded.n_nodes(), 8);
+        // Every row placed exactly once.
+        let o: usize = sharded.nodes.iter().map(|n| n.orders.rows()).sum();
+        let l: usize = sharded.nodes.iter().map(|n| n.lineitem.rows()).sum();
+        assert_eq!(o, db.orders.rows());
+        assert_eq!(l, db.lineitem.rows());
+        // Co-sharding: a node's lineitem keys all appear in its orders.
+        for node in &sharded.nodes {
+            let owned: std::collections::HashSet<i64> =
+                node.orders.column("o_orderkey").unwrap().data.iter().copied().collect();
+            for &k in &node.lineitem.column("l_orderkey").unwrap().data {
+                assert!(owned.contains(&k), "line item {k} astray from its order");
+            }
+            // Dimensions replicated in full.
+            assert_eq!(node.customer.rows(), db.customer.rows());
+            assert_eq!(node.nation.rows(), 25);
+        }
+        assert_eq!(sharded.scatter_bytes, db.orders.bytes() + db.lineitem.bytes());
+        assert!(sharded.broadcast_bytes > 0);
+    }
+}

@@ -85,11 +85,7 @@ impl DpuConfig {
     /// A small configuration for fast unit tests (one macro of 8 cores,
     /// 16 MB of physical memory).
     pub fn test_small() -> Self {
-        DpuConfig {
-            n_cores: 8,
-            phys_mem_bytes: 16 << 20,
-            ..Self::nm40()
-        }
+        DpuConfig { n_cores: 8, phys_mem_bytes: 16 << 20, ..Self::nm40() }
     }
 
     /// Number of macros.

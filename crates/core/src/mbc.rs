@@ -71,11 +71,7 @@ impl Mbc {
     pub fn send(&mut self, from: Mailbox, to: Mailbox, payload: u64, now: Time) -> Time {
         let delivered_at = now + Time::from_cycles(self.send_latency);
         let idx = self.index(to);
-        self.queues[idx].push_back(MailboxMessage {
-            from,
-            payload,
-            delivered_at,
-        });
+        self.queues[idx].push_back(MailboxMessage { from, payload, delivered_at });
         delivered_at
     }
 
@@ -90,9 +86,7 @@ impl Mbc {
 
     /// True if a delivered message is waiting for `me` at `now`.
     pub fn has_message(&self, me: Mailbox, now: Time) -> bool {
-        self.queues[self.index(me)]
-            .front()
-            .is_some_and(|m| m.delivered_at <= now)
+        self.queues[self.index(me)].front().is_some_and(|m| m.delivered_at <= now)
     }
 
     /// Number of messages queued for `me` (delivered or in flight).

@@ -75,11 +75,7 @@ impl PowerBreakdown {
     /// Fraction of total attributed to `name` (0 if absent).
     pub fn fraction(&self, name: &str) -> f64 {
         let total = self.total_watts();
-        self.components
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| c.watts / total)
-            .unwrap_or(0.0)
+        self.components.iter().find(|c| c.name == name).map(|c| c.watts / total).unwrap_or(0.0)
     }
 }
 
@@ -110,11 +106,7 @@ mod tests {
     #[test]
     fn nm40_breakdown_totals_5_8w() {
         let b = PowerBreakdown::for_config(&DpuConfig::nm40());
-        assert!(
-            (b.total_watts() - 5.8).abs() < 0.01,
-            "total {} W ≠ 5.8 W",
-            b.total_watts()
-        );
+        assert!((b.total_watts() - 5.8).abs() < 0.01, "total {} W ≠ 5.8 W", b.total_watts());
     }
 
     #[test]
@@ -127,11 +119,7 @@ mod tests {
     #[test]
     fn dpcores_draw_51mw_each() {
         let b = PowerBreakdown::for_config(&DpuConfig::nm40());
-        let cores = b
-            .components
-            .iter()
-            .find(|c| c.name == "dpCores (dynamic)")
-            .unwrap();
+        let cores = b.components.iter().find(|c| c.name == "dpCores (dynamic)").unwrap();
         assert!((cores.watts - 32.0 * 0.051).abs() < 1e-9);
     }
 

@@ -142,12 +142,7 @@ pub fn decode_ate_msg(from: usize, b: &[u8]) -> Option<AteRequest> {
         0 => AteTarget::Ddr(addr),
         _ => AteTarget::RemoteDmem { addr: addr as u32 },
     };
-    Some(AteRequest {
-        from,
-        to: b[1] as usize,
-        target,
-        op,
-    })
+    Some(AteRequest { from, to: b[1] as usize, target, op })
 }
 
 /// A program that executes a real dpCore binary on the ISA interpreter.
@@ -206,16 +201,9 @@ impl CoreProgram for IsaCoreProgram {
             return CoreAction::Done;
         }
         // Keep interpreter DMEM coherent with the SoC's copy.
-        assert_eq!(
-            self.cpu.dmem().len(),
-            ctx.dmem.len(),
-            "interpreter DMEM size mismatch"
-        );
+        assert_eq!(self.cpu.dmem().len(), ctx.dmem.len(), "interpreter DMEM size mismatch");
         self.cpu.dmem_mut().copy_from_slice(ctx.dmem.as_slice());
-        let sum = self
-            .cpu
-            .run(&self.prog, self.quantum)
-            .expect("dpCore program fault");
+        let sum = self.cpu.run(&self.prog, self.quantum).expect("dpCore program fault");
         ctx.dmem.as_mut_slice().copy_from_slice(self.cpu.dmem());
         self.pending = Some(match sum.trap {
             Trap::Halt => {
@@ -256,7 +244,12 @@ mod tests {
     fn ate_msg_roundtrip() {
         let reqs = vec![
             AteRequest { from: 3, to: 7, target: AteTarget::Ddr(0xABCD), op: AteOp::Load },
-            AteRequest { from: 0, to: 31, target: AteTarget::RemoteDmem { addr: 128 }, op: AteOp::Store(42) },
+            AteRequest {
+                from: 0,
+                to: 31,
+                target: AteTarget::RemoteDmem { addr: 128 },
+                op: AteOp::Store(42),
+            },
             AteRequest { from: 1, to: 2, target: AteTarget::Ddr(8), op: AteOp::FetchAdd(5) },
             AteRequest {
                 from: 9,

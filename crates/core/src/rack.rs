@@ -34,6 +34,51 @@ pub struct Rack {
 /// The PCIe-per-node strawman the paper rules out (§2).
 pub const PCIE_STRAWMAN_WATTS: f64 = 10.0;
 
+/// Per-node fabric provisioning handed to the cluster execution layer
+/// (`dpu-cluster`). The rack model owns the physical story — shared
+/// Infiniband driven by the integrated A9, a couple of watts per node —
+/// and this struct is the bridge: `dpu-core` cannot depend on the
+/// cluster crate, so it exports the provisioned rates and the cluster
+/// builds its congestion model from them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricProvision {
+    /// Sustained per-node NIC bandwidth, bytes/second (each direction).
+    pub nic_bytes_per_sec: f64,
+    /// Shared rack-switch bandwidth, bytes/second.
+    pub switch_bytes_per_sec: f64,
+    /// One-hop propagation + forwarding latency, seconds.
+    pub hop_seconds: f64,
+    /// Total provisioned watts per node (SoC + DRAM channels + NIC).
+    pub watts_per_node: f64,
+}
+
+impl Rack {
+    /// The fabric the prototype rack provisions: the A9-driven Infiniband
+    /// NIC sustains ~1.6 GB/s per node, the shared switch ~51 GB/s, and a
+    /// hop costs ~1.6 µs.
+    pub fn fabric_provision(&self) -> FabricProvision {
+        FabricProvision {
+            nic_bytes_per_sec: 1.6e9,
+            switch_bytes_per_sec: 51.2e9,
+            hop_seconds: 1.6e-6,
+            watts_per_node: self.node.provisioned_watts
+                + self.watts_per_channel * self.node.dram_channels as f64
+                + self.network_watts_per_node,
+        }
+    }
+
+    /// A slice of this rack with `n` nodes — the unit the cluster layer
+    /// simulates when a workload's data fits a subset of the rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the rack's node count.
+    pub fn slice(&self, n: usize) -> Rack {
+        assert!(n > 0 && n <= self.n_nodes, "slice of {n} from {}", self.n_nodes);
+        Rack { n_nodes: n, ..self.clone() }
+    }
+}
+
 impl Rack {
     /// The paper's 42U prototype: 1440 × (32-core DPU + 8 GB DDR3).
     pub fn prototype() -> Self {
@@ -71,7 +116,8 @@ impl Rack {
     /// networking are provisioned (the paper's "< 7 W" constraint).
     pub fn processor_budget_watts(&self) -> f64 {
         let per_node = self.rack_watts / self.n_nodes as f64;
-        per_node - self.watts_per_channel * self.node.dram_channels as f64
+        per_node
+            - self.watts_per_channel * self.node.dram_channels as f64
             - self.network_watts_per_node
     }
 

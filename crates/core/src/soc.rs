@@ -109,9 +109,7 @@ impl Dpu {
             dms: Dms::new(dms_cfg, config.n_cores),
             ate: Ate::new(ate_cfg, config.n_cores),
             mbc: Mbc::new(config.n_cores),
-            dmems: (0..config.n_cores)
-                .map(|_| Dmem::new(config.dmem_bytes))
-                .collect(),
+            dmems: (0..config.n_cores).map(|_| Dmem::new(config.dmem_bytes)).collect(),
             config,
         }
     }
@@ -182,11 +180,7 @@ impl Dpu {
     ///
     /// Panics if `programs.len()` differs from the core count.
     pub fn run(&mut self, programs: &mut [Box<dyn CoreProgram>]) -> Result<RunReport, DpuError> {
-        assert_eq!(
-            programs.len(),
-            self.config.n_cores,
-            "one program per core required"
-        );
+        assert_eq!(programs.len(), self.config.n_cores, "one program per core required");
         let n = self.config.n_cores;
         let mut state = vec![CoreState::Ready(Time::ZERO); n];
         let mut busy = vec![0u64; n];
@@ -268,8 +262,7 @@ impl Dpu {
                 }
                 CoreAction::Push { chan, desc } => {
                     self.dms.push(core, chan as usize, desc, now);
-                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems)
-                    {
+                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems) {
                         dms_bytes += comp.bytes;
                         last_finish = last_finish.max(comp.finish);
                     }
@@ -284,8 +277,7 @@ impl Dpu {
                 },
                 CoreAction::Clev(ev) => {
                     self.dms.clear_event(core, ev, now);
-                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems)
-                    {
+                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems) {
                         dms_bytes += comp.bytes;
                         last_finish = last_finish.max(comp.finish);
                     }
@@ -293,8 +285,7 @@ impl Dpu {
                 }
                 CoreAction::SetEvent(ev) => {
                     self.dms.set_event(core, ev, now);
-                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems)
-                    {
+                    for comp in self.dms.advance(&mut self.phys, &mut self.dram, &mut self.dmems) {
                         dms_bytes += comp.bytes;
                         last_finish = last_finish.max(comp.finish);
                     }
@@ -307,7 +298,8 @@ impl Dpu {
                     // core's pipeline.
                     if req.to != core {
                         if let CoreState::Ready(t) = state[req.to] {
-                            state[req.to] = CoreState::Ready(t + Time::from_cycles(resp.remote_stall));
+                            state[req.to] =
+                                CoreState::Ready(t + Time::from_cycles(resp.remote_stall));
                         }
                     }
                     state[core] = CoreState::Ready(resp.finish);
@@ -349,11 +341,7 @@ impl Dpu {
             }
         }
 
-        Ok(RunReport {
-            finish: last_finish,
-            busy,
-            dms_bytes,
-        })
+        Ok(RunReport { finish: last_finish, busy, dms_bytes })
     }
 }
 
@@ -505,11 +493,11 @@ mod tests {
         let tiles = 16usize;
         let region = tiles as u64 * 1024;
         let mut expected = vec![0u64; n];
-        for c in 0..n {
+        for (c, sum) in expected.iter_mut().enumerate() {
             for i in 0..(tiles as u32 * 256) {
                 let v = (c as u32) << 16 | i;
                 dpu.phys_mut().write_u32(c as u64 * region + i as u64 * 4, v);
-                expected[c] = expected[c].wrapping_add(v as u64);
+                *sum = sum.wrapping_add(v as u64);
             }
         }
         let report_base = (n as u64) * region;
@@ -523,12 +511,8 @@ mod tests {
             })
             .collect();
         let report = dpu.run(&mut programs).unwrap();
-        for c in 0..n {
-            assert_eq!(
-                dpu.phys().read_u64(report_base + c as u64 * 8),
-                expected[c],
-                "core {c} checksum"
-            );
+        for (c, &sum) in expected.iter().enumerate() {
+            assert_eq!(dpu.phys().read_u64(report_base + c as u64 * 8), sum, "core {c} checksum");
         }
         assert_eq!(report.dms_bytes, (n * tiles) as u64 * 1024);
         // 8 cores × 16 KB over a shared channel: bandwidth should be high
@@ -596,10 +580,7 @@ mod tests {
                                 CoreAction::Done
                             } else {
                                 sent = true;
-                                CoreAction::MailboxSend {
-                                    to: Mailbox::DpCore(0),
-                                    payload: 4096,
-                                }
+                                CoreAction::MailboxSend { to: Mailbox::DpCore(0), payload: 4096 }
                             }
                         })
                     }
@@ -683,9 +664,7 @@ mod more_tests {
     }
 
     fn idles(n: usize) -> Vec<Box<dyn CoreProgram>> {
-        (0..n)
-            .map(|_| boxed(|_: &mut CoreCtx<'_>| CoreAction::Done))
-            .collect()
+        (0..n).map(|_| boxed(|_: &mut CoreCtx<'_>| CoreAction::Done)).collect()
     }
 
     #[test]

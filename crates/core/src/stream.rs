@@ -156,10 +156,8 @@ where
                 d = d.with_notify(Self::rd_ev(b));
                 d.last_col = true;
             }
-            self.queue.push_back(Item::Act(CoreAction::Push {
-                chan: 0,
-                desc: Descriptor::Data(d),
-            }));
+            self.queue
+                .push_back(Item::Act(CoreAction::Push { chan: 0, desc: Descriptor::Data(d) }));
         }
     }
 
@@ -181,10 +179,8 @@ where
             if c + 1 == ncols {
                 d = d.with_notify(Self::wr_ev(b));
             }
-            self.queue.push_back(Item::Act(CoreAction::Push {
-                chan: 1,
-                desc: Descriptor::Data(d),
-            }));
+            self.queue
+                .push_back(Item::Act(CoreAction::Push { chan: 1, desc: Descriptor::Data(d) }));
         }
     }
 

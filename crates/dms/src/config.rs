@@ -75,7 +75,9 @@ impl Default for DmsConfig {
 impl DmsConfig {
     /// Total internal SRAM in bytes (§3.1 quotes ~42.5 KB).
     pub fn internal_sram_bytes(&self) -> usize {
-        3 * self.cmem_bank_bytes + 2 * self.crc_bank_bytes + 2 * self.cid_buf_bytes
+        3 * self.cmem_bank_bytes
+            + 2 * self.crc_bank_bytes
+            + 2 * self.cid_buf_bytes
             + 4 * self.bv_bank_bytes
     }
 }

@@ -249,11 +249,7 @@ impl DataDescriptor {
     /// Panics if `col_width` is not 1, 2, 4 or 8, if `ddr_addr` exceeds
     /// 36 bits, or if an event id is ≥ 32.
     pub fn encode(&self) -> [u32; 4] {
-        assert!(
-            matches!(self.col_width, 1 | 2 | 4 | 8),
-            "invalid column width {}",
-            self.col_width
-        );
+        assert!(matches!(self.col_width, 1 | 2 | 4 | 8), "invalid column width {}", self.col_width);
         assert!(self.ddr_addr < (1 << 36), "DDR address exceeds 36 bits");
         let mut w0 = self.kind.type_code() << 28;
         if let Some(ev) = self.notify {
@@ -403,10 +399,7 @@ impl Descriptor {
                 event: (words[0] & 0x1F) as u8,
             })),
             11 => Some(Descriptor::Control(ControlDescriptor::WaitEvent {
-                cond: EventCond {
-                    event: (words[0] & 0x1F) as u8,
-                    set: words[1] & 1 != 0,
-                },
+                cond: EventCond { event: (words[0] & 0x1F) as u8, set: words[1] & 1 != 0 },
             })),
             _ => DataDescriptor::decode(words).map(Descriptor::Data),
         }
@@ -499,11 +492,8 @@ mod tests {
             }
             .with_wait(EventCond::is_set(31))
             .with_notify(0),
-            DataDescriptor {
-                ddr_stride: 64,
-                ..DataDescriptor::read(128, 64, 100, 2)
-            }
-            .with_src_inc(),
+            DataDescriptor { ddr_stride: 64, ..DataDescriptor::read(128, 64, 100, 2) }
+                .with_src_inc(),
         ];
         for d in cases {
             let back = DataDescriptor::decode(d.encode()).unwrap();
@@ -517,9 +507,7 @@ mod tests {
             Descriptor::Control(ControlDescriptor::Loop { back: 2, iterations: 8191 }),
             Descriptor::Control(ControlDescriptor::SetEvent { event: 31 }),
             Descriptor::Control(ControlDescriptor::ClearEvent { event: 0 }),
-            Descriptor::Control(ControlDescriptor::WaitEvent {
-                cond: EventCond::is_clear(7),
-            }),
+            Descriptor::Control(ControlDescriptor::WaitEvent { cond: EventCond::is_clear(7) }),
             Descriptor::Data(DataDescriptor::read(1 << 20, 256, 1024, 4)),
         ];
         for d in cases {

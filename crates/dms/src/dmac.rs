@@ -176,11 +176,7 @@ impl Dms {
 
     /// Bytes pending across all channels (for quiescence checks).
     pub fn pending(&self) -> usize {
-        self.channels
-            .iter()
-            .flat_map(|c| c.iter())
-            .map(|ch| ch.pending())
-            .sum()
+        self.channels.iter().flat_map(|c| c.iter()).map(|ch| ch.pending()).sum()
     }
 
     /// Drains every currently-dispatchable descriptor, returning the
@@ -217,9 +213,7 @@ impl Dms {
                                         self.events[core].event_mut(event).transition(ready, true);
                                     }
                                     ControlDescriptor::ClearEvent { event } => {
-                                        self.events[core]
-                                            .event_mut(event)
-                                            .transition(ready, false);
+                                        self.events[core].event_mut(event).transition(ready, false);
                                     }
                                     ControlDescriptor::WaitEvent { cond } => {
                                         match self.events[core]
@@ -246,8 +240,7 @@ impl Dms {
                                     // no earlier than the channel's previous
                                     // completion, so flow-control waits see
                                     // the preceding buffer's notify first.
-                                    let sample =
-                                        ready.max(self.channels[core][chan].last_finish());
+                                    let sample = ready.max(self.channels[core][chan].last_finish());
                                     match self.events[core]
                                         .event(c.event)
                                         .first_time_in_state(sample, c.set)
@@ -362,7 +355,8 @@ impl Dms {
                         phys.write(d.ddr_addr + i * d.ddr_stride as u64, &data);
                     }
                 } else {
-                    let data: Vec<u8> = dmems[core].slice(d.dmem_addr as u32, bytes as usize).to_vec();
+                    let data: Vec<u8> =
+                        dmems[core].slice(d.dmem_addr as u32, bytes as usize).to_vec();
                     phys.write(d.ddr_addr, &data);
                 }
                 Ok((finish + dmax, bytes))
@@ -500,9 +494,7 @@ impl Dms {
             let addr = d.ddr_addr + i * w;
             let region = addr / AXI_MAX_BURST;
             if region != last_region {
-                finish = dram
-                    .request(finish, region * AXI_MAX_BURST, AXI_MAX_BURST)
-                    + turnaround;
+                finish = dram.request(finish, region * AXI_MAX_BURST, AXI_MAX_BURST) + turnaround;
                 last_region = region;
             }
             out.extend_from_slice(phys.slice(addr, w as usize));
@@ -556,7 +548,8 @@ impl Dms {
         for i in 0..d.rows as u64 {
             if self.bv_bit(m, i) {
                 let addr = d.ddr_addr + i * w;
-                let data: Vec<u8> = dmems[core].slice(d.dmem_addr as u32 + src_off, w as usize).to_vec();
+                let data: Vec<u8> =
+                    dmems[core].slice(d.dmem_addr as u32 + src_off, w as usize).to_vec();
                 phys.write(addr, &data);
                 src_off += w as u32;
                 moved += w;
@@ -702,10 +695,7 @@ mod tests {
         for r in 0..128u32 {
             phys.write_u32(r as u64 * 16 + 4, 1000 + r);
         }
-        let d = DataDescriptor {
-            ddr_stride: 16,
-            ..DataDescriptor::read(4, 0, 128, 4)
-        };
+        let d = DataDescriptor { ddr_stride: 16, ..DataDescriptor::read(4, 0, 128, 4) };
         dms.push(0, 0, Descriptor::Data(d), Time::ZERO);
         let c = dms.advance(&mut phys, &mut dram, &mut dmems);
         assert_eq!(c.len(), 1);
@@ -722,10 +712,7 @@ mod tests {
         let c1 = dms.advance(&mut phys, &mut dram, &mut dmems);
         dram.reset();
         let mut dms2 = Dms::new(DmsConfig::default(), 1);
-        let strided = DataDescriptor {
-            ddr_stride: 512,
-            ..DataDescriptor::read(0, 0, 1024, 4)
-        };
+        let strided = DataDescriptor { ddr_stride: 512, ..DataDescriptor::read(0, 0, 1024, 4) };
         dms2.push(0, 0, Descriptor::Data(strided), Time::ZERO);
         let c2 = dms2.advance(&mut phys, &mut dram, &mut dmems);
         let dense_cost = c1[0].finish.cycles() - c1[0].start.cycles();
@@ -744,15 +731,10 @@ mod tests {
         }
         // Bit-vector 0xF7 repeating: bits 0,1,2,4,5,6,7 of each byte.
         dmems[0].write(512, &[0xF7; 8]);
-        let stage = DataDescriptor {
-            kind: DescKind::DmemToDms,
-            ..DataDescriptor::read(0, 512, 8, 1)
-        };
+        let stage =
+            DataDescriptor { kind: DescKind::DmemToDms, ..DataDescriptor::read(0, 512, 8, 1) };
         dms.push(0, 0, Descriptor::Data(stage), Time::ZERO);
-        let g = DataDescriptor {
-            gather_src: true,
-            ..DataDescriptor::read(0, 0, 64, 4)
-        };
+        let g = DataDescriptor { gather_src: true, ..DataDescriptor::read(0, 0, 64, 4) };
         dms.push(0, 0, Descriptor::Data(g), Time::ZERO);
         let c = dms.advance(&mut phys, &mut dram, &mut dmems);
         assert_eq!(c.len(), 2);
@@ -770,15 +752,10 @@ mod tests {
         let (mut dms, mut phys, mut dram, mut dmems) = setup(16, 64 * 1024);
         for core in [0usize, 9] {
             dmems[core].write(512, &[0xFF; 8]);
-            let stage = DataDescriptor {
-                kind: DescKind::DmemToDms,
-                ..DataDescriptor::read(0, 512, 8, 1)
-            };
+            let stage =
+                DataDescriptor { kind: DescKind::DmemToDms, ..DataDescriptor::read(0, 512, 8, 1) };
             dms.push(core, 0, Descriptor::Data(stage), Time::ZERO);
-            let g = DataDescriptor {
-                gather_src: true,
-                ..DataDescriptor::read(0, 0, 64, 4)
-            };
+            let g = DataDescriptor { gather_src: true, ..DataDescriptor::read(0, 0, 64, 4) };
             dms.push(core, 0, Descriptor::Data(g), Time::ZERO);
         }
         dms.advance(&mut phys, &mut dram, &mut dmems);
@@ -799,15 +776,10 @@ mod tests {
         let mut dmems: Vec<Dmem> = (0..16).map(|_| Dmem::new(32 * 1024)).collect();
         for core in [0usize, 9] {
             dmems[core].write(512, &[0xFF; 8]);
-            let stage = DataDescriptor {
-                kind: DescKind::DmemToDms,
-                ..DataDescriptor::read(0, 512, 8, 1)
-            };
+            let stage =
+                DataDescriptor { kind: DescKind::DmemToDms, ..DataDescriptor::read(0, 512, 8, 1) };
             dms.push(core, 0, Descriptor::Data(stage), Time::ZERO);
-            let g = DataDescriptor {
-                gather_src: true,
-                ..DataDescriptor::read(0, 0, 64, 4)
-            };
+            let g = DataDescriptor { gather_src: true, ..DataDescriptor::read(0, 0, 64, 4) };
             dms.push(core, 0, Descriptor::Data(g), Time::ZERO);
         }
         let c = dms.advance(&mut phys, &mut dram, &mut dmems);
@@ -823,15 +795,10 @@ mod tests {
         for i in 0..2u32 {
             dmems[0].write_u32(i * 4, 777 + i);
         }
-        let stage = DataDescriptor {
-            kind: DescKind::DmemToDms,
-            ..DataDescriptor::read(0, 512, 1, 1)
-        };
+        let stage =
+            DataDescriptor { kind: DescKind::DmemToDms, ..DataDescriptor::read(0, 512, 1, 1) };
         dms.push(0, 0, Descriptor::Data(stage), Time::ZERO);
-        let s = DataDescriptor {
-            scatter_dst: true,
-            ..DataDescriptor::write(4096, 0, 8, 4)
-        };
+        let s = DataDescriptor { scatter_dst: true, ..DataDescriptor::write(4096, 0, 8, 4) };
         dms.push(0, 0, Descriptor::Data(s), Time::ZERO);
         let c = dms.advance(&mut phys, &mut dram, &mut dmems);
         assert_eq!(c[1].bytes, 8);

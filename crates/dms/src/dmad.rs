@@ -110,9 +110,7 @@ impl Channel {
                 }
                 Some(Descriptor::Control(c)) => return ChannelStep::Control(c.clone()),
                 Some(Descriptor::Data(d)) => {
-                    return ChannelStep::Data(ResolvedData {
-                        desc: self.resolve(*d),
-                    })
+                    return ChannelStep::Data(ResolvedData { desc: self.resolve(*d) })
                 }
             }
         }
@@ -242,9 +240,7 @@ mod tests {
     fn control_descriptors_surface() {
         let mut ch = Channel::new();
         ch.push(
-            Descriptor::Control(ControlDescriptor::WaitEvent {
-                cond: EventCond::is_set(3),
-            }),
+            Descriptor::Control(ControlDescriptor::WaitEvent { cond: EventCond::is_set(3) }),
             Time::ZERO,
         );
         match ch.peek() {

@@ -62,10 +62,9 @@ impl PartitionScheme {
             PartitionScheme::Radix { bits, shift } => {
                 ((key as u64 >> shift) as usize) & ((1 << bits) - 1)
             }
-            PartitionScheme::Range { bounds } => bounds
-                .iter()
-                .position(|&b| key <= b)
-                .unwrap_or(bounds.len()),
+            PartitionScheme::Range { bounds } => {
+                bounds.iter().position(|&b| key <= b).unwrap_or(bounds.len())
+            }
         }
     }
 
@@ -78,7 +77,8 @@ impl PartitionScheme {
     /// or `Range` bounds are not ascending.
     pub fn validate(&self) -> Result<(), String> {
         match self {
-            PartitionScheme::HashRadix { radix_bits } | PartitionScheme::Radix { bits: radix_bits, .. } => {
+            PartitionScheme::HashRadix { radix_bits }
+            | PartitionScheme::Radix { bits: radix_bits, .. } => {
                 if *radix_bits == 0 || *radix_bits > 8 {
                     return Err(format!("radix bits {radix_bits} outside 1..=8"));
                 }

@@ -64,12 +64,7 @@ impl EventTimeline {
 
     /// The state at time `at`.
     pub fn state_at(&self, at: Time) -> bool {
-        self.transitions
-            .iter()
-            .rev()
-            .find(|&&(t, _)| t <= at)
-            .map(|&(_, s)| s)
-            .unwrap_or(false)
+        self.transitions.iter().rev().find(|&&(t, _)| t <= at).map(|&(_, s)| s).unwrap_or(false)
     }
 
     /// The latest known state (at the end of recorded history).
@@ -83,10 +78,7 @@ impl EventTimeline {
         if self.state_at(ready) == want {
             return Some(ready);
         }
-        self.transitions
-            .iter()
-            .find(|&&(t, s)| t >= ready && s == want)
-            .map(|&(t, _)| t.max(ready))
+        self.transitions.iter().find(|&&(t, s)| t >= ready && s == want).map(|&(t, _)| t.max(ready))
     }
 }
 
@@ -99,9 +91,7 @@ pub struct CoreEvents {
 impl CoreEvents {
     /// 32 clear events.
     pub fn new() -> Self {
-        CoreEvents {
-            events: (0..EVENTS_PER_CORE).map(|_| EventTimeline::new()).collect(),
-        }
+        CoreEvents { events: (0..EVENTS_PER_CORE).map(|_| EventTimeline::new()).collect() }
     }
 
     /// Borrow one event's timeline.

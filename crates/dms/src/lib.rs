@@ -54,9 +54,7 @@ pub mod event;
 pub mod partition;
 
 pub use config::{DmsConfig, GatherMode};
-pub use descriptor::{
-    ControlDescriptor, DataDescriptor, DescKind, Descriptor, DmsOp, EventCond,
-};
+pub use descriptor::{ControlDescriptor, DataDescriptor, DescKind, Descriptor, DmsOp, EventCond};
 pub use dmac::{Dms, DmsCompletion, DmsError};
 pub use engines::PartitionScheme;
 pub use event::EventTimeline;

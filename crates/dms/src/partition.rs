@@ -123,9 +123,7 @@ impl Dms {
         dram: &mut DramChannel,
         dmems: &mut [Dmem],
     ) -> Result<PartitionOutcome, DmsError> {
-        job.scheme
-            .validate()
-            .map_err(DmsError::BadDescriptor)?;
+        job.scheme.validate().map_err(DmsError::BadDescriptor)?;
         let parts = job.scheme.partitions();
         if parts > dmems.len() {
             return Err(DmsError::BadDescriptor(format!(
@@ -156,11 +154,8 @@ impl Dms {
             // earlier chunks because the DRAM server runs ahead in time).
             let mut load_done = now + Time::from_cycles(cfg.dispatch_overhead);
             for col in 0..n_cols {
-                let base = if col == 0 {
-                    job.key_col_addr
-                } else {
-                    job.data_col_addrs[col as usize - 1]
-                };
+                let base =
+                    if col == 0 { job.key_col_addr } else { job.data_col_addrs[col as usize - 1] };
                 let addr = base + row0 * w;
                 for burst in dpu_mem::axi::split_bursts(addr, chunk_bytes_per_col) {
                     load_done = load_done.max(dram.request(now, burst.addr, burst.bytes));
@@ -173,8 +168,7 @@ impl Dms {
             let hash_done = hash_stage.admit(load_done, Time::from_cycles(hash_cycles));
 
             // Stage 3: partition store into DMEMs.
-            let store_cycles =
-                (chunk_bytes_per_col * n_cols).div_ceil(cfg.store_bytes_per_cycle);
+            let store_cycles = (chunk_bytes_per_col * n_cols).div_ceil(cfg.store_bytes_per_cycle);
             let store_done = store_stage.admit(hash_done, Time::from_cycles(store_cycles))
                 + Time::from_cycles(cfg.dmax_latency);
             finish = finish.max(store_done);
@@ -212,12 +206,7 @@ impl Dms {
             chunks += 1;
         }
 
-        Ok(PartitionOutcome {
-            finish,
-            rows_per_partition,
-            bytes_in,
-            chunks,
-        })
+        Ok(PartitionOutcome { finish, rows_per_partition, bytes_in, chunks })
     }
 }
 
@@ -240,7 +229,7 @@ mod tests {
         // Column-major: column c at c * rows * 4.
         let mut phys = PhysMem::new((rows as usize * cols * 4).max(4096));
         let addrs: Vec<u64> = (0..cols).map(|c| c as u64 * rows * 4).collect();
-        for c in 0..cols {
+        for (c, &addr) in addrs.iter().enumerate() {
             for r in 0..rows {
                 // Key column: pseudorandom; data columns: r tagged by column.
                 let v = if c == 0 {
@@ -248,13 +237,17 @@ mod tests {
                 } else {
                     (c as u32) << 24 | r as u32
                 };
-                phys.write_u32(addrs[c] + r * 4, v);
+                phys.write_u32(addr + r * 4, v);
             }
         }
         (phys, addrs)
     }
 
-    fn run(scheme: PartitionScheme, rows: u64, cols: usize) -> (PartitionOutcome, Vec<Dmem>, PhysMem, Vec<u64>) {
+    fn run(
+        scheme: PartitionScheme,
+        rows: u64,
+        cols: usize,
+    ) -> (PartitionOutcome, Vec<Dmem>, PhysMem, Vec<u64>) {
         let (mut phys, addrs) = setup_table(rows, cols);
         let mut dms = Dms::new(DmsConfig::default(), 32);
         let mut dram = DramChannel::new(DramConfig::ddr3_1600());
@@ -268,9 +261,7 @@ mod tests {
             dest_dmem_base: 0,
             dest_capacity: 8 * 1024 / cols as u32,
         };
-        let out = dms
-            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
-            .unwrap();
+        let out = dms.run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems).unwrap();
         (out, dmems, phys, addrs)
     }
 
@@ -283,11 +274,11 @@ mod tests {
         // Verify each landed row's key actually hashes to that partition,
         // and the data column traveled with it.
         let cap = 4 * 1024;
-        for p in 0..32usize {
+        for (p, dmem) in dmems.iter().enumerate() {
             for i in 0..out.rows_per_partition[p] {
-                let key = dmems[p].read_u32((i * 4) as u32) as i64 as i32 as i64;
+                let key = dmem.read_u32((i * 4) as u32) as i64 as i32 as i64;
                 assert_eq!(scheme.partition_of(key), p, "row in wrong partition");
-                let data = dmems[p].read_u32(cap as u32 + (i * 4) as u32);
+                let data = dmem.read_u32(cap as u32 + (i * 4) as u32);
                 // The data value encodes its original row; check the key
                 // column at that row matches.
                 let orig_row = (data & 0x00FF_FFFF) as u64;
@@ -321,9 +312,9 @@ mod tests {
     fn radix_partition_on_key_bits() {
         let scheme = PartitionScheme::Radix { bits: 5, shift: 0 };
         let (out, dmems, _, _) = run(scheme.clone(), 512, 1);
-        for p in 0..32usize {
+        for (p, dmem) in dmems.iter().enumerate() {
             for i in 0..out.rows_per_partition[p] {
-                let key = dmems[p].read_u32((i * 4) as u32);
+                let key = dmem.read_u32((i * 4) as u32);
                 assert_eq!((key & 31) as usize, p);
             }
         }
@@ -338,9 +329,9 @@ mod tests {
         let (mut phys, addrs) = {
             let mut phys = PhysMem::new(rows as usize * 4 * 4);
             let addrs: Vec<u64> = (0..4).map(|c| c as u64 * rows * 4).collect();
-            for c in 0..4 {
+            for &addr in &addrs {
                 for r in 0..rows {
-                    phys.write_u32(addrs[c] + r * 4, (r as u32).wrapping_mul(0x9E37_79B9));
+                    phys.write_u32(addr + r * 4, (r as u32).wrapping_mul(0x9E37_79B9));
                 }
             }
             (phys, addrs)
@@ -359,14 +350,9 @@ mod tests {
             dest_dmem_base: 0,
             dest_capacity: 64 * 1024,
         };
-        let out = dms
-            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
-            .unwrap();
+        let out = dms.run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems).unwrap();
         let gbps = Frequency::DPU_CORE.bytes_per_sec(out.bytes_in, out.finish) / 1e9;
-        assert!(
-            gbps > 6.0,
-            "hardware partitioning must beat HARP's 6 GB/s, got {gbps:.2}"
-        );
+        assert!(gbps > 6.0, "hardware partitioning must beat HARP's 6 GB/s, got {gbps:.2}");
         assert!(gbps > 8.5, "expected ≈9.3 GB/s, got {gbps:.2}");
         assert!(gbps < 12.8, "cannot exceed DDR3 peak");
     }
@@ -386,9 +372,7 @@ mod tests {
             dest_dmem_base: 0,
             dest_capacity: 1024,
         };
-        assert!(dms
-            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
-            .is_err());
+        assert!(dms.run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems).is_err());
     }
 
     #[test]
@@ -407,9 +391,8 @@ mod tests {
             dest_dmem_base: 0,
             dest_capacity: 64,
         };
-        let err = dms
-            .run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems)
-            .unwrap_err();
+        let err =
+            dms.run_partition(&job, Time::ZERO, &mut phys, &mut dram, &mut dmems).unwrap_err();
         assert!(err.to_string().contains("overflowed"));
     }
 

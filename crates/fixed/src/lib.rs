@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_within_epsilon() {
-        for &v in &[0.0, 1.0, -1.0, 0.5, 3.141592, -123.456, 511.9, -511.9] {
+        for &v in &[0.0, 1.0, -1.0, 0.5, std::f64::consts::PI, -123.456, 511.9, -511.9] {
             let q = Q10_22::from_f64(v);
             assert!((q.to_f64() - v).abs() <= 1.0 / (1 << 22) as f64, "{v}");
         }
@@ -334,11 +334,7 @@ mod tests {
     fn sqrt_matches_reference() {
         for &v in &[0.25, 1.0, 2.0, 10.0, 400.0, 0.0001] {
             let got = Q10_22::from_f64(v).sqrt().to_f64();
-            assert!(
-                (got - v.sqrt()).abs() < 2e-4,
-                "sqrt({v}) = {got}, want {}",
-                v.sqrt()
-            );
+            assert!((got - v.sqrt()).abs() < 2e-4, "sqrt({v}) = {got}, want {}", v.sqrt());
         }
         assert_eq!(Q10_22::from_f64(-4.0).sqrt(), Q10_22::ZERO);
         assert_eq!(Q10_22::ZERO.sqrt(), Q10_22::ZERO);

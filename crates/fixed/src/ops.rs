@@ -5,7 +5,7 @@
 //! They use a wide `i64` accumulator (the dpCore is a 64-bit machine) so a
 //! long dot product does not saturate element-by-element.
 
-use crate::{Q10_22, FRAC_BITS};
+use crate::{FRAC_BITS, Q10_22};
 
 /// Dot product of two equal-length Q10.22 slices with an `i64` accumulator.
 ///
@@ -60,11 +60,7 @@ mod tests {
     fn dot_matches_float_reference() {
         let a: Vec<Q10_22> = (0..100).map(|i| q(i as f64 * 0.01 - 0.5)).collect();
         let b: Vec<Q10_22> = (0..100).map(|i| q((i % 7) as f64 * 0.1)).collect();
-        let want: f64 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| x.to_f64() * y.to_f64())
-            .sum();
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x.to_f64() * y.to_f64()).sum();
         assert!((dot(&a, &b).to_f64() - want).abs() < 1e-3);
     }
 
@@ -72,9 +68,8 @@ mod tests {
     fn dot_does_not_saturate_midway() {
         // Elementwise products alternate near ±max; the i64 accumulator
         // must cancel them instead of saturating each step.
-        let a: Vec<Q10_22> = (0..10)
-            .map(|i| if i % 2 == 0 { q(500.0) } else { q(-500.0) })
-            .collect();
+        let a: Vec<Q10_22> =
+            (0..10).map(|i| if i % 2 == 0 { q(500.0) } else { q(-500.0) }).collect();
         let b = vec![q(500.0); 10];
         // Pairwise products are ±250000 (saturating alone), but they cancel.
         assert_eq!(dot(&a, &b).to_f64(), 0.0);

@@ -46,10 +46,7 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError {
-        line,
-        message: message.into(),
-    }
+    AsmError { line, message: message.into() }
 }
 
 /// Assembles a program into an instruction vector.
@@ -85,8 +82,7 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
             text = text[colon + 1..].trim();
         }
         if !text.is_empty() {
-            let width = if text.split_whitespace().next().unwrap_or("").eq_ignore_ascii_case("li")
-            {
+            let width = if text.split_whitespace().next().unwrap_or("").eq_ignore_ascii_case("li") {
                 2
             } else {
                 1
@@ -116,21 +112,15 @@ fn parse_stmt(
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        vec![]
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { vec![] } else { rest.split(',').map(str::trim).collect() };
     let m = mnemonic.to_ascii_lowercase();
 
     let want = |n: usize| -> Result<(), AsmError> {
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(
-                line,
-                format!("{m} expects {n} operands, got {}", ops.len()),
-            ))
+            Err(err(line, format!("{m} expects {n} operands, got {}", ops.len())))
         }
     };
 
@@ -161,18 +151,10 @@ fn parse_stmt(
 
     // `off(base)` memory operand.
     let mem = |s: &str| -> Result<(i16, Reg), AsmError> {
-        let open = s
-            .find('(')
-            .ok_or_else(|| err(line, format!("bad memory operand {s:?}")))?;
-        let close = s
-            .rfind(')')
-            .ok_or_else(|| err(line, format!("bad memory operand {s:?}")))?;
+        let open = s.find('(').ok_or_else(|| err(line, format!("bad memory operand {s:?}")))?;
+        let close = s.rfind(')').ok_or_else(|| err(line, format!("bad memory operand {s:?}")))?;
         let off_str = s[..open].trim();
-        let off = if off_str.is_empty() {
-            0
-        } else {
-            imm_i16(off_str)?
-        };
+        let off = if off_str.is_empty() { 0 } else { imm_i16(off_str)? };
         Ok((off, reg(s[open + 1..close].trim())?))
     };
 
@@ -209,8 +191,8 @@ fn parse_stmt(
         return Ok(());
     }
     let inst = match m.as_str() {
-        "add" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" | "mul" | "sllv"
-        | "srlv" | "crc32" | "filt" => {
+        "add" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" | "mul" | "sllv" | "srlv"
+        | "crc32" | "filt" => {
             want(3)?;
             let (rd, rs, rt) = (reg(ops[0])?, reg(ops[1])?, reg(ops[2])?);
             match m.as_str() {
@@ -258,13 +240,9 @@ fn parse_stmt(
         }
         "lui" => {
             want(2)?;
-            Lui {
-                rt: reg(ops[0])?,
-                imm: imm_u16(ops[1])?,
-            }
+            Lui { rt: reg(ops[0])?, imm: imm_u16(ops[1])? }
         }
-        "lb" | "lbu" | "lh" | "lhu" | "lw" | "lwu" | "ld" | "sb" | "sh" | "sw" | "sd"
-        | "bvld" => {
+        "lb" | "lbu" | "lh" | "lhu" | "lw" | "lwu" | "ld" | "sb" | "sh" | "sw" | "sd" | "bvld" => {
             want(2)?;
             let rt = reg(ops[0])?;
             let (off, rs) = mem(ops[1])?;
@@ -308,10 +286,7 @@ fn parse_stmt(
         }
         "popc" => {
             want(2)?;
-            Popc {
-                rd: reg(ops[0])?,
-                rs: reg(ops[1])?,
-            }
+            Popc { rd: reg(ops[0])?, rs: reg(ops[1])? }
         }
         "wfe" => {
             want(1)?;
@@ -327,10 +302,7 @@ fn parse_stmt(
                 .and_then(|v| u8::try_from(v).ok())
                 .filter(|&c| c < 2)
                 .ok_or_else(|| err(line, format!("bad DMS channel {:?}", ops[0])))?;
-            DmsPush {
-                chan,
-                rs: reg(ops[1])?,
-            }
+            DmsPush { chan, rs: reg(ops[1])? }
         }
         "atereq" => {
             want(1)?;

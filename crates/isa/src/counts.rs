@@ -144,12 +144,7 @@ mod tests {
 
     #[test]
     fn cycles_overlap_alu_and_lsu() {
-        let c = OpCounts {
-            alu: 100,
-            loads: 80,
-            stores: 20,
-            ..OpCounts::default()
-        };
+        let c = OpCounts { alu: 100, loads: 80, stores: 20, ..OpCounts::default() };
         // Perfect dual issue: max(100, 100) = 100.
         assert_eq!(c.dpcore_cycles(&PipelineModel::default()), 100);
     }

@@ -94,7 +94,7 @@ impl HashKind {
     /// Number of plain ALU instructions per key.
     pub fn alu_ops(self) -> u64 {
         match self {
-            HashKind::Crc32 => 2,  // two crc32 steps
+            HashKind::Crc32 => 2,    // two crc32 steps
             HashKind::Murmur64 => 6, // 3 xor + 3 shift
         }
     }
@@ -134,11 +134,7 @@ mod tests {
         for &b in bytes {
             crc ^= b as u32;
             for _ in 0..8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0x82F6_3B78
-                } else {
-                    crc >> 1
-                };
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82F6_3B78 } else { crc >> 1 };
             }
         }
         !crc

@@ -150,9 +150,23 @@ impl Inst {
     pub fn pipe(self) -> Pipe {
         use Inst::*;
         match self {
-            Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } | Lwu { .. }
-            | Ld { .. } | Sb { .. } | Sh { .. } | Sw { .. } | Sd { .. } | Bvld { .. }
-            | Fence | CFlush { .. } | CInval { .. } | DmsPush { .. } | AteReq { .. } => Pipe::Lsu,
+            Lb { .. }
+            | Lbu { .. }
+            | Lh { .. }
+            | Lhu { .. }
+            | Lw { .. }
+            | Lwu { .. }
+            | Ld { .. }
+            | Sb { .. }
+            | Sh { .. }
+            | Sw { .. }
+            | Sd { .. }
+            | Bvld { .. }
+            | Fence
+            | CFlush { .. }
+            | CInval { .. }
+            | DmsPush { .. }
+            | AteReq { .. } => Pipe::Lsu,
             _ => Pipe::Alu,
         }
     }
@@ -189,15 +203,37 @@ impl Inst {
     pub fn dest(self) -> Option<Reg> {
         use Inst::*;
         match self {
-            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. }
-            | Xor { rd, .. } | Nor { rd, .. } | Slt { rd, .. } | Sltu { rd, .. }
-            | Mul { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. } | Sll { rd, .. }
-            | Srl { rd, .. } | Sra { rd, .. } | Crc32 { rd, .. } | Popc { rd, .. }
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Mul { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Crc32 { rd, .. }
+            | Popc { rd, .. }
             | Filt { rd, .. } => Some(rd),
-            Addi { rt, .. } | Andi { rt, .. } | Ori { rt, .. } | Xori { rt, .. }
-            | Slti { rt, .. } | Lui { rt, .. } | Lb { rt, .. } | Lbu { rt, .. }
-            | Lh { rt, .. } | Lhu { rt, .. } | Lw { rt, .. } | Lwu { rt, .. }
-            | Ld { rt, .. } | Bvld { rt, .. } => Some(rt),
+            Addi { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Slti { rt, .. }
+            | Lui { rt, .. }
+            | Lb { rt, .. }
+            | Lbu { rt, .. }
+            | Lh { rt, .. }
+            | Lhu { rt, .. }
+            | Lw { rt, .. }
+            | Lwu { rt, .. }
+            | Ld { rt, .. }
+            | Bvld { rt, .. } => Some(rt),
             Jal { .. } => Some(Reg::LINK),
             _ => None,
         }
@@ -207,20 +243,46 @@ impl Inst {
     pub fn sources(self) -> Vec<Reg> {
         use Inst::*;
         match self {
-            Add { rs, rt, .. } | Sub { rs, rt, .. } | And { rs, rt, .. }
-            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Nor { rs, rt, .. }
-            | Slt { rs, rt, .. } | Sltu { rs, rt, .. } | Mul { rs, rt, .. }
-            | Sllv { rs, rt, .. } | Srlv { rs, rt, .. } | Crc32 { rs, rt, .. }
-            | Beq { rs, rt, .. } | Bne { rs, rt, .. } | Blt { rs, rt, .. }
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Sllv { rs, rt, .. }
+            | Srlv { rs, rt, .. }
+            | Crc32 { rs, rt, .. }
+            | Beq { rs, rt, .. }
+            | Bne { rs, rt, .. }
+            | Blt { rs, rt, .. }
             | Bge { rs, rt, .. } => vec![rs, rt],
             // FILT also reads its accumulator rd.
             Filt { rd, rs, rt } => vec![rd, rs, rt],
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
-            Addi { rs, .. } | Andi { rs, .. } | Ori { rs, .. } | Xori { rs, .. }
-            | Slti { rs, .. } | Popc { rs, .. } | Jr { rs } | Wfe { rs } | Clev { rs }
-            | DmsPush { rs, .. } | AteReq { rs } | CFlush { rs } | CInval { rs } => vec![rs],
-            Lb { rs, .. } | Lbu { rs, .. } | Lh { rs, .. } | Lhu { rs, .. }
-            | Lw { rs, .. } | Lwu { rs, .. } | Ld { rs, .. } | Bvld { rs, .. } => vec![rs],
+            Addi { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. }
+            | Slti { rs, .. }
+            | Popc { rs, .. }
+            | Jr { rs }
+            | Wfe { rs }
+            | Clev { rs }
+            | DmsPush { rs, .. }
+            | AteReq { rs }
+            | CFlush { rs }
+            | CInval { rs } => vec![rs],
+            Lb { rs, .. }
+            | Lbu { rs, .. }
+            | Lh { rs, .. }
+            | Lhu { rs, .. }
+            | Lw { rs, .. }
+            | Lwu { rs, .. }
+            | Ld { rs, .. }
+            | Bvld { rs, .. } => vec![rs],
             Sb { rt, rs, .. } | Sh { rt, rs, .. } | Sw { rt, rs, .. } | Sd { rt, rs, .. } => {
                 vec![rt, rs]
             }
@@ -340,13 +402,7 @@ mod tests {
 
     #[test]
     fn display_smoke() {
-        assert_eq!(
-            Inst::Addi { rt: r(1), rs: r(0), imm: -5 }.to_string(),
-            "addi r1, r0, -5"
-        );
-        assert_eq!(
-            Inst::Lw { rt: r(2), rs: r(3), off: 16 }.to_string(),
-            "lw r2, 16(r3)"
-        );
+        assert_eq!(Inst::Addi { rt: r(1), rs: r(0), imm: -5 }.to_string(), "addi r1, r0, -5");
+        assert_eq!(Inst::Lw { rt: r(2), rs: r(3), off: 16 }.to_string(), "lw r2, 16(r3)");
     }
 }

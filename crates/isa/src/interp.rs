@@ -255,9 +255,7 @@ impl Cpu {
                 break Trap::MaxSteps;
             }
             let pc = self.pc;
-            let inst = *prog
-                .get(pc as usize)
-                .ok_or(ExecError { pc, addr: None })?;
+            let inst = *prog.get(pc as usize).ok_or(ExecError { pc, addr: None })?;
             steps += 1;
             // Data watchpoint check (pre-execution, as the hardware's
             // address-comparator stage would).
@@ -269,18 +267,16 @@ impl Cpu {
                     }
                 }
             }
-            if let Some(t) = self.exec_one(inst, pc)? { break t }
+            if let Some(t) = self.exec_one(inst, pc)? {
+                break t;
+            }
         };
         // The scoreboard reports the issue cycle of the last instruction;
         // retiring it takes one more cycle, hence the +1 on non-empty runs.
         let segment_cycles = self.board.cycle().saturating_sub(start_cycles) + u64::from(steps > 0);
         self.total_instructions += steps;
         self.total_cycles = self.board.cycle() + u64::from(self.total_instructions > 0);
-        Ok(RunSummary {
-            trap,
-            cycles: segment_cycles,
-            instructions: steps,
-        })
+        Ok(RunSummary { trap, cycles: segment_cycles, instructions: steps })
     }
 
     /// Effective data address of a load/store, if the instruction is one.
@@ -288,12 +284,18 @@ impl Cpu {
         use Inst::*;
         let g = |r: crate::reg::Reg| self.regs[r.index()];
         match inst {
-            Lb { rs, off, .. } | Lbu { rs, off, .. } | Lh { rs, off, .. }
-            | Lhu { rs, off, .. } | Lw { rs, off, .. } | Lwu { rs, off, .. }
-            | Ld { rs, off, .. } | Bvld { rs, off, .. } | Sb { rs, off, .. }
-            | Sh { rs, off, .. } | Sw { rs, off, .. } | Sd { rs, off, .. } => {
-                Some(g(rs).wrapping_add(off as i64 as u64))
-            }
+            Lb { rs, off, .. }
+            | Lbu { rs, off, .. }
+            | Lh { rs, off, .. }
+            | Lhu { rs, off, .. }
+            | Lw { rs, off, .. }
+            | Lwu { rs, off, .. }
+            | Ld { rs, off, .. }
+            | Bvld { rs, off, .. }
+            | Sb { rs, off, .. }
+            | Sh { rs, off, .. }
+            | Sw { rs, off, .. }
+            | Sd { rs, off, .. } => Some(g(rs).wrapping_add(off as i64 as u64)),
             _ => None,
         }
     }

@@ -69,12 +69,7 @@ pub struct Scoreboard {
 impl Scoreboard {
     /// A scoreboard with everything ready at cycle 0.
     pub fn new() -> Self {
-        Scoreboard {
-            reg_ready: [0; 32],
-            pipe_free: [0; 2],
-            fetch_ready: 0,
-            cycle: 0,
-        }
+        Scoreboard { reg_ready: [0; 32], pipe_free: [0; 2], fetch_ready: 0, cycle: 0 }
     }
 
     /// Current cycle (the issue cycle of the most recent instruction).
@@ -246,12 +241,7 @@ mod tests {
         let m = PipelineModel::default();
         let mut sb = Scoreboard::new();
         sb.issue(Inst::Lw { rt: Reg::ZERO, rs: r(2), off: 0 }, &m, false, 0);
-        let c = sb.issue(
-            Inst::Add { rd: r(1), rs: Reg::ZERO, rt: Reg::ZERO },
-            &m,
-            false,
-            0,
-        );
+        let c = sb.issue(Inst::Add { rd: r(1), rs: Reg::ZERO, rt: Reg::ZERO }, &m, false, 0);
         assert_eq!(c, 0);
     }
 }

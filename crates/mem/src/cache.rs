@@ -154,11 +154,8 @@ impl Cache {
         self.stats.misses += 1;
         let mut writeback = None;
         if set.len() == ways {
-            let (lru_idx, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.used)
-                .expect("non-empty set");
+            let (lru_idx, _) =
+                set.iter().enumerate().min_by_key(|(_, l)| l.used).expect("non-empty set");
             let victim = set.swap_remove(lru_idx);
             if victim.dirty {
                 self.stats.writebacks += 1;

@@ -95,13 +95,7 @@ pub struct DramChannel {
 impl DramChannel {
     /// Creates an idle channel (all row buffers closed).
     pub fn new(config: DramConfig) -> Self {
-        let banks = vec![
-            Bank {
-                open_row: None,
-                busy_until: Time::ZERO,
-            };
-            config.banks
-        ];
+        let banks = vec![Bank { open_row: None, busy_until: Time::ZERO }; config.banks];
         DramChannel {
             config,
             banks,
@@ -123,8 +117,8 @@ impl DramChannel {
         // XOR-fold upper address bits into the bank index so power-of-two
         // strides (e.g. per-core 1 MB regions) don't alias onto one bank —
         // the standard bank-hashing trick in DDR controllers.
-        let bank = ((global_row ^ (global_row / banks) ^ (global_row / (banks * banks))) % banks)
-            as usize;
+        let bank =
+            ((global_row ^ (global_row / banks) ^ (global_row / (banks * banks))) % banks) as usize;
         let row = global_row / banks;
         (bank, row)
     }
@@ -269,10 +263,7 @@ mod tests {
         for i in 0..256u64 {
             done_b = b.request(Time::ZERO, i * 256, 256); // 64 KB in 256 B bursts
         }
-        assert!(
-            a.gbytes_per_sec(done_a) < b.gbytes_per_sec(done_b),
-            "small bursts must be slower"
-        );
+        assert!(a.gbytes_per_sec(done_a) < b.gbytes_per_sec(done_b), "small bursts must be slower");
     }
 
     #[test]
@@ -286,7 +277,10 @@ mod tests {
             t4 = d4.request(Time::ZERO, i * 256, 256);
         }
         assert!(t4 < t3);
-        assert!(DramConfig::ddr4_3200().peak_bytes_per_sec() > DramConfig::ddr3_1600().peak_bytes_per_sec());
+        assert!(
+            DramConfig::ddr4_3200().peak_bytes_per_sec()
+                > DramConfig::ddr3_1600().peak_bytes_per_sec()
+        );
     }
 
     #[test]

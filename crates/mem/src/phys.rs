@@ -24,18 +24,14 @@ pub struct PhysMem {
 
 impl fmt::Debug for PhysMem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PhysMem")
-            .field("size", &self.bytes.len())
-            .finish()
+        f.debug_struct("PhysMem").field("size", &self.bytes.len()).finish()
     }
 }
 
 impl PhysMem {
     /// Allocates `size` bytes of zeroed memory.
     pub fn new(size: usize) -> Self {
-        PhysMem {
-            bytes: vec![0; size],
-        }
+        PhysMem { bytes: vec![0; size] }
     }
 
     /// Memory size in bytes.

@@ -69,12 +69,7 @@ impl DpuHeap {
             end: base + size,
             bump: base,
             global_free: vec![Vec::new(); CLASSES.len()],
-            caches: vec![
-                CoreCache {
-                    free: vec![Vec::new(); CLASSES.len()],
-                };
-                n_cores
-            ],
+            caches: vec![CoreCache { free: vec![Vec::new(); CLASSES.len()] }; n_cores],
             stats: HeapStats::default(),
         }
     }
@@ -145,10 +140,7 @@ impl DpuHeap {
     ///
     /// Panics if `core` is out of range, or `addr` lies outside the heap.
     pub fn free(&mut self, core: usize, addr: u64, bytes: u32) {
-        assert!(
-            addr >= self.base && addr < self.end,
-            "free of {addr:#x} outside heap"
-        );
+        assert!(addr >= self.base && addr < self.end, "free of {addr:#x} outside heap");
         let Some(class) = Self::class_of(bytes) else {
             // Large blocks are not recycled (lifetime = run), as in the
             // paper's usage of big scan buffers.

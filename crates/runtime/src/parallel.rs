@@ -155,9 +155,7 @@ mod tests {
         let sched = StealingScheduler::new(0, 0, 1, 64);
         let mut times = Vec::new();
         for core in 0..32 {
-            let (_, t) = sched
-                .claim(core, Time::ZERO, &mut ate, &mut phys, &mut dmems)
-                .unwrap();
+            let (_, t) = sched.claim(core, Time::ZERO, &mut ate, &mut phys, &mut dmems).unwrap();
             times.push(t);
         }
         assert!(times.windows(2).all(|w| w[1] > w[0]), "FIFO serialization");

@@ -67,12 +67,7 @@ pub fn serialized_call<R>(
     for i in 0..lines {
         owner_cache.invalidate_line(region.addr + i * line);
     }
-    let ticket = ate.sw_rpc(
-        from_core,
-        region.owner,
-        t,
-        handler_cycles + lines * LINE_OP_CYCLES,
-    );
+    let ticket = ate.sw_rpc(from_core, region.owner, t, handler_cycles + lines * LINE_OP_CYCLES);
     let result = manipulator(phys);
 
     // (d) owner flushes results; (e) caller invalidates its stale copies.
@@ -132,9 +127,7 @@ mod tests {
         for a in (0..256u64).step_by(64) {
             cc.access(a, true);
         }
-        serialized_call(
-            region, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 10, |_| (),
-        );
+        serialized_call(region, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 10, |_| ());
         for a in (0..256u64).step_by(64) {
             assert!(!cc.contains(a), "stale line {a} must be invalidated");
         }
@@ -146,12 +139,19 @@ mod tests {
         let small = SerializedRegion { owner: 1, addr: 0, len: 8 };
         let big = SerializedRegion { owner: 1, addr: 1024, len: 2048 };
         let (_, t_small) = serialized_call(
-            small, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 10, |_| (),
+            small,
+            0,
+            Time::ZERO,
+            &mut ate,
+            &mut phys,
+            &mut cc,
+            &mut oc,
+            10,
+            |_| (),
         );
         let mut ate2 = Ate::new(AteConfig::default(), 32);
-        let (_, t_big) = serialized_call(
-            big, 0, Time::ZERO, &mut ate2, &mut phys, &mut cc, &mut oc, 10, |_| (),
-        );
+        let (_, t_big) =
+            serialized_call(big, 0, Time::ZERO, &mut ate2, &mut phys, &mut cc, &mut oc, 10, |_| ());
         assert!(t_big > t_small);
     }
 
@@ -170,12 +170,32 @@ mod tests {
         // Two callers at the same instant: their handlers serialize at
         // the owner's injection port.
         let (_, t1) = serialized_call(
-            region, 0, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 100,
-            |p| { let v = p.read_u64(512); p.write_u64(512, v + 1); },
+            region,
+            0,
+            Time::ZERO,
+            &mut ate,
+            &mut phys,
+            &mut cc,
+            &mut oc,
+            100,
+            |p| {
+                let v = p.read_u64(512);
+                p.write_u64(512, v + 1);
+            },
         );
         let (_, t2) = serialized_call(
-            region, 1, Time::ZERO, &mut ate, &mut phys, &mut cc, &mut oc, 100,
-            |p| { let v = p.read_u64(512); p.write_u64(512, v + 1); },
+            region,
+            1,
+            Time::ZERO,
+            &mut ate,
+            &mut phys,
+            &mut cc,
+            &mut oc,
+            100,
+            |p| {
+                let v = p.read_u64(512);
+                p.write_u64(512, v + 1);
+            },
         );
         assert_eq!(phys.read_u64(512), 2);
         assert!(t2 > t1, "second caller waits behind the first");

@@ -51,11 +51,7 @@ pub struct EventQueue<E> {
 impl<E: Eq> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: Time::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Time::ZERO }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -65,18 +61,10 @@ impl<E: Eq> EventQueue<E> {
     /// Panics if `at` is earlier than the current time: the simulation may
     /// never schedule into its own past.
     pub fn push(&mut self, at: Time, event: E) {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: {at} < now {}",
-            self.now
-        );
+        assert!(at >= self.now, "event scheduled in the past: {at} < now {}", self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry {
-            time: at,
-            seq,
-            event,
-        }));
+        self.heap.push(Reverse(Entry { time: at, seq, event }));
     }
 
     /// Removes and returns the earliest event, advancing the queue's notion

@@ -143,12 +143,7 @@ pub struct PipelineStage {
 impl PipelineStage {
     /// Creates an idle stage with a diagnostic name.
     pub fn new(name: &'static str) -> Self {
-        PipelineStage {
-            name,
-            free_at: Time::ZERO,
-            busy_cycles: 0,
-            chunks: 0,
-        }
+        PipelineStage { name, free_at: Time::ZERO, busy_cycles: 0, chunks: 0 }
     }
 
     /// Admits a chunk that becomes available at `ready` and needs `work`

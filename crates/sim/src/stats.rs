@@ -96,23 +96,12 @@ impl Histogram {
             "histogram bounds must be strictly ascending"
         );
         let n_buckets = bounds.len() + 1;
-        Histogram {
-            bounds,
-            counts: vec![0; n_buckets],
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-            n: 0,
-        }
+        Histogram { bounds, counts: vec![0; n_buckets], sum: 0, min: u64::MAX, max: 0, n: 0 }
     }
 
     /// Records one sample.
     pub fn record(&mut self, sample: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| sample <= b)
-            .unwrap_or(self.bounds.len());
+        let idx = self.bounds.iter().position(|&b| sample <= b).unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.sum += sample;
         self.min = self.min.min(sample);

@@ -225,10 +225,7 @@ mod tests {
     #[test]
     fn saturating_ops_clamp() {
         assert_eq!(Time::MAX.saturating_add(Time::from_cycles(1)), Time::MAX);
-        assert_eq!(
-            Time::ZERO.saturating_sub(Time::from_cycles(1)),
-            Time::ZERO
-        );
+        assert_eq!(Time::ZERO.saturating_sub(Time::from_cycles(1)), Time::ZERO);
     }
 
     #[test]

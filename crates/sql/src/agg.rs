@@ -48,6 +48,43 @@ impl GroupBySpec {
     ///
     /// Panics if a named column is missing or the selection length
     /// mismatches.
+    /// The re-aggregation spec that merges *partial* results of this
+    /// group-by: each shard/partition aggregates its local rows with
+    /// `self`, and the partials combine by summing sums and counts and
+    /// re-minimizing/maximizing extrema over the output columns. This is
+    /// the merge hook the rack-scale coordinator uses for scatter/gather
+    /// aggregation.
+    pub fn merge_spec(&self) -> GroupBySpec {
+        GroupBySpec {
+            group_cols: self.group_cols.clone(),
+            aggs: self
+                .aggs
+                .iter()
+                .map(|(name, f)| {
+                    let merged = match f {
+                        AggFunc::Min(_) => AggFunc::Min(name.clone()),
+                        AggFunc::Max(_) => AggFunc::Max(name.clone()),
+                        // Count, Sum and SumProduct partials all merge by
+                        // summing the partial column.
+                        _ => AggFunc::Sum(name.clone()),
+                    };
+                    (name.clone(), merged)
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges per-shard partial aggregate tables into the exact result
+    /// `self.execute` would produce over the union of the shards' input
+    /// rows (both are sorted by group key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partials` is empty or the schemas disagree.
+    pub fn merge_partials(&self, partials: &[Table]) -> Table {
+        self.merge_spec().execute(&Table::concat(partials), None)
+    }
+
     pub fn execute(&self, table: &Table, sel: Option<&BitVec>) -> Table {
         if let Some(bv) = sel {
             assert_eq!(bv.len(), table.rows(), "selection length mismatch");
@@ -71,9 +108,7 @@ impl GroupBySpec {
                 AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => {
                     (Some(table.col_index(c)), None)
                 }
-                AggFunc::SumProduct(a, b) => {
-                    (Some(table.col_index(a)), Some(table.col_index(b)))
-                }
+                AggFunc::SumProduct(a, b) => (Some(table.col_index(a)), Some(table.col_index(b))),
             })
             .collect();
 
@@ -113,10 +148,7 @@ impl GroupBySpec {
             .map(|(i, name)| Column::i64(name, keys.iter().map(|k| k[i]).collect()))
             .collect();
         for (si, (name, _)) in self.aggs.iter().enumerate() {
-            out_cols.push(Column::i64(
-                name,
-                keys.iter().map(|k| groups[k][si]).collect(),
-            ));
+            out_cols.push(Column::i64(name, keys.iter().map(|k| groups[k][si]).collect()));
         }
         Table::new(out_cols)
     }
@@ -249,10 +281,7 @@ pub fn partitioned_group_by(
     }
     let nkeys = spec.group_cols.len();
     all_rows.sort_unstable_by(|a, b| a[..nkeys].cmp(&b[..nkeys]));
-    let template = partials
-        .first()
-        .cloned()
-        .unwrap_or_else(|| spec.execute(table, None));
+    let template = partials.first().cloned().unwrap_or_else(|| spec.execute(table, None));
     let merged = Table::new(
         template
             .columns
@@ -277,11 +306,7 @@ mod tests {
         let keys: Vec<i64> = (0..1000).map(|i| i % 10).collect();
         let vals: Vec<i64> = (0..1000).collect();
         let discount: Vec<i64> = (0..1000).map(|i| i % 5).collect();
-        Table::new(vec![
-            Column::i32("k", keys),
-            Column::i32("v", vals),
-            Column::i32("d", discount),
-        ])
+        Table::new(vec![Column::i32("k", keys), Column::i32("v", vals), Column::i32("d", discount)])
     }
 
     #[test]
@@ -376,10 +401,7 @@ mod tests {
         let t = sales_table();
         let spec = GroupBySpec {
             group_cols: vec!["k".into()],
-            aggs: vec![
-                ("cnt".into(), AggFunc::Count),
-                ("s".into(), AggFunc::Sum("v".into())),
-            ],
+            aggs: vec![("cnt".into(), AggFunc::Count), ("s".into(), AggFunc::Sum("v".into()))],
         };
         let reference = spec.execute(&t, None);
         let (partitioned, max_fp) = partitioned_group_by(&spec, &t, 8, 16);
@@ -391,10 +413,8 @@ mod tests {
     fn partition_footprint_shrinks_with_fanout() {
         let keys: Vec<i64> = (0..20_000).map(|i| i * 7 % 5000).collect();
         let t = Table::new(vec![Column::i32("k", keys)]);
-        let spec = GroupBySpec {
-            group_cols: vec!["k".into()],
-            aggs: vec![("c".into(), AggFunc::Count)],
-        };
+        let spec =
+            GroupBySpec { group_cols: vec!["k".into()], aggs: vec![("c".into(), AggFunc::Count)] };
         let (_, fp1) = partitioned_group_by(&spec, &t, 1, 16);
         let (_, fp32) = partitioned_group_by(&spec, &t, 32, 16);
         assert!(fp32 * 16 < fp1, "32-way fanout should cut footprint ~32×");

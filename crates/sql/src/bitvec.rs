@@ -25,10 +25,7 @@ pub struct BitVec {
 impl BitVec {
     /// A cleared vector of `len` bits.
     pub fn new(len: usize) -> Self {
-        BitVec {
-            words: vec![0; len.div_ceil(64)],
-            len,
-        }
+        BitVec { words: vec![0; len.div_ceil(64)], len }
     }
 
     /// Builds from a predicate over row indices.
@@ -119,12 +116,7 @@ impl BitVec {
     pub fn and(&self, other: &BitVec) -> BitVec {
         assert_eq!(self.len, other.len, "length mismatch");
         BitVec {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
             len: self.len,
         }
     }

@@ -93,6 +93,57 @@ impl Table {
         self.columns.iter().map(|c| c.bytes()).sum()
     }
 
+    /// Concatenates same-schema tables row-wise (shard/partition merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or schemas (names, widths) differ.
+    pub fn concat(tables: &[Table]) -> Table {
+        let first = tables.first().expect("concat of zero tables");
+        let mut columns: Vec<Column> = first
+            .columns
+            .iter()
+            .map(|c| Column { name: c.name.clone(), width: c.width, data: Vec::new() })
+            .collect();
+        for t in tables {
+            assert_eq!(t.columns.len(), columns.len(), "schema mismatch");
+            for (dst, src) in columns.iter_mut().zip(&t.columns) {
+                assert_eq!(dst.name, src.name, "schema mismatch");
+                assert_eq!(dst.width, src.width, "schema mismatch");
+                dst.data.extend_from_slice(&src.data);
+            }
+        }
+        Table::new(columns)
+    }
+
+    /// One row as a value vector (column order).
+    pub fn row(&self, r: usize) -> Vec<i64> {
+        self.columns.iter().map(|c| c.data[r]).collect()
+    }
+
+    /// The table with rows sorted lexicographically by all columns — a
+    /// canonical form for order-insensitive result comparison.
+    pub fn canonicalized(&self) -> Table {
+        let mut order: Vec<usize> = (0..self.rows()).collect();
+        order.sort_by(|&a, &b| {
+            self.columns
+                .iter()
+                .map(|c| c.data[a].cmp(&c.data[b]))
+                .find(|o| o.is_ne())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Table::new(
+            self.columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    width: c.width,
+                    data: order.iter().map(|&r| c.data[r]).collect(),
+                })
+                .collect(),
+        )
+    }
+
     /// Writes the table column-major into DRAM starting at `base`
     /// (column starts aligned to 256 B for clean AXI bursts).
     ///
@@ -133,10 +184,8 @@ mod tests {
 
     #[test]
     fn construction_and_lookup() {
-        let t = Table::new(vec![
-            Column::i32("a", vec![1, 2, 3]),
-            Column::i64("b", vec![10, 20, 30]),
-        ]);
+        let t =
+            Table::new(vec![Column::i32("a", vec![1, 2, 3]), Column::i64("b", vec![10, 20, 30])]);
         assert_eq!(t.rows(), 3);
         assert_eq!(t.column("b").unwrap().data[1], 20);
         assert_eq!(t.col_index("a"), 0);
@@ -146,10 +195,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_columns_rejected() {
-        Table::new(vec![
-            Column::i32("a", vec![1]),
-            Column::i32("b", vec![1, 2]),
-        ]);
+        Table::new(vec![Column::i32("a", vec![1]), Column::i32("b", vec![1, 2])]);
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl Expr {
                 assert!(y != 0, "expression division by zero");
                 x / y
             }),
-            Expr::Clamp(a, lo, hi) => a.eval(table).into_iter().map(|v| v.clamp(*lo, *hi)).collect(),
+            Expr::Clamp(a, lo, hi) => {
+                a.eval(table).into_iter().map(|v| v.clamp(*lo, *hi)).collect()
+            }
         }
     }
 
@@ -184,11 +186,8 @@ mod tests {
 
     #[test]
     fn division_and_clamp() {
-        let e = Expr::Clamp(
-            Box::new(Expr::col("price") / (Expr::col("tax") + Expr::lit(1))),
-            0,
-            40,
-        );
+        let e =
+            Expr::Clamp(Box::new(Expr::col("price") / (Expr::col("tax") + Expr::lit(1))), 0, 40);
         assert_eq!(e.eval(&t()), vec![16, 22, 40]);
     }
 

@@ -69,9 +69,8 @@ impl FilterSpec {
     /// Applies the filter to a table, producing a selection vector
     /// (reference semantics; the timed path runs on the DPU models).
     pub fn apply(&self, table: &Table) -> BitVec {
-        let col = table
-            .column(&self.column)
-            .unwrap_or_else(|| panic!("no column {:?}", self.column));
+        let col =
+            table.column(&self.column).unwrap_or_else(|| panic!("no column {:?}", self.column));
         BitVec::from_fn(col.data.len(), |i| self.op.matches(col.data[i]))
     }
 }
@@ -117,7 +116,9 @@ fn filter_kernel_asm() -> String {
             "
                 filt r4, r{}, r10
                 lw   r{}, {}(r2)",
-            11 + i, 13 + i, i * 4
+            11 + i,
+            13 + i,
+            i * 4
         ));
     }
     body.push_str(
@@ -235,7 +236,7 @@ mod tests {
     #[test]
     fn kernel_achieves_paper_rate() {
         // Figure 15: ≈1.65 cycles/tuple (482 Mtuples/s) at large tiles.
-        let values: Vec<i32> = (0..4096).map(|i| i).collect();
+        let values: Vec<i32> = (0..4096).collect();
         let (m, _) = measure_filter_kernel(&values, 100, 3000);
         let cpt = m.cycles_per_tuple();
         assert!(

@@ -93,9 +93,8 @@ impl HashJoin {
 /// returns the result sorted by all columns (for order-insensitive
 /// comparisons in tests and queries).
 pub fn sorted_rows(t: &Table) -> Vec<Vec<i64>> {
-    let mut rows: Vec<Vec<i64>> = (0..t.rows())
-        .map(|r| t.columns.iter().map(|c| c.data[r]).collect())
-        .collect();
+    let mut rows: Vec<Vec<i64>> =
+        (0..t.rows()).map(|r| t.columns.iter().map(|c| c.data[r]).collect()).collect();
     rows.sort_unstable();
     rows
 }
@@ -133,10 +132,7 @@ mod tests {
 
     #[test]
     fn duplicate_build_keys_fan_out() {
-        let dim = Table::new(vec![
-            Column::i32("id", vec![7, 7]),
-            Column::i32("tag", vec![1, 2]),
-        ]);
+        let dim = Table::new(vec![Column::i32("id", vec![7, 7]), Column::i32("tag", vec![1, 2])]);
         let fact = Table::new(vec![Column::i32("fk", vec![7])]);
         let j = HashJoin {
             build_key: "id".into(),

@@ -107,7 +107,12 @@ impl CostAcc {
     /// Per-row compute on both platforms: the DPU pays
     /// `dpu_cycles_per_row` on its in-order pipeline, the Xeon
     /// `xeon_cycles_per_row` on its out-of-order cores.
-    pub fn compute(&mut self, rows: u64, dpu_cycles_per_row: f64, xeon_cycles_per_row: f64) -> &mut Self {
+    pub fn compute(
+        &mut self,
+        rows: u64,
+        dpu_cycles_per_row: f64,
+        xeon_cycles_per_row: f64,
+    ) -> &mut Self {
         let rows = rows * self.scale;
         self.dpu_cycles += (rows as f64 * dpu_cycles_per_row) as u64;
         self.xeon_cycles += (rows as f64 * xeon_cycles_per_row) as u64;
@@ -119,8 +124,8 @@ impl CostAcc {
         let dpu_mem = self.dpu_bytes as f64 / DPU_STREAM_BW;
         let dpu_cpu = self.dpu_cycles as f64 / (DPU_CORES * DPU_CLOCK);
         let xeon_mem = xeon.stream_seconds(self.xeon_bytes);
-        let xeon_cpu = self.xeon_cycles as f64
-            / (xeon.config.threads as f64 * xeon.config.clock_hz);
+        let xeon_cpu =
+            self.xeon_cycles as f64 / (xeon.config.threads as f64 * xeon.config.clock_hz);
         QueryCost {
             dpu: PlatformCost {
                 bytes: self.dpu_bytes,

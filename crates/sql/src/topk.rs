@@ -33,13 +33,14 @@ pub fn top_k(table: &Table, order_col: &str, k: usize, workers: usize) -> Vec<us
         let end = ((w + 1) * chunk).min(rows);
         let mut heap: BinaryHeap<std::cmp::Reverse<(i64, std::cmp::Reverse<usize>)>> =
             BinaryHeap::new();
-        for r in start..end {
-            heap.push(std::cmp::Reverse((col[r], std::cmp::Reverse(r))));
+        for (r, &v) in col.iter().enumerate().take(end).skip(start) {
+            heap.push(std::cmp::Reverse((v, std::cmp::Reverse(r))));
             if heap.len() > k {
                 heap.pop();
             }
         }
-        candidates.extend(heap.into_iter().map(|std::cmp::Reverse((v, std::cmp::Reverse(r)))| (v, r)));
+        candidates
+            .extend(heap.into_iter().map(|std::cmp::Reverse((v, std::cmp::Reverse(r)))| (v, r)));
     }
 
     // Merge: sort the ≤ workers×k candidates.

@@ -32,7 +32,7 @@ pub const ORDER_DAYS: i64 = 2405;
 // the measured FILT kernel (scan) and single-cycle DMEM hash tables; the
 // Xeon numbers assume SIMD scans and L2-resident probes after
 // partitioning.
-const SCAN_DPU: f64 = 1.65;
+pub const SCAN_DPU: f64 = 1.65;
 /// The Figure 16 baseline is "a widely used commercial database with
 /// in-memory columnar query execution", not the hand-tuned kernels of
 /// Figure 14. Commercial engines realize roughly half of hand-tuned
@@ -40,11 +40,11 @@ const SCAN_DPU: f64 = 1.65;
 /// row-group bookkeeping) — this factor scales the Xeon side of every
 /// TPC-H query accordingly.
 pub const XEON_DB_EFFICIENCY: f64 = 0.5;
-const SCAN_XEON: f64 = 0.5;
-const PROBE_DPU: f64 = 8.0;
-const PROBE_XEON: f64 = 12.0;
-const AGG_DPU: f64 = 6.0;
-const AGG_XEON: f64 = 10.0;
+pub const SCAN_XEON: f64 = 0.5;
+pub const PROBE_DPU: f64 = 8.0;
+pub const PROBE_XEON: f64 = 12.0;
+pub const AGG_DPU: f64 = 6.0;
+pub const AGG_XEON: f64 = 10.0;
 
 /// The generated database.
 #[derive(Debug, Clone)]
@@ -83,22 +83,13 @@ pub fn generate(orders_n: usize, seed: u64) -> TpchDb {
 
     let customer = Table::new(vec![
         Column::i32("c_custkey", (0..customers_n as i64).collect()),
-        Column::i32(
-            "c_nationkey",
-            (0..customers_n).map(|_| rng.gen_range(0..25)).collect(),
-        ),
-        Column::i32(
-            "c_mktsegment",
-            (0..customers_n).map(|_| rng.gen_range(0..5)).collect(),
-        ),
+        Column::i32("c_nationkey", (0..customers_n).map(|_| rng.gen_range(0..25)).collect()),
+        Column::i32("c_mktsegment", (0..customers_n).map(|_| rng.gen_range(0..5)).collect()),
     ]);
 
     let supplier = Table::new(vec![
         Column::i32("s_suppkey", (0..suppliers_n as i64).collect()),
-        Column::i32(
-            "s_nationkey",
-            (0..suppliers_n).map(|_| rng.gen_range(0..25)).collect(),
-        ),
+        Column::i32("s_nationkey", (0..suppliers_n).map(|_| rng.gen_range(0..25)).collect()),
     ]);
 
     let part = Table::new(vec![
@@ -111,15 +102,10 @@ pub fn generate(orders_n: usize, seed: u64) -> TpchDb {
         Column::i32("o_orderkey", (0..orders_n as i64).collect()),
         Column::i32(
             "o_custkey",
-            (0..orders_n)
-                .map(|_| rng.gen_range(0..customers_n as i64))
-                .collect(),
+            (0..orders_n).map(|_| rng.gen_range(0..customers_n as i64)).collect(),
         ),
         Column::i32("o_orderdate", o_orderdate.clone()),
-        Column::i32(
-            "o_totalprice",
-            (0..orders_n).map(|_| rng.gen_range(1_000..500_000)).collect(),
-        ),
+        Column::i32("o_totalprice", (0..orders_n).map(|_| rng.gen_range(1_000..500_000)).collect()),
     ]);
 
     // lineitem: 1..7 lines per order (mean 4, as dbgen).
@@ -135,7 +121,7 @@ pub fn generate(orders_n: usize, seed: u64) -> TpchDb {
     let mut l_shipdate = Vec::new();
     let mut l_receiptdate = Vec::new();
     let mut l_shipmode = Vec::new();
-    for ok in 0..orders_n {
+    for (ok, &odate) in o_orderdate.iter().enumerate() {
         for _ in 0..rng.gen_range(1..=7) {
             l_orderkey.push(ok as i64);
             l_partkey.push(rng.gen_range(0..parts_n as i64));
@@ -144,7 +130,7 @@ pub fn generate(orders_n: usize, seed: u64) -> TpchDb {
             l_extendedprice.push(rng.gen_range(100..100_000));
             l_discount.push(rng.gen_range(0..=10)); // percent
             l_tax.push(rng.gen_range(0..=8));
-            let ship = o_orderdate[ok] + rng.gen_range(1..=121);
+            let ship = odate + rng.gen_range(1..=121);
             l_shipdate.push(ship);
             l_receiptdate.push(ship + rng.gen_range(1..=30));
             l_returnflag.push(rng.gen_range(0..3));
@@ -167,15 +153,7 @@ pub fn generate(orders_n: usize, seed: u64) -> TpchDb {
         Column::i32("l_shipmode", l_shipmode),
     ]);
 
-    TpchDb {
-        lineitem,
-        orders,
-        customer,
-        part,
-        supplier,
-        nation,
-        region,
-    }
+    TpchDb { lineitem, orders, customer, part, supplier, nation, region }
 }
 
 /// Finishes a query's cost with the commercial-engine factor applied to
@@ -187,20 +165,16 @@ fn finish_db(acc: &CostAcc, xeon: &Xeon) -> QueryCost {
 }
 
 fn col_bytes(t: &Table, names: &[&str]) -> u64 {
-    names
-        .iter()
-        .map(|n| t.column(n).expect("column").bytes())
-        .sum()
+    names.iter().map(|n| t.column(n).expect("column").bytes()).sum()
 }
 
 /// Adds the cost of partitioning + probing a join to `acc` — the
-/// partition-rounds planner sees the build side at full scale.
-fn join_cost(acc: &mut CostAcc, build_rows: u64, probe_rows: u64, cols_bytes: u64) {
+/// partition-rounds planner sees the build side at full scale. Public so
+/// the rack-scale coordinator can cost per-shard join phases with the
+/// same model.
+pub fn join_cost(acc: &mut CostAcc, build_rows: u64, probe_rows: u64, cols_bytes: u64) {
     let plan = GroupByPlan::plan((build_rows * acc.scale()).max(1), 16);
-    acc.stream(
-        cols_bytes * plan.dpu_bytes_factor(),
-        cols_bytes * plan.xeon_bytes_factor(),
-    );
+    acc.stream(cols_bytes * plan.dpu_bytes_factor(), cols_bytes * plan.xeon_bytes_factor());
     acc.compute(build_rows, PROBE_DPU, PROBE_XEON);
     acc.compute(probe_rows, PROBE_DPU, PROBE_XEON);
 }
@@ -261,11 +235,7 @@ pub fn q3(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         build_key: "o_orderkey".into(),
         probe_key: "l_orderkey".into(),
         build_cols: vec!["o_orderdate".into()],
-        probe_cols: vec![
-            "l_orderkey".into(),
-            "l_extendedprice".into(),
-            "l_discount".into(),
-        ],
+        probe_cols: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
     };
     let (col, _) = j2.execute(&co, &li, 32);
     let spec = GroupBySpec {
@@ -291,8 +261,18 @@ pub fn q3(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         SCAN_DPU,
         SCAN_XEON,
     );
-    join_cost(&mut acc, cust.rows() as u64, ord.rows() as u64, col_bytes(&db.orders, &["o_custkey"]));
-    join_cost(&mut acc, co.rows() as u64, li.rows() as u64, col_bytes(&db.lineitem, &["l_orderkey"]));
+    join_cost(
+        &mut acc,
+        cust.rows() as u64,
+        ord.rows() as u64,
+        col_bytes(&db.orders, &["o_custkey"]),
+    );
+    join_cost(
+        &mut acc,
+        co.rows() as u64,
+        li.rows() as u64,
+        col_bytes(&db.lineitem, &["l_orderkey"]),
+    );
     acc.compute(col.rows() as u64, AGG_DPU, AGG_XEON);
     (out, finish_db(&acc, xeon))
 }
@@ -309,8 +289,8 @@ pub fn q5(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         probe_cols: vec!["c_custkey".into()],
     };
     let (cn, _) = j_cn.execute(&nations, &db.customer, 8);
-    let ord_sel = FilterSpec::new("o_orderdate", CompareOp::Between(D_1995, D_1995 + 365))
-        .apply(&db.orders);
+    let ord_sel =
+        FilterSpec::new("o_orderdate", CompareOp::Between(D_1995, D_1995 + 365)).apply(&db.orders);
     let ord = select_rows(&db.orders, &ord_sel);
     let j_co = HashJoin {
         build_key: "c_custkey".into(),
@@ -323,11 +303,7 @@ pub fn q5(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         build_key: "o_orderkey".into(),
         probe_key: "l_orderkey".into(),
         build_cols: vec!["n_nationkey".into()],
-        probe_cols: vec![
-            "l_suppkey".into(),
-            "l_extendedprice".into(),
-            "l_discount".into(),
-        ],
+        probe_cols: vec!["l_suppkey".into(), "l_extendedprice".into(), "l_discount".into()],
     };
     let (ol, _) = j_ol.execute(&co, &db.lineitem, 32);
     // Supplier must be in the same nation as the customer.
@@ -335,11 +311,7 @@ pub fn q5(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         build_key: "s_suppkey".into(),
         probe_key: "l_suppkey".into(),
         build_cols: vec!["s_nationkey".into()],
-        probe_cols: vec![
-            "n_nationkey".into(),
-            "l_extendedprice".into(),
-            "l_discount".into(),
-        ],
+        probe_cols: vec!["n_nationkey".into(), "l_extendedprice".into(), "l_discount".into()],
     };
     let (ols, _) = j_s.execute(&db.supplier, &ol, 8);
     let same = crate::bitvec::BitVec::from_fn(ols.rows(), |r| {
@@ -370,7 +342,12 @@ pub fn q5(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         SCAN_XEON,
     );
     join_cost(&mut acc, cn.rows() as u64, ord.rows() as u64, col_bytes(&db.orders, &["o_custkey"]));
-    join_cost(&mut acc, co.rows() as u64, db.lineitem.rows() as u64, col_bytes(&db.lineitem, &["l_orderkey"]));
+    join_cost(
+        &mut acc,
+        co.rows() as u64,
+        db.lineitem.rows() as u64,
+        col_bytes(&db.lineitem, &["l_orderkey"]),
+    );
     join_cost(&mut acc, db.supplier.rows() as u64, ol.rows() as u64, 4 * ol.rows() as u64);
     acc.compute(ols.rows() as u64, AGG_DPU, AGG_XEON);
     (out, finish_db(&acc, xeon))
@@ -388,10 +365,7 @@ pub fn q6(db: &TpchDb, xeon: &Xeon, scale: u64) -> (i64, QueryCost) {
     let revenue: i64 = sel.iter_set().map(|r| ep[r] * di[r]).sum();
 
     let mut acc = CostAcc::with_scale(scale);
-    acc.stream_both(col_bytes(
-        li,
-        &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
-    ));
+    acc.stream_both(col_bytes(li, &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"]));
     // Three FILT passes and the select-sum.
     acc.compute(3 * li.rows() as u64, SCAN_DPU, SCAN_XEON);
     acc.compute(sel.count() as u64, 3.0, 1.0);
@@ -400,8 +374,8 @@ pub fn q6(db: &TpchDb, xeon: &Xeon, scale: u64) -> (i64, QueryCost) {
 
 /// Q10: returned-item reporting (join + group + top-20).
 pub fn q10(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
-    let ord_sel = FilterSpec::new("o_orderdate", CompareOp::Between(D_1995, D_1995 + 90))
-        .apply(&db.orders);
+    let ord_sel =
+        FilterSpec::new("o_orderdate", CompareOp::Between(D_1995, D_1995 + 90)).apply(&db.orders);
     let ord = select_rows(&db.orders, &ord_sel);
     let li_sel = FilterSpec::new("l_returnflag", CompareOp::Eq(2)).apply(&db.lineitem);
     let li = select_rows(&db.lineitem, &li_sel);
@@ -432,7 +406,12 @@ pub fn q10(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
             ),
     );
     acc.compute((db.orders.rows() + db.lineitem.rows()) as u64, SCAN_DPU, SCAN_XEON);
-    join_cost(&mut acc, ord.rows() as u64, li.rows() as u64, col_bytes(&db.lineitem, &["l_orderkey"]) / 4);
+    join_cost(
+        &mut acc,
+        ord.rows() as u64,
+        li.rows() as u64,
+        col_bytes(&db.lineitem, &["l_orderkey"]) / 4,
+    );
     acc.compute(ol.rows() as u64, AGG_DPU, AGG_XEON);
     (out, finish_db(&acc, xeon))
 }
@@ -440,8 +419,8 @@ pub fn q10(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
 /// Q12: shipping-mode priority (join + group by shipmode).
 pub fn q12(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
     let sel_mode = FilterSpec::new("l_shipmode", CompareOp::Between(2, 3)).apply(&db.lineitem);
-    let sel_date =
-        FilterSpec::new("l_receiptdate", CompareOp::Between(D_1995, D_1995 + 364)).apply(&db.lineitem);
+    let sel_date = FilterSpec::new("l_receiptdate", CompareOp::Between(D_1995, D_1995 + 364))
+        .apply(&db.lineitem);
     let sel = sel_mode.and(&sel_date);
     let li = select_rows(&db.lineitem, &sel);
     let j = HashJoin {
@@ -463,15 +442,20 @@ pub fn q12(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
             + col_bytes(&db.orders, &["o_orderkey"]),
     );
     acc.compute((2 * db.lineitem.rows()) as u64, SCAN_DPU, SCAN_XEON);
-    join_cost(&mut acc, db.orders.rows() as u64, li.rows() as u64, col_bytes(&db.orders, &["o_orderkey"]));
+    join_cost(
+        &mut acc,
+        db.orders.rows() as u64,
+        li.rows() as u64,
+        col_bytes(&db.orders, &["o_orderkey"]),
+    );
     acc.compute(ol.rows() as u64, AGG_DPU, AGG_XEON);
     (out, finish_db(&acc, xeon))
 }
 
 /// Q14: promotion effect (join lineitem × part over one month).
 pub fn q14(db: &TpchDb, xeon: &Xeon, scale: u64) -> ((i64, i64), QueryCost) {
-    let sel = FilterSpec::new("l_shipdate", CompareOp::Between(D_1995, D_1995 + 29))
-        .apply(&db.lineitem);
+    let sel =
+        FilterSpec::new("l_shipdate", CompareOp::Between(D_1995, D_1995 + 29)).apply(&db.lineitem);
     let li = select_rows(&db.lineitem, &sel);
     let j = HashJoin {
         build_key: "p_partkey".into(),
@@ -495,13 +479,16 @@ pub fn q14(db: &TpchDb, xeon: &Xeon, scale: u64) -> ((i64, i64), QueryCost) {
 
     let mut acc = CostAcc::with_scale(scale);
     acc.stream_both(
-        col_bytes(
-            &db.lineitem,
-            &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        ) + col_bytes(&db.part, &["p_partkey", "p_type"]),
+        col_bytes(&db.lineitem, &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"])
+            + col_bytes(&db.part, &["p_partkey", "p_type"]),
     );
     acc.compute(db.lineitem.rows() as u64, SCAN_DPU, SCAN_XEON);
-    join_cost(&mut acc, db.part.rows() as u64, li.rows() as u64, col_bytes(&db.part, &["p_partkey"]));
+    join_cost(
+        &mut acc,
+        db.part.rows() as u64,
+        li.rows() as u64,
+        col_bytes(&db.part, &["p_partkey"]),
+    );
     acc.compute(lp.rows() as u64, 6.0, 3.0);
     ((promo, total), finish_db(&acc, xeon))
 }
@@ -522,6 +509,12 @@ pub fn q18(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
         probe_cols: vec!["o_orderkey".into(), "o_custkey".into(), "o_totalprice".into()],
     };
     let (jo, _) = j.execute(&big_orders, &db.orders, 32);
+    // Canonical order (ascending orderkey) so top-k tie-breaks depend on
+    // content rather than join emission order — required for shard-merge
+    // plans to reproduce this result bit-identically.
+    let mut order: Vec<usize> = (0..jo.rows()).collect();
+    order.sort_by_key(|&r| jo.column("o_orderkey").unwrap().data[r]);
+    let jo = project_rows(&jo, &order);
     let top = top_k(&jo, "o_totalprice", 100.min(jo.rows().max(1)), 32);
     let out = project_rows(&jo, &top);
 
@@ -530,10 +523,7 @@ pub fn q18(db: &TpchDb, xeon: &Xeon, scale: u64) -> (Table, QueryCost) {
     // The big group-by: NDV = order count (at full scale).
     let plan = GroupByPlan::plan(db.orders.rows() as u64 * scale, 16);
     let gb_bytes = col_bytes(&db.lineitem, &["l_orderkey", "l_quantity"]);
-    acc.stream(
-        gb_bytes * (plan.dpu_bytes_factor() - 1),
-        gb_bytes * (plan.xeon_bytes_factor() - 1),
-    );
+    acc.stream(gb_bytes * (plan.dpu_bytes_factor() - 1), gb_bytes * (plan.xeon_bytes_factor() - 1));
     acc.compute(db.lineitem.rows() as u64, AGG_DPU, AGG_XEON);
     join_cost(
         &mut acc,

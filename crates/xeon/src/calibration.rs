@@ -73,7 +73,8 @@ mod tests {
 
     #[test]
     fn dpu_partitioning_beats_harp() {
-        assert!(9.3e9 > HARP_PARTITION_BW);
+        let dpu_partition_bw = 9.3e9;
+        assert!(dpu_partition_bw > HARP_PARTITION_BW);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! figure uses.
 
 pub mod calibration;
+pub mod rack;
+
+pub use rack::XeonRack;
 
 use dpu_isa::{OpCounts, PipelineModel};
 
@@ -112,8 +115,7 @@ impl Xeon {
     /// Seconds for a workload that is the max of a compute part (already
     /// divided across threads) and a memory-streaming part.
     pub fn roofline_seconds(&self, per_thread_counts: &OpCounts, bytes: u64) -> f64 {
-        self.kernel_seconds(per_thread_counts, self.config.threads)
-            .max(self.stream_seconds(bytes))
+        self.kernel_seconds(per_thread_counts, self.config.threads).max(self.stream_seconds(bytes))
     }
 
     /// The dpCore pipeline model used for cross-checking the same counts

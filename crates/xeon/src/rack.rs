@@ -1,0 +1,91 @@
+//! The multi-socket Xeon rack the DPU rack is compared against.
+//!
+//! §1 of the paper frames the density argument in rack units: a 42U rack
+//! of commodity 2U servers holds 21 chassis, each with two sockets and
+//! eight DDR4 channels. This module turns that chassis arithmetic into a
+//! serving baseline: how many queries per second does a rack of Xeons
+//! sustain, and at what power, so the cluster layer can report rack-level
+//! performance/watt against it.
+
+use crate::Xeon;
+
+/// A 42U rack of two-socket Xeon servers.
+#[derive(Debug, Clone)]
+pub struct XeonRack {
+    /// 2U chassis in the rack (21 in 42U).
+    pub servers: usize,
+    /// Sockets per chassis.
+    pub sockets_per_server: usize,
+    /// The per-socket model.
+    pub socket: Xeon,
+    /// Non-CPU power per chassis (fans, NIC, storage, VRs), watts.
+    pub overhead_watts_per_server: f64,
+    /// DRAM gigabytes per chassis (the paper's testbed: 256 GB).
+    pub dram_gb_per_server: u32,
+}
+
+impl XeonRack {
+    /// The full-rack baseline: 21 × 2-socket E5-2699 v3 servers.
+    pub fn rack_42u() -> Self {
+        XeonRack {
+            servers: 21,
+            sockets_per_server: 2,
+            socket: Xeon::new(),
+            overhead_watts_per_server: 150.0,
+            dram_gb_per_server: 256,
+        }
+    }
+
+    /// Sockets available to run queries.
+    pub fn sockets(&self) -> usize {
+        self.servers * self.sockets_per_server
+    }
+
+    /// Provisioned rack power, watts.
+    pub fn rack_watts(&self) -> f64 {
+        self.servers as f64
+            * (self.sockets_per_server as f64 * self.socket.tdp_watts()
+                + self.overhead_watts_per_server)
+    }
+
+    /// Total rack DRAM, bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.dram_gb_per_server as u64 * (1 << 30) * self.servers as u64
+    }
+
+    /// Queries/second the rack sustains when each socket serves queries
+    /// of `mean_query_seconds` back to back (sockets are independent —
+    /// the sharded-by-server deployment the paper's baseline implies).
+    pub fn qps(&self, mean_query_seconds: f64) -> f64 {
+        assert!(mean_query_seconds > 0.0);
+        self.sockets() as f64 / mean_query_seconds
+    }
+
+    /// Queries/second/watt at the given mean query time.
+    pub fn qps_per_watt(&self, mean_query_seconds: f64) -> f64 {
+        self.qps(mean_query_seconds) / self.rack_watts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_arithmetic() {
+        let r = XeonRack::rack_42u();
+        assert_eq!(r.sockets(), 42);
+        // 21 × (2 × 145 + 150) = 9.24 kW — under half a DPU rack's 20 kW
+        // budget but with ~1/9 the memory channels.
+        assert!((r.rack_watts() - 9240.0).abs() < 1.0);
+        assert_eq!(r.capacity_bytes(), 21 * 256 * (1u64 << 30));
+    }
+
+    #[test]
+    fn qps_scales_with_sockets() {
+        let r = XeonRack::rack_42u();
+        assert!((r.qps(0.5) - 84.0).abs() < 1e-9);
+        let per_watt = r.qps_per_watt(0.5);
+        assert!(per_watt > 0.0 && per_watt < 1.0);
+    }
+}

@@ -38,10 +38,7 @@ fn main() {
     println!("\nhash/rank design space (items/s on the DPU):");
     for hash in [HashKind::Crc32, HashKind::Murmur64] {
         for rank in [RankMethod::TrailingZeros, RankMethod::LeadingZeros] {
-            println!(
-                "  {hash:?} + {rank:?}: {:.2e} items/s",
-                hll::dpu_items_per_sec(hash, rank)
-            );
+            println!("  {hash:?} + {rank:?}: {:.2e} items/s", hll::dpu_items_per_sec(hash, rank));
         }
     }
     println!(

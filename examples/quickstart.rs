@@ -59,9 +59,7 @@ fn main() {
     }
 
     let report = dpu.run(&mut programs).expect("simulation runs");
-    let total_hits: u64 = (0..n_cores as u64)
-        .map(|c| dpu.phys().read_u64((1 << 22) + c * 8))
-        .sum();
+    let total_hits: u64 = (0..n_cores as u64).map(|c| dpu.phys().read_u64((1 << 22) + c * 8)).sum();
     println!(
         "filtered {} rows, {} matched; DMS bandwidth {:.2} GB/s in {} cycles",
         n_cores as u64 * rows_per_core,

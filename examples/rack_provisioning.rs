@@ -13,11 +13,16 @@ fn main() {
     println!("  aggregate bandwidth: {:.1} TB/s", rack.aggregate_bandwidth() / 1e12);
     println!("  full-table scan:     {:.2} s", rack.full_scan_seconds());
     println!("  memory power:        {:.1} kW", rack.memory_watts() / 1e3);
-    println!("  total rack power:    {:.1} kW of {:.0} kW budget",
-        rack.total_watts() / 1e3, rack.rack_watts / 1e3);
-    println!("  processor slot:      {:.2} W → the 6 W DPU {}",
+    println!(
+        "  total rack power:    {:.1} kW of {:.0} kW budget",
+        rack.total_watts() / 1e3,
+        rack.rack_watts / 1e3
+    );
+    println!(
+        "  processor slot:      {:.2} W → the 6 W DPU {}",
         rack.processor_budget_watts(),
-        if rack.node_fits_budget() { "fits" } else { "does NOT fit" });
+        if rack.node_fits_budget() { "fits" } else { "does NOT fit" }
+    );
     println!(
         "  channel density:     {:.1}× a commodity Xeon rack",
         rack.channel_density_advantage()

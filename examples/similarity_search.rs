@@ -2,9 +2,7 @@
 //!
 //! Run with: `cargo run --release --example similarity_search`
 
-use dpu_repro::apps::simsearch::{
-    self, generate_corpus, InvertedIndex, SimSearch, TileStrategy,
-};
+use dpu_repro::apps::simsearch::{self, generate_corpus, InvertedIndex, SimSearch, TileStrategy};
 use dpu_repro::xeon::Xeon;
 
 fn main() {
@@ -28,9 +26,17 @@ fn main() {
 
     let xeon = Xeon::new();
     let naive = simsearch::dpu_effective_bandwidth(
-        engine.index(), TileStrategy::NaiveOneTilePerBuffer, 8192, 32);
+        engine.index(),
+        TileStrategy::NaiveOneTilePerBuffer,
+        8192,
+        32,
+    );
     let dynamic = simsearch::dpu_effective_bandwidth(
-        engine.index(), TileStrategy::DynamicMultiTile, 8192, 32);
+        engine.index(),
+        TileStrategy::DynamicMultiTile,
+        8192,
+        32,
+    );
     println!(
         "\nDMS tile strategies: naive {:.2} GB/s → dynamic {:.2} GB/s (paper: 0.26 → 5.24)",
         naive / 1e9,

@@ -50,3 +50,6 @@ pub use dpu_sql as sql;
 
 /// The co-designed applications (SVM, SpMM, HLL, JSON, disparity).
 pub use dpu_apps as apps;
+
+/// Rack-scale distributed query execution over simulated DPU nodes.
+pub use dpu_cluster as cluster;

@@ -1,0 +1,145 @@
+//! Property tests for the rack-scale sharding layer (`dpu-cluster`):
+//! partitioning, skew, and distributed-vs-single-node exactness.
+
+use proptest::prelude::*;
+
+use dpu_repro::cluster::{shard_table, shard_tpch, Cluster, ClusterConfig, QueryId, ShardPolicy};
+use dpu_repro::sql::tpch;
+use dpu_repro::sql::{Column, Table};
+
+fn arb_policy(keys: &[i64], shards: usize, use_range: bool) -> ShardPolicy {
+    if use_range {
+        ShardPolicy::range_over(keys, shards)
+    } else {
+        ShardPolicy::hash(shards)
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_row_lands_on_exactly_one_shard(
+        keys in proptest::collection::vec(-5000i64..5000, 1..400),
+        shards in 1usize..12,
+        use_range in any::<bool>(),
+    ) {
+        let vals: Vec<i64> = keys.iter().map(|&k| k.wrapping_mul(7)).collect();
+        let table = Table::new(vec![
+            Column::i64("k", keys.clone()),
+            Column::i64("v", vals.clone()),
+        ]);
+        let policy = arb_policy(&keys, shards, use_range);
+        let parts = shard_table(&table, "k", &policy);
+        prop_assert_eq!(parts.len(), policy.shards());
+        // Conservation: every row appears exactly once across shards,
+        // values still attached to their keys, order preserved in-shard.
+        let total: usize = parts.iter().map(Table::rows).sum();
+        prop_assert_eq!(total, table.rows());
+        let mut seen: Vec<(i64, i64)> = Vec::new();
+        for (s, part) in parts.iter().enumerate() {
+            let k = &part.columns[part.col_index("k")].data;
+            let v = &part.columns[part.col_index("v")].data;
+            for (&key, &val) in k.iter().zip(v) {
+                prop_assert_eq!(policy.shard_of(key), s, "row on wrong shard");
+                prop_assert_eq!(val, key.wrapping_mul(7), "row torn from its value");
+                seen.push((key, val));
+            }
+        }
+        let mut expect: Vec<(i64, i64)> = keys.into_iter().zip(vals).collect();
+        expect.sort_unstable();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn hash_sharding_bounds_skew(seed in 0u64..1000, shards in 2usize..9) {
+        // Distinct keys hash-shard near-uniformly: no shard should hold
+        // more than 2× its fair share of a 4096-key universe.
+        let keys: Vec<i64> = (0..4096).map(|i| i * 31 + seed as i64 * 97).collect();
+        let policy = ShardPolicy::hash(shards);
+        let mut counts = vec![0usize; shards];
+        for &k in &keys {
+            counts[policy.shard_of(k)] += 1;
+        }
+        let fair = keys.len() / shards;
+        for (s, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "shard {s} is empty");
+            prop_assert!(c <= 2 * fair, "shard {s} holds {c} of {} keys", keys.len());
+        }
+    }
+
+    #[test]
+    fn range_bounds_are_sorted_and_partition_is_monotonic(
+        keys in proptest::collection::vec(-10_000i64..10_000, 8..300),
+        shards in 2usize..9,
+    ) {
+        let policy = ShardPolicy::range_over(&keys, shards);
+        if let ShardPolicy::Range { bounds } = &policy {
+            prop_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds not ascending");
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let parts: Vec<usize> = sorted.iter().map(|&k| policy.shard_of(k)).collect();
+        prop_assert!(parts.windows(2).all(|w| w[0] <= w[1]), "non-monotonic placement");
+        prop_assert!(parts.iter().all(|&p| p < policy.shards()));
+    }
+
+    #[test]
+    fn co_sharded_facts_keep_orders_and_lineitem_together(
+        orders_n in 40usize..200,
+        seed in 0u64..64,
+        shards in 2usize..9,
+        use_range in any::<bool>(),
+    ) {
+        let db = tpch::generate(orders_n, seed);
+        let okeys = &db.orders.columns[db.orders.col_index("o_orderkey")].data;
+        let policy = arb_policy(okeys, shards, use_range);
+        let sharded = shard_tpch(&db, &policy);
+        prop_assert_eq!(sharded.n_nodes(), policy.shards());
+        let o_total: usize = sharded.nodes.iter().map(|n| n.orders.rows()).sum();
+        let l_total: usize = sharded.nodes.iter().map(|n| n.lineitem.rows()).sum();
+        prop_assert_eq!(o_total, db.orders.rows());
+        prop_assert_eq!(l_total, db.lineitem.rows());
+        for node in &sharded.nodes {
+            // Every lineitem row's order lives on the same node.
+            let owned: std::collections::HashSet<i64> = node
+                .orders.columns[node.orders.col_index("o_orderkey")].data
+                .iter().copied().collect();
+            for &lk in &node.lineitem.columns[node.lineitem.col_index("l_orderkey")].data {
+                prop_assert!(owned.contains(&lk), "lineitem stranded from its order");
+            }
+            // Dimensions are fully replicated.
+            prop_assert_eq!(node.customer.rows(), db.customer.rows());
+            prop_assert_eq!(node.nation.rows(), db.nation.rows());
+        }
+    }
+
+    #[test]
+    fn distributed_equals_single_node_on_random_databases(
+        orders_n in 40usize..160,
+        seed in 0u64..32,
+        shards in 2usize..7,
+        use_range in any::<bool>(),
+        pick in 0usize..8,
+    ) {
+        // Full 8-query exactness is covered once below; per-case we spot
+        // check one query on a random db/policy to keep 256 cases fast.
+        let db = tpch::generate(orders_n, seed);
+        let okeys = &db.orders.columns[db.orders.col_index("o_orderkey")].data;
+        let policy = arb_policy(okeys, shards, use_range);
+        let cfg = ClusterConfig::prototype_slice(policy.shards(), 10_000);
+        let mut cluster = Cluster::new(db, &policy, cfg);
+        let r = cluster.run(QueryId::ALL[pick]);
+        prop_assert!(r.matches_single(), "{} diverged from single-node", r.id.name());
+        prop_assert!(r.cost.total_seconds() > 0.0);
+    }
+}
+
+#[test]
+fn all_queries_match_single_node_on_one_randomish_db() {
+    let db = tpch::generate(600, 7);
+    let policy = ShardPolicy::hash(6);
+    let mut cluster = Cluster::new(db, &policy, ClusterConfig::prototype_slice(6, 10_000));
+    for r in cluster.run_all() {
+        assert!(r.matches_single(), "{} diverged from single-node", r.id.name());
+    }
+}

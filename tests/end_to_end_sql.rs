@@ -16,10 +16,7 @@ fn partitioned_group_by_on_the_soc_matches_reference() {
     let rows = 8192u64;
     let keys: Vec<i64> = (0..rows as i64).map(|r| (r * 131) % 200).collect();
     let vals: Vec<i64> = (0..rows as i64).map(|r| r % 97).collect();
-    let table = Table::new(vec![
-        Column::i32("k", keys.clone()),
-        Column::i32("v", vals.clone()),
-    ]);
+    let table = Table::new(vec![Column::i32("k", keys.clone()), Column::i32("v", vals.clone())]);
     let layout = table.materialize(dpu.phys_mut(), 0);
 
     // Core 0 launches the hardware partition job; the engine routes rows
@@ -65,8 +62,7 @@ fn partitioned_group_by_on_the_soc_matches_reference() {
     // Host-side per-core aggregation over the DMEM contents (what each
     // dpCore would do with its DMEM-resident hash table).
     let mut merged: HashMap<i64, (i64, i64)> = HashMap::new(); // key → (count, sum)
-    for core in 0..32usize {
-        let cnt = rows_per_part[core];
+    for (core, &cnt) in rows_per_part.iter().enumerate() {
         for i in 0..cnt {
             let k = dpu.dmem(core).read_u32((i * 4) as u32) as i32 as i64;
             let v = dpu.dmem(core).read_u32(8 * 1024 + (i * 4) as u32) as i32 as i64;
@@ -79,10 +75,7 @@ fn partitioned_group_by_on_the_soc_matches_reference() {
     // Reference group-by.
     let spec = GroupBySpec {
         group_cols: vec!["k".into()],
-        aggs: vec![
-            ("cnt".into(), AggFunc::Count),
-            ("sum".into(), AggFunc::Sum("v".into())),
-        ],
+        aggs: vec![("cnt".into(), AggFunc::Count), ("sum".into(), AggFunc::Sum("v".into()))],
     };
     let reference = spec.execute(&table, None);
     assert_eq!(reference.rows(), merged.len());

@@ -57,12 +57,7 @@ fn fig14_all_gains_in_paper_band() {
             0.2,
         ),
         ("hll", hll::gain(HashKind::Crc32, &xeon), reported_gains::HLL_CRC32, 0.2),
-        (
-            "json",
-            json::gain(&json::generate_records(300, 4), &xeon),
-            reported_gains::JSON,
-            0.35,
-        ),
+        ("json", json::gain(&json::generate_records(300, 4), &xeon), reported_gains::JSON, 0.35),
         ("disparity", disparity::gain(640, 480, 32, &xeon), reported_gains::DISPARITY, 0.25),
     ];
     for (name, got, paper, tol) in checks {
@@ -82,17 +77,16 @@ fn fig14_groupby_gains() {
     let gain = |ndv: u64| {
         let plan = GroupByPlan::plan(ndv, 16);
         let mut acc = CostAcc::new();
-        acc.stream(
-            (1u64 << 30) * plan.dpu_bytes_factor(),
-            (1u64 << 30) * plan.xeon_bytes_factor(),
-        );
+        acc.stream((1u64 << 30) * plan.dpu_bytes_factor(), (1u64 << 30) * plan.xeon_bytes_factor());
         acc.finish(&xeon).gain(&xeon)
     };
     let low = gain(10);
     let high = gain(2_000_000);
     assert!((low - reported_gains::GROUPBY_LOW_NDV).abs() < 0.3, "low NDV {low:.2}");
     assert!(high > low + 2.0, "high NDV must widen the gap: {high:.2}");
-    assert!((high - reported_gains::GROUPBY_HIGH_NDV).abs() / reported_gains::GROUPBY_HIGH_NDV < 0.25);
+    assert!(
+        (high - reported_gains::GROUPBY_HIGH_NDV).abs() / reported_gains::GROUPBY_HIGH_NDV < 0.25
+    );
 }
 
 #[test]
@@ -122,6 +116,7 @@ fn section_2_5_shrink_efficiency() {
     use dpu_repro::soc::DpuConfig;
     let a = DpuConfig::nm40();
     let b = DpuConfig::nm16();
-    let ratio = (b.compute_proxy() / b.provisioned_watts) / (a.compute_proxy() / a.provisioned_watts);
+    let ratio =
+        (b.compute_proxy() / b.provisioned_watts) / (a.compute_proxy() / a.provisioned_watts);
     assert!((ratio - 2.5).abs() < 0.01, "16 nm shrink efficiency {ratio}");
 }

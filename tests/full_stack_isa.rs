@@ -47,10 +47,8 @@ fn isa_program_streams_via_dms_and_checksums() {
     )
     .expect("assembles");
 
-    let mut programs: Vec<Box<dyn CoreProgram>> = vec![Box::new(IsaCoreProgram::new(
-        prog,
-        dpu.config().dmem_bytes,
-    ))];
+    let mut programs: Vec<Box<dyn CoreProgram>> =
+        vec![Box::new(IsaCoreProgram::new(prog, dpu.config().dmem_bytes))];
     for _ in 1..dpu.n_cores() {
         programs.push(Box::new(|_: &mut CoreCtx<'_>| CoreAction::Done));
     }
@@ -68,8 +66,8 @@ fn isa_program_streams_via_dms_and_checksums() {
 
 #[test]
 fn isa_program_uses_ate_fetch_add() {
-    use dpu_repro::soc::program::{encode_ate_msg, ATE_MSG_BYTES};
     use dpu_repro::ate::{AteOp, AteRequest, AteTarget};
+    use dpu_repro::soc::program::{encode_ate_msg, ATE_MSG_BYTES};
 
     let mut dpu = Dpu::new(DpuConfig::test_small());
     let n = dpu.n_cores();

@@ -167,8 +167,8 @@ proptest! {
         let bva = BitVec::from_fn(n, |i| a[i]);
         let bvb = BitVec::from_fn(n, |i| i % 3 == 0);
         let c = bva.and(&bvb);
-        for i in 0..n {
-            prop_assert_eq!(c.get(i), a[i] && i % 3 == 0);
+        for (i, &ai) in a.iter().enumerate() {
+            prop_assert_eq!(c.get(i), ai && i % 3 == 0);
         }
     }
 

@@ -68,10 +68,7 @@ fn work_stealing_processes_every_chunk_exactly_once() {
     // (odd) ones.
     let fast: u64 = per_core.iter().step_by(2).sum();
     let slow: u64 = per_core.iter().skip(1).step_by(2).sum();
-    assert!(
-        fast > slow * 2,
-        "fast cores should steal most of the work: fast={fast}, slow={slow}"
-    );
+    assert!(fast > slow * 2, "fast cores should steal most of the work: fast={fast}, slow={slow}");
 }
 
 #[test]
@@ -92,7 +89,14 @@ fn serialized_owner_discipline_over_the_runtime() {
     let mut t = Time::ZERO;
     for from in 0..10 {
         let (_, done) = serialized_call(
-            region, from, t, &mut ate, &mut phys, &mut caller, &mut owner, 40,
+            region,
+            from,
+            t,
+            &mut ate,
+            &mut phys,
+            &mut caller,
+            &mut owner,
+            40,
             |p| {
                 let v = p.read_u64(128);
                 p.write_u64(128, v + 1);
