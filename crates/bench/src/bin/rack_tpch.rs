@@ -2,33 +2,100 @@
 //! nodes, checked bit-identical against single-node execution, then
 //! served to a closed-loop client population and compared against a
 //! 42U multi-socket Xeon rack on QPS, latency, and performance/watt.
+//!
+//! Flags:
+//!
+//! - `--replicas <k>` — store each fact shard on `k` nodes under chained
+//!   declustering (default 1).
+//! - `--kill <node>@<seconds>` — crash `node` at the given query-relative
+//!   time (repeatable). Queries fail over to surviving replicas and the
+//!   results must stay bit-identical; with `k = 1` a kill makes its
+//!   shard unavailable and the run aborts with the error.
+//!
+//! Regardless of flags, the binary also sweeps k ∈ {1, 2, 3} ×
+//! {0, 1, 2} failed nodes and emits `BENCH_rack_failover.json` with QPS
+//! and p99 per configuration. Everything is seeded: the same build
+//! produces byte-identical reports on every run.
 
 use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
-use dpu_cluster::{serve, Cluster, ClusterConfig, ServeConfig, ShardPolicy, Template};
+use dpu_cluster::{
+    serve, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy, Template,
+};
 use dpu_sql::tpch;
 use xeon_model::XeonRack;
 
+fn parse_args() -> (usize, Vec<(usize, f64)>) {
+    let mut replicas = 1usize;
+    let mut kills: Vec<(usize, f64)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--replicas" => {
+                let v = args.next().expect("--replicas needs a value");
+                replicas = v.parse().expect("--replicas takes an integer");
+            }
+            "--kill" => {
+                let v = args.next().expect("--kill needs <node>@<seconds>");
+                let (n, t) = v.split_once('@').expect("--kill format is <node>@<seconds>");
+                kills.push((
+                    n.parse().expect("--kill node must be an integer"),
+                    t.parse().expect("--kill time must be seconds"),
+                ));
+            }
+            other => panic!("unknown flag {other} (use --replicas <k> / --kill <node>@<seconds>)"),
+        }
+    }
+    (replicas, kills)
+}
+
 fn main() {
     const NODES: usize = 8;
+    let (replicas, kills) = parse_args();
     let scale = 30_000u64; // cost queries at SF≈100 cardinalities
     let db = tpch::generate(5000, 2026);
     let policy = ShardPolicy::hash(NODES);
-    let cfg = ClusterConfig::prototype_slice(NODES, scale);
-    let mut cluster = Cluster::new(db, &policy, cfg);
+    let cfg = ClusterConfig::prototype_slice(NODES, scale).with_replicas(replicas);
+    let mut cluster = Cluster::new(db.clone(), &policy, cfg);
+    let mut plan = FaultPlan::none();
+    for &(node, at) in &kills {
+        plan = plan.crash(node, at);
+    }
+    cluster.set_faults(plan);
 
     println!(
-        "# Rack-scale TPC-H: {NODES} DPU nodes, hash-sharded on orderkey ({} lineitem rows)\n",
+        "# Rack-scale TPC-H: {NODES} DPU nodes, hash-sharded on orderkey, k={replicas} \
+         ({} lineitem rows)\n",
         cluster.full.lineitem.rows()
     );
+    if !kills.is_empty() {
+        for &(node, at) in &kills {
+            println!("Injected fault: node {node} crashes at t={at:.3} s");
+        }
+        println!();
+    }
     let load = cluster.load_seconds();
     println!("Initial shard load (scatter + dimension broadcast): {:.3} ms\n", load * 1e3);
 
-    header(&["Query", "local (ms)", "fabric (ms)", "merge (ms)", "total (ms)", "== single-node"]);
-    let results = cluster.run_all();
+    header(&[
+        "Query",
+        "local (ms)",
+        "fabric (ms)",
+        "merge (ms)",
+        "total (ms)",
+        "failovers",
+        "== single-node",
+    ]);
     let mut queries: Vec<Json> = Vec::new();
     let mut templates: Vec<Template> = Vec::new();
-    for r in &results {
+    for id in QueryId::ALL {
+        let r = match cluster.try_run_at(id, 0.0) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e} — raise --replicas to survive these kills", id.name());
+                std::process::exit(1);
+            }
+        };
         assert!(r.matches_single(), "{} distributed result diverged from single-node", r.id.name());
         row(&[
             r.id.name().to_string(),
@@ -36,6 +103,7 @@ fn main() {
             format!("{:.3}", r.cost.fabric_seconds * 1e3),
             format!("{:.3}", r.cost.merge_seconds * 1e3),
             format!("{:.3}", r.cost.total_seconds() * 1e3),
+            format!("{}", r.cost.failovers),
             "yes".into(),
         ]);
         queries.push(Json::obj([
@@ -45,6 +113,7 @@ fn main() {
             ("merge_seconds", Json::num(r.cost.merge_seconds)),
             ("total_seconds", Json::num(r.cost.total_seconds())),
             ("fabric_bytes", Json::num(r.cost.fabric_bytes as f64)),
+            ("failovers", Json::num(r.cost.failovers as f64)),
             ("matches_single_node", Json::Bool(true)),
         ]));
         templates.push(Template {
@@ -53,7 +122,7 @@ fn main() {
             xeon_seconds: r.single_cost.xeon.seconds,
         });
     }
-    println!("\nAll {} distributed query results are bit-identical to single-node.", results.len());
+    println!("\nAll {} distributed query results are bit-identical to single-node.", queries.len());
 
     // Serve the suite to a closed-loop client population.
     let rack = XeonRack::rack_42u();
@@ -95,6 +164,7 @@ fn main() {
         &Json::obj([
             ("figure", Json::str("rack_tpch")),
             ("nodes", Json::num(NODES as f64)),
+            ("replicas", Json::num(replicas as f64)),
             ("scale", Json::num(scale as f64)),
             ("load_seconds", Json::num(load)),
             ("queries", Json::Arr(queries)),
@@ -109,6 +179,78 @@ fn main() {
             ("xeon_qps", Json::num(report.xeon_qps)),
             ("xeon_watts", Json::num(report.xeon_watts)),
             ("perf_per_watt_gain", Json::num(report.perf_per_watt_gain)),
+        ]),
+    );
+
+    // Failover sweep: QPS and p99 vs number of failed nodes at each
+    // replication factor. Failed sets are non-adjacent ({1}, {1, 4}) so
+    // chained declustering at k = 2 still covers every shard with two
+    // failures; k = 1 loses shards to any failure and reports QPS 0.
+    println!("\n## Failover sweep (8 nodes, crash at t=0)\n");
+    header(&["k", "failed nodes", "available", "QPS", "p99 (ms)", "failovers"]);
+    let fail_sets: [&[usize]; 3] = [&[], &[1], &[1, 4]];
+    let mut sweep: Vec<Json> = Vec::new();
+    for k in 1..=3usize {
+        for fails in fail_sets {
+            let cfg = ClusterConfig::prototype_slice(NODES, scale).with_replicas(k);
+            let mut c = Cluster::new(db.clone(), &policy, cfg);
+            let mut plan = FaultPlan::none();
+            for &f in fails {
+                plan = plan.crash(f, 0.0);
+            }
+            c.set_faults(plan);
+            let mut available = true;
+            let mut failovers = 0usize;
+            let mut tmpls: Vec<Template> = Vec::new();
+            for id in QueryId::ALL {
+                match c.try_run_at(id, 0.0) {
+                    Ok(q) => {
+                        assert!(q.matches_single(), "{} diverged under faults", id.name());
+                        failovers += q.cost.failovers;
+                        tmpls.push(Template {
+                            name: q.id.name(),
+                            cost: q.cost.clone(),
+                            xeon_seconds: q.single_cost.xeon.seconds,
+                        });
+                    }
+                    Err(_) => {
+                        available = false;
+                        break;
+                    }
+                }
+            }
+            let (qps, p99) = if available {
+                let r = serve(&tmpls, c.watts(), &rack, &serve_cfg);
+                (r.qps, r.p99)
+            } else {
+                (0.0, 0.0)
+            };
+            row(&[
+                format!("{k}"),
+                format!("{fails:?}"),
+                if available { "yes".into() } else { "no".into() },
+                format!("{qps:.1}"),
+                format!("{:.1}", p99 * 1e3),
+                format!("{failovers}"),
+            ]);
+            sweep.push(Json::obj([
+                ("replicas", Json::num(k as f64)),
+                ("failed_nodes", Json::num(fails.len() as f64)),
+                ("available", Json::Bool(available)),
+                ("qps", Json::num(qps)),
+                ("p99_seconds", Json::num(p99)),
+                ("failovers", Json::num(failovers as f64)),
+            ]));
+        }
+    }
+    emit(
+        "rack_failover",
+        &Json::obj([
+            ("figure", Json::str("rack_failover")),
+            ("nodes", Json::num(NODES as f64)),
+            ("scale", Json::num(scale as f64)),
+            ("serve_seed", Json::num(serve_cfg.seed as f64)),
+            ("sweep", Json::Arr(sweep)),
         ]),
     );
 }

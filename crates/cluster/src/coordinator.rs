@@ -1,12 +1,13 @@
-//! Distributed scatter/gather plans for the Figure 16 query set.
+//! Distributed scatter/gather plans for the Figure 16 query set, with
+//! replica failover.
 //!
-//! Each query runs in phases: every node executes a **local phase**
-//! against its shard (scan/filter/join/partial-aggregate — costed by the
-//! same [`CostAcc`] roofline the single-node engine uses), partial
-//! results move over the [`Fabric`], and a coordinator node **merges**.
-//! Cluster time is therefore `max over nodes + fabric + merge`, with
-//! fabric congestion coming from the queuing model rather than a
-//! constant.
+//! Each query runs in phases: every logical shard's **local phase**
+//! (scan/filter/join/partial-aggregate — costed by the same [`CostAcc`]
+//! roofline the single-node engine uses) executes on one live replica of
+//! that shard, partial results move over the [`Fabric`], and a
+//! coordinator node **merges**. Cluster time is therefore
+//! `max over nodes + fabric + merge`, with fabric congestion coming from
+//! the queuing model rather than a constant.
 //!
 //! Because `orders`/`lineitem` are co-sharded by order key and dimensions
 //! are replicated, seven of the eight queries decompose into *run the
@@ -15,11 +16,32 @@
 //! merge for Q3/Q18 (each shard's local top-k provably contains every
 //! global winner). Q10 groups by **customer**, which is not the sharding
 //! key, so it runs a genuine two-phase aggregation: partial group-by
-//! per node, an all-to-all hash reshuffle of partial groups to owner
+//! per shard, an all-to-all hash reshuffle of partial groups to owner
 //! nodes, owner re-aggregation, then a candidate gather.
 //!
-//! Every distributed result is bit-identical to the single-node engine's
-//! output — asserted by tests and by `examples/rack_tpch.rs`.
+//! # Failover
+//!
+//! Under a [`FaultPlan`], routing is fault-tolerant end to end:
+//!
+//! - each shard's local phase is placed on the first **live** replica in
+//!   its chained-declustering owner chain; a node that crashes mid-phase
+//!   is detected after one [failover timeout] and the shard is re-issued
+//!   to the next live replica (which runs it after its own queue);
+//! - partial results are re-derived from a surviving replica if their
+//!   executor dies before a (re-)gather — a completed node is assumed to
+//!   have drained its send DMA, so only *unsent* state needs re-derivation;
+//! - the gather destination and Q10's shuffle owners fail over the same
+//!   way (next live node in ring order, one timeout per detection).
+//!
+//! Every distributed result stays **bit-identical** to the single-node
+//! engine's output under any fault pattern that leaves at least one live
+//! replica per shard — partials are always computed from a replica of the
+//! same shard data, and every merge is order-insensitive (group-by merges
+//! sort by key; top-k merges impose the engine's total order). A fault
+//! pattern that kills *every* replica of some shard yields
+//! [`QueryError::ShardUnavailable`] — never a wrong answer.
+//!
+//! [failover timeout]: crate::fabric::FabricConfig::failover_timeout_cycles
 
 use dpu_core::rack::Rack;
 use dpu_sim::Time;
@@ -31,7 +53,8 @@ use dpu_sql::{
 use xeon_model::Xeon;
 
 use crate::fabric::{Fabric, FabricConfig};
-use crate::shard::{shard_table, shard_tpch, ShardPolicy, ShardedTpch};
+use crate::fault::FaultPlan;
+use crate::shard::{shard_table, shard_tpch_replicated, ShardPolicy, ShardedTpch};
 
 /// The eight TPC-H queries of Figure 16.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +105,32 @@ impl QueryId {
     }
 }
 
+/// Why a distributed query could not be answered. Failures surface as
+/// errors, never as silently wrong results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Every replica of `shard` is down: the query cannot see all rows.
+    ShardUnavailable {
+        /// The shard with no live replica.
+        shard: usize,
+    },
+    /// No node in the cluster is alive to coordinate or own a partition.
+    NoLiveNodes,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} has no live replica")
+            }
+            QueryError::NoLiveNodes => write!(f, "no live nodes in the cluster"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 /// A query result (tables for reporting queries, scalars for Q6/Q14).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryOutput {
@@ -117,6 +166,9 @@ pub struct NodeCost {
 }
 
 impl NodeCost {
+    /// No work.
+    pub const ZERO: NodeCost = NodeCost { mem_seconds: 0.0, cpu_seconds: 0.0 };
+
     fn from_dpu(p: &PlatformCost) -> Self {
         NodeCost {
             mem_seconds: p.bytes as f64 / DPU_STREAM_BW,
@@ -130,12 +182,28 @@ impl NodeCost {
     }
 }
 
+/// Where and when one shard's local phase actually ran after failover
+/// routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardRun {
+    /// The logical shard.
+    pub shard: usize,
+    /// The node that completed the local phase (a live replica).
+    pub node: usize,
+    /// Times the sub-plan was issued (1 = no failover).
+    pub attempts: usize,
+    /// Absolute completion time of the local phase, seconds.
+    pub done_seconds: f64,
+}
+
 /// The cluster-wide cost of one distributed query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterQueryCost {
-    /// Local-phase cost per node.
+    /// Local-phase work executed per node (including failover
+    /// re-executions; a node that ran nothing reports zeros).
     pub per_node: Vec<NodeCost>,
-    /// Slowest node's local phase, seconds.
+    /// Time from query start to the last shard's local-phase completion,
+    /// seconds (includes failover timeouts and re-executions).
     pub local_seconds: f64,
     /// Time from the last local finish to the last byte landing at the
     /// coordinator (shuffle + gather + any distributed merge overlapped
@@ -143,8 +211,10 @@ pub struct ClusterQueryCost {
     pub fabric_seconds: f64,
     /// Coordinator merge compute, seconds.
     pub merge_seconds: f64,
-    /// Payload bytes that crossed the fabric.
+    /// Payload bytes that crossed the fabric (re-sends included).
     pub fabric_bytes: u64,
+    /// Sub-plan re-issues forced by faults (0 on a healthy run).
+    pub failovers: usize,
 }
 
 impl ClusterQueryCost {
@@ -203,11 +273,27 @@ impl DistributedQuery {
     }
 }
 
+/// What rebuilding a crashed node's replicas cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The node rebuilt (the replacement occupies the same slot).
+    pub node: usize,
+    /// The shards whose replicas were re-streamed onto it.
+    pub shards: Vec<usize>,
+    /// Fact bytes moved over the fabric.
+    pub bytes_moved: u64,
+    /// Seconds from recovery start until the last shard lands.
+    pub rebuild_seconds: f64,
+}
+
 /// Cluster sizing and rates.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// DPU nodes executing queries.
     pub n_nodes: usize,
+    /// Replicas per fact shard (chained declustering; 1 = no
+    /// replication).
+    pub replicas: usize,
     /// Cardinality multiplier applied when costing (the data executes at
     /// miniature scale; costs are reported at `scale×`).
     pub scale: u64,
@@ -223,6 +309,7 @@ impl ClusterConfig {
         let p = rack.slice(n_nodes).fabric_provision();
         ClusterConfig {
             n_nodes,
+            replicas: 1,
             scale,
             fabric: FabricConfig::from_provision(&p),
             watts_per_node: p.watts_per_node,
@@ -233,6 +320,12 @@ impl ClusterConfig {
     pub fn prototype_slice(n_nodes: usize, scale: u64) -> Self {
         Self::from_rack(&Rack::prototype(), n_nodes, scale)
     }
+
+    /// The same config with `k` replicas per shard.
+    pub fn with_replicas(mut self, k: usize) -> Self {
+        self.replicas = k;
+        self
+    }
 }
 
 /// A simulated DPU cluster holding a sharded TPC-H database.
@@ -242,24 +335,39 @@ pub struct Cluster {
     pub cfg: ClusterConfig,
     /// The unsharded database (single-node reference runs against it).
     pub full: TpchDb,
-    /// The per-node databases.
+    /// The per-shard databases and their replica placement.
     pub sharded: ShardedTpch,
     /// The rack network.
     pub fabric: Fabric,
+    faults: FaultPlan,
     xeon: Xeon,
 }
 
 impl Cluster {
-    /// Shards `db` under `policy` and builds the fabric.
+    /// Shards `db` under `policy` with `cfg.replicas` copies per shard
+    /// and builds the fabric.
     ///
     /// # Panics
     ///
-    /// Panics if the policy's shard count differs from `cfg.n_nodes`.
+    /// Panics if the policy's shard count differs from `cfg.n_nodes` or
+    /// `cfg.replicas` is invalid for that node count.
     pub fn new(db: TpchDb, policy: &ShardPolicy, cfg: ClusterConfig) -> Self {
         assert_eq!(policy.shards(), cfg.n_nodes, "policy shards must equal cluster nodes");
-        let sharded = shard_tpch(&db, policy);
+        let sharded = shard_tpch_replicated(&db, policy, cfg.replicas);
         let fabric = Fabric::new(cfg.n_nodes, cfg.fabric.clone());
-        Cluster { sharded, fabric, full: db, cfg, xeon: Xeon::new() }
+        Cluster { sharded, fabric, full: db, cfg, faults: FaultPlan::none(), xeon: Xeon::new() }
+    }
+
+    /// Installs a fault plan for subsequent queries (also threaded into
+    /// the fabric's NIC-degradation model).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.fabric.set_faults(plan.clone());
+        self.faults = plan;
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Total provisioned cluster power, watts.
@@ -272,16 +380,19 @@ impl Cluster {
         &self.xeon
     }
 
-    /// Seconds to load the database over the fabric from node 0: facts
-    /// scattered point-to-point, dimensions broadcast.
+    /// Seconds to load the database over the fabric from node 0: every
+    /// replica of every fact shard scattered point-to-point, dimensions
+    /// broadcast.
     pub fn load_seconds(&mut self) -> f64 {
         self.fabric.reset();
-        let n = self.cfg.n_nodes;
         let mut done = Time::ZERO;
-        for dst in 1..n {
-            let fact_share =
-                self.sharded.nodes[dst].orders.bytes() + self.sharded.nodes[dst].lineitem.bytes();
-            done = done.max(self.fabric.transfer(Time::ZERO, 0, dst, fact_share));
+        for s in 0..self.sharded.n_nodes() {
+            let bytes = self.sharded.shard_fact_bytes(s);
+            for dst in self.sharded.placement.owners(s) {
+                if dst != 0 {
+                    done = done.max(self.fabric.transfer(Time::ZERO, 0, dst, bytes));
+                }
+            }
         }
         done = done.max(self.fabric.broadcast(Time::ZERO, 0, self.sharded.broadcast_bytes));
         let s = self.fabric.seconds(done);
@@ -289,52 +400,245 @@ impl Cluster {
         s
     }
 
-    /// Runs one query distributed, returning the result, its single-node
-    /// reference, and the cost breakdown.
+    /// Runs one query distributed at `t = 0`, returning the result, its
+    /// single-node reference, and the cost breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the installed fault plan leaves a shard with no live
+    /// replica — use [`try_run_at`](Self::try_run_at) when faults may
+    /// exhaust a shard's replicas.
     pub fn run(&mut self, id: QueryId) -> DistributedQuery {
+        self.try_run_at(id, 0.0).expect("query failed under the installed fault plan")
+    }
+
+    /// Runs one query distributed, starting at absolute time
+    /// `start_seconds` (faults are evaluated against that clock).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::ShardUnavailable`] if a shard has no live replica;
+    /// [`QueryError::NoLiveNodes`] if no node survives to coordinate.
+    pub fn try_run_at(
+        &mut self,
+        id: QueryId,
+        start_seconds: f64,
+    ) -> Result<DistributedQuery, QueryError> {
         match id {
-            QueryId::Q1 => self.reagg(id, spec_q1(), tpch::q1),
-            QueryId::Q3 => {
-                self.topk_merge(id, tpch::q3, "revenue", 10, &["l_orderkey", "o_orderdate"])
+            QueryId::Q1 => self.reagg(id, spec_q1(), tpch::q1, start_seconds),
+            QueryId::Q3 => self.topk_merge(
+                id,
+                tpch::q3,
+                "revenue",
+                10,
+                &["l_orderkey", "o_orderdate"],
+                start_seconds,
+            ),
+            QueryId::Q5 => self.reagg(id, spec_q5(), tpch::q5, start_seconds),
+            QueryId::Q6 => self.run_q6(start_seconds),
+            QueryId::Q10 => self.run_q10(start_seconds),
+            QueryId::Q12 => self.reagg(id, spec_q12(), tpch::q12, start_seconds),
+            QueryId::Q14 => self.run_q14(start_seconds),
+            QueryId::Q18 => {
+                self.topk_merge(id, tpch::q18, "o_totalprice", 100, &["o_orderkey"], start_seconds)
             }
-            QueryId::Q5 => self.reagg(id, spec_q5(), tpch::q5),
-            QueryId::Q6 => self.run_q6(),
-            QueryId::Q10 => self.run_q10(),
-            QueryId::Q12 => self.reagg(id, spec_q12(), tpch::q12),
-            QueryId::Q14 => self.run_q14(),
-            QueryId::Q18 => self.topk_merge(id, tpch::q18, "o_totalprice", 100, &["o_orderkey"]),
         }
     }
 
-    /// Runs all eight queries.
+    /// Runs all eight queries at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under a fault plan that makes a shard unavailable (see
+    /// [`run`](Self::run)).
     pub fn run_all(&mut self) -> Vec<DistributedQuery> {
         QueryId::ALL.iter().map(|&q| self.run(q)).collect()
     }
 
-    /// Gathers per-node partial tables to node 0 and prices the
-    /// coordinator merge over their rows.
-    fn gather_merge_cost(
-        &mut self,
-        per_node: Vec<NodeCost>,
-        partials: &[Table],
-    ) -> ClusterQueryCost {
+    /// Models re-replicating the shards a crashed `node` held onto its
+    /// replacement (same slot), starting at `at_seconds`: each affected
+    /// shard streams from a surviving replica over the fabric. On return
+    /// the node is marked live again in the fault plan.
+    ///
+    /// With `k = 1` there is no surviving replica to stream from — the
+    /// report then covers zero bytes (the data is lost, not rebuilt).
+    pub fn recover(&mut self, node: usize, at_seconds: f64) -> RecoveryReport {
         self.fabric.reset();
-        let local_seconds = per_node.iter().map(NodeCost::seconds).fold(0.0, f64::max);
-        let parts: Vec<(usize, Time, u64)> = per_node
-            .iter()
-            .enumerate()
-            .map(|(i, nc)| (i, self.fabric.at_seconds(nc.seconds()), partials[i].bytes()))
-            .collect();
-        let done = self.fabric.gather(&parts, 0);
-        let end = self.fabric.seconds(done).max(local_seconds);
+        let start = self.fabric.at_seconds(at_seconds);
+        let shards = self.sharded.placement.shards_on(node);
+        let mut rebuilt = Vec::new();
+        let mut bytes_moved = 0u64;
+        let mut done = start;
+        for &s in &shards {
+            let src = self
+                .sharded
+                .placement
+                .owners(s)
+                .into_iter()
+                .find(|&o| o != node && !self.faults.is_down(o, at_seconds));
+            if let Some(src) = src {
+                let bytes = self.sharded.shard_fact_bytes(s);
+                bytes_moved += bytes;
+                rebuilt.push(s);
+                done = done.max(self.fabric.transfer(start, src, node, bytes));
+            }
+        }
+        let rebuild_seconds = self.fabric.seconds(done) - at_seconds;
+        self.fabric.reset();
+        let plan = self.faults.clone().recovered(node);
+        self.set_faults(plan);
+        RecoveryReport { node, shards: rebuilt, bytes_moved, rebuild_seconds }
+    }
+
+    /// Places every shard's local phase on a live replica and schedules
+    /// execution, failing shards over when their node crashes mid-phase.
+    ///
+    /// Deterministic: shards are dispatched in `(available-time, shard)`
+    /// order; a node executes its assigned shards serially; a crash at
+    /// `tc` voids every sub-plan unfinished at `tc`, which re-enters the
+    /// pool at `tc + failover_timeout` targeted at the shard's next live
+    /// replica.
+    fn schedule_local(
+        &self,
+        costs: &[NodeCost],
+        start: f64,
+    ) -> Result<(Vec<ShardRun>, Vec<NodeCost>, usize), QueryError> {
+        let n = self.sharded.n_nodes();
+        let timeout = self.fabric.failover_timeout_seconds();
+        let mut node_free = vec![start; n];
+        let mut per_node = vec![NodeCost::ZERO; n];
+        let mut runs: Vec<Option<ShardRun>> = vec![None; n];
+        let mut failovers = 0usize;
+        // (available-at, shard, owner-chain position, attempt #)
+        let mut pending: Vec<(f64, usize, usize, usize)> =
+            (0..n).map(|s| (start, s, 0, 1)).collect();
+        while !pending.is_empty() {
+            // Pop the earliest-available shard (ties broken by shard id).
+            let i = (0..pending.len())
+                .min_by(|&a, &b| {
+                    pending[a].0.total_cmp(&pending[b].0).then(pending[a].1.cmp(&pending[b].1))
+                })
+                .expect("non-empty");
+            let (avail, s, chain, attempt) = pending.swap_remove(i);
+            let owners = self.sharded.placement.owners(s);
+            let Some((pos, &node)) = owners
+                .iter()
+                .enumerate()
+                .skip(chain)
+                .find(|&(_, &o)| !self.faults.is_down(o, avail))
+            else {
+                return Err(QueryError::ShardUnavailable { shard: s });
+            };
+            let begin = node_free[node].max(avail);
+            let slow = self.faults.compute_factor(node, begin);
+            let finish = begin + costs[s].seconds() / slow;
+            if let Some(tc) = self.faults.crash_time(node) {
+                if tc < finish {
+                    // Crash mid-execution: detected one timeout later,
+                    // re-issued to the next replica in the chain.
+                    failovers += 1;
+                    pending.push((tc + timeout, s, pos + 1, attempt + 1));
+                    continue;
+                }
+            }
+            node_free[node] = finish;
+            per_node[node].mem_seconds += costs[s].mem_seconds / slow;
+            per_node[node].cpu_seconds += costs[s].cpu_seconds / slow;
+            runs[s] = Some(ShardRun { shard: s, node, attempts: attempt, done_seconds: finish });
+        }
+        let runs: Vec<ShardRun> = runs.into_iter().map(|r| r.expect("all scheduled")).collect();
+        Ok((runs, per_node, failovers))
+    }
+
+    /// A source able to ship shard `s`'s partial at or after `t`: the
+    /// original executor if still alive (its result is ready), else the
+    /// first live replica, which must re-derive the partial first.
+    fn partial_source(
+        &self,
+        s: usize,
+        t: f64,
+        runs: &[ShardRun],
+        costs: &[NodeCost],
+    ) -> Result<(usize, f64), QueryError> {
+        let run = &runs[s];
+        if !self.faults.is_down(run.node, t) {
+            return Ok((run.node, run.done_seconds.max(t)));
+        }
+        let node = self
+            .sharded
+            .placement
+            .owners(s)
+            .into_iter()
+            .find(|&o| !self.faults.is_down(o, t))
+            .ok_or(QueryError::ShardUnavailable { shard: s })?;
+        let slow = self.faults.compute_factor(node, t);
+        Ok((node, t + costs[s].seconds() / slow))
+    }
+
+    /// Gathers every shard's partial to a coordinator node, failing the
+    /// coordinator over (next live node in ring order) if it crashes
+    /// before the last byte lands. Returns the destination, the landing
+    /// time, and extra failover count.
+    fn gather_with_failover(
+        &mut self,
+        runs: &[ShardRun],
+        costs: &[NodeCost],
+        bytes: &[u64],
+        start: f64,
+    ) -> Result<(usize, Time, usize), QueryError> {
+        let n = self.sharded.n_nodes();
+        let timeout = self.fabric.failover_timeout_seconds();
+        let mut t_try = start;
+        let mut failovers = 0usize;
+        for _ in 0..=n {
+            let Some(dst) = (0..n).find(|&v| !self.faults.is_down(v, t_try)) else {
+                return Err(QueryError::NoLiveNodes);
+            };
+            let mut parts = Vec::with_capacity(runs.len());
+            for (s, &b) in bytes.iter().enumerate().take(runs.len()) {
+                let (src, ready) = self.partial_source(s, t_try, runs, costs)?;
+                parts.push((src, self.fabric.at_seconds(ready), b));
+            }
+            let done = self.fabric.gather(&parts, dst);
+            match self.faults.crash_time(dst) {
+                Some(tc) if tc < self.fabric.seconds(done) => {
+                    // The coordinator died mid-gather: detected one
+                    // timeout later, the next live node takes over and
+                    // the partials are re-shipped.
+                    failovers += 1;
+                    t_try = tc + timeout;
+                }
+                _ => return Ok((dst, done, failovers)),
+            }
+        }
+        Err(QueryError::NoLiveNodes)
+    }
+
+    /// The shared scatter → local → gather costing for single-gather
+    /// plans: schedules local phases with failover, gathers the per-shard
+    /// partials, and prices the coordinator merge over their rows.
+    fn scatter_gather_cost(
+        &mut self,
+        per_shard: Vec<NodeCost>,
+        partials: &[Table],
+        start: f64,
+    ) -> Result<ClusterQueryCost, QueryError> {
+        self.fabric.reset();
+        let (runs, per_node, local_failovers) = self.schedule_local(&per_shard, start)?;
+        let local_end = runs.iter().map(|r| r.done_seconds).fold(start, f64::max);
+        let bytes: Vec<u64> = partials.iter().map(Table::bytes).collect();
+        let (_, done, gather_failovers) =
+            self.gather_with_failover(&runs, &per_shard, &bytes, start)?;
+        let end = self.fabric.seconds(done).max(local_end);
         let merge_rows: usize = partials.iter().map(Table::rows).sum();
-        ClusterQueryCost {
+        Ok(ClusterQueryCost {
             per_node,
-            local_seconds,
-            fabric_seconds: end - local_seconds,
+            local_seconds: local_end - start,
+            fabric_seconds: end - local_end,
             merge_seconds: merge_cpu_seconds(merge_rows),
             fabric_bytes: self.fabric.payload_bytes(),
-        }
+            failovers: local_failovers + gather_failovers,
+        })
     }
 
     /// The scatter → gather → re-aggregate plan: run the single-node
@@ -344,22 +648,23 @@ impl Cluster {
         id: QueryId,
         spec: GroupBySpec,
         f: fn(&TpchDb, &Xeon, u64) -> (Table, QueryCost),
-    ) -> DistributedQuery {
+        start: f64,
+    ) -> Result<DistributedQuery, QueryError> {
         let (single_output, single_cost) = f(&self.full, &self.xeon, self.cfg.scale);
         let locals: Vec<(Table, QueryCost)> =
-            self.sharded.nodes.iter().map(|n| f(n, &self.xeon, self.cfg.scale)).collect();
-        let per_node: Vec<NodeCost> =
+            self.sharded.shards.iter().map(|n| f(n, &self.xeon, self.cfg.scale)).collect();
+        let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let partials: Vec<Table> = locals.into_iter().map(|(t, _)| t).collect();
         let merged = spec.merge_partials(&partials);
-        let cost = self.gather_merge_cost(per_node, &partials);
-        DistributedQuery {
+        let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+        Ok(DistributedQuery {
             id,
             output: QueryOutput::Table(merged),
             single_output: QueryOutput::Table(single_output),
             cost,
             single_cost,
-        }
+        })
     }
 
     /// The scatter → gather → top-k candidate merge plan. Each shard's
@@ -374,29 +679,30 @@ impl Cluster {
         value_col: &str,
         k: usize,
         tie_cols: &[&str],
-    ) -> DistributedQuery {
+        start: f64,
+    ) -> Result<DistributedQuery, QueryError> {
         let (single_output, single_cost) = f(&self.full, &self.xeon, self.cfg.scale);
         let locals: Vec<(Table, QueryCost)> =
-            self.sharded.nodes.iter().map(|n| f(n, &self.xeon, self.cfg.scale)).collect();
-        let per_node: Vec<NodeCost> =
+            self.sharded.shards.iter().map(|n| f(n, &self.xeon, self.cfg.scale)).collect();
+        let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let partials: Vec<Table> = locals.into_iter().map(|(t, _)| t).collect();
         let merged = merge_topk(&partials, value_col, k, tie_cols);
-        let cost = self.gather_merge_cost(per_node, &partials);
-        DistributedQuery {
+        let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+        Ok(DistributedQuery {
             id,
             output: QueryOutput::Table(merged),
             single_output: QueryOutput::Table(single_output),
             cost,
             single_cost,
-        }
+        })
     }
 
-    fn run_q6(&mut self) -> DistributedQuery {
+    fn run_q6(&mut self, start: f64) -> Result<DistributedQuery, QueryError> {
         let (single, single_cost) = tpch::q6(&self.full, &self.xeon, self.cfg.scale);
         let locals: Vec<(i64, QueryCost)> =
-            self.sharded.nodes.iter().map(|n| tpch::q6(n, &self.xeon, self.cfg.scale)).collect();
-        let per_node: Vec<NodeCost> =
+            self.sharded.shards.iter().map(|n| tpch::q6(n, &self.xeon, self.cfg.scale)).collect();
+        let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let total: i64 = locals.iter().map(|(v, _)| v).sum();
         // Each node ships one 8-byte partial sum.
@@ -404,21 +710,21 @@ impl Cluster {
             .iter()
             .map(|(v, _)| Table::new(vec![dpu_sql::Column::i64("revenue", vec![*v])]))
             .collect();
-        let cost = self.gather_merge_cost(per_node, &partials);
-        DistributedQuery {
+        let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+        Ok(DistributedQuery {
             id: QueryId::Q6,
             output: QueryOutput::Scalar(total),
             single_output: QueryOutput::Scalar(single),
             cost,
             single_cost,
-        }
+        })
     }
 
-    fn run_q14(&mut self) -> DistributedQuery {
+    fn run_q14(&mut self, start: f64) -> Result<DistributedQuery, QueryError> {
         let ((sp, st), single_cost) = tpch::q14(&self.full, &self.xeon, self.cfg.scale);
         let locals: Vec<((i64, i64), QueryCost)> =
-            self.sharded.nodes.iter().map(|n| tpch::q14(n, &self.xeon, self.cfg.scale)).collect();
-        let per_node: Vec<NodeCost> =
+            self.sharded.shards.iter().map(|n| tpch::q14(n, &self.xeon, self.cfg.scale)).collect();
+        let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let promo: i64 = locals.iter().map(|((p, _), _)| p).sum();
         let total: i64 = locals.iter().map(|((_, t), _)| t).sum();
@@ -431,80 +737,143 @@ impl Cluster {
                 ])
             })
             .collect();
-        let cost = self.gather_merge_cost(per_node, &partials);
-        DistributedQuery {
+        let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+        Ok(DistributedQuery {
             id: QueryId::Q14,
             output: QueryOutput::Pair(promo, total),
             single_output: QueryOutput::Pair(sp, st),
             cost,
             single_cost,
-        }
+        })
     }
 
     /// Q10 groups by `o_custkey`, which is not the sharding key: the
-    /// genuine two-phase plan. Phase 1 computes partial groups per node;
-    /// phase 2 reshuffles partials all-to-all by customer-key hash to
-    /// owner nodes; phase 3 re-aggregates at owners and picks local
-    /// top-20 candidates; phase 4 gathers candidates to the coordinator
-    /// for the final top-20.
-    fn run_q10(&mut self) -> DistributedQuery {
+    /// genuine two-phase plan. Phase 1 computes partial groups per shard
+    /// (failover-routed like every local phase); phase 2 reshuffles
+    /// partials all-to-all by customer-key hash to owner nodes chosen
+    /// among the nodes live when the shuffle begins; phase 3 re-aggregates
+    /// at owners (an owner that dies mid-merge fails over to the next
+    /// live node, with dead senders' chunks re-derived from shard
+    /// replicas) and picks local top-20 candidates; phase 4 gathers
+    /// candidates to the coordinator for the final top-20.
+    fn run_q10(&mut self, start: f64) -> Result<DistributedQuery, QueryError> {
         let scale = self.cfg.scale;
         let (single_output, single_cost) = tpch::q10(&self.full, &self.xeon, scale);
         let spec = spec_q10();
-        let n = self.cfg.n_nodes;
+        let n = self.sharded.n_nodes();
+        let timeout = self.fabric.failover_timeout_seconds();
 
-        // Phase 1: local filter + join + partial group-by.
+        // Phase 1: local filter + join + partial group-by, per shard.
         let locals: Vec<(Table, QueryCost)> =
-            self.sharded.nodes.iter().map(|d| q10_local(d, &self.xeon, scale)).collect();
-        let per_node: Vec<NodeCost> =
+            self.sharded.shards.iter().map(|d| q10_local(d, &self.xeon, scale)).collect();
+        let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
-        let local_seconds = per_node.iter().map(NodeCost::seconds).fold(0.0, f64::max);
-
-        // Phase 2: all-to-all reshuffle of partial groups by owner.
         self.fabric.reset();
-        let owner = ShardPolicy::hash(n);
-        let chunks: Vec<Vec<Table>> =
-            locals.iter().map(|(partial, _)| shard_table(partial, "o_custkey", &owner)).collect();
-        let matrix: Vec<Vec<u64>> =
-            chunks.iter().map(|row| row.iter().map(Table::bytes).collect()).collect();
-        let ready: Vec<Time> =
-            per_node.iter().map(|nc| self.fabric.at_seconds(nc.seconds())).collect();
+        let (runs, per_node, mut failovers) = self.schedule_local(&per_shard, start)?;
+        let local_end = runs.iter().map(|r| r.done_seconds).fold(start, f64::max);
+
+        // Phase 2: all-to-all reshuffle of partial groups to owners —
+        // the nodes still alive when the last local phase finishes.
+        let live = self.faults.live_nodes(n, local_end);
+        if live.is_empty() {
+            return Err(QueryError::NoLiveNodes);
+        }
+        let owner_policy = ShardPolicy::hash(live.len());
+        // chunks[s][j]: shard s's partial rows owned by live[j].
+        let chunks: Vec<Vec<Table>> = locals
+            .iter()
+            .map(|(partial, _)| shard_table(partial, "o_custkey", &owner_policy))
+            .collect();
+        let mut matrix = vec![vec![0u64; n]; n];
+        let mut ready = vec![self.fabric.at_seconds(local_end); n];
+        for run in &runs {
+            ready[run.node] = self.fabric.at_seconds(run.done_seconds);
+        }
+        for (s, row) in chunks.iter().enumerate() {
+            for (j, chunk) in row.iter().enumerate() {
+                matrix[runs[s].node][live[j]] += chunk.bytes();
+            }
+        }
         let shuffled = self.fabric.all_to_all(&ready, &matrix);
 
         // Phase 3: owners re-aggregate their complete groups and pick
-        // local top-20 candidates.
-        let mut candidates = Vec::with_capacity(n);
-        let mut cand_parts = Vec::with_capacity(n);
-        for d in 0..n {
-            let received: Vec<Table> = chunks.iter().map(|row| row[d].clone()).collect();
+        // local top-20 candidates. An owner that crashes before its merge
+        // completes fails over: the chunks are re-shipped to the next
+        // live node (re-derived from a shard replica when their sender is
+        // gone too) and merged there.
+        let mut candidates = Vec::with_capacity(live.len());
+        let mut cand_parts = Vec::with_capacity(live.len());
+        for (j, &owner) in live.iter().enumerate() {
+            let received: Vec<Table> = chunks.iter().map(|row| row[j].clone()).collect();
             let rows_in: usize = received.iter().map(Table::rows).sum();
             let complete = spec.merge_partials(&received);
             let top = top_k(&complete, "revenue", 20.min(complete.rows().max(1)), 32);
             let cand = project_rows(&complete, &top);
-            let owner_done = shuffled[d] + self.fabric.at_seconds(merge_cpu_seconds(rows_in));
-            cand_parts.push((d, owner_done, cand.bytes()));
+
+            let mut host = owner;
+            let mut done_s = self.fabric.seconds(shuffled[owner])
+                + merge_cpu_seconds(rows_in) / self.faults.compute_factor(owner, local_end);
+            for _ in 0..=n {
+                match self.faults.crash_time(host) {
+                    Some(tc) if tc < done_s => {
+                        failovers += 1;
+                        let t_retry = tc + timeout;
+                        let Some(next) = (0..n)
+                            .map(|d| (host + 1 + d) % n)
+                            .find(|&v| !self.faults.is_down(v, t_retry))
+                        else {
+                            return Err(QueryError::NoLiveNodes);
+                        };
+                        // Re-ship every chunk bound for the dead owner.
+                        let mut landed = self.fabric.at_seconds(t_retry);
+                        for (s, row) in chunks.iter().enumerate() {
+                            if row[j].bytes() == 0 {
+                                continue;
+                            }
+                            let (src, src_ready) =
+                                self.partial_source(s, t_retry, &runs, &per_shard)?;
+                            landed = landed.max(self.fabric.transfer(
+                                self.fabric.at_seconds(src_ready),
+                                src,
+                                next,
+                                row[j].bytes(),
+                            ));
+                        }
+                        host = next;
+                        done_s = self.fabric.seconds(landed)
+                            + merge_cpu_seconds(rows_in)
+                                / self.faults.compute_factor(next, t_retry);
+                    }
+                    _ => break,
+                }
+            }
+            cand_parts.push((host, self.fabric.at_seconds(done_s), cand.bytes()));
             candidates.push(cand);
         }
 
         // Phase 4: gather candidates; final merge at the coordinator.
-        let done = self.fabric.gather(&cand_parts, 0);
+        let Some(dst) = (0..n).find(|&v| !self.faults.is_down(v, local_end)) else {
+            return Err(QueryError::NoLiveNodes);
+        };
+        let done = self.fabric.gather(&cand_parts, dst);
         let merged = merge_topk(&candidates, "revenue", 20, &["o_custkey"]);
-        let end = self.fabric.seconds(done).max(local_seconds);
+        let end = self.fabric.seconds(done).max(local_end);
         let cand_rows: usize = candidates.iter().map(Table::rows).sum();
         let cost = ClusterQueryCost {
             per_node,
-            local_seconds,
-            fabric_seconds: end - local_seconds,
+            local_seconds: local_end - start,
+            fabric_seconds: end - local_end,
             merge_seconds: merge_cpu_seconds(cand_rows),
             fabric_bytes: self.fabric.payload_bytes(),
+            failovers,
         };
-        DistributedQuery {
+        Ok(DistributedQuery {
             id: QueryId::Q10,
             output: QueryOutput::Table(merged),
             single_output: QueryOutput::Table(single_output),
             cost,
             single_cost,
-        }
+        })
     }
 }
 
@@ -628,6 +997,15 @@ mod tests {
         Cluster::new(db, &ShardPolicy::hash(nodes), ClusterConfig::prototype_slice(nodes, 10_000))
     }
 
+    fn cluster_k(nodes: usize, k: usize) -> Cluster {
+        let db = generate(1200, 42);
+        Cluster::new(
+            db,
+            &ShardPolicy::hash(nodes),
+            ClusterConfig::prototype_slice(nodes, 10_000).with_replicas(k),
+        )
+    }
+
     #[test]
     fn all_eight_distributed_results_match_single_node() {
         let mut c = cluster(8);
@@ -655,6 +1033,20 @@ mod tests {
     }
 
     #[test]
+    fn replication_does_not_change_results_or_healthy_routing() {
+        let mut c1 = cluster(8);
+        let mut c3 = cluster_k(8, 3);
+        for (a, b) in c1.run_all().iter().zip(c3.run_all().iter()) {
+            assert!(b.matches_single(), "{} diverged under k=3", b.id.name());
+            assert_eq!(a.output, b.output, "{} differs between k=1 and k=3", a.id.name());
+            assert_eq!(b.cost.failovers, 0, "healthy run must not fail over");
+            // Healthy routing places every shard on its primary, so the
+            // cost breakdown is identical to the unreplicated cluster.
+            assert_eq!(a.cost, b.cost, "{} healthy cost changed with k", a.id.name());
+        }
+    }
+
+    #[test]
     fn cluster_cost_decomposes_sanely() {
         let mut c = cluster(8);
         let q = c.run(QueryId::Q1);
@@ -664,6 +1056,7 @@ mod tests {
         assert!(cost.fabric_seconds > 0.0, "partials must cross the fabric");
         assert!(cost.merge_seconds > 0.0);
         assert!(cost.fabric_bytes > 0);
+        assert_eq!(cost.failovers, 0);
         let total = cost.total_seconds();
         assert!(total > cost.local_seconds);
         // Local phases divide the single-node stream ~n ways: the slowest
@@ -721,5 +1114,134 @@ mod tests {
         let mut c = cluster(8);
         let s = c.load_seconds();
         assert!(s > 0.0);
+        // Replication loads k copies: strictly more fabric time.
+        let mut c2 = cluster_k(8, 2);
+        assert!(c2.load_seconds() > s, "two replicas must load slower than one");
+    }
+
+    #[test]
+    fn mid_query_crash_fails_over_and_costs_more() {
+        let mut healthy = cluster_k(8, 2);
+        let base = healthy.run(QueryId::Q1);
+        let mut faulty = cluster_k(8, 2);
+        // Crash node 3 in the middle of its local phase.
+        faulty.set_faults(FaultPlan::none().crash(3, base.cost.local_seconds * 0.5));
+        let q = faulty.try_run_at(QueryId::Q1, 0.0).expect("one replica survives");
+        assert!(q.matches_single(), "failover must not change the answer");
+        assert!(q.cost.failovers >= 1, "the crash must be visible in the cost");
+        assert!(
+            q.cost.total_seconds() > base.cost.total_seconds(),
+            "failover must cost time: {} vs {}",
+            q.cost.total_seconds(),
+            base.cost.total_seconds()
+        );
+    }
+
+    #[test]
+    fn dead_shard_is_an_error_not_a_wrong_answer() {
+        let mut c = cluster(4); // k = 1: any crash strands a shard
+        c.set_faults(FaultPlan::none().crash(2, 0.0));
+        for id in QueryId::ALL {
+            match c.try_run_at(id, 0.0) {
+                Err(QueryError::ShardUnavailable { shard: 2 }) => {}
+                other => panic!("{}: expected ShardUnavailable(2), got {other:?}", id.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_runs_report_identical_fabric_stats() {
+        // Regression (PR 2): every query resets the fabric — including
+        // the per-node replication counters — so back-to-back runs are
+        // statistically indistinguishable.
+        let mut c = cluster_k(8, 2);
+        let a = c.run(QueryId::Q10);
+        let a_nodes = c.fabric.node_bytes();
+        let b = c.run(QueryId::Q10);
+        let b_nodes = c.fabric.node_bytes();
+        assert_eq!(a.cost, b.cost, "fabric state leaked between runs");
+        assert_eq!(a_nodes, b_nodes, "per-node counters leaked between runs");
+    }
+
+    #[test]
+    fn recovery_rebuilds_from_surviving_replicas() {
+        let mut c = cluster_k(8, 2);
+        c.set_faults(FaultPlan::none().crash(3, 0.0));
+        let expect_bytes: u64 =
+            c.sharded.placement.shards_on(3).iter().map(|&s| c.sharded.shard_fact_bytes(s)).sum();
+        let r = c.recover(3, 1.0);
+        assert_eq!(r.node, 3);
+        assert_eq!(r.shards, c.sharded.placement.shards_on(3));
+        assert_eq!(r.bytes_moved, expect_bytes);
+        assert!(r.rebuild_seconds > 0.0);
+        // The node is live again: queries route to it without failover.
+        let q = c.run(QueryId::Q1);
+        assert_eq!(q.cost.failovers, 0);
+    }
+
+    #[test]
+    fn rebuild_time_matches_hand_computed_fabric_transfers() {
+        // 3 nodes, k = 2, node 2 dead from t = 0. Its shards are [1, 2]:
+        // shard 1 streams from node 1, shard 2 from node 0 — distinct
+        // sender NICs, but the shared switch and node 2's receive NIC
+        // serialize the two streams in issue order. Walk that pipeline by
+        // hand (per server: start at max(free, arrival), then overhead +
+        // bytes/bandwidth; a hop of latency between servers) and demand
+        // the model agree exactly.
+        let db = generate(600, 5);
+        let mut c = Cluster::new(
+            db,
+            &ShardPolicy::hash(3),
+            ClusterConfig::prototype_slice(3, 10_000).with_replicas(2),
+        );
+        c.set_faults(FaultPlan::none().crash(2, 0.0));
+        let cfg = c.fabric.config().clone();
+        let b: Vec<u64> = c
+            .sharded
+            .placement
+            .shards_on(2)
+            .iter()
+            .map(|&s| c.sharded.shard_fact_bytes(s))
+            .collect();
+        assert_eq!(b.len(), 2);
+        let (hop, msg) = (cfg.hop_cycles, cfg.message_overhead_cycles);
+        let nic = |bytes: u64| bytes.div_ceil(cfg.nic_bytes_per_cycle);
+        let sw = |bytes: u64| bytes.div_ceil(cfg.switch_bytes_per_cycle);
+        let tx1 = msg + nic(b[0]);
+        let tx2 = msg + nic(b[1]);
+        let sw1 = (tx1 + hop) + sw(b[0]);
+        let sw2 = sw1.max(tx2 + hop) + sw(b[1]);
+        let rx1 = (sw1 + hop) + msg + nic(b[0]);
+        let rx2 = rx1.max(sw2 + hop) + msg + nic(b[1]);
+        let expect = c.fabric.seconds(Time::from_cycles(rx1.max(rx2)));
+
+        let r = c.recover(2, 0.0);
+        assert_eq!(r.bytes_moved, b.iter().sum::<u64>());
+        assert!(
+            (r.rebuild_seconds - expect).abs() < 1e-12,
+            "rebuild {} s vs hand-computed {} s",
+            r.rebuild_seconds,
+            expect
+        );
+        // And the receiver NIC's serialization of both shards is a hard
+        // floor on any schedule.
+        let floor = (b[0] + b[1]) as f64 / (cfg.nic_bytes_per_cycle as f64 * cfg.clock.hz());
+        assert!(r.rebuild_seconds > floor);
+    }
+
+    #[test]
+    fn straggler_inflates_local_time_without_changing_results() {
+        let mut healthy = cluster_k(8, 2);
+        let base = healthy.run(QueryId::Q1);
+        let mut slow = cluster_k(8, 2);
+        slow.set_faults(FaultPlan::none().straggle(0, 0.0, 1e9, 0.25));
+        let q = slow.run(QueryId::Q1);
+        assert!(q.matches_single());
+        assert!(
+            q.cost.local_seconds > 3.0 * base.cost.local_seconds,
+            "a 4× straggler on the critical path must dominate: {} vs {}",
+            q.cost.local_seconds,
+            base.cost.local_seconds
+        );
     }
 }

@@ -14,6 +14,8 @@
 use dpu_core::rack::FabricProvision;
 use dpu_sim::{BandwidthServer, Frequency, Time};
 
+use crate::fault::FaultPlan;
+
 /// Fabric rates and latencies, in dpCore-cycle units.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -53,6 +55,15 @@ impl FabricConfig {
             clock,
         }
     }
+
+    /// The coordinator's per-attempt failover timeout, in cycles: the
+    /// round trip of a control probe over the fabric (two hops each way
+    /// plus descriptor setup on both A9s), doubled for scheduling slack.
+    /// A node that has not acknowledged a re-issued sub-plan within this
+    /// window is treated as dead and the next replica is tried.
+    pub fn failover_timeout_cycles(&self) -> u64 {
+        2 * (4 * self.hop_cycles + 2 * self.message_overhead_cycles)
+    }
 }
 
 /// The rack network: per-node NICs around a shared switch.
@@ -64,6 +75,9 @@ pub struct Fabric {
     switch: BandwidthServer,
     transfers: u64,
     payload_bytes: u64,
+    node_tx_bytes: Vec<u64>,
+    node_rx_bytes: Vec<u64>,
+    faults: FaultPlan,
 }
 
 impl Fabric {
@@ -84,7 +98,28 @@ impl Fabric {
             cfg,
             transfers: 0,
             payload_bytes: 0,
+            node_tx_bytes: vec![0; n_nodes],
+            node_rx_bytes: vec![0; n_nodes],
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Installs a fault plan; NIC-degradation windows in it inflate the
+    /// wire time of transfers touching a degraded node's NIC. Survives
+    /// [`reset`](Self::reset) (faults outlive individual queries).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The installed fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The coordinator's per-attempt failover timeout, seconds (see
+    /// [`FabricConfig::failover_timeout_cycles`]).
+    pub fn failover_timeout_seconds(&self) -> f64 {
+        self.seconds(Time::from_cycles(self.cfg.failover_timeout_cycles()))
     }
 
     /// Node count.
@@ -110,16 +145,31 @@ impl Fabric {
 
     /// One point-to-point transfer of `bytes` from `src` to `dst`,
     /// injected at `now`; returns delivery time. A local "transfer"
-    /// (`src == dst`) is free.
+    /// (`src == dst`) is free. A NIC-degradation fault active at `now` on
+    /// either endpoint inflates that NIC's wire time by `1/factor` (the
+    /// link carries the same payload at a fraction of its rate).
     pub fn transfer(&mut self, now: Time, src: usize, dst: usize, bytes: u64) -> Time {
         if src == dst {
             return now;
         }
         self.transfers += 1;
         self.payload_bytes += bytes;
-        let injected = self.tx[src].request(now, bytes);
+        self.node_tx_bytes[src] += bytes;
+        self.node_rx_bytes[dst] += bytes;
+        let t_secs = self.seconds(now);
+        let wire = |bytes: u64, factor: f64| -> u64 {
+            if factor >= 1.0 {
+                bytes
+            } else {
+                (bytes as f64 / factor).ceil() as u64
+            }
+        };
+        let injected = self.tx[src].request(now, wire(bytes, self.faults.nic_factor(src, t_secs)));
         let through = self.switch.request(injected + Time::from_cycles(self.cfg.hop_cycles), bytes);
-        self.rx[dst].request(through + Time::from_cycles(self.cfg.hop_cycles), bytes)
+        self.rx[dst].request(
+            through + Time::from_cycles(self.cfg.hop_cycles),
+            wire(bytes, self.faults.nic_factor(dst, t_secs)),
+        )
     }
 
     /// Gathers one part from each listed `(node, ready, bytes)` source to
@@ -181,7 +231,24 @@ impl Fabric {
         self.payload_bytes
     }
 
-    /// Clears all queue occupancy and statistics (between queries).
+    /// Payload bytes sent by `node` since construction or reset.
+    pub fn node_tx_bytes(&self, node: usize) -> u64 {
+        self.node_tx_bytes[node]
+    }
+
+    /// Payload bytes received by `node` since construction or reset.
+    pub fn node_rx_bytes(&self, node: usize) -> u64 {
+        self.node_rx_bytes[node]
+    }
+
+    /// Per-node `(tx, rx)` payload bytes since construction or reset.
+    pub fn node_bytes(&self) -> Vec<(u64, u64)> {
+        self.node_tx_bytes.iter().copied().zip(self.node_rx_bytes.iter().copied()).collect()
+    }
+
+    /// Clears all queue occupancy and statistics (between queries),
+    /// including the per-node tx/rx byte counters. The installed fault
+    /// plan is preserved — faults outlive individual queries.
     pub fn reset(&mut self) {
         for s in self.tx.iter_mut().chain(self.rx.iter_mut()) {
             s.reset();
@@ -189,6 +256,8 @@ impl Fabric {
         self.switch.reset();
         self.transfers = 0;
         self.payload_bytes = 0;
+        self.node_tx_bytes.iter_mut().for_each(|b| *b = 0);
+        self.node_rx_bytes.iter_mut().for_each(|b| *b = 0);
     }
 }
 
@@ -265,6 +334,63 @@ mod tests {
         let fresh = f.transfer(Time::ZERO, 0, 1, 1 << 10);
         assert!(fresh < busy, "post-reset transfer must not queue");
         assert_eq!(f.payload_bytes(), 1 << 10);
+    }
+
+    #[test]
+    fn per_node_counters_track_and_reset() {
+        let mut f = fabric(4);
+        f.transfer(Time::ZERO, 0, 1, 1000);
+        f.transfer(Time::ZERO, 0, 2, 500);
+        f.transfer(Time::ZERO, 3, 0, 250);
+        assert_eq!(f.node_tx_bytes(0), 1500);
+        assert_eq!(f.node_rx_bytes(0), 250);
+        assert_eq!(f.node_rx_bytes(1), 1000);
+        assert_eq!(f.node_bytes()[3], (250, 0));
+        // Regression (PR 2): reset must clear the per-node replication
+        // counters too, not just the aggregate transfer stats.
+        f.reset();
+        assert_eq!(f.node_bytes(), vec![(0, 0); 4]);
+        assert_eq!(f.transfers(), 0);
+        assert_eq!(f.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn nic_degradation_slows_transfers_in_its_window() {
+        use crate::fault::FaultPlan;
+        let mut healthy = fabric(2);
+        let base = healthy.transfer(Time::ZERO, 0, 1, 1 << 20);
+
+        let mut degraded = fabric(2);
+        let horizon = degraded.seconds(Time::from_cycles(u64::MAX / 2));
+        degraded.set_faults(FaultPlan::none().degrade_nic(1, 0.0, horizon, 0.25));
+        let slow = degraded.transfer(Time::ZERO, 0, 1, 1 << 20);
+        // The receiver's NIC runs at a quarter rate: that hop alone costs
+        // 4× its healthy wire time, stretching the whole transfer by the
+        // 3× difference.
+        let wire = (1u64 << 20) / degraded.config().nic_bytes_per_cycle;
+        assert!(
+            slow.cycles() >= base.cycles() + 3 * wire,
+            "{} vs {}",
+            slow.cycles(),
+            base.cycles()
+        );
+
+        // Outside the window the same fabric runs at full rate.
+        let mut windowed = fabric(2);
+        windowed.set_faults(FaultPlan::none().degrade_nic(1, 0.0, 1e-9, 0.25));
+        let after = windowed.transfer(Time::from_cycles(1 << 20), 0, 1, 1 << 20);
+        assert_eq!(after.cycles() - (1 << 20), base.cycles());
+    }
+
+    #[test]
+    fn failover_timeout_is_a_fabric_round_trip() {
+        let f = fabric(2);
+        let cfg = f.config();
+        assert_eq!(
+            cfg.failover_timeout_cycles(),
+            2 * (4 * cfg.hop_cycles + 2 * cfg.message_overhead_cycles)
+        );
+        assert!(f.failover_timeout_seconds() > 0.0);
     }
 
     #[test]

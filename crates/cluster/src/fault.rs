@@ -1,0 +1,269 @@
+//! Deterministic fault injection for the rack.
+//!
+//! A [`FaultPlan`] is a *schedule* of failures fixed before the run —
+//! crashes, transient NIC degradation, slow-node stragglers — so every
+//! simulation under faults is exactly reproducible: the plan is either
+//! built explicitly or drawn from a seed, and the same plan always
+//! yields the same routing decisions, the same timeouts and the same
+//! report bytes. Nothing in the fault path consults a wall clock or an
+//! unseeded RNG.
+//!
+//! The three fault kinds map to what the paper's rack argument (§2, §6)
+//! has to survive in practice:
+//!
+//! - **Crash** — the node stops answering at time *t* (fail-stop). Its
+//!   shards must be served by surviving replicas; if a shard has no
+//!   surviving replica the query fails with
+//!   [`QueryError::ShardUnavailable`](crate::coordinator::QueryError).
+//! - **NIC degradation** — the node's Infiniband link runs at a fraction
+//!   of its rate over a window (cable flap, error-correction storm).
+//!   Modelled in [`Fabric`](crate::fabric::Fabric) by inflating the wire
+//!   time of transfers touching the degraded NIC.
+//! - **Straggler** — the node computes at a fraction of its speed over a
+//!   window (thermal throttling, background compaction). Modelled by the
+//!   coordinator inflating the node's local-phase seconds.
+
+use dpu_sim::SplitMix64;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Fail-stop crash of `node` at `at_seconds`.
+    Crash {
+        /// The failing node.
+        node: usize,
+        /// Simulation time of the crash, seconds.
+        at_seconds: f64,
+    },
+    /// `node`'s NIC runs at `factor` (< 1) of its bandwidth over
+    /// `[from_seconds, until_seconds)`.
+    NicDegrade {
+        /// The degraded node.
+        node: usize,
+        /// Window start, seconds.
+        from_seconds: f64,
+        /// Window end, seconds.
+        until_seconds: f64,
+        /// Remaining fraction of NIC bandwidth (0 < factor ≤ 1).
+        factor: f64,
+    },
+    /// `node` computes at `factor` (< 1) of its speed over
+    /// `[from_seconds, until_seconds)`.
+    Straggler {
+        /// The slow node.
+        node: usize,
+        /// Window start, seconds.
+        from_seconds: f64,
+        /// Window end, seconds.
+        until_seconds: f64,
+        /// Remaining fraction of compute speed (0 < factor ≤ 1).
+        factor: f64,
+    },
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every node healthy forever.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Adds a fail-stop crash of `node` at `at_seconds` (builder style).
+    pub fn crash(mut self, node: usize, at_seconds: f64) -> Self {
+        self.faults.push(Fault::Crash { node, at_seconds });
+        self
+    }
+
+    /// Adds a NIC-degradation window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]` or the window is inverted.
+    pub fn degrade_nic(mut self, node: usize, from: f64, until: f64, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "NIC factor must be in (0, 1]");
+        assert!(from <= until, "inverted degradation window");
+        self.faults.push(Fault::NicDegrade {
+            node,
+            from_seconds: from,
+            until_seconds: until,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a compute-straggler window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]` or the window is inverted.
+    pub fn straggle(mut self, node: usize, from: f64, until: f64, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "straggler factor must be in (0, 1]");
+        assert!(from <= until, "inverted straggler window");
+        self.faults.push(Fault::Straggler {
+            node,
+            from_seconds: from,
+            until_seconds: until,
+            factor,
+        });
+        self
+    }
+
+    /// Draws a random plan from `seed`: each of `n_nodes` nodes suffers a
+    /// crash with probability `crash_p` (uniform time in the horizon) and
+    /// independently a NIC-degradation and a straggler window with the
+    /// same probability. Same seed ⇒ same plan, byte for byte.
+    pub fn random(seed: u64, n_nodes: usize, horizon_seconds: f64, crash_p: f64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::none();
+        for node in 0..n_nodes {
+            if rng.next_f64() < crash_p {
+                plan = plan.crash(node, rng.next_f64() * horizon_seconds);
+            }
+            if rng.next_f64() < crash_p {
+                let from = rng.next_f64() * horizon_seconds;
+                let len = rng.next_f64() * horizon_seconds * 0.25;
+                let factor = 0.1 + 0.8 * rng.next_f64();
+                plan = plan.degrade_nic(node, from, from + len, factor);
+            }
+            if rng.next_f64() < crash_p {
+                let from = rng.next_f64() * horizon_seconds;
+                let len = rng.next_f64() * horizon_seconds * 0.25;
+                let factor = 0.2 + 0.7 * rng.next_f64();
+                plan = plan.straggle(node, from, from + len, factor);
+            }
+        }
+        plan
+    }
+
+    /// Whether `node` is crashed at time `t` (crashes are permanent until
+    /// [`recovered`](Self::recovered) marks the node rebuilt).
+    pub fn is_down(&self, node: usize, t_seconds: f64) -> bool {
+        self.faults.iter().any(|f| match *f {
+            Fault::Crash { node: n, at_seconds } => n == node && t_seconds >= at_seconds,
+            _ => false,
+        })
+    }
+
+    /// The crash time of `node`, if one is scheduled.
+    pub fn crash_time(&self, node: usize) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::Crash { node: n, at_seconds } if n == node => Some(at_seconds),
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))
+    }
+
+    /// Remaining NIC-bandwidth fraction of `node` at time `t` (1.0 when
+    /// healthy; the worst overlapping window wins).
+    pub fn nic_factor(&self, node: usize, t_seconds: f64) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::NicDegrade { node: n, from_seconds, until_seconds, factor }
+                    if n == node && t_seconds >= from_seconds && t_seconds < until_seconds =>
+                {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .fold(1.0, f64::min)
+    }
+
+    /// Remaining compute-speed fraction of `node` at time `t` (1.0 when
+    /// healthy; the worst overlapping window wins).
+    pub fn compute_factor(&self, node: usize, t_seconds: f64) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::Straggler { node: n, from_seconds, until_seconds, factor }
+                    if n == node && t_seconds >= from_seconds && t_seconds < until_seconds =>
+                {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .fold(1.0, f64::min)
+    }
+
+    /// Returns the plan with `node`'s crash removed (the node has been
+    /// rebuilt and rejoins the ring).
+    pub fn recovered(mut self, node: usize) -> Self {
+        self.faults.retain(|f| !matches!(*f, Fault::Crash { node: n, .. } if n == node));
+        self
+    }
+
+    /// Nodes alive at `t`, ascending.
+    pub fn live_nodes(&self, n_nodes: usize, t_seconds: f64) -> Vec<usize> {
+        (0..n_nodes).filter(|&n| !self.is_down(n, t_seconds)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_is_permanent_from_its_instant() {
+        let p = FaultPlan::none().crash(3, 1.5);
+        assert!(!p.is_down(3, 1.49));
+        assert!(p.is_down(3, 1.5));
+        assert!(p.is_down(3, 100.0));
+        assert!(!p.is_down(2, 100.0));
+        assert_eq!(p.crash_time(3), Some(1.5));
+        assert_eq!(p.crash_time(2), None);
+    }
+
+    #[test]
+    fn windows_gate_their_factors() {
+        let p = FaultPlan::none().degrade_nic(1, 2.0, 4.0, 0.25).straggle(1, 3.0, 5.0, 0.5);
+        assert_eq!(p.nic_factor(1, 1.9), 1.0);
+        assert_eq!(p.nic_factor(1, 2.0), 0.25);
+        assert_eq!(p.nic_factor(1, 3.99), 0.25);
+        assert_eq!(p.nic_factor(1, 4.0), 1.0);
+        assert_eq!(p.compute_factor(1, 3.5), 0.5);
+        assert_eq!(p.compute_factor(0, 3.5), 1.0);
+    }
+
+    #[test]
+    fn overlapping_windows_take_the_worst_factor() {
+        let p = FaultPlan::none().degrade_nic(0, 0.0, 10.0, 0.5).degrade_nic(0, 5.0, 6.0, 0.1);
+        assert_eq!(p.nic_factor(0, 5.5), 0.1);
+        assert_eq!(p.nic_factor(0, 7.0), 0.5);
+    }
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        let a = FaultPlan::random(42, 16, 60.0, 0.3);
+        let b = FaultPlan::random(42, 16, 60.0, 0.3);
+        assert_eq!(a, b, "same seed must give the same plan");
+        let c = FaultPlan::random(43, 16, 60.0, 0.3);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn recovery_clears_the_crash_only() {
+        let p = FaultPlan::none().crash(2, 1.0).degrade_nic(2, 0.0, 9.0, 0.5);
+        let r = p.recovered(2);
+        assert!(!r.is_down(2, 5.0));
+        assert_eq!(r.nic_factor(2, 5.0), 0.5, "non-crash faults survive recovery");
+    }
+
+    #[test]
+    fn live_nodes_excludes_the_crashed() {
+        let p = FaultPlan::none().crash(1, 0.0).crash(3, 10.0);
+        assert_eq!(p.live_nodes(4, 5.0), vec![0, 2, 3]);
+        assert_eq!(p.live_nodes(4, 10.0), vec![0, 2]);
+    }
+}

@@ -7,30 +7,47 @@
 //!
 //! - [`fabric`] — the shared network: per-node NIC bandwidth, a shared
 //!   switch, per-hop latency, with congestion from first principles via
-//!   `dpu_sim::BandwidthServer` queuing.
+//!   `dpu_sim::BandwidthServer` queuing. Fault plans thread through it
+//!   (a degraded NIC carries payloads at a fraction of its rate).
 //! - [`shard`] — hash/range sharding of the TPC-H database across nodes:
 //!   `orders` and `lineitem` are co-sharded by order key (every row lives
 //!   on exactly one shard), dimension tables are replicated.
+//! - [`replica`] — k-way chained-declustering placement: each fact shard
+//!   is stored on `k` distinct nodes so a crash spreads its load over
+//!   several survivors; `k = 1` reproduces the unreplicated layout.
+//! - [`fault`] — deterministic fault injection: crashes, transient NIC
+//!   degradation and compute stragglers scheduled up front (optionally
+//!   from a seed), so every faulty run is exactly reproducible.
 //! - [`coordinator`] — scatter/gather plans for the eight Figure 16
-//!   queries: local scan/filter/partial-aggregate per node, an all-to-all
-//!   shuffle where the group key is not the sharding key (Q10), and a
-//!   coordinator merge. Per-node work is costed by the same roofline the
-//!   single-node engine uses, so cluster time = max over nodes + fabric
-//!   transfer + merge. Distributed results are bit-identical to the
-//!   single-node engine's.
+//!   queries: local scan/filter/partial-aggregate per shard on a live
+//!   replica, an all-to-all shuffle where the group key is not the
+//!   sharding key (Q10), and a coordinator merge. Failover routing
+//!   re-issues a crashed node's sub-plans to the next replica after a
+//!   fabric-derived timeout; [`Cluster::recover`] models re-replicating
+//!   a lost node from survivors. Per-node work is costed by the same
+//!   roofline the single-node engine uses, so cluster time = max over
+//!   nodes + fabric transfer + merge. Distributed results stay
+//!   bit-identical to the single-node engine's under any fault pattern
+//!   that leaves each shard one live replica.
 //! - [`serve`] — a closed-loop multi-client serving front-end with
 //!   admission control and same-template query batching, reporting rack
 //!   QPS, latency percentiles and performance/watt against a
-//!   multi-socket Xeon rack ([`xeon_model::XeonRack`]).
+//!   multi-socket Xeon rack ([`xeon_model::XeonRack`]); a degraded-window
+//!   mode measures the QPS dip while a failure is being recovered.
 
 pub mod coordinator;
 pub mod fabric;
+pub mod fault;
+pub mod replica;
 pub mod serve;
 pub mod shard;
 
 pub use coordinator::{
-    Cluster, ClusterConfig, ClusterQueryCost, DistributedQuery, NodeCost, QueryId, QueryOutput,
+    Cluster, ClusterConfig, ClusterQueryCost, DistributedQuery, NodeCost, QueryError, QueryId,
+    QueryOutput, RecoveryReport, ShardRun,
 };
 pub use fabric::{Fabric, FabricConfig};
-pub use serve::{serve, ServeConfig, ServeReport, Template};
-pub use shard::{shard_table, shard_tpch, ShardPolicy, ShardedTpch};
+pub use fault::{Fault, FaultPlan};
+pub use replica::Placement;
+pub use serve::{serve, serve_with_faults, DegradedWindow, ServeConfig, ServeReport, Template};
+pub use shard::{shard_table, shard_tpch, shard_tpch_replicated, ShardPolicy, ShardedTpch};

@@ -1,0 +1,124 @@
+//! K-way replica placement by chained declustering.
+//!
+//! Each logical shard is stored on `k` distinct nodes: its *primary*
+//! (node `s` for shard `s`, exactly the pre-replication layout) plus
+//! `k-1` chained copies on the next nodes around the ring
+//! (`s+1, …, s+k-1 mod n`). Chained declustering (Hsiao & DeWitt, 1990)
+//! has the property that when a node fails, the shards it carried are
+//! re-hosted on *different* survivors — its primary shard moves to its
+//! successor while the copies it held are served by their own primaries —
+//! so a failure spreads load over neighbors instead of doubling one
+//! node's work the way mirrored pairs do.
+//!
+//! `k = 1` degenerates to "shard `s` lives on node `s`", bit-identical
+//! to the unreplicated placement, and is property-tested to stay that
+//! way.
+
+/// Chained-declustering placement of `n_shards == n_nodes` shards with
+/// `k` replicas each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    n_nodes: usize,
+    k: usize,
+}
+
+impl Placement {
+    /// A placement of one shard per node with `k` replicas each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds `n_nodes` (replicas must land on
+    /// distinct nodes).
+    pub fn new(n_nodes: usize, k: usize) -> Self {
+        assert!(n_nodes > 0, "a placement needs nodes");
+        assert!(k >= 1, "need at least one replica");
+        assert!(k <= n_nodes, "{k} replicas cannot occupy {n_nodes} distinct nodes");
+        Placement { n_nodes, k }
+    }
+
+    /// Node count (== shard count).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Replication factor.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `k` distinct nodes holding `shard`, primary first, then the
+    /// chained copies in failover-preference order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn owners(&self, shard: usize) -> Vec<usize> {
+        assert!(shard < self.n_nodes, "shard {shard} out of range");
+        (0..self.k).map(|j| (shard + j) % self.n_nodes).collect()
+    }
+
+    /// The primary node of `shard` (its first owner).
+    pub fn primary(&self, shard: usize) -> usize {
+        assert!(shard < self.n_nodes, "shard {shard} out of range");
+        shard
+    }
+
+    /// The shards stored on `node` (as primary or copy), ascending.
+    pub fn shards_on(&self, node: usize) -> Vec<usize> {
+        assert!(node < self.n_nodes, "node {node} out of range");
+        let mut shards: Vec<usize> =
+            (0..self.k).map(|j| (node + self.n_nodes - j) % self.n_nodes).collect();
+        shards.sort_unstable();
+        shards
+    }
+
+    /// Whether `node` holds a replica of `shard`.
+    pub fn holds(&self, node: usize, shard: usize) -> bool {
+        self.owners(shard).contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_are_k_distinct_chained_nodes() {
+        let p = Placement::new(8, 3);
+        for s in 0..8 {
+            let o = p.owners(s);
+            assert_eq!(o.len(), 3);
+            assert_eq!(o[0], s, "primary is the shard's own node");
+            assert_eq!(o[1], (s + 1) % 8);
+            assert_eq!(o[2], (s + 2) % 8);
+            let distinct: std::collections::HashSet<_> = o.iter().collect();
+            assert_eq!(distinct.len(), 3, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn k1_is_the_identity_placement() {
+        let p = Placement::new(6, 1);
+        for s in 0..6 {
+            assert_eq!(p.owners(s), vec![s]);
+            assert_eq!(p.shards_on(s), vec![s]);
+        }
+    }
+
+    #[test]
+    fn shards_on_inverts_owners() {
+        let p = Placement::new(8, 3);
+        for node in 0..8 {
+            for s in 0..8 {
+                assert_eq!(p.shards_on(node).contains(&s), p.holds(node, s));
+            }
+            assert_eq!(p.shards_on(node).len(), 3, "k shards per node");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn k_larger_than_nodes_is_rejected() {
+        Placement::new(3, 4);
+    }
+}

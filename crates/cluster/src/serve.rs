@@ -7,6 +7,12 @@
 //! in-flight work. This module simulates that loop deterministically and
 //! reports rack QPS, latency percentiles, and performance/watt against a
 //! multi-socket Xeon rack serving the same mix.
+//!
+//! [`serve_with_faults`] additionally applies a [`DegradedWindow`] — the
+//! period between a node crash and the end of its recovery, during which
+//! surviving replicas absorb the dead node's shards and every batch runs
+//! slower — and reports QPS before, during, and after the window so the
+//! dip and the post-recovery return to steady state are measurable.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -26,6 +32,20 @@ pub struct Template {
     pub cost: ClusterQueryCost,
     /// The per-socket Xeon time for the same query, seconds.
     pub xeon_seconds: f64,
+}
+
+/// A period of degraded service: from a node's crash until its recovery
+/// completes, every batch dispatched inside the window runs slower by
+/// `cost_factor` (survivors serve the dead node's shards on top of their
+/// own, and re-replication traffic competes for the fabric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedWindow {
+    /// Window start (the crash), seconds.
+    pub from_seconds: f64,
+    /// Window end (recovery complete), seconds.
+    pub until_seconds: f64,
+    /// Batch-time multiplier inside the window (≥ 1).
+    pub cost_factor: f64,
 }
 
 /// Serving-loop parameters.
@@ -78,6 +98,14 @@ pub struct ServeReport {
     pub p99: f64,
     /// Mean executed batch size.
     pub mean_batch: f64,
+    /// QPS over completions before the degraded window (equals `qps`
+    /// when no window was applied).
+    pub qps_pre_fault: f64,
+    /// QPS inside the degraded window (0 when no window was applied).
+    pub qps_during_fault: f64,
+    /// QPS after the degraded window closes (0 when no window was
+    /// applied or the window reaches the horizon).
+    pub qps_post_fault: f64,
     /// Provisioned cluster power, watts.
     pub cluster_watts: f64,
     /// The Xeon rack's QPS on the same template mix.
@@ -105,8 +133,8 @@ impl Ord for OrdF64 {
 }
 
 /// Runs the closed-loop serving simulation over `templates` (uniform
-/// template mix) on a cluster drawing `cluster_watts`, comparing against
-/// `xeon_rack` serving the same mix one query per socket.
+/// template mix) on a healthy cluster drawing `cluster_watts`, comparing
+/// against `xeon_rack` serving the same mix one query per socket.
 ///
 /// # Panics
 ///
@@ -118,9 +146,30 @@ pub fn serve(
     xeon_rack: &XeonRack,
     cfg: &ServeConfig,
 ) -> ServeReport {
+    serve_with_faults(templates, cluster_watts, xeon_rack, cfg, None)
+}
+
+/// [`serve`], with batches dispatched inside `window` slowed by its
+/// `cost_factor` — the coarse serving-level view of a crash + recovery.
+///
+/// # Panics
+///
+/// Panics like [`serve`], or if the window is inverted or its factor is
+/// below 1.
+pub fn serve_with_faults(
+    templates: &[Template],
+    cluster_watts: f64,
+    xeon_rack: &XeonRack,
+    cfg: &ServeConfig,
+    window: Option<&DegradedWindow>,
+) -> ServeReport {
     assert!(!templates.is_empty(), "need at least one template");
     assert!(cfg.clients > 0 && cfg.duration_seconds > 0.0, "degenerate config");
     assert!(cfg.max_batch > 0 && cfg.admit_cap > 0, "degenerate config");
+    if let Some(w) = window {
+        assert!(w.from_seconds <= w.until_seconds, "inverted degraded window");
+        assert!(w.cost_factor >= 1.0, "a degraded window cannot speed the cluster up");
+    }
 
     let mut rng = SplitMix64::new(cfg.seed);
     let mut uniform = move || rng.next_f64();
@@ -145,6 +194,7 @@ pub fn serve(
     let mut server_free_at = 0.0f64;
     let mut server_busy = false;
     let mut latencies: Vec<f64> = Vec::new();
+    let mut done_times: Vec<f64> = Vec::new();
     let mut rejected = 0u64;
     let mut batches = 0u64;
 
@@ -188,12 +238,19 @@ pub fn serve(
             }
             queue = rest;
             let start = server_free_at.max(now);
-            let done = start + templates[tmpl].cost.batch_seconds(batch.len());
+            let mut exec = templates[tmpl].cost.batch_seconds(batch.len());
+            if let Some(w) = window {
+                if start >= w.from_seconds && start < w.until_seconds {
+                    exec *= w.cost_factor;
+                }
+            }
+            let done = start + exec;
             server_free_at = done;
             server_busy = true;
             batches += 1;
             for &(arr, _) in &batch {
                 latencies.push(done - arr);
+                done_times.push(done);
                 // The issuing client thinks, then comes back.
                 let u = uniform();
                 events.push(Reverse((OrdF64(done + think(u)), seq, 0)));
@@ -219,6 +276,23 @@ pub fn serve(
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
 
+    // Bucket completions around the degraded window (whole horizon =
+    // "pre" when no window was applied).
+    let (w_from, w_until) = window
+        .map(|w| {
+            (w.from_seconds.min(cfg.duration_seconds), w.until_seconds.min(cfg.duration_seconds))
+        })
+        .unwrap_or((cfg.duration_seconds, cfg.duration_seconds));
+    let bucket_qps = |lo: f64, hi: f64| -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        done_times.iter().filter(|&&d| d >= lo && d < hi).count() as f64 / (hi - lo)
+    };
+    let qps_pre_fault = bucket_qps(0.0, w_from);
+    let qps_during_fault = bucket_qps(w_from, w_until);
+    let qps_post_fault = bucket_qps(w_until, cfg.duration_seconds);
+
     let mean_xeon = templates.iter().map(|t| t.xeon_seconds).sum::<f64>() / templates.len() as f64;
     let xeon_qps = xeon_rack.qps(mean_xeon);
     let xeon_watts = xeon_rack.rack_watts();
@@ -235,6 +309,9 @@ pub fn serve(
         p95: pct(0.95),
         p99: pct(0.99),
         mean_batch: if batches > 0 { completed as f64 / batches as f64 } else { 0.0 },
+        qps_pre_fault,
+        qps_during_fault,
+        qps_post_fault,
         cluster_watts,
         xeon_qps,
         xeon_watts,
@@ -256,6 +333,7 @@ mod tests {
                 fabric_seconds: local / 10.0,
                 merge_seconds: local / 100.0,
                 fabric_bytes: 1 << 20,
+                failovers: 0,
             },
             xeon_seconds: xeon,
         }
@@ -274,6 +352,10 @@ mod tests {
         assert!(a.p50 <= a.p95 && a.p95 <= a.p99);
         assert!(a.mean_latency > 0.0);
         assert!(a.qps > 0.0);
+        // No window: everything lands in the "pre" bucket.
+        assert!(a.qps_pre_fault > 0.0);
+        assert_eq!(a.qps_during_fault, 0.0);
+        assert_eq!(a.qps_post_fault, 0.0);
     }
 
     #[test]
@@ -312,5 +394,46 @@ mod tests {
             batched.qps,
             unbatched.qps
         );
+    }
+
+    #[test]
+    fn degraded_window_dips_qps_then_recovers_within_5_percent() {
+        // Saturated loop so QPS tracks service rate directly: the window
+        // must dip throughput while it is open and leave no residue once
+        // recovery completes.
+        let templates = vec![template("Q1", 0.05, 0.5)];
+        let rack = XeonRack::rack_42u();
+        let cfg = ServeConfig {
+            clients: 64,
+            think_seconds: 0.0,
+            duration_seconds: 60.0,
+            ..ServeConfig::default()
+        };
+        let window = DegradedWindow { from_seconds: 20.0, until_seconds: 40.0, cost_factor: 3.0 };
+        let r = serve_with_faults(&templates, 88.0, &rack, &cfg, Some(&window));
+        assert!(
+            r.qps_during_fault < 0.6 * r.qps_pre_fault,
+            "a 3× slowdown must dip QPS: {} vs {}",
+            r.qps_during_fault,
+            r.qps_pre_fault
+        );
+        let ratio = r.qps_post_fault / r.qps_pre_fault;
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "post-recovery QPS must return to within 5% of steady state (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn degraded_serving_stays_deterministic() {
+        let templates = vec![template("Q1", 0.02, 0.5), template("Q6", 0.01, 0.3)];
+        let rack = XeonRack::rack_42u();
+        let cfg = ServeConfig { duration_seconds: 15.0, ..ServeConfig::default() };
+        let w = DegradedWindow { from_seconds: 5.0, until_seconds: 9.0, cost_factor: 2.0 };
+        let a = serve_with_faults(&templates, 88.0, &rack, &cfg, Some(&w));
+        let b = serve_with_faults(&templates, 88.0, &rack, &cfg, Some(&w));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.qps_during_fault, b.qps_during_fault);
+        assert_eq!(a.p99, b.p99);
     }
 }

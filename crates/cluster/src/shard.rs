@@ -1,18 +1,25 @@
-//! Sharding TPC-H across DPU nodes.
+//! Sharding TPC-H across DPU nodes, with k-way replica placement.
 //!
 //! Each node owns 8 GB — a rack-resident dataset must be partitioned.
 //! The layout mirrors what distributed warehouses do on top of the
 //! paper's hardware: the two fact tables (`orders`, `lineitem`) are
 //! **co-sharded by order key**, so every order and all of its line items
-//! live on exactly one node and the orders⋈lineitem join never crosses
-//! the fabric; the small dimension tables (customer, part, supplier,
-//! nation, region) are **replicated** to every node at load time over a
-//! fabric broadcast. Only re-keyed aggregations (Q10's group-by
-//! customer) need a network shuffle at query time.
+//! live on exactly one logical shard and the orders⋈lineitem join never
+//! crosses the fabric; the small dimension tables (customer, part,
+//! supplier, nation, region) are **replicated** to every node at load
+//! time over a fabric broadcast. Only re-keyed aggregations (Q10's
+//! group-by customer) need a network shuffle at query time.
+//!
+//! Since PR 2, each fact shard is additionally **stored on `k` distinct
+//! nodes** under chained-declustering [`Placement`] so a node crash
+//! degrades throughput instead of losing a shard; `k = 1` reproduces the
+//! original one-copy layout exactly.
 
 use dpu_isa::hash::crc32c_u64;
 use dpu_sql::tpch::{project_rows, TpchDb};
 use dpu_sql::{sample_bounds, Table};
+
+use crate::replica::Placement;
 
 /// How rows map to shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,34 +93,66 @@ pub fn shard_table(table: &Table, key: &str, policy: &ShardPolicy) -> Vec<Table>
 /// The database distributed across a cluster.
 #[derive(Debug, Clone)]
 pub struct ShardedTpch {
-    /// Per-node databases: sharded facts + replicated dimensions.
-    pub nodes: Vec<TpchDb>,
+    /// Per-shard databases: sharded facts + replicated dimensions. Shard
+    /// `s` is stored on every node in `placement.owners(s)`.
+    pub shards: Vec<TpchDb>,
+    /// Which nodes hold a replica of each shard.
+    pub placement: Placement,
     /// The fact-table placement policy.
     pub policy: ShardPolicy,
-    /// Fact bytes scattered point-to-point at load time (each row once).
+    /// Fact bytes scattered point-to-point at load time (each row `k`
+    /// times — once per replica).
     pub scatter_bytes: u64,
     /// Dimension bytes each node receives from the load-time broadcast.
     pub broadcast_bytes: u64,
 }
 
 impl ShardedTpch {
-    /// Node count.
+    /// Node count (== shard count).
     pub fn n_nodes(&self) -> usize {
-        self.nodes.len()
+        self.shards.len()
     }
 
-    /// Lineitem rows per node (the skew metric).
+    /// Replication factor.
+    pub fn k(&self) -> usize {
+        self.placement.k()
+    }
+
+    /// Lineitem rows per shard (the skew metric).
     pub fn lineitem_rows(&self) -> Vec<usize> {
-        self.nodes.iter().map(|n| n.lineitem.rows()).collect()
+        self.shards.iter().map(|n| n.lineitem.rows()).collect()
+    }
+
+    /// Fact bytes of shard `s` (one replica's worth).
+    pub fn shard_fact_bytes(&self, s: usize) -> u64 {
+        self.shards[s].orders.bytes() + self.shards[s].lineitem.bytes()
+    }
+
+    /// Fact bytes stored on `node` across all shards it holds.
+    pub fn node_fact_bytes(&self, node: usize) -> u64 {
+        self.placement.shards_on(node).iter().map(|&s| self.shard_fact_bytes(s)).sum()
     }
 }
 
-/// Distributes `db` across shards: `orders` and `lineitem` co-sharded by
-/// order key under `policy`, dimensions replicated everywhere.
+/// Distributes `db` across shards with one replica each: `orders` and
+/// `lineitem` co-sharded by order key under `policy`, dimensions
+/// replicated everywhere. Equivalent to
+/// [`shard_tpch_replicated`]`(db, policy, 1)`.
 pub fn shard_tpch(db: &TpchDb, policy: &ShardPolicy) -> ShardedTpch {
+    shard_tpch_replicated(db, policy, 1)
+}
+
+/// Distributes `db` across shards with `k` replicas per fact shard under
+/// chained-declustering placement. Dimensions are replicated to every
+/// node regardless of `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the shard count.
+pub fn shard_tpch_replicated(db: &TpchDb, policy: &ShardPolicy, k: usize) -> ShardedTpch {
     let orders = shard_table(&db.orders, "o_orderkey", policy);
     let lineitem = shard_table(&db.lineitem, "l_orderkey", policy);
-    let nodes: Vec<TpchDb> = orders
+    let shards: Vec<TpchDb> = orders
         .into_iter()
         .zip(lineitem)
         .map(|(o, l)| TpchDb {
@@ -126,15 +165,17 @@ pub fn shard_tpch(db: &TpchDb, policy: &ShardPolicy) -> ShardedTpch {
             region: db.region.clone(),
         })
         .collect();
+    let placement = Placement::new(shards.len(), k);
     let broadcast_bytes = db.customer.bytes()
         + db.part.bytes()
         + db.supplier.bytes()
         + db.nation.bytes()
         + db.region.bytes();
     ShardedTpch {
-        nodes,
+        shards,
+        placement,
         policy: policy.clone(),
-        scatter_bytes: db.orders.bytes() + db.lineitem.bytes(),
+        scatter_bytes: k as u64 * (db.orders.bytes() + db.lineitem.bytes()),
         broadcast_bytes,
     }
 }
@@ -194,13 +235,14 @@ mod tests {
         let db = generate(500, 7);
         let sharded = shard_tpch(&db, &ShardPolicy::hash(8));
         assert_eq!(sharded.n_nodes(), 8);
+        assert_eq!(sharded.k(), 1);
         // Every row placed exactly once.
-        let o: usize = sharded.nodes.iter().map(|n| n.orders.rows()).sum();
-        let l: usize = sharded.nodes.iter().map(|n| n.lineitem.rows()).sum();
+        let o: usize = sharded.shards.iter().map(|n| n.orders.rows()).sum();
+        let l: usize = sharded.shards.iter().map(|n| n.lineitem.rows()).sum();
         assert_eq!(o, db.orders.rows());
         assert_eq!(l, db.lineitem.rows());
-        // Co-sharding: a node's lineitem keys all appear in its orders.
-        for node in &sharded.nodes {
+        // Co-sharding: a shard's lineitem keys all appear in its orders.
+        for node in &sharded.shards {
             let owned: std::collections::HashSet<i64> =
                 node.orders.column("o_orderkey").unwrap().data.iter().copied().collect();
             for &k in &node.lineitem.column("l_orderkey").unwrap().data {
@@ -212,5 +254,24 @@ mod tests {
         }
         assert_eq!(sharded.scatter_bytes, db.orders.bytes() + db.lineitem.bytes());
         assert!(sharded.broadcast_bytes > 0);
+    }
+
+    #[test]
+    fn replication_multiplies_storage_not_shards() {
+        let db = generate(400, 11);
+        let one = shard_tpch_replicated(&db, &ShardPolicy::hash(6), 1);
+        let three = shard_tpch_replicated(&db, &ShardPolicy::hash(6), 3);
+        // The logical shards are identical — replication changes where
+        // they are stored, not how rows partition.
+        assert_eq!(one.shards.len(), three.shards.len());
+        for (a, b) in one.shards.iter().zip(&three.shards) {
+            assert_eq!(a.orders.rows(), b.orders.rows());
+            assert_eq!(a.lineitem.rows(), b.lineitem.rows());
+        }
+        assert_eq!(three.scatter_bytes, 3 * one.scatter_bytes);
+        // Each node stores k shards' worth of facts; the total across
+        // nodes is k × the database.
+        let per_node: u64 = (0..6).map(|n| three.node_fact_bytes(n)).sum();
+        assert_eq!(per_node, 3 * (db.orders.bytes() + db.lineitem.bytes()));
     }
 }

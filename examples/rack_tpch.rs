@@ -1,17 +1,21 @@
-//! Rack-scale TPC-H: shard the database across 8 simulated DPU nodes,
-//! run the full 8-query suite scatter/gather, and serve it to a
-//! closed-loop client population.
+//! Rack-scale TPC-H: shard the database across 8 simulated DPU nodes
+//! with 2-way replication, run the full 8-query suite scatter/gather,
+//! crash a node mid-run to show failover, rebuild it from surviving
+//! replicas, and serve the suite to a closed-loop client population.
 //!
 //! Demonstrates the `cluster` crate end to end: hash sharding (orders
-//! and lineitem co-located by order key, dimensions replicated), the
-//! shared-Infiniband fabric model, per-query distributed plans whose
-//! results are bit-identical to single-node execution, and the serving
-//! front-end's QPS / latency / performance-per-watt report against a
-//! 42U Xeon rack.
+//! and lineitem co-located by order key, dimensions replicated),
+//! chained-declustering replica placement, the shared-Infiniband fabric
+//! model, deterministic fault injection with failover routing whose
+//! results stay bit-identical to single-node execution, the recovery
+//! model, and the serving front-end's QPS / latency /
+//! performance-per-watt report against a 42U Xeon rack.
 //!
 //! Run with: `cargo run --release --example rack_tpch`
 
-use dpu_repro::cluster::{serve, Cluster, ClusterConfig, ServeConfig, ShardPolicy, Template};
+use dpu_repro::cluster::{
+    serve, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy, Template,
+};
 use dpu_repro::sql::tpch;
 use dpu_repro::xeon::XeonRack;
 
@@ -19,15 +23,16 @@ fn main() {
     let nodes = 8;
     let db = tpch::generate(2000, 2026);
     println!(
-        "Sharding TPC-H ({} orders, {} lineitem rows) across {nodes} DPU nodes…",
+        "Sharding TPC-H ({} orders, {} lineitem rows) across {nodes} DPU nodes, k=2…",
         db.orders.rows(),
         db.lineitem.rows()
     );
 
     let policy = ShardPolicy::hash(nodes);
-    let mut cluster = Cluster::new(db, &policy, ClusterConfig::prototype_slice(nodes, 30_000));
+    let cfg = ClusterConfig::prototype_slice(nodes, 30_000).with_replicas(2);
+    let mut cluster = Cluster::new(db, &policy, cfg);
     println!(
-        "Load: {:.3} ms (fact scatter + dimension broadcast over the fabric)\n",
+        "Load: {:.3} ms (fact scatter ×2 replicas + dimension broadcast over the fabric)\n",
         cluster.load_seconds() * 1e3
     );
 
@@ -48,6 +53,30 @@ fn main() {
             xeon_seconds: r.single_cost.xeon.seconds,
         });
     }
+
+    // Crash node 3 halfway through Q1's local phase: the query fails
+    // over to the surviving replicas and still matches single-node.
+    let healthy = templates[0].cost.clone();
+    cluster.set_faults(FaultPlan::none().crash(3, healthy.local_seconds * 0.5));
+    let under_fault = cluster.try_run_at(QueryId::Q1, 0.0).expect("replicas cover the crash");
+    assert!(under_fault.matches_single(), "failover must not change the answer");
+    println!(
+        "\nCrash node 3 mid-Q1: {} failover(s), {:.2} ms → {:.2} ms, result still exact ✓",
+        under_fault.cost.failovers,
+        healthy.total_seconds() * 1e3,
+        under_fault.cost.total_seconds() * 1e3
+    );
+
+    // Rebuild the dead node from surviving replicas and rejoin it.
+    let recovery = cluster.recover(3, under_fault.cost.total_seconds());
+    println!(
+        "Recovery: {} shard(s), {:.1} KiB re-replicated in {:.3} ms; node 3 back in the ring",
+        recovery.shards.len(),
+        recovery.bytes_moved as f64 / 1024.0,
+        recovery.rebuild_seconds * 1e3
+    );
+    let after = cluster.run(QueryId::Q1);
+    assert_eq!(after.cost.failovers, 0, "a recovered cluster routes normally");
 
     let rack = XeonRack::rack_42u();
     let report = serve(&templates, cluster.watts(), &rack, &ServeConfig::default());

@@ -1,0 +1,195 @@
+//! Cluster fault-injection suite: every TPC-H query must survive node
+//! crashes with **bit-identical** results as long as each shard keeps a
+//! live replica, fail cleanly (never wrongly) when one does not, and
+//! behave deterministically under any fault plan.
+
+use dpu_repro::cluster::{Cluster, ClusterConfig, FaultPlan, QueryError, QueryId, ShardPolicy};
+use dpu_repro::sql::tpch;
+
+const NODES: usize = 8;
+
+fn cluster(k: usize) -> Cluster {
+    let db = tpch::generate(500, 13);
+    let cfg = ClusterConfig::prototype_slice(NODES, 10_000).with_replicas(k);
+    Cluster::new(db, &ShardPolicy::hash(NODES), cfg)
+}
+
+/// The healthy local-phase duration of `id`, for aiming crashes mid-query.
+fn healthy_local_seconds(id: QueryId, k: usize) -> f64 {
+    cluster(k).run(id).cost.local_seconds
+}
+
+#[test]
+fn every_query_survives_every_single_node_crash_at_k2() {
+    for id in QueryId::ALL {
+        let mid = healthy_local_seconds(id, 2) * 0.5;
+        for victim in 0..NODES {
+            let mut c = cluster(2);
+            c.set_faults(FaultPlan::none().crash(victim, mid));
+            let q = c
+                .try_run_at(id, 0.0)
+                .unwrap_or_else(|e| panic!("{} with node {victim} down: {e}", id.name()));
+            assert!(
+                q.matches_single(),
+                "{} diverged from single-node after node {victim} crashed mid-query",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_query_survives_crashes_at_query_start_at_k2() {
+    // Crash at t = 0: the scheduler must route around the dead node from
+    // the first placement decision, not just on failover.
+    for id in QueryId::ALL {
+        for victim in 0..NODES {
+            let mut c = cluster(2);
+            c.set_faults(FaultPlan::none().crash(victim, 0.0));
+            let q = c
+                .try_run_at(id, 0.0)
+                .unwrap_or_else(|e| panic!("{} with node {victim} down: {e}", id.name()));
+            assert!(q.matches_single(), "{} diverged (node {victim} down from start)", id.name());
+        }
+    }
+}
+
+#[test]
+fn every_query_survives_every_node_pair_crash_at_k3() {
+    // k = 3 tolerates any two failures: all node pairs, crashing at two
+    // different instants so one failover is already in flight when the
+    // second node dies.
+    for id in QueryId::ALL {
+        let mid = healthy_local_seconds(id, 3) * 0.5;
+        for a in 0..NODES {
+            for b in (a + 1)..NODES {
+                let mut c = cluster(3);
+                c.set_faults(FaultPlan::none().crash(a, mid * 0.6).crash(b, mid));
+                let q = c
+                    .try_run_at(id, 0.0)
+                    .unwrap_or_else(|e| panic!("{} with nodes {a},{b} down: {e}", id.name()));
+                assert!(
+                    q.matches_single(),
+                    "{} diverged after nodes {a} and {b} crashed",
+                    id.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k1_crash_makes_its_shard_unavailable_for_all_queries() {
+    // Unreplicated, any crash strands exactly the victim's shard.
+    for id in QueryId::ALL {
+        let mut c = cluster(1);
+        c.set_faults(FaultPlan::none().crash(3, 0.0));
+        match c.try_run_at(id, 0.0) {
+            Err(QueryError::ShardUnavailable { shard: 3 }) => {}
+            other => panic!("{}: expected ShardUnavailable(3), got {other:?}", id.name()),
+        }
+    }
+}
+
+#[test]
+fn losing_every_replica_is_a_clean_error_for_all_queries() {
+    // k = 2: shard s lives on nodes {s, s+1}. Killing both strands the
+    // shard — every query must report ShardUnavailable, never panic or
+    // return a partial answer.
+    let shard = 2usize;
+    for id in QueryId::ALL {
+        let mut c = cluster(2);
+        c.set_faults(FaultPlan::none().crash(shard, 0.0).crash((shard + 1) % NODES, 0.0));
+        match c.try_run_at(id, 0.0) {
+            Err(QueryError::ShardUnavailable { shard: s }) => {
+                assert_eq!(s, shard, "{}: wrong shard blamed", id.name())
+            }
+            Ok(_) => panic!("{} answered with shard {shard} fully dead", id.name()),
+            Err(other) => panic!("{}: expected ShardUnavailable, got {other}", id.name()),
+        }
+    }
+}
+
+#[test]
+fn late_total_shard_loss_is_still_an_error() {
+    // Both replicas die mid-query, after the local phase may have begun:
+    // the re-issue path must also conclude ShardUnavailable.
+    let mid = healthy_local_seconds(QueryId::Q1, 2) * 0.5;
+    let mut c = cluster(2);
+    c.set_faults(FaultPlan::none().crash(1, mid * 0.9).crash(2, mid));
+    match c.try_run_at(QueryId::Q1, 0.0) {
+        Err(QueryError::ShardUnavailable { shard }) => {
+            assert!(shard == 1 || shard == 2, "blamed shard {shard} is not one of the dead")
+        }
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_runs_are_deterministic() {
+    // Same fault plan, two independently built clusters: identical
+    // outputs AND identical cost breakdowns, bit for bit.
+    let plan = FaultPlan::none()
+        .crash(4, 0.001)
+        .degrade_nic(0, 0.0, 10.0, 0.5)
+        .straggle(3, 0.0, 10.0, 0.5);
+    for id in QueryId::ALL {
+        let mut a = cluster(2);
+        a.set_faults(plan.clone());
+        let mut b = cluster(2);
+        b.set_faults(plan.clone());
+        let ra = a.try_run_at(id, 0.0).expect("replicas cover one crash");
+        let rb = b.try_run_at(id, 0.0).expect("replicas cover one crash");
+        assert_eq!(ra.output, rb.output, "{} output nondeterministic", id.name());
+        assert_eq!(ra.cost, rb.cost, "{} cost nondeterministic under faults", id.name());
+    }
+}
+
+#[test]
+fn seeded_random_plans_yield_reproducible_runs() {
+    // A drawn-from-seed plan exercises the same determinism end to end:
+    // same seed ⇒ same faults ⇒ same routing ⇒ same report.
+    let horizon = 1.0;
+    let plan = FaultPlan::random(2026, NODES, horizon, 0.3);
+    assert_eq!(plan, FaultPlan::random(2026, NODES, horizon, 0.3));
+    let run = |p: &FaultPlan| {
+        let mut c = cluster(3);
+        c.set_faults(p.clone());
+        QueryId::ALL.map(|id| c.try_run_at(id, 0.0).map(|q| (q.output, q.cost)))
+    };
+    let a = run(&plan);
+    let b = run(&plan);
+    assert_eq!(a, b, "seeded fault runs must be byte-identical");
+}
+
+#[test]
+fn failover_is_reported_and_priced() {
+    let id = QueryId::Q5;
+    let mid = healthy_local_seconds(id, 2) * 0.5;
+    let mut healthy = cluster(2);
+    let base = healthy.run(id);
+    let mut faulty = cluster(2);
+    faulty.set_faults(FaultPlan::none().crash(0, mid));
+    let q = faulty.try_run_at(id, 0.0).expect("one replica survives");
+    assert!(q.cost.failovers >= 1, "a mid-query crash must surface as a failover");
+    assert!(
+        q.cost.total_seconds() > base.cost.total_seconds(),
+        "failover must cost wall-clock time"
+    );
+    assert_eq!(base.cost.failovers, 0);
+}
+
+#[test]
+fn recovery_restores_failover_free_routing() {
+    let mut c = cluster(2);
+    c.set_faults(FaultPlan::none().crash(5, 0.0));
+    let degraded = c.try_run_at(QueryId::Q6, 0.0).expect("replicas cover the crash");
+    assert!(degraded.matches_single());
+    let report = c.recover(5, 1.0);
+    assert_eq!(report.node, 5);
+    assert!(report.rebuild_seconds > 0.0);
+    assert!(report.bytes_moved > 0);
+    let after = c.run(QueryId::Q6);
+    assert_eq!(after.cost.failovers, 0, "recovered node must serve its shards again");
+    assert!(after.matches_single());
+}

@@ -1,9 +1,13 @@
 //! Property tests for the rack-scale sharding layer (`dpu-cluster`):
-//! partitioning, skew, and distributed-vs-single-node exactness.
+//! partitioning, skew, replica placement, and
+//! distributed-vs-single-node exactness.
 
 use proptest::prelude::*;
 
-use dpu_repro::cluster::{shard_table, shard_tpch, Cluster, ClusterConfig, QueryId, ShardPolicy};
+use dpu_repro::cluster::{
+    shard_table, shard_tpch, shard_tpch_replicated, Cluster, ClusterConfig, Placement, QueryId,
+    ShardPolicy,
+};
 use dpu_repro::sql::tpch;
 use dpu_repro::sql::{Column, Table};
 
@@ -95,11 +99,11 @@ proptest! {
         let policy = arb_policy(okeys, shards, use_range);
         let sharded = shard_tpch(&db, &policy);
         prop_assert_eq!(sharded.n_nodes(), policy.shards());
-        let o_total: usize = sharded.nodes.iter().map(|n| n.orders.rows()).sum();
-        let l_total: usize = sharded.nodes.iter().map(|n| n.lineitem.rows()).sum();
+        let o_total: usize = sharded.shards.iter().map(|n| n.orders.rows()).sum();
+        let l_total: usize = sharded.shards.iter().map(|n| n.lineitem.rows()).sum();
         prop_assert_eq!(o_total, db.orders.rows());
         prop_assert_eq!(l_total, db.lineitem.rows());
-        for node in &sharded.nodes {
+        for node in &sharded.shards {
             // Every lineitem row's order lives on the same node.
             let owned: std::collections::HashSet<i64> = node
                 .orders.columns[node.orders.col_index("o_orderkey")].data
@@ -110,6 +114,91 @@ proptest! {
             // Dimensions are fully replicated.
             prop_assert_eq!(node.customer.rows(), db.customer.rows());
             prop_assert_eq!(node.nation.rows(), db.nation.rows());
+        }
+    }
+
+    #[test]
+    fn every_shard_has_exactly_k_distinct_owners(
+        nodes in 1usize..24,
+        k_raw in 1usize..6,
+    ) {
+        let k = k_raw.min(nodes);
+        let p = Placement::new(nodes, k);
+        for s in 0..nodes {
+            let owners = p.owners(s);
+            prop_assert_eq!(owners.len(), k, "shard {} must have k owners", s);
+            let distinct: std::collections::HashSet<usize> = owners.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), k, "shard {} owners must be distinct", s);
+            prop_assert!(owners.iter().all(|&o| o < nodes));
+            prop_assert_eq!(owners[0], p.primary(s), "first owner is the primary");
+        }
+    }
+
+    #[test]
+    fn failed_nodes_shards_spread_over_at_least_two_survivors(
+        nodes in 3usize..24,
+        k_raw in 2usize..6,
+        failed in 0usize..24,
+    ) {
+        // Chained declustering's point: the shards a dead node carried are
+        // taken over by *different* survivors, not one mirror.
+        let k = k_raw.min(nodes);
+        let failed = failed % nodes;
+        let p = Placement::new(nodes, k);
+        let takeovers: std::collections::HashSet<usize> = p
+            .shards_on(failed)
+            .into_iter()
+            .map(|s| {
+                *p.owners(s).iter().find(|&&o| o != failed).expect("k ≥ 2 leaves a survivor")
+            })
+            .collect();
+        prop_assert!(
+            takeovers.len() >= 2,
+            "node {}'s load fell on a single survivor: {:?}",
+            failed,
+            takeovers
+        );
+        prop_assert!(!takeovers.contains(&failed));
+    }
+
+    #[test]
+    fn replica_sets_are_stable_under_node_renumbering(
+        nodes in 1usize..24,
+        k_raw in 1usize..6,
+        rot in 0usize..24,
+    ) {
+        // Rotating every node id by a constant rotates each shard's owner
+        // set the same way: placement depends only on ring geometry, so a
+        // renumbering never reshuffles which data sits together.
+        let k = k_raw.min(nodes);
+        let p = Placement::new(nodes, k);
+        for s in 0..nodes {
+            let rotated: Vec<usize> =
+                p.owners(s).iter().map(|&o| (o + rot) % nodes).collect();
+            prop_assert_eq!(p.owners((s + rot) % nodes), rotated);
+        }
+    }
+
+    #[test]
+    fn k1_reproduces_the_unreplicated_placement(
+        orders_n in 40usize..120,
+        seed in 0u64..32,
+        shards in 2usize..7,
+    ) {
+        let p = Placement::new(shards, 1);
+        for s in 0..shards {
+            prop_assert_eq!(p.owners(s), vec![s]);
+            prop_assert_eq!(p.shards_on(s), vec![s]);
+        }
+        let db = tpch::generate(orders_n, seed);
+        let policy = ShardPolicy::hash(shards);
+        let base = shard_tpch(&db, &policy);
+        let one = shard_tpch_replicated(&db, &policy, 1);
+        prop_assert_eq!(one.scatter_bytes, base.scatter_bytes);
+        prop_assert_eq!(one.k(), 1);
+        for (a, b) in base.shards.iter().zip(&one.shards) {
+            prop_assert_eq!(a.orders.rows(), b.orders.rows());
+            prop_assert_eq!(a.lineitem.rows(), b.lineitem.rows());
         }
     }
 
