@@ -11,71 +11,131 @@
 //!   time (repeatable). Queries fail over to surviving replicas and the
 //!   results must stay bit-identical; with `k = 1` a kill makes its
 //!   shard unavailable and the run aborts with the error.
+//! - `--concurrency <n>` — in-flight batches for an extra serving run
+//!   printed alongside the default one (shares the fabric model).
+//! - `--slo-ms <ms>` — latency SLO for that run; turns the adaptive
+//!   batch controller on and reports SLO attainment.
+//! - `--speculate` — race deadline-missing shard sub-plans against a
+//!   backup replica (visible under `--kill`/straggler fault plans; a
+//!   healthy cluster never trips the deadline).
 //!
 //! Regardless of flags, the binary also sweeps k ∈ {1, 2, 3} ×
-//! {0, 1, 2} failed nodes and emits `BENCH_rack_failover.json` with QPS
-//! and p99 per configuration. Everything is seeded: the same build
-//! produces byte-identical reports on every run.
+//! {0, 1, 2} failed nodes and emits `BENCH_rack_failover.json`, plus the
+//! serving-pipeline baseline `BENCH_rack_serve.json`: the SLO-attainment
+//! curve of adaptive vs fixed batching across offered loads, Q10 fabric
+//! interference under concurrency, and speculative straggler recovery.
+//! The emitted JSON never depends on flags. Everything is seeded: the
+//! same build produces byte-identical reports on every run.
 
 use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_cluster::{
-    serve, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy, Template,
+    serve, serve_pipeline, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy,
+    Speculation, Template,
 };
 use dpu_sql::tpch;
 use xeon_model::XeonRack;
 
-fn parse_args() -> (usize, Vec<(usize, f64)>) {
-    let mut replicas = 1usize;
-    let mut kills: Vec<(usize, f64)> = Vec::new();
+struct Args {
+    replicas: usize,
+    kills: Vec<(usize, f64)>,
+    concurrency: usize,
+    slo_ms: Option<f64>,
+    speculate: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed =
+        Args { replicas: 1, kills: Vec::new(), concurrency: 1, slo_ms: None, speculate: false };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--replicas" => {
                 let v = args.next().expect("--replicas needs a value");
-                replicas = v.parse().expect("--replicas takes an integer");
+                parsed.replicas = v.parse().expect("--replicas takes an integer");
             }
             "--kill" => {
                 let v = args.next().expect("--kill needs <node>@<seconds>");
                 let (n, t) = v.split_once('@').expect("--kill format is <node>@<seconds>");
-                kills.push((
+                parsed.kills.push((
                     n.parse().expect("--kill node must be an integer"),
                     t.parse().expect("--kill time must be seconds"),
                 ));
             }
-            other => panic!("unknown flag {other} (use --replicas <k> / --kill <node>@<seconds>)"),
+            "--concurrency" => {
+                let v = args.next().expect("--concurrency needs a value");
+                parsed.concurrency = v.parse().expect("--concurrency takes an integer");
+            }
+            "--slo-ms" => {
+                let v = args.next().expect("--slo-ms needs a value");
+                parsed.slo_ms = Some(v.parse().expect("--slo-ms takes milliseconds"));
+            }
+            "--speculate" => parsed.speculate = true,
+            other => panic!(
+                "unknown flag {other} (use --replicas <k> / --kill <node>@<seconds> / \
+                 --concurrency <n> / --slo-ms <ms> / --speculate)"
+            ),
         }
     }
-    (replicas, kills)
+    parsed
+}
+
+/// Runs the 8-query suite on `c`, asserting bit-identical distributed
+/// results, and returns serving templates for the pipeline.
+fn suite_templates(c: &mut Cluster) -> Vec<Template> {
+    QueryId::ALL
+        .iter()
+        .map(|&id| {
+            let q = c.try_run_at(id, 0.0).expect("suite must run on a healthy/replicated cluster");
+            assert!(q.matches_single(), "{} diverged from single-node", id.name());
+            Template {
+                name: q.id.name(),
+                cost: q.cost.clone(),
+                xeon_seconds: q.single_cost.xeon.seconds,
+            }
+        })
+        .collect()
 }
 
 fn main() {
     const NODES: usize = 8;
-    let (replicas, kills) = parse_args();
+    let args = parse_args();
+    let replicas = args.replicas;
     let scale = 30_000u64; // cost queries at SF≈100 cardinalities
     let db = tpch::generate(5000, 2026);
     let policy = ShardPolicy::hash(NODES);
     let cfg = ClusterConfig::prototype_slice(NODES, scale).with_replicas(replicas);
     let mut cluster = Cluster::new(db.clone(), &policy, cfg);
     let mut plan = FaultPlan::none();
-    for &(node, at) in &kills {
+    for &(node, at) in &args.kills {
         plan = plan.crash(node, at);
     }
     cluster.set_faults(plan);
+    if args.speculate {
+        cluster.set_speculation(Some(Speculation::default()));
+    }
 
     println!(
         "# Rack-scale TPC-H: {NODES} DPU nodes, hash-sharded on orderkey, k={replicas} \
          ({} lineitem rows)\n",
         cluster.full.lineitem.rows()
     );
-    if !kills.is_empty() {
-        for &(node, at) in &kills {
+    if !args.kills.is_empty() {
+        for &(node, at) in &args.kills {
             println!("Injected fault: node {node} crashes at t={at:.3} s");
         }
         println!();
     }
+    if args.speculate {
+        println!("Speculative re-execution armed (deadline = p50 shard time × 1.25).\n");
+    }
     let load = cluster.load_seconds();
-    println!("Initial shard load (scatter + dimension broadcast): {:.3} ms\n", load * 1e3);
+    println!("Initial shard load (scatter + dimension broadcast): {:.3} ms", load * 1e3);
+    let skew = cluster.sharded.skew_report();
+    println!(
+        "Shard balance: max {} rows vs mean {:.1} (imbalance {:.3}×, CV {:.4}, Gini {:.4})\n",
+        skew.max_rows, skew.mean_rows, skew.imbalance, skew.cv, skew.gini
+    );
 
     header(&[
         "Query",
@@ -123,6 +183,10 @@ fn main() {
         });
     }
     println!("\nAll {} distributed query results are bit-identical to single-node.", queries.len());
+    if args.speculate {
+        let specs: usize = templates.iter().map(|t| t.cost.speculations).sum();
+        println!("Speculative backups launched across the suite: {specs}.");
+    }
 
     // Serve the suite to a closed-loop client population.
     let rack = XeonRack::rack_42u();
@@ -158,6 +222,45 @@ fn main() {
         "\nPerformance/watt vs Xeon rack: {:.1}× (paper's single-node TPC-H geomean: 15×)",
         report.perf_per_watt_gain
     );
+
+    // Extra flag-driven serving run: concurrency and/or SLO-adaptive
+    // batching over the shared fabric. Printed only — the emitted JSON
+    // below never depends on flags.
+    if args.concurrency > 1 || args.slo_ms.is_some() {
+        let flagged = ServeConfig {
+            concurrency: args.concurrency.max(1),
+            adaptive: args.slo_ms.is_some(),
+            slo_seconds: args.slo_ms.map(|ms| ms / 1e3),
+            ..serve_cfg.clone()
+        };
+        let fabric = cluster.cfg.fabric.clone();
+        let r = serve_pipeline(
+            &templates,
+            cluster.watts(),
+            &rack,
+            &flagged,
+            None,
+            Some((&fabric, NODES)),
+        );
+        println!(
+            "\n## Serving with flags (concurrency {}, adaptive {}, SLO {})\n",
+            flagged.concurrency,
+            if flagged.adaptive { "on" } else { "off" },
+            flagged.slo_seconds.map_or("none".to_string(), |s| format!("{:.0} ms", s * 1e3)),
+        );
+        println!(
+            "QPS {:.1}, p99 {:.1} ms, SLO attainment {:.4}, mean batch {:.2}",
+            r.qps,
+            r.p99 * 1e3,
+            r.slo_attainment,
+            r.mean_batch
+        );
+        println!(
+            "Fabric per batch: {:.3} ms shared vs {:.3} ms isolated",
+            r.mean_fabric_seconds * 1e3,
+            r.mean_fabric_isolated_seconds * 1e3
+        );
+    }
 
     emit(
         "rack_tpch",
@@ -251,6 +354,190 @@ fn main() {
             ("scale", Json::num(scale as f64)),
             ("serve_seed", Json::num(serve_cfg.seed as f64)),
             ("sweep", Json::Arr(sweep)),
+        ]),
+    );
+
+    // ── Serving-pipeline baseline ─────────────────────────────────────
+    // Everything below runs on dedicated clusters so the emitted
+    // BENCH_rack_serve.json is byte-identical regardless of flags.
+    let slo = 1.5f64;
+    let mut base = Cluster::new(db.clone(), &policy, ClusterConfig::prototype_slice(NODES, scale));
+    let base_templates = suite_templates(&mut base);
+
+    // Batching-policy sweep: SLO attainment of the adaptive controller
+    // vs every fixed depth across offered loads. The acceptance bar is
+    // weak dominance at the two highest loads, asserted here so CI fails
+    // if a controller change regresses it.
+    println!("\n## Batching policy sweep (SLO {:.1} s, concurrency 1)\n", slo);
+    header(&["clients", "policy", "QPS", "p99 (ms)", "SLO att", "mean batch"]);
+    let policies: [(&str, usize, bool); 5] = [
+        ("fixed-1", 1, false),
+        ("fixed-4", 4, false),
+        ("fixed-8", 8, false),
+        ("fixed-16", 16, false),
+        ("adaptive", 16, true),
+    ];
+    let load_points = [8usize, 16, 32, 64, 128];
+    let mut loads_json: Vec<Json> = Vec::new();
+    for (li, &clients) in load_points.iter().enumerate() {
+        let mut best_fixed = 0.0f64;
+        let mut adaptive_att = 0.0f64;
+        for (label, mb, adaptive) in policies {
+            let cfg = ServeConfig {
+                clients,
+                max_batch: mb,
+                adaptive,
+                slo_seconds: Some(slo),
+                ..ServeConfig::default()
+            };
+            let r = serve(&base_templates, base.watts(), &rack, &cfg);
+            row(&[
+                format!("{clients}"),
+                label.into(),
+                format!("{:.1}", r.qps),
+                format!("{:.1}", r.p99 * 1e3),
+                format!("{:.4}", r.slo_attainment),
+                format!("{:.2}", r.mean_batch),
+            ]);
+            if adaptive {
+                adaptive_att = r.slo_attainment;
+            } else {
+                best_fixed = best_fixed.max(r.slo_attainment);
+            }
+            loads_json.push(Json::obj([
+                ("clients", Json::num(clients as f64)),
+                ("policy", Json::str(label)),
+                ("qps", Json::num(r.qps)),
+                ("p99_seconds", Json::num(r.p99)),
+                ("slo_attainment", Json::num(r.slo_attainment)),
+                ("mean_batch", Json::num(r.mean_batch)),
+            ]));
+        }
+        if li >= load_points.len() - 2 {
+            assert!(
+                adaptive_att >= best_fixed,
+                "adaptive batching must weakly dominate every fixed depth at {clients} clients: \
+                 {adaptive_att} vs best fixed {best_fixed}"
+            );
+        }
+    }
+
+    // Q10 fabric interference: eight concurrent all-to-all shuffles
+    // queue on the shared switch, so the per-batch fabric time must sit
+    // strictly above the isolated cost; a lone slot pays exactly it.
+    let q10 = base_templates.iter().find(|t| t.name == "Q10").expect("Q10 in suite").clone();
+    let fabric = base.cfg.fabric.clone();
+    let icfg = ServeConfig {
+        clients: 32,
+        think_seconds: 0.0,
+        max_batch: 4,
+        duration_seconds: 20.0,
+        concurrency: 8,
+        ..ServeConfig::default()
+    };
+    let shared = serve_pipeline(
+        std::slice::from_ref(&q10),
+        base.watts(),
+        &rack,
+        &icfg,
+        None,
+        Some((&fabric, NODES)),
+    );
+    let solo_cfg = ServeConfig { clients: 1, max_batch: 1, concurrency: 1, ..icfg.clone() };
+    let solo = serve_pipeline(&[q10], base.watts(), &rack, &solo_cfg, None, Some((&fabric, NODES)));
+    assert!(
+        shared.mean_fabric_seconds > shared.mean_fabric_isolated_seconds,
+        "concurrent Q10 shuffles must contend on the shared switch"
+    );
+    assert!(
+        (solo.mean_fabric_seconds - solo.mean_fabric_isolated_seconds).abs() < 1e-12,
+        "an uncontended shuffle must cost exactly the isolated time"
+    );
+    println!("\n## Q10 fabric interference (concurrency {}, zero think time)\n", icfg.concurrency);
+    println!(
+        "Shared fabric per batch: {:.3} µs vs isolated {:.3} µs ({:.4}× inflation); \
+         solo slot: {:.3} µs (exactly isolated).",
+        shared.mean_fabric_seconds * 1e6,
+        shared.mean_fabric_isolated_seconds * 1e6,
+        shared.mean_fabric_seconds / shared.mean_fabric_isolated_seconds,
+        solo.mean_fabric_seconds * 1e6
+    );
+
+    // Speculative straggler re-execution: one node computing at quarter
+    // speed for the whole horizon. The backup replica must recover most
+    // of the straggler-free QPS, bit-identically (suite_templates
+    // asserts every result against single-node execution).
+    // Offered load sits between the unmitigated straggler's capacity and
+    // the speculative one: the straggler saturates and sheds throughput,
+    // speculation keeps the rack close to the healthy closed-loop rate.
+    let straggle = FaultPlan::none().straggle(3, 0.0, 1e9, 0.25);
+    let spec_serve = ServeConfig {
+        clients: 96,
+        think_seconds: 6.0,
+        max_batch: 16,
+        duration_seconds: 30.0,
+        ..ServeConfig::default()
+    };
+    let k2 = || ClusterConfig::prototype_slice(NODES, scale).with_replicas(2);
+    let mut healthy = Cluster::new(db.clone(), &policy, k2());
+    let healthy_qps =
+        serve(&suite_templates(&mut healthy), healthy.watts(), &rack, &spec_serve).qps;
+    let mut slow = Cluster::new(db.clone(), &policy, k2());
+    slow.set_faults(straggle.clone());
+    let straggled_qps = serve(&suite_templates(&mut slow), slow.watts(), &rack, &spec_serve).qps;
+    let mut spec = Cluster::new(db, &policy, k2());
+    spec.set_faults(straggle);
+    spec.set_speculation(Some(Speculation::default()));
+    let spec_templates = suite_templates(&mut spec);
+    let speculations: usize = spec_templates.iter().map(|t| t.cost.speculations).sum();
+    assert!(speculations > 0, "the 4× straggler must trip the speculation deadline");
+    let spec_qps = serve(&spec_templates, spec.watts(), &rack, &spec_serve).qps;
+    let recovery = spec_qps / healthy_qps;
+    assert!(
+        recovery >= 0.70,
+        "speculation must recover ≥70% of straggler-free QPS: {spec_qps} vs {healthy_qps}"
+    );
+    println!("\n## Speculative straggler re-execution (node 3 at 0.25× compute, k=2)\n");
+    header(&["configuration", "QPS", "vs healthy"]);
+    row(&["healthy".into(), format!("{healthy_qps:.1}"), "1.000".into()]);
+    row(&[
+        "straggler, no mitigation".into(),
+        format!("{straggled_qps:.1}"),
+        format!("{:.3}", straggled_qps / healthy_qps),
+    ]);
+    row(&[
+        format!("straggler + speculation ({speculations} backups)"),
+        format!("{spec_qps:.1}"),
+        format!("{recovery:.3}"),
+    ]);
+
+    emit(
+        "rack_serve",
+        &Json::obj([
+            ("figure", Json::str("rack_serve")),
+            ("nodes", Json::num(NODES as f64)),
+            ("scale", Json::num(scale as f64)),
+            ("slo_seconds", Json::num(slo)),
+            ("loads", Json::Arr(loads_json)),
+            (
+                "q10_interference",
+                Json::obj([
+                    ("concurrency", Json::num(icfg.concurrency as f64)),
+                    ("shared_fabric_seconds", Json::num(shared.mean_fabric_seconds)),
+                    ("isolated_fabric_seconds", Json::num(shared.mean_fabric_isolated_seconds)),
+                    ("solo_fabric_seconds", Json::num(solo.mean_fabric_seconds)),
+                ]),
+            ),
+            (
+                "speculation",
+                Json::obj([
+                    ("healthy_qps", Json::num(healthy_qps)),
+                    ("straggled_qps", Json::num(straggled_qps)),
+                    ("speculative_qps", Json::num(spec_qps)),
+                    ("recovery", Json::num(recovery)),
+                    ("speculations", Json::num(speculations as f64)),
+                ]),
+            ),
         ]),
     );
 }

@@ -215,6 +215,9 @@ pub struct ClusterQueryCost {
     pub fabric_bytes: u64,
     /// Sub-plan re-issues forced by faults (0 on a healthy run).
     pub failovers: usize,
+    /// Speculative backup sub-plans raced against stragglers (0 when
+    /// speculation is off or no deadline fired).
+    pub speculations: usize,
 }
 
 impl ClusterQueryCost {
@@ -231,13 +234,21 @@ impl ClusterQueryCost {
     ///
     /// Panics if `k` is zero.
     pub fn batch_seconds(&self, k: usize) -> f64 {
+        self.batch_local_seconds(k) + k as f64 * (self.fabric_seconds + self.merge_seconds)
+    }
+
+    /// The local-phase portion of [`batch_seconds`](Self::batch_seconds):
+    /// the slowest node's roofline over one shard scan and `k×` compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn batch_local_seconds(&self, k: usize) -> f64 {
         assert!(k > 0, "empty batch");
-        let local = self
-            .per_node
+        self.per_node
             .iter()
             .map(|n| n.mem_seconds.max(k as f64 * n.cpu_seconds))
-            .fold(0.0, f64::max);
-        local + k as f64 * (self.fabric_seconds + self.merge_seconds)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -270,6 +281,51 @@ impl DistributedQuery {
         let cluster_qps = 1.0 / self.cost.total_seconds();
         let xeon_qps = 1.0 / self.single_cost.xeon.seconds;
         (cluster_qps / cluster_watts) / (xeon_qps / xeon.tdp_watts())
+    }
+}
+
+/// Deadline-based speculative straggler re-execution policy.
+///
+/// The coordinator derives a per-query deadline from the *healthy* shard
+/// cost distribution — the `quantile` shard time, stretched by `slack` —
+/// and when a shard's local phase has not finished one deadline after
+/// its dispatch, it launches a backup copy of the sub-plan on the
+/// shard's next live replica and takes whichever copy finishes first.
+/// The loser is cancelled at the winner's finish time and charged only
+/// the fraction of its work it actually ran. Results are unaffected:
+/// both copies compute the same partial from replicas of the same shard,
+/// and only the winner's node ships it in the gather phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speculation {
+    /// The quantile of the healthy per-shard local times the deadline is
+    /// derived from, in `(0, 1]`.
+    pub quantile: f64,
+    /// Multiplier applied to the quantile time (≥ 1 leaves healthy
+    /// shards unspeculated; the deadline is `quantile_time × slack`).
+    pub slack: f64,
+}
+
+impl Default for Speculation {
+    fn default() -> Self {
+        Speculation { quantile: 0.5, slack: 1.25 }
+    }
+}
+
+impl Speculation {
+    /// The relative deadline for this shard-cost distribution: the
+    /// configured quantile of the healthy local times, times `slack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is degenerate or `costs` is empty.
+    pub fn deadline_seconds(&self, costs: &[NodeCost]) -> f64 {
+        assert!(self.quantile > 0.0 && self.quantile <= 1.0, "quantile out of range");
+        assert!(self.slack >= 1.0, "slack below 1 would speculate healthy shards");
+        assert!(!costs.is_empty(), "no shard costs");
+        let mut times: Vec<f64> = costs.iter().map(NodeCost::seconds).collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let i = ((self.quantile * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        times[i - 1] * self.slack
     }
 }
 
@@ -340,6 +396,7 @@ pub struct Cluster {
     /// The rack network.
     pub fabric: Fabric,
     faults: FaultPlan,
+    speculation: Option<Speculation>,
     xeon: Xeon,
 }
 
@@ -355,7 +412,26 @@ impl Cluster {
         assert_eq!(policy.shards(), cfg.n_nodes, "policy shards must equal cluster nodes");
         let sharded = shard_tpch_replicated(&db, policy, cfg.replicas);
         let fabric = Fabric::new(cfg.n_nodes, cfg.fabric.clone());
-        Cluster { sharded, fabric, full: db, cfg, faults: FaultPlan::none(), xeon: Xeon::new() }
+        Cluster {
+            sharded,
+            fabric,
+            full: db,
+            cfg,
+            faults: FaultPlan::none(),
+            speculation: None,
+            xeon: Xeon::new(),
+        }
+    }
+
+    /// Enables (or, with `None`, disables) deadline-based speculative
+    /// re-execution of straggling shard sub-plans.
+    pub fn set_speculation(&mut self, policy: Option<Speculation>) {
+        self.speculation = policy;
+    }
+
+    /// The installed speculation policy, if any.
+    pub fn speculation(&self) -> Option<Speculation> {
+        self.speculation
     }
 
     /// Installs a fault plan for subsequent queries (also threaded into
@@ -502,13 +578,15 @@ impl Cluster {
         &self,
         costs: &[NodeCost],
         start: f64,
-    ) -> Result<(Vec<ShardRun>, Vec<NodeCost>, usize), QueryError> {
+    ) -> Result<(Vec<ShardRun>, Vec<NodeCost>, usize, usize), QueryError> {
         let n = self.sharded.n_nodes();
         let timeout = self.fabric.failover_timeout_seconds();
+        let deadline = self.speculation.map(|p| p.deadline_seconds(costs));
         let mut node_free = vec![start; n];
         let mut per_node = vec![NodeCost::ZERO; n];
         let mut runs: Vec<Option<ShardRun>> = vec![None; n];
         let mut failovers = 0usize;
+        let mut speculations = 0usize;
         // (available-at, shard, owner-chain position, attempt #)
         let mut pending: Vec<(f64, usize, usize, usize)> =
             (0..n).map(|s| (start, s, 0, 1)).collect();
@@ -541,13 +619,67 @@ impl Cluster {
                     continue;
                 }
             }
+            // Deadline-based speculation: the sub-plan missed its
+            // deadline (dispatch + deadline < finish), so race a backup
+            // on the shard's next live replica and keep the first
+            // finisher; the loser is cancelled at that instant and
+            // charged only the fraction of its work it ran.
+            if let Some(d) = deadline {
+                let launch = avail + d;
+                if finish > launch {
+                    let backup = owners
+                        .iter()
+                        .copied()
+                        .find(|&o| o != node && !self.faults.is_down(o, launch));
+                    if let Some(b) = backup {
+                        let b_begin = node_free[b].max(launch);
+                        let b_slow = self.faults.compute_factor(b, b_begin);
+                        let b_finish = b_begin + costs[s].seconds() / b_slow;
+                        let b_dies = self.faults.crash_time(b).is_some_and(|tc| tc < b_finish);
+                        if !b_dies {
+                            speculations += 1;
+                            if b_finish < finish {
+                                // Backup wins: cancel the original at the
+                                // backup's finish (fractional charge if it
+                                // had started), ship from the backup.
+                                if b_finish > begin {
+                                    let frac = ((b_finish - begin) / (finish - begin)).min(1.0);
+                                    per_node[node].mem_seconds +=
+                                        frac * costs[s].mem_seconds / slow;
+                                    per_node[node].cpu_seconds +=
+                                        frac * costs[s].cpu_seconds / slow;
+                                    node_free[node] = b_finish;
+                                }
+                                node_free[b] = b_finish;
+                                per_node[b].mem_seconds += costs[s].mem_seconds / b_slow;
+                                per_node[b].cpu_seconds += costs[s].cpu_seconds / b_slow;
+                                runs[s] = Some(ShardRun {
+                                    shard: s,
+                                    node: b,
+                                    attempts: attempt + 1,
+                                    done_seconds: b_finish,
+                                });
+                                continue;
+                            }
+                            // Original wins (ties included): cancel the
+                            // backup at the original's finish.
+                            if finish > b_begin {
+                                let frac = ((finish - b_begin) / (b_finish - b_begin)).min(1.0);
+                                per_node[b].mem_seconds += frac * costs[s].mem_seconds / b_slow;
+                                per_node[b].cpu_seconds += frac * costs[s].cpu_seconds / b_slow;
+                                node_free[b] = finish;
+                            }
+                        }
+                    }
+                }
+            }
             node_free[node] = finish;
             per_node[node].mem_seconds += costs[s].mem_seconds / slow;
             per_node[node].cpu_seconds += costs[s].cpu_seconds / slow;
             runs[s] = Some(ShardRun { shard: s, node, attempts: attempt, done_seconds: finish });
         }
         let runs: Vec<ShardRun> = runs.into_iter().map(|r| r.expect("all scheduled")).collect();
-        Ok((runs, per_node, failovers))
+        Ok((runs, per_node, failovers, speculations))
     }
 
     /// A source able to ship shard `s`'s partial at or after `t`: the
@@ -624,7 +756,8 @@ impl Cluster {
         start: f64,
     ) -> Result<ClusterQueryCost, QueryError> {
         self.fabric.reset();
-        let (runs, per_node, local_failovers) = self.schedule_local(&per_shard, start)?;
+        let (runs, per_node, local_failovers, speculations) =
+            self.schedule_local(&per_shard, start)?;
         let local_end = runs.iter().map(|r| r.done_seconds).fold(start, f64::max);
         let bytes: Vec<u64> = partials.iter().map(Table::bytes).collect();
         let (_, done, gather_failovers) =
@@ -638,6 +771,7 @@ impl Cluster {
             merge_seconds: merge_cpu_seconds(merge_rows),
             fabric_bytes: self.fabric.payload_bytes(),
             failovers: local_failovers + gather_failovers,
+            speculations,
         })
     }
 
@@ -769,7 +903,8 @@ impl Cluster {
         let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         self.fabric.reset();
-        let (runs, per_node, mut failovers) = self.schedule_local(&per_shard, start)?;
+        let (runs, per_node, mut failovers, speculations) =
+            self.schedule_local(&per_shard, start)?;
         let local_end = runs.iter().map(|r| r.done_seconds).fold(start, f64::max);
 
         // Phase 2: all-to-all reshuffle of partial groups to owners —
@@ -866,6 +1001,7 @@ impl Cluster {
             merge_seconds: merge_cpu_seconds(cand_rows),
             fabric_bytes: self.fabric.payload_bytes(),
             failovers,
+            speculations,
         };
         Ok(DistributedQuery {
             id: QueryId::Q10,

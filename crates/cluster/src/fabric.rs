@@ -261,6 +261,94 @@ impl Fabric {
     }
 }
 
+/// Shared fabric occupancy for the **concurrent serving pipeline**.
+///
+/// The per-query [`Fabric`] model prices one query's shuffle/gather in
+/// isolation. When the serving front-end keeps several queries in flight
+/// at once, their fabric phases compete for the same switch and NICs —
+/// a Q10 reshuffle running next to another Q10 reshuffle cannot see the
+/// full switch. `ServeFabric` models that sharing with the same
+/// [`BandwidthServer`] queuing primitive: one server for the switch and
+/// one per node NIC (each query's aggregate flow touches every NIC with
+/// a `1/n` share — exact for an all-to-all, conservative for a gather,
+/// whose single hot receiver is already priced into the isolated cost).
+///
+/// A query's fabric phase is charged as its isolated cost plus whatever
+/// queueing delay the shared servers impose: with nothing else in
+/// flight, [`charge`](Self::charge) returns exactly the isolated
+/// seconds; with overlapping phases, strictly more.
+#[derive(Debug)]
+pub struct ServeFabric {
+    cfg: FabricConfig,
+    nics: Vec<BandwidthServer>,
+    switch: BandwidthServer,
+}
+
+impl ServeFabric {
+    /// A shared serving fabric over `n_nodes` NICs. The servers carry no
+    /// per-request overhead — fixed message costs are already inside each
+    /// template's isolated fabric seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    pub fn new(n_nodes: usize, cfg: FabricConfig) -> Self {
+        assert!(n_nodes > 0, "a serving fabric needs nodes");
+        ServeFabric {
+            nics: (0..n_nodes).map(|_| BandwidthServer::new(cfg.nic_bytes_per_cycle, 0)).collect(),
+            switch: BandwidthServer::new(cfg.switch_bytes_per_cycle, 0),
+            cfg,
+        }
+    }
+
+    /// Node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The serialization cycles an uncontended `bytes` flow spends on the
+    /// bottleneck shared resource (switch, or the per-node NIC share).
+    fn serialization_cycles(&self, bytes: u64) -> u64 {
+        let sw = bytes.div_ceil(self.cfg.switch_bytes_per_cycle);
+        let share = bytes.div_ceil(self.nics.len() as u64);
+        let nic = share.div_ceil(self.cfg.nic_bytes_per_cycle);
+        sw.max(nic)
+    }
+
+    /// Charges one fabric phase of `bytes` payload starting at
+    /// `start_seconds`, whose isolated (uncontended) duration is
+    /// `isolated_seconds`; returns the actual duration under whatever
+    /// contention the shared servers currently carry.
+    ///
+    /// The flow occupies the switch for all `bytes` and every NIC for a
+    /// `1/n` share; the isolated duration minus the bottleneck
+    /// serialization rides along as fixed latency (hops, message setup,
+    /// the receiver-side serialization already priced per query).
+    pub fn charge(&mut self, start_seconds: f64, bytes: u64, isolated_seconds: f64) -> f64 {
+        if bytes == 0 {
+            return isolated_seconds;
+        }
+        let clock = self.cfg.clock;
+        let now = Time::from_cycles((start_seconds * clock.hz()).ceil() as u64);
+        let share = bytes.div_ceil(self.nics.len() as u64);
+        let mut done = self.switch.request(now, bytes);
+        for nic in &mut self.nics {
+            done = done.max(nic.request(now, share));
+        }
+        let serial_seconds = Time::from_cycles(self.serialization_cycles(bytes)).as_secs(clock);
+        let residual = (isolated_seconds - serial_seconds).max(0.0);
+        (done - now).as_secs(clock) + residual
+    }
+
+    /// Clears all server occupancy (between serving runs).
+    pub fn reset(&mut self) {
+        for nic in &mut self.nics {
+            nic.reset();
+        }
+        self.switch.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,11 +29,19 @@
 //!   nodes + fabric transfer + merge. Distributed results stay
 //!   bit-identical to the single-node engine's under any fault pattern
 //!   that leaves each shard one live replica.
-//! - [`serve`] — a closed-loop multi-client serving front-end with
-//!   admission control and same-template query batching, reporting rack
-//!   QPS, latency percentiles and performance/watt against a
-//!   multi-socket Xeon rack ([`xeon_model::XeonRack`]); a degraded-window
-//!   mode measures the QPS dip while a failure is being recovered.
+//! - [`serve`] — a closed-loop multi-client serving front-end, since
+//!   PR 3 an event-driven concurrent pipeline: up to
+//!   [`ServeConfig::concurrency`] batches in flight, each charged for
+//!   fabric use against shared per-NIC/switch bandwidth servers
+//!   ([`ServeFabric`]) so concurrent shuffle-heavy queries interfere,
+//!   with admission control, same-template batching under an optional
+//!   [`AdaptiveBatch`] SLO controller, and rack QPS / latency
+//!   percentiles / SLO attainment / performance-per-watt against a
+//!   multi-socket Xeon rack ([`xeon_model::XeonRack`]); a
+//!   degraded-window mode measures the QPS dip while a failure is being
+//!   recovered. The coordinator optionally races deadline-missing shard
+//!   sub-plans against a backup replica ([`Speculation`]), keeping
+//!   results bit-identical while cutting straggler tails.
 
 pub mod coordinator;
 pub mod fabric;
@@ -44,10 +52,15 @@ pub mod shard;
 
 pub use coordinator::{
     Cluster, ClusterConfig, ClusterQueryCost, DistributedQuery, NodeCost, QueryError, QueryId,
-    QueryOutput, RecoveryReport, ShardRun,
+    QueryOutput, RecoveryReport, ShardRun, Speculation,
 };
-pub use fabric::{Fabric, FabricConfig};
+pub use fabric::{Fabric, FabricConfig, ServeFabric};
 pub use fault::{Fault, FaultPlan};
 pub use replica::Placement;
-pub use serve::{serve, serve_with_faults, DegradedWindow, ServeConfig, ServeReport, Template};
-pub use shard::{shard_table, shard_tpch, shard_tpch_replicated, ShardPolicy, ShardedTpch};
+pub use serve::{
+    serve, serve_pipeline, serve_with_faults, AdaptiveBatch, DegradedWindow, ServeConfig,
+    ServeReport, Template,
+};
+pub use shard::{
+    shard_table, shard_tpch, shard_tpch_replicated, ShardPolicy, ShardedTpch, SkewReport,
+};

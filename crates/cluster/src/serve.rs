@@ -1,12 +1,18 @@
-//! Closed-loop serving front-end for the cluster.
+//! Concurrent serving pipeline for the cluster.
 //!
 //! The rack is a serving system, not a batch machine: many clients
 //! submit TPC-H queries concurrently, the coordinator batches
 //! same-template queries (a batch shares each node's shard scan — see
 //! [`ClusterQueryCost::batch_seconds`]), and an admission queue bounds
-//! in-flight work. This module simulates that loop deterministically and
-//! reports rack QPS, latency percentiles, and performance/watt against a
-//! multi-socket Xeon rack serving the same mix.
+//! in-flight work. Since PR 3 the loop is an event-driven pipeline with
+//! up to [`ServeConfig::concurrency`] queries in flight at once, each
+//! charged for fabric use against shared per-NIC/switch bandwidth
+//! servers ([`ServeFabric`]) so shuffle-heavy plans interfere
+//! realistically, and an optional [`AdaptiveBatch`] controller that
+//! deepens batches as the admission queue grows and sheds depth when the
+//! observed p99 approaches a latency SLO. With `concurrency = 1`, no
+//! SLO and the controller off, the pipeline reproduces the original
+//! scalar serving loop event for event (pinned by a regression test).
 //!
 //! [`serve_with_faults`] additionally applies a [`DegradedWindow`] — the
 //! period between a node crash and the end of its recovery, during which
@@ -22,6 +28,7 @@ use dpu_sim::SplitMix64;
 use xeon_model::XeonRack;
 
 use crate::coordinator::ClusterQueryCost;
+use crate::fabric::{FabricConfig, ServeFabric};
 
 /// One query template the clients draw from.
 #[derive(Debug, Clone)]
@@ -55,7 +62,8 @@ pub struct ServeConfig {
     pub clients: usize,
     /// Mean exponential think time between a client's queries, seconds.
     pub think_seconds: f64,
-    /// Maximum same-template queries merged into one batch.
+    /// Maximum same-template queries merged into one batch (the hard cap
+    /// when the adaptive controller is on).
     pub max_batch: usize,
     /// Admission-queue capacity; arrivals beyond it are rejected and the
     /// client backs off one think time.
@@ -64,6 +72,16 @@ pub struct ServeConfig {
     pub duration_seconds: f64,
     /// RNG seed (the loop is fully deterministic given the seed).
     pub seed: u64,
+    /// Batches in flight at once (independent coordinators sharing the
+    /// fabric). 1 reproduces the original scalar serving loop.
+    pub concurrency: usize,
+    /// Replace the fixed `max_batch` with the [`AdaptiveBatch`]
+    /// controller (capped by `max_batch`).
+    pub adaptive: bool,
+    /// Latency SLO, seconds: completions at or under it count toward
+    /// [`ServeReport::slo_attainment`], and the adaptive controller sheds
+    /// batch depth as observed p99 approaches it.
+    pub slo_seconds: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +93,9 @@ impl Default for ServeConfig {
             admit_cap: 64,
             duration_seconds: 60.0,
             seed: 2026,
+            concurrency: 1,
+            adaptive: false,
+            slo_seconds: None,
         }
     }
 }
@@ -84,8 +105,13 @@ impl Default for ServeConfig {
 pub struct ServeReport {
     /// Queries completed inside the horizon.
     pub completed: u64,
-    /// Arrivals rejected by admission control.
+    /// Arrival events admitted into the queue.
+    pub admitted: u64,
+    /// Arrival events rejected by admission control.
     pub rejected: u64,
+    /// Admitted queries still queued or in flight when the horizon
+    /// closed (`admitted = completed + backlog`).
+    pub backlog: u64,
     /// Completed queries per second.
     pub qps: f64,
     /// Mean end-to-end latency (queueing + batch execution), seconds.
@@ -98,6 +124,15 @@ pub struct ServeReport {
     pub p99: f64,
     /// Mean executed batch size.
     pub mean_batch: f64,
+    /// Fraction of completed queries at or under the SLO (1.0 when no
+    /// SLO was configured).
+    pub slo_attainment: f64,
+    /// Mean per-query fabric phase under sharing, seconds (equals the
+    /// isolated mean when no shared fabric was attached).
+    pub mean_fabric_seconds: f64,
+    /// Mean per-query fabric phase each template would cost in
+    /// isolation, seconds.
+    pub mean_fabric_isolated_seconds: f64,
     /// QPS over completions before the degraded window (equals `qps`
     /// when no window was applied).
     pub qps_pre_fault: f64,
@@ -114,6 +149,103 @@ pub struct ServeReport {
     pub xeon_watts: f64,
     /// (cluster QPS/W) / (Xeon rack QPS/W).
     pub perf_per_watt_gain: f64,
+}
+
+/// The adaptive batch-depth controller: deepen while the SLO has
+/// headroom or the admission queue is growing, shed multiplicatively
+/// when the observed p99 approaches the SLO.
+///
+/// The law, applied on every batch completion:
+///
+/// - with an SLO `S`: estimate p99 over a sliding window of recent
+///   latencies; if `p99 > SHED_HEADROOM × S` **and** the admission
+///   queue is no longer than the allowed depth (so the batch's own
+///   execution, not queueing, is what drives latency), multiply the
+///   allowed depth by [`SHED_FACTOR`] (floor 1); otherwise add
+///   [`DEEPEN_STEP`] (cap `max_batch`). Shedding while a queue has
+///   formed would cut service capacity exactly when it is short —
+///   growing the queue is deepening's job;
+/// - with no SLO: the allowed depth is simply the cap (pure elastic
+///   batching — as deep as the backlog allows).
+///
+/// At dispatch, the batch takes `min(allowed, queue length, cap)`, with
+/// one override: when the queue has grown past
+/// [`QUEUE_PRESSURE`]` × cap`, latency is dominated by queueing, not by
+/// batch execution, so the controller deepens straight to the cap —
+/// shallow batches at that point would only starve throughput and grow
+/// the queue further. Either way the depth can never exceed the
+/// admission queue's current length or the configured cap
+/// (property-tested).
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatch {
+    cap: usize,
+    slo: Option<f64>,
+    allowed: f64,
+    window: VecDeque<f64>,
+}
+
+/// Shed when the windowed p99 exceeds this fraction of the SLO.
+pub const SHED_HEADROOM: f64 = 0.9;
+/// Multiplicative decrease applied to the allowed depth on a shed.
+pub const SHED_FACTOR: f64 = 0.7;
+/// Additive increase applied to the allowed depth per completion with
+/// SLO headroom.
+pub const DEEPEN_STEP: f64 = 0.5;
+/// Latency samples kept for the windowed p99 estimate.
+pub const WINDOW_LEN: usize = 64;
+/// Queue length, in multiples of the cap, past which the controller
+/// batches at full depth regardless of the SLO estimate.
+pub const QUEUE_PRESSURE: usize = 2;
+
+impl AdaptiveBatch {
+    /// A controller capped at `cap`, shedding against `slo` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero or the SLO is not positive.
+    pub fn new(cap: usize, slo: Option<f64>) -> Self {
+        assert!(cap > 0, "batch cap must be positive");
+        if let Some(s) = slo {
+            assert!(s > 0.0, "SLO must be positive");
+        }
+        AdaptiveBatch { cap, slo, allowed: 1.0, window: VecDeque::new() }
+    }
+
+    /// The depth the next batch may take given the admission queue's
+    /// current length: never more than `queue_len`, never more than the
+    /// cap, never less than 1.
+    pub fn depth(&self, queue_len: usize) -> usize {
+        let allowed = match self.slo {
+            _ if queue_len >= QUEUE_PRESSURE * self.cap => self.cap,
+            Some(_) => self.allowed as usize,
+            None => self.cap,
+        };
+        allowed.min(queue_len).min(self.cap).max(1)
+    }
+
+    /// Feeds one completed query's latency back into the control law,
+    /// along with the admission queue's length at completion time.
+    pub fn observe(&mut self, latency_seconds: f64, queue_len: usize) {
+        self.window.push_back(latency_seconds);
+        if self.window.len() > WINDOW_LEN {
+            self.window.pop_front();
+        }
+        let Some(slo) = self.slo else { return };
+        let mut sorted: Vec<f64> = self.window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let i = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let p99 = sorted[i - 1];
+        if p99 > SHED_HEADROOM * slo && queue_len as f64 <= self.allowed {
+            self.allowed = (self.allowed * SHED_FACTOR).max(1.0);
+        } else {
+            self.allowed = (self.allowed + DEEPEN_STEP).min(self.cap as f64);
+        }
+    }
+
+    /// The current allowed depth (before queue/cap clamping).
+    pub fn allowed(&self) -> f64 {
+        self.allowed
+    }
 }
 
 /// f64 with a total order, for the event heap.
@@ -139,14 +271,14 @@ impl Ord for OrdF64 {
 /// # Panics
 ///
 /// Panics if `templates` is empty or the config is degenerate (zero
-/// clients, zero duration).
+/// clients, zero duration, zero concurrency).
 pub fn serve(
     templates: &[Template],
     cluster_watts: f64,
     xeon_rack: &XeonRack,
     cfg: &ServeConfig,
 ) -> ServeReport {
-    serve_with_faults(templates, cluster_watts, xeon_rack, cfg, None)
+    serve_pipeline(templates, cluster_watts, xeon_rack, cfg, None, None)
 }
 
 /// [`serve`], with batches dispatched inside `window` slowed by its
@@ -163,9 +295,33 @@ pub fn serve_with_faults(
     cfg: &ServeConfig,
     window: Option<&DegradedWindow>,
 ) -> ServeReport {
+    serve_pipeline(templates, cluster_watts, xeon_rack, cfg, window, None)
+}
+
+/// Event kinds: client arrivals carry small ids; a batch completion on
+/// server `i` is encoded as `COMPLETE_BASE + i`.
+const COMPLETE_BASE: usize = usize::MAX / 2;
+
+/// The full concurrent pipeline: [`serve_with_faults`] plus an optional
+/// shared fabric `(rates, node count)` against which every in-flight
+/// batch's fabric phase is charged, so concurrent shuffle-heavy queries
+/// interfere instead of being costed in isolation.
+///
+/// # Panics
+///
+/// Panics like [`serve_with_faults`].
+pub fn serve_pipeline(
+    templates: &[Template],
+    cluster_watts: f64,
+    xeon_rack: &XeonRack,
+    cfg: &ServeConfig,
+    window: Option<&DegradedWindow>,
+    fabric: Option<(&FabricConfig, usize)>,
+) -> ServeReport {
     assert!(!templates.is_empty(), "need at least one template");
     assert!(cfg.clients > 0 && cfg.duration_seconds > 0.0, "degenerate config");
     assert!(cfg.max_batch > 0 && cfg.admit_cap > 0, "degenerate config");
+    assert!(cfg.concurrency > 0, "need at least one server");
     if let Some(w) = window {
         assert!(w.from_seconds <= w.until_seconds, "inverted degraded window");
         assert!(w.cost_factor >= 1.0, "a degraded window cannot speed the cluster up");
@@ -179,8 +335,7 @@ pub fn serve_with_faults(
     };
 
     // Event heap: (time, seq, kind). seq keeps ordering deterministic for
-    // simultaneous events. kind: client id = arrival, usize::MAX = server
-    // becomes free.
+    // simultaneous events.
     let mut events: BinaryHeap<Reverse<(OrdF64, u64, usize)>> = BinaryHeap::new();
     let mut seq = 0u64;
     for c in 0..cfg.clients {
@@ -189,80 +344,141 @@ pub fn serve_with_faults(
         seq += 1;
     }
 
-    const FREE: usize = usize::MAX;
+    let n_srv = cfg.concurrency;
     let mut queue: VecDeque<(f64, usize)> = VecDeque::new(); // (arrival, template)
-    let mut server_free_at = 0.0f64;
-    let mut server_busy = false;
+    let mut server_free_at = vec![0.0f64; n_srv];
+    let mut server_busy = vec![false; n_srv];
+    // Latencies of each server's in-flight batch, fed to the controller
+    // when its completion event fires (the controller only ever sees
+    // completions from its past).
+    let mut server_pending: Vec<Vec<f64>> = vec![Vec::new(); n_srv];
+    let mut controller = cfg.adaptive.then(|| AdaptiveBatch::new(cfg.max_batch, cfg.slo_seconds));
+    let mut shared = fabric.map(|(fc, n)| ServeFabric::new(n, fc.clone()));
+
     let mut latencies: Vec<f64> = Vec::new();
     let mut done_times: Vec<f64> = Vec::new();
+    let mut admitted = 0u64;
     let mut rejected = 0u64;
     let mut batches = 0u64;
+    let mut fabric_sum = 0.0f64; // per-query fabric seconds, shared
+    let mut fabric_iso_sum = 0.0f64; // per-query fabric seconds, isolated
+    let mut last_now = f64::NEG_INFINITY;
 
     while let Some(Reverse((OrdF64(now), _, kind))) = events.pop() {
+        debug_assert!(now >= last_now, "simulated clock ran backwards: {now} < {last_now}");
+        last_now = now;
         if now > cfg.duration_seconds {
             break;
         }
-        if kind != FREE {
+        if kind < COMPLETE_BASE {
             // A client arrival: pick a template, try to enter the queue.
             let t = (uniform() * templates.len() as f64) as usize % templates.len();
             if queue.len() >= cfg.admit_cap {
                 rejected += 1;
                 let u = uniform();
-                // A full queue implies a busy server, so retrying no
-                // earlier than the server frees keeps the clock advancing
-                // even with zero think time.
-                let retry = (now + think(u)).max(server_free_at);
+                // A full queue implies every server is busy (dispatch
+                // drains whenever one is idle), so retrying no earlier
+                // than the next completion event keeps the clock
+                // advancing even with zero think time.
+                let next_done = server_free_at
+                    .iter()
+                    .zip(&server_busy)
+                    .filter(|&(_, &b)| b)
+                    .map(|(&f, _)| f)
+                    .fold(f64::INFINITY, f64::min);
+                let floor = if next_done.is_finite() { next_done } else { now };
+                let retry = (now + think(u)).max(floor);
                 events.push(Reverse((OrdF64(retry), seq, kind)));
                 seq += 1;
                 continue;
             }
             // The client now waits for completion (closed loop); its next
             // arrival is scheduled at dispatch below.
+            admitted += 1;
             queue.push_back((now, t));
         } else {
-            server_busy = false;
+            let s = kind - COMPLETE_BASE;
+            server_busy[s] = false;
+            if let Some(ctl) = &mut controller {
+                for &l in &server_pending[s] {
+                    ctl.observe(l, queue.len());
+                }
+            }
+            server_pending[s].clear();
         }
 
-        // Dispatch if the server is idle and work is queued.
-        if !server_busy && !queue.is_empty() {
-            let (_, tmpl) = *queue.front().expect("non-empty");
-            // Collect up to max_batch same-template queries (FIFO scan).
+        // Dispatch while a server is idle and work is queued.
+        while let Some(srv) = (0..n_srv).find(|&i| !server_busy[i]) {
+            let Some(&(_, tmpl)) = queue.front() else { break };
+            let cap = controller.as_ref().map_or(cfg.max_batch, |c| c.depth(queue.len()));
+            // Collect up to `cap` same-template queries (FIFO scan).
             let mut batch: Vec<(f64, usize)> = Vec::new();
             let mut rest: VecDeque<(f64, usize)> = VecDeque::new();
             while let Some((arr, t)) = queue.pop_front() {
-                if t == tmpl && batch.len() < cfg.max_batch {
+                if t == tmpl && batch.len() < cap {
                     batch.push((arr, t));
                 } else {
                     rest.push_back((arr, t));
                 }
             }
             queue = rest;
-            let start = server_free_at.max(now);
-            let mut exec = templates[tmpl].cost.batch_seconds(batch.len());
-            if let Some(w) = window {
-                if start >= w.from_seconds && start < w.until_seconds {
-                    exec *= w.cost_factor;
+            let start = server_free_at[srv].max(now);
+            let factor = match window {
+                Some(w) if start >= w.from_seconds && start < w.until_seconds => w.cost_factor,
+                _ => 1.0,
+            };
+            let k = batch.len();
+            let cost = &templates[tmpl].cost;
+            let iso_fabric = cost.fabric_seconds;
+            let done = match &mut shared {
+                Some(sf) => {
+                    // Decomposed path: local phase, then the fabric phase
+                    // charged against the shared servers (a batch repeats
+                    // its per-query fabric k times), then the merges. The
+                    // degraded-window factor covers the compute phases;
+                    // the fabric runs at its own (shared) rate.
+                    let local_end = start + factor * cost.batch_local_seconds(k);
+                    let fab =
+                        sf.charge(local_end, k as u64 * cost.fabric_bytes, k as f64 * iso_fabric);
+                    fabric_sum += fab;
+                    local_end + fab + factor * k as f64 * cost.merge_seconds
                 }
-            }
-            let done = start + exec;
-            server_free_at = done;
-            server_busy = true;
+                None => {
+                    fabric_sum += k as f64 * iso_fabric;
+                    start + factor * cost.batch_seconds(k)
+                }
+            };
+            fabric_iso_sum += k as f64 * iso_fabric;
+            server_free_at[srv] = done;
+            server_busy[srv] = true;
             batches += 1;
             for &(arr, _) in &batch {
                 latencies.push(done - arr);
                 done_times.push(done);
+                server_pending[srv].push(done - arr);
                 // The issuing client thinks, then comes back.
                 let u = uniform();
                 events.push(Reverse((OrdF64(done + think(u)), seq, 0)));
                 seq += 1;
             }
-            events.push(Reverse((OrdF64(done), seq, FREE)));
+            events.push(Reverse((OrdF64(done), seq, COMPLETE_BASE + srv)));
             seq += 1;
         }
     }
 
-    latencies.sort_by(|a, b| a.total_cmp(b));
     let completed = latencies.len() as u64;
+    // A dispatched query's completion is recorded at dispatch (its
+    // finish time is already decided), so the backlog is exactly what
+    // was admitted but still sat in the queue at the horizon.
+    let backlog = queue.len() as u64;
+    debug_assert_eq!(admitted, completed + backlog, "admission counters must conserve");
+    let slo_attainment = match cfg.slo_seconds {
+        Some(slo) if completed > 0 => {
+            latencies.iter().filter(|&&l| l <= slo).count() as f64 / completed as f64
+        }
+        _ => 1.0,
+    };
+    latencies.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| -> f64 {
         if latencies.is_empty() {
             return 0.0;
@@ -302,13 +518,22 @@ pub fn serve_with_faults(
 
     ServeReport {
         completed,
+        admitted,
         rejected,
+        backlog,
         qps,
         mean_latency,
         p50: pct(0.50),
         p95: pct(0.95),
         p99: pct(0.99),
         mean_batch: if batches > 0 { completed as f64 / batches as f64 } else { 0.0 },
+        slo_attainment,
+        mean_fabric_seconds: if completed > 0 { fabric_sum / completed as f64 } else { 0.0 },
+        mean_fabric_isolated_seconds: if completed > 0 {
+            fabric_iso_sum / completed as f64
+        } else {
+            0.0
+        },
         qps_pre_fault,
         qps_during_fault,
         qps_post_fault,
@@ -334,6 +559,7 @@ mod tests {
                 merge_seconds: local / 100.0,
                 fabric_bytes: 1 << 20,
                 failovers: 0,
+                speculations: 0,
             },
             xeon_seconds: xeon,
         }
@@ -435,5 +661,118 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.qps_during_fault, b.qps_during_fault);
         assert_eq!(a.p99, b.p99);
+    }
+
+    #[test]
+    fn concurrency_raises_throughput_of_mixed_saturated_load() {
+        // Two templates that cannot share batches: with one in-flight
+        // slot, they serialize; with two, they overlap.
+        let templates = vec![template("Q1", 0.05, 0.5), template("Q5", 0.04, 0.6)];
+        let rack = XeonRack::rack_42u();
+        let base = ServeConfig {
+            clients: 64,
+            think_seconds: 0.0,
+            duration_seconds: 20.0,
+            max_batch: 4,
+            ..ServeConfig::default()
+        };
+        let serial = serve(&templates, 88.0, &rack, &base);
+        let two = serve(&templates, 88.0, &rack, &ServeConfig { concurrency: 2, ..base });
+        assert!(
+            two.qps > 1.3 * serial.qps,
+            "2 in-flight batches should overlap: {} vs {}",
+            two.qps,
+            serial.qps
+        );
+    }
+
+    #[test]
+    fn admission_counters_conserve_arrivals() {
+        let templates = vec![template("Q1", 0.03, 0.5), template("Q6", 0.01, 0.3)];
+        let rack = XeonRack::rack_42u();
+        for concurrency in [1usize, 3] {
+            let cfg = ServeConfig {
+                clients: 48,
+                think_seconds: 0.05,
+                duration_seconds: 10.0,
+                concurrency,
+                ..ServeConfig::default()
+            };
+            let r = serve(&templates, 88.0, &rack, &cfg);
+            assert_eq!(
+                r.admitted,
+                r.completed + r.backlog,
+                "admitted must split into completed + backlog"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_controller_sheds_under_slo_pressure() {
+        let mut ctl = AdaptiveBatch::new(16, Some(1.0));
+        for _ in 0..32 {
+            ctl.observe(0.1, 0); // far under SLO: deepen
+        }
+        let deep = ctl.allowed();
+        assert!(deep > 8.0, "headroom must deepen the batch (got {deep})");
+        for _ in 0..8 {
+            ctl.observe(2.0, 0); // p99 blows the SLO, empty queue: shed
+        }
+        assert!(ctl.allowed() < deep, "SLO pressure must shed depth");
+        assert!(ctl.depth(1000) >= 1, "depth never drops below 1");
+        // The same pressure with a standing queue must deepen instead:
+        // the latency comes from queueing, and shallow batches feed it.
+        let shallow = ctl.allowed();
+        ctl.observe(2.0, 100);
+        assert!(ctl.allowed() > shallow, "queue-dominated latency must deepen");
+    }
+
+    #[test]
+    fn adaptive_depth_respects_queue_and_cap() {
+        let ctl = AdaptiveBatch::new(8, None);
+        assert_eq!(ctl.depth(0), 1);
+        assert_eq!(ctl.depth(3), 3);
+        assert_eq!(ctl.depth(100), 8);
+    }
+
+    #[test]
+    fn shared_fabric_inflates_concurrent_shuffles() {
+        // A fabric-heavy template: at concurrency 4 with zero think time
+        // the four in-flight batches hit the switch together, so the
+        // mean per-query fabric phase must exceed the isolated cost.
+        let mut t = template("Q10", 0.02, 0.5);
+        t.cost.fabric_bytes = 64 << 20;
+        t.cost.fabric_seconds = 0.05;
+        let rack = XeonRack::rack_42u();
+        let cfg = ServeConfig {
+            clients: 32,
+            think_seconds: 0.0,
+            duration_seconds: 10.0,
+            max_batch: 4,
+            concurrency: 4,
+            ..ServeConfig::default()
+        };
+        let fc = FabricConfig::infiniband();
+        let shared = serve_pipeline(&[t.clone()], 88.0, &rack, &cfg, None, Some((&fc, 8)));
+        assert!(
+            shared.mean_fabric_seconds > shared.mean_fabric_isolated_seconds,
+            "concurrent shuffles must contend: shared {} vs isolated {}",
+            shared.mean_fabric_seconds,
+            shared.mean_fabric_isolated_seconds
+        );
+        let alone = serve_pipeline(
+            &[t],
+            88.0,
+            &rack,
+            &ServeConfig { concurrency: 1, clients: 1, max_batch: 1, ..cfg },
+            None,
+            Some((&fc, 8)),
+        );
+        assert!(
+            (alone.mean_fabric_seconds - alone.mean_fabric_isolated_seconds).abs() < 1e-12,
+            "an uncontended fabric must charge exactly the isolated cost: {} vs {}",
+            alone.mean_fabric_seconds,
+            alone.mean_fabric_isolated_seconds
+        );
     }
 }

@@ -123,6 +123,13 @@ impl ShardedTpch {
         self.shards.iter().map(|n| n.lineitem.rows()).collect()
     }
 
+    /// The load-balance report over [`lineitem_rows`](Self::lineitem_rows)
+    /// — the slowest shard gates every scatter/gather query, so placement
+    /// skew converts directly into lost QPS.
+    pub fn skew_report(&self) -> SkewReport {
+        SkewReport::from_rows(&self.lineitem_rows())
+    }
+
     /// Fact bytes of shard `s` (one replica's worth).
     pub fn shard_fact_bytes(&self, s: usize) -> u64 {
         self.shards[s].orders.bytes() + self.shards[s].lineitem.bytes()
@@ -131,6 +138,55 @@ impl ShardedTpch {
     /// Fact bytes stored on `node` across all shards it holds.
     pub fn node_fact_bytes(&self, node: usize) -> u64 {
         self.placement.shards_on(node).iter().map(|&s| self.shard_fact_bytes(s)).sum()
+    }
+}
+
+/// How evenly the fact rows spread across shards. `imbalance` is the
+/// straggler factor a perfectly CPU-bound scatter/gather query pays:
+/// the slowest shard holds `imbalance ×` the mean row count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewReport {
+    /// Rows per shard, in shard order.
+    pub rows: Vec<usize>,
+    /// Rows on the heaviest shard.
+    pub max_rows: usize,
+    /// Mean rows per shard.
+    pub mean_rows: f64,
+    /// `max_rows / mean_rows` (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Coefficient of variation of the per-shard row counts.
+    pub cv: f64,
+    /// Gini coefficient of the per-shard row counts (0 = uniform,
+    /// → 1 = one shard holds everything).
+    pub gini: f64,
+}
+
+impl SkewReport {
+    /// Computes the report from per-shard row counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn from_rows(rows: &[usize]) -> Self {
+        assert!(!rows.is_empty(), "no shards to report on");
+        let n = rows.len() as f64;
+        let total: usize = rows.iter().sum();
+        let mean = total as f64 / n;
+        let max = rows.iter().copied().max().expect("non-empty");
+        let (imbalance, cv, gini) = if total == 0 {
+            (1.0, 0.0, 0.0)
+        } else {
+            let var = rows.iter().map(|&r| (r as f64 - mean).powi(2)).sum::<f64>() / n;
+            let mut sorted: Vec<usize> = rows.to_vec();
+            sorted.sort_unstable();
+            // G = (2 Σᵢ i·xᵢ) / (n Σ x) − (n + 1)/n over ascending xᵢ,
+            // i counted from 1.
+            let weighted: f64 =
+                sorted.iter().enumerate().map(|(i, &r)| (i + 1) as f64 * r as f64).sum();
+            let g = 2.0 * weighted / (n * total as f64) - (n + 1.0) / n;
+            (max as f64 / mean, var.sqrt() / mean, g.max(0.0))
+        };
+        SkewReport { rows: rows.to_vec(), max_rows: max, mean_rows: mean, imbalance, cv, gini }
     }
 }
 
@@ -273,5 +329,42 @@ mod tests {
         // nodes is k × the database.
         let per_node: u64 = (0..6).map(|n| three.node_fact_bytes(n)).sum();
         assert_eq!(per_node, 3 * (db.orders.bytes() + db.lineitem.bytes()));
+    }
+
+    #[test]
+    fn skew_report_flags_a_deliberately_lopsided_range_layout() {
+        let db = generate(600, 17);
+        // Order keys run 1..=600. Hand-picked bounds pile nearly every
+        // key onto the last of 4 shards.
+        let skewed = shard_tpch(&db, &ShardPolicy::Range { bounds: vec![5, 10, 15] });
+        let balanced = shard_tpch(&db, &ShardPolicy::hash(4));
+        let s = skewed.skew_report();
+        let b = balanced.skew_report();
+        assert_eq!(s.rows, skewed.lineitem_rows());
+        assert!(s.max_rows >= s.mean_rows as usize);
+        assert!(
+            s.imbalance > 3.0,
+            "4 shards with one holding ~everything must report imbalance ≈ 4 (got {})",
+            s.imbalance
+        );
+        assert!(s.gini > 0.6, "lopsided layout must have high Gini (got {})", s.gini);
+        assert!(s.cv > 1.0, "lopsided layout must have high CV (got {})", s.cv);
+        assert!(b.imbalance < 1.3, "hash sharding should balance (got {})", b.imbalance);
+        assert!(b.gini < 0.2, "hash sharding Gini should be near 0 (got {})", b.gini);
+        assert!(s.gini > b.gini && s.cv > b.cv && s.imbalance > b.imbalance);
+    }
+
+    #[test]
+    fn skew_report_is_exact_on_known_counts() {
+        let r = SkewReport::from_rows(&[10, 10, 10, 10]);
+        assert_eq!(r.max_rows, 10);
+        assert_eq!(r.mean_rows, 10.0);
+        assert_eq!(r.imbalance, 1.0);
+        assert_eq!(r.cv, 0.0);
+        assert!(r.gini.abs() < 1e-12);
+        // One shard holds all rows of four: G = (n−1)/n = 0.75.
+        let one = SkewReport::from_rows(&[0, 0, 0, 40]);
+        assert_eq!(one.imbalance, 4.0);
+        assert!((one.gini - 0.75).abs() < 1e-12);
     }
 }

@@ -8,13 +8,16 @@
 //! chained-declustering replica placement, the shared-Infiniband fabric
 //! model, deterministic fault injection with failover routing whose
 //! results stay bit-identical to single-node execution, the recovery
-//! model, and the serving front-end's QPS / latency /
-//! performance-per-watt report against a 42U Xeon rack.
+//! model, the serving front-end's QPS / latency / performance-per-watt
+//! report against a 42U Xeon rack, the concurrent pipeline with
+//! SLO-adaptive batching over the shared fabric, and speculative
+//! re-execution racing a straggler against its backup replica.
 //!
 //! Run with: `cargo run --release --example rack_tpch`
 
 use dpu_repro::cluster::{
-    serve, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy, Template,
+    serve, serve_pipeline, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy,
+    Speculation, Template,
 };
 use dpu_repro::sql::tpch;
 use dpu_repro::xeon::XeonRack;
@@ -91,5 +94,45 @@ fn main() {
     println!(
         "Xeon 42U rack: {:.1} QPS at {:.0} W → rack performance/watt gain {:.1}×",
         report.xeon_qps, report.xeon_watts, report.perf_per_watt_gain
+    );
+
+    // Concurrent pipeline: four batches in flight sharing the NICs and
+    // switch, with the adaptive controller batching against a 1.5 s SLO.
+    let pipe_cfg = ServeConfig {
+        clients: 64,
+        concurrency: 4,
+        max_batch: 16,
+        adaptive: true,
+        slo_seconds: Some(1.5),
+        ..ServeConfig::default()
+    };
+    let fabric = cluster.cfg.fabric.clone();
+    let pipe =
+        serve_pipeline(&templates, cluster.watts(), &rack, &pipe_cfg, None, Some((&fabric, nodes)));
+    println!(
+        "\nConcurrent pipeline (4 in flight, adaptive, SLO 1.5 s): {:.1} QPS, \
+         SLO attainment {:.3}, mean batch {:.1}",
+        pipe.qps, pipe.slo_attainment, pipe.mean_batch
+    );
+    println!(
+        "Fabric per batch: {:.3} µs shared vs {:.3} µs isolated (concurrent shuffles queue)",
+        pipe.mean_fabric_seconds * 1e6,
+        pipe.mean_fabric_isolated_seconds * 1e6
+    );
+
+    // Speculative re-execution: node 5 computes at quarter speed; the
+    // deadline (p50 shard time × 1.25) trips and the backup replica
+    // races it — first finisher wins, result still bit-identical.
+    cluster.set_faults(FaultPlan::none().straggle(5, 0.0, 1e9, 0.25));
+    let straggled = cluster.run(QueryId::Q5);
+    cluster.set_speculation(Some(Speculation::default()));
+    let hedged = cluster.run(QueryId::Q5);
+    assert!(hedged.matches_single(), "speculation must not change the answer");
+    println!(
+        "\nNode 5 straggles at 0.25× compute: Q5 {:.2} ms unmitigated → {:.2} ms with \
+         {} speculative backup(s), result still exact ✓",
+        straggled.cost.total_seconds() * 1e3,
+        hedged.cost.total_seconds() * 1e3,
+        hedged.cost.speculations
     );
 }

@@ -3,7 +3,9 @@
 //! live replica, fail cleanly (never wrongly) when one does not, and
 //! behave deterministically under any fault plan.
 
-use dpu_repro::cluster::{Cluster, ClusterConfig, FaultPlan, QueryError, QueryId, ShardPolicy};
+use dpu_repro::cluster::{
+    Cluster, ClusterConfig, FaultPlan, QueryError, QueryId, ShardPolicy, Speculation,
+};
 use dpu_repro::sql::tpch;
 
 const NODES: usize = 8;
@@ -177,6 +179,115 @@ fn failover_is_reported_and_priced() {
         "failover must cost wall-clock time"
     );
     assert_eq!(base.cost.failovers, 0);
+}
+
+#[test]
+fn speculation_keeps_results_bit_identical_under_stragglers() {
+    // A 4× straggler at k ∈ {2, 3}: the backup replica races the slow
+    // node and whichever finishes first ships its partial — the output
+    // must stay bit-identical to single-node execution for every query.
+    for k in [2usize, 3] {
+        let plan = FaultPlan::none().straggle(3, 0.0, 1e9, 0.25);
+        for id in QueryId::ALL {
+            let mut c = cluster(k);
+            c.set_faults(plan.clone());
+            c.set_speculation(Some(Speculation::default()));
+            let q = c.try_run_at(id, 0.0).unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            assert!(q.matches_single(), "{} diverged under speculation at k={k}", id.name());
+            assert!(
+                q.cost.speculations > 0,
+                "{} at k={k}: a 4× straggler must trip the deadline",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn first_finisher_wins_and_cuts_the_straggler_tail() {
+    // Same straggle plan with and without speculation: taking the first
+    // finisher must strictly shorten the local phase (the backup beats
+    // the 4× straggler), and never ship a partial twice — the fabric
+    // byte accounting matches the unspeculated run exactly.
+    for k in [2usize, 3] {
+        let plan = FaultPlan::none().straggle(3, 0.0, 1e9, 0.25);
+        for id in QueryId::ALL {
+            let mut plain = cluster(k);
+            plain.set_faults(plan.clone());
+            let base = plain.try_run_at(id, 0.0).expect("stragglers never strand shards");
+            let mut spec = cluster(k);
+            spec.set_faults(plan.clone());
+            spec.set_speculation(Some(Speculation::default()));
+            let fast = spec.try_run_at(id, 0.0).expect("stragglers never strand shards");
+            assert_eq!(fast.output, base.output, "{} output changed", id.name());
+            assert!(
+                fast.cost.local_seconds < base.cost.local_seconds,
+                "{} at k={k}: the backup must finish first ({} vs {})",
+                id.name(),
+                fast.cost.local_seconds,
+                base.cost.local_seconds
+            );
+            // Only the winner ships its partial, so speculation never
+            // duplicates fabric traffic. Single-gather plans can only
+            // shed bytes (a backup that wins on the gather
+            // coordinator's own node makes that partial local); Q10's
+            // all-to-all locality shifts by at most a chunk's worth in
+            // either direction when a shard moves nodes — far below the
+            // full-partial delta a double-ship would cost.
+            if id == QueryId::Q10 {
+                let delta = fast.cost.fabric_bytes.abs_diff(base.cost.fabric_bytes);
+                assert!(
+                    delta * 10 < base.cost.fabric_bytes,
+                    "Q10 at k={k}: shuffle bytes moved by {delta} of {} — speculation must \
+                     re-route chunks, not duplicate them",
+                    base.cost.fabric_bytes
+                );
+            } else {
+                assert!(
+                    fast.cost.fabric_bytes <= base.cost.fabric_bytes,
+                    "{} at k={k}: speculation duplicated fabric traffic ({} vs {})",
+                    id.name(),
+                    fast.cost.fabric_bytes,
+                    base.cost.fabric_bytes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn speculation_is_a_no_op_without_replicas() {
+    // k = 1: no shard has a second replica, so the deadline has nowhere
+    // to launch a backup — the full cost breakdown must be unchanged.
+    let plan = FaultPlan::none().straggle(3, 0.0, 1e9, 0.25);
+    for id in QueryId::ALL {
+        let mut plain = cluster(1);
+        plain.set_faults(plan.clone());
+        let base = plain.try_run_at(id, 0.0).expect("a straggler is not a crash");
+        let mut spec = cluster(1);
+        spec.set_faults(plan.clone());
+        spec.set_speculation(Some(Speculation::default()));
+        let same = spec.try_run_at(id, 0.0).expect("a straggler is not a crash");
+        assert_eq!(same.output, base.output, "{} output changed", id.name());
+        assert_eq!(same.cost, base.cost, "{} cost changed at k=1", id.name());
+        assert_eq!(same.cost.speculations, 0, "{} speculated without a replica", id.name());
+    }
+}
+
+#[test]
+fn speculation_leaves_healthy_runs_untouched() {
+    // With no straggler the deadline (median × slack) never fires: the
+    // speculated cluster's cost must equal the plain one bit for bit.
+    for id in QueryId::ALL {
+        let mut plain = cluster(2);
+        let base = plain.run(id);
+        let mut spec = cluster(2);
+        spec.set_speculation(Some(Speculation::default()));
+        let same = spec.run(id);
+        assert_eq!(same.output, base.output, "{} output changed", id.name());
+        assert_eq!(same.cost, base.cost, "{} healthy cost changed", id.name());
+        assert_eq!(same.cost.speculations, 0, "{} speculated while healthy", id.name());
+    }
 }
 
 #[test]

@@ -1,15 +1,35 @@
 //! Property tests for the rack-scale sharding layer (`dpu-cluster`):
-//! partitioning, skew, replica placement, and
-//! distributed-vs-single-node exactness.
+//! partitioning, skew, replica placement,
+//! distributed-vs-single-node exactness, and the serving pipeline's
+//! admission/batching invariants.
 
 use proptest::prelude::*;
 
 use dpu_repro::cluster::{
-    shard_table, shard_tpch, shard_tpch_replicated, Cluster, ClusterConfig, Placement, QueryId,
-    ShardPolicy,
+    serve, shard_table, shard_tpch, shard_tpch_replicated, AdaptiveBatch, Cluster, ClusterConfig,
+    ClusterQueryCost, NodeCost, Placement, QueryId, ServeConfig, ShardPolicy, SkewReport, Template,
 };
 use dpu_repro::sql::tpch;
 use dpu_repro::sql::{Column, Table};
+use dpu_repro::xeon::XeonRack;
+
+/// A synthetic serving template with `local` seconds of mem-bound work
+/// per node (cpu at a quarter of it, so batching up to 4 is free).
+fn serve_template(local: f64) -> Template {
+    Template {
+        name: "synthetic",
+        cost: ClusterQueryCost {
+            per_node: vec![NodeCost { mem_seconds: local, cpu_seconds: local / 4.0 }; 8],
+            local_seconds: local,
+            fabric_seconds: local / 10.0,
+            merge_seconds: local / 100.0,
+            fabric_bytes: 1 << 20,
+            failovers: 0,
+            speculations: 0,
+        },
+        xeon_seconds: 0.5,
+    }
+}
 
 fn arb_policy(keys: &[i64], shards: usize, use_range: bool) -> ShardPolicy {
     if use_range {
@@ -220,6 +240,83 @@ proptest! {
         let r = cluster.run(QueryId::ALL[pick]);
         prop_assert!(r.matches_single(), "{} diverged from single-node", r.id.name());
         prop_assert!(r.cost.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_depth_never_exceeds_queue_or_cap(
+        cap in 1usize..32,
+        slo_on in any::<bool>(),
+        latencies in proptest::collection::vec(0.0f64..3.0, 0..128),
+        queue_len in 0usize..100,
+    ) {
+        // The controller may deepen or shed freely, but the dispatched
+        // depth is always in [1, min(queue, cap)] (empty queue ⇒ 1; the
+        // caller never dispatches from an empty queue).
+        let mut ctl = AdaptiveBatch::new(cap, slo_on.then_some(1.0));
+        for &l in &latencies {
+            ctl.observe(l, queue_len);
+            let d = ctl.depth(queue_len);
+            prop_assert!(d >= 1, "depth must stay positive");
+            prop_assert!(d <= cap, "depth {} above cap {}", d, cap);
+            prop_assert!(d <= queue_len.max(1), "depth {} above queue {}", d, queue_len);
+            prop_assert!(ctl.allowed() >= 1.0 && ctl.allowed() <= cap as f64);
+        }
+    }
+
+    #[test]
+    fn serving_conserves_arrivals_under_any_config(
+        clients in 1usize..64,
+        think_ms in 0u32..400,
+        max_batch in 1usize..20,
+        admit_cap in 1usize..64,
+        concurrency in 1usize..6,
+        adaptive in any::<bool>(),
+        slo_ms in proptest::option::of(50u32..3000),
+        local_ms in 5u32..100,
+        seed in any::<u64>(),
+    ) {
+        // Whatever the pipeline shape — concurrency, adaptive batching,
+        // SLO — every admitted query is either completed or still queued
+        // at the horizon, attainment is a fraction, and percentiles are
+        // ordered. Under `cargo test` (debug) the serve loop's internal
+        // debug_assert additionally checks the simulated clock never
+        // runs backwards across every one of these random schedules.
+        let templates = [serve_template(local_ms as f64 / 1000.0)];
+        let cfg = ServeConfig {
+            clients,
+            think_seconds: think_ms as f64 / 1000.0,
+            max_batch,
+            admit_cap,
+            duration_seconds: 5.0,
+            seed,
+            concurrency,
+            adaptive,
+            slo_seconds: slo_ms.map(|ms| ms as f64 / 1000.0),
+        };
+        let r = serve(&templates, 88.0, &XeonRack::rack_42u(), &cfg);
+        prop_assert_eq!(
+            r.admitted, r.completed + r.backlog,
+            "arrivals must conserve: admitted {} vs completed {} + backlog {}",
+            r.admitted, r.completed, r.backlog
+        );
+        prop_assert!((0.0..=1.0).contains(&r.slo_attainment));
+        prop_assert!(r.p50 <= r.p95 && r.p95 <= r.p99);
+        prop_assert!(r.mean_batch <= max_batch as f64);
+    }
+
+    #[test]
+    fn skew_report_invariants_hold_for_any_row_counts(
+        rows in proptest::collection::vec(0usize..100_000, 1..64),
+    ) {
+        let r = SkewReport::from_rows(&rows);
+        prop_assert_eq!(r.max_rows, rows.iter().copied().max().unwrap());
+        prop_assert!((0.0..=1.0).contains(&r.gini), "Gini out of range: {}", r.gini);
+        prop_assert!(r.imbalance >= 1.0 - 1e-12, "max/mean below 1: {}", r.imbalance);
+        prop_assert!(r.cv >= 0.0);
+        let total: usize = rows.iter().sum();
+        if total > 0 {
+            prop_assert!((r.mean_rows * rows.len() as f64 - total as f64).abs() < 1e-6);
+        }
     }
 }
 
