@@ -1,0 +1,186 @@
+//! Host wall-clock benchmark for the work-stealing parallel engine.
+//!
+//! Everything else in this workspace measures *simulated* DPU time;
+//! this binary measures the *host* seconds the simulator itself burns,
+//! comparing one worker thread against the resolved pool width on the
+//! three hot paths the pool parallelises:
+//!
+//! 1. chunked deterministic TPC-H generation (`tpch::generate_parallel`),
+//! 2. single-node `Cluster::run_all` (partitioned join/agg kernels),
+//! 3. 8-node `Cluster::run_all` (shard fan-out + single-node references).
+//!
+//! The 1-thread runs pin the pool to one worker, which takes the exact
+//! pre-pool sequential code paths, and every parallel result is asserted
+//! bit-identical to its sequential twin before any time is reported.
+//!
+//! `BENCH_wallclock.json` records speedups, the thread count, and the
+//! host CPU count — never raw seconds, which are printed to stdout only,
+//! so the file carries no machine-speed noise. Because speedups still
+//! vary run to run, this file is informational and is NOT byte-diffed in
+//! CI (unlike the simulated-time `BENCH_rack_*.json` baselines). The
+//! ≥2× speedup assertions only arm when the host has ≥ 4 CPUs; on
+//! smaller hosts the binary still checks determinism and reports what it
+//! measured.
+
+use std::time::Instant;
+
+use criterion::{Criterion, Throughput};
+use dpu_bench::json::{emit, Json};
+use dpu_bench::{header, row};
+use dpu_cluster::{Cluster, ClusterConfig, ClusterQueryCost, QueryOutput, ShardPolicy};
+use dpu_pool::set_global_threads;
+use dpu_sql::tpch::{self, TpchDb};
+
+const SEED: u64 = 2026;
+const NODES: usize = 8;
+const SCALE: u64 = 30_000; // cost queries at SF≈100 cardinalities
+const DATAGEN_ORDERS: [usize; 2] = [20_000, 100_000];
+const CLUSTER_ORDERS: usize = 10_000;
+const REPS: usize = 3;
+
+/// Best-of-`REPS` wall-clock seconds for `f`, plus its (deterministic)
+/// result from the final rep.
+fn best_of<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let v = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+/// The bench-relevant slice of a suite run: per-query outputs and
+/// simulated costs, everything `BENCH_rack_tpch.json` is derived from.
+type SuiteResult = Vec<(QueryOutput, ClusterQueryCost)>;
+
+/// Runs the 8-query suite on a fresh `nodes`-way cluster (construction
+/// untimed), asserting distributed-vs-single bit-identity.
+fn run_suite(db: &TpchDb, nodes: usize) -> (f64, SuiteResult) {
+    let policy = ShardPolicy::hash(nodes);
+    best_of(|| {
+        let mut c = Cluster::new(db.clone(), &policy, ClusterConfig::prototype_slice(nodes, SCALE));
+        let start = Instant::now();
+        let runs = c.run_all();
+        let took = start.elapsed().as_secs_f64();
+        for q in &runs {
+            assert!(q.matches_single(), "{} diverged from single-node", q.id.name());
+        }
+        (took, runs.into_iter().map(|q| (q.output, q.cost)).collect::<SuiteResult>())
+    })
+    .1
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The parallel arm uses the resolved pool width (DPU_THREADS or the
+    // host CPU count), but at least two workers so the comparison is
+    // meaningful even on a single-CPU host.
+    let threads = dpu_pool::global_threads().max(2);
+    let assert_speedups = host_cpus >= 4;
+    println!(
+        "# Host wall-clock: 1 thread vs {threads} ({host_cpus} host CPUs; \
+         speedup floor {})\n",
+        if assert_speedups { "armed" } else { "not armed — needs >= 4 CPUs" }
+    );
+
+    // ── Datagen: sequential vs chunked-parallel, bit-identical ───────
+    header(&["orders_n", "seq (s)", "par (s)", "speedup", "bit-identical"]);
+    let mut datagen_json: Vec<Json> = Vec::new();
+    let mut datagen_speedup_at_largest = 0.0f64;
+    for orders_n in DATAGEN_ORDERS {
+        set_global_threads(1);
+        let (seq_s, seq_db) = best_of(|| tpch::generate(orders_n, SEED));
+        set_global_threads(threads);
+        let (par_s, par_db) = best_of(|| tpch::generate_parallel(orders_n, SEED));
+        assert_eq!(seq_db, par_db, "chunked datagen diverged at orders_n={orders_n}");
+        let speedup = seq_s / par_s;
+        datagen_speedup_at_largest = speedup;
+        row(&[
+            format!("{orders_n}"),
+            format!("{seq_s:.3}"),
+            format!("{par_s:.3}"),
+            format!("{speedup:.2}x"),
+            "yes".into(),
+        ]);
+        datagen_json.push(Json::obj([
+            ("orders_n", Json::num(orders_n as f64)),
+            ("speedup", Json::num(speedup)),
+        ]));
+    }
+
+    // ── Cluster::run_all: single node and 8 nodes ─────────────────────
+    let db = tpch::generate(CLUSTER_ORDERS, SEED);
+    let mut suite_json: Vec<Json> = Vec::new();
+    let mut cluster_speedup = 0.0f64;
+    println!();
+    header(&["suite", "seq (s)", "par (s)", "speedup", "thread-invariant"]);
+    for nodes in [1, NODES] {
+        set_global_threads(1);
+        let (seq_s, seq_out) = run_suite(&db, nodes);
+        set_global_threads(threads);
+        let (par_s, par_out) = run_suite(&db, nodes);
+        assert_eq!(seq_out, par_out, "{nodes}-node suite output changed with thread count");
+        let speedup = seq_s / par_s;
+        if nodes == NODES {
+            cluster_speedup = speedup;
+        }
+        row(&[
+            format!("{nodes}-node run_all"),
+            format!("{seq_s:.3}"),
+            format!("{par_s:.3}"),
+            format!("{speedup:.2}x"),
+            "yes".into(),
+        ]);
+        suite_json.push(Json::obj([
+            ("nodes", Json::num(nodes as f64)),
+            ("orders_n", Json::num(CLUSTER_ORDERS as f64)),
+            ("speedup", Json::num(speedup)),
+        ]));
+    }
+
+    // ── Criterion throughput report (elements/s) ──────────────────────
+    // The stand-in criterion's `Throughput` prints a rate next to
+    // ns/iter; datagen throughput is in generated orders per second.
+    set_global_threads(threads);
+    let orders_n = DATAGEN_ORDERS[0];
+    let mut c = Criterion::default();
+    let mut g = c.benchmark_group("wallclock/datagen");
+    g.throughput(Throughput::Elements(orders_n as u64));
+    g.bench_function(format!("orders_{orders_n}").as_str(), |b| {
+        b.iter(|| tpch::generate_parallel(orders_n, SEED))
+    });
+    g.finish();
+
+    if assert_speedups {
+        assert!(
+            datagen_speedup_at_largest >= 2.0,
+            "datagen at orders_n={} must speed up >= 2x on {threads} threads \
+             ({host_cpus} CPUs): got {datagen_speedup_at_largest:.2}x",
+            DATAGEN_ORDERS[DATAGEN_ORDERS.len() - 1],
+        );
+        assert!(
+            cluster_speedup >= 2.0,
+            "{NODES}-node run_all must speed up >= 2x on {threads} threads \
+             ({host_cpus} CPUs): got {cluster_speedup:.2}x"
+        );
+        println!("\nSpeedup floor (>= 2.0x) holds for datagen and {NODES}-node run_all.");
+    } else {
+        println!("\nSpeedup floor not asserted: {host_cpus} host CPUs < 4.");
+    }
+
+    emit(
+        "wallclock",
+        &Json::obj([
+            ("figure", Json::str("wallclock")),
+            ("host_cpus", Json::num(host_cpus as f64)),
+            ("threads", Json::num(threads as f64)),
+            ("speedups_asserted", Json::Bool(assert_speedups)),
+            ("deterministic", Json::Bool(true)),
+            ("datagen", Json::Arr(datagen_json)),
+            ("run_all", Json::Arr(suite_json)),
+        ]),
+    );
+}

@@ -12,8 +12,12 @@
 
 use std::collections::HashMap;
 
+use dpu_isa::hash::crc32c_u64;
+use dpu_pool::{chunk_bounds, in_worker, Pool};
+
 use crate::bitvec::BitVec;
 use crate::column::{Column, Table};
+use crate::PAR_MIN_ROWS;
 
 /// An aggregate function over a named column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,14 +44,6 @@ pub struct GroupBySpec {
 }
 
 impl GroupBySpec {
-    /// Executes the group-by over (optionally selected) rows, returning a
-    /// result table sorted by group key. This is the reference-semantics
-    /// path; timing goes through [`GroupByPlan`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a named column is missing or the selection length
-    /// mismatches.
     /// The re-aggregation spec that merges *partial* results of this
     /// group-by: each shard/partition aggregates its local rows with
     /// `self`, and the partials combine by summing sums and counts and
@@ -85,32 +81,43 @@ impl GroupBySpec {
         self.merge_spec().execute(&Table::concat(partials), None)
     }
 
+    /// Executes the group-by over (optionally selected) rows, returning a
+    /// result table sorted by group key. This is the reference-semantics
+    /// path; timing goes through [`GroupByPlan`]. Large inputs run on
+    /// the global host pool ([`Self::execute_on`]); the result is
+    /// bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named column is missing or the selection length
+    /// mismatches.
     pub fn execute(&self, table: &Table, sel: Option<&BitVec>) -> Table {
+        let pool = Pool::global();
+        if pool.threads() > 1
+            && !in_worker()
+            && !self.group_cols.is_empty()
+            && table.rows() >= PAR_MIN_ROWS
+        {
+            self.execute_on(pool, table, sel)
+        } else {
+            self.execute_seq(table, sel)
+        }
+    }
+
+    /// The sequential group-by kernel (the exact pre-parallelism path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named column is missing or the selection length
+    /// mismatches.
+    pub fn execute_seq(&self, table: &Table, sel: Option<&BitVec>) -> Table {
         if let Some(bv) = sel {
             assert_eq!(bv.len(), table.rows(), "selection length mismatch");
         }
         let key_idx: Vec<usize> = self.group_cols.iter().map(|c| table.col_index(c)).collect();
+        let init = self.state_init();
+        let agg_cols = self.agg_col_indices(table);
         let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
-        let init: Vec<i64> = self
-            .aggs
-            .iter()
-            .map(|(_, f)| match f {
-                AggFunc::Min(_) => i64::MAX,
-                AggFunc::Max(_) => i64::MIN,
-                _ => 0,
-            })
-            .collect();
-        let agg_cols: Vec<(Option<usize>, Option<usize>)> = self
-            .aggs
-            .iter()
-            .map(|(_, f)| match f {
-                AggFunc::Count => (None, None),
-                AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => {
-                    (Some(table.col_index(c)), None)
-                }
-                AggFunc::SumProduct(a, b) => (Some(table.col_index(a)), Some(table.col_index(b))),
-            })
-            .collect();
 
         for row in 0..table.rows() {
             if let Some(bv) = sel {
@@ -120,23 +127,7 @@ impl GroupBySpec {
             }
             let key: Vec<i64> = key_idx.iter().map(|&i| table.columns[i].data[row]).collect();
             let state = groups.entry(key).or_insert_with(|| init.clone());
-            for (si, (_, f)) in self.aggs.iter().enumerate() {
-                let (c1, c2) = agg_cols[si];
-                match f {
-                    AggFunc::Count => state[si] += 1,
-                    AggFunc::Sum(_) => state[si] += table.columns[c1.unwrap()].data[row],
-                    AggFunc::Min(_) => {
-                        state[si] = state[si].min(table.columns[c1.unwrap()].data[row])
-                    }
-                    AggFunc::Max(_) => {
-                        state[si] = state[si].max(table.columns[c1.unwrap()].data[row])
-                    }
-                    AggFunc::SumProduct(_, _) => {
-                        state[si] += table.columns[c1.unwrap()].data[row]
-                            * table.columns[c2.unwrap()].data[row]
-                    }
-                }
-            }
+            self.accumulate(table, row, &agg_cols, state);
         }
 
         let mut keys: Vec<Vec<i64>> = groups.keys().cloned().collect();
@@ -151,6 +142,121 @@ impl GroupBySpec {
             out_cols.push(Column::i64(name, keys.iter().map(|k| groups[k][si]).collect()));
         }
         Table::new(out_cols)
+    }
+
+    /// The pool-parallel group-by kernel: selected rows partition by
+    /// CRC32 of the *first* key column (a group's rows all share it, so
+    /// partitions hold disjoint groups), each partition aggregates
+    /// independently, and the merged pairs sort by full key — exactly
+    /// the key-sorted table [`Self::execute_seq`] produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named column is missing, the selection length
+    /// mismatches, or there are no group columns.
+    pub fn execute_on(&self, pool: Pool, table: &Table, sel: Option<&BitVec>) -> Table {
+        if let Some(bv) = sel {
+            assert_eq!(bv.len(), table.rows(), "selection length mismatch");
+        }
+        let key_idx: Vec<usize> = self.group_cols.iter().map(|c| table.col_index(c)).collect();
+        let first = *key_idx.first().expect("parallel group-by needs a key column");
+        let init = self.state_init();
+        let agg_cols = self.agg_col_indices(table);
+
+        // Chunk-parallel partitioning of the selected row ids.
+        let parts_n = (pool.threads() * 4).max(2);
+        let per_chunk = pool.par_map(chunk_bounds(table.rows(), pool.threads() * 4), |(lo, hi)| {
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); parts_n];
+            for row in lo..hi {
+                if sel.is_none_or(|bv| bv.get(row)) {
+                    let k = table.columns[first].data[row];
+                    parts[(crc32c_u64(k as u64) as usize) % parts_n].push(row);
+                }
+            }
+            parts
+        });
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); parts_n];
+        for chunk in per_chunk {
+            for (p, rows) in chunk.into_iter().enumerate() {
+                parts[p].extend(rows);
+            }
+        }
+
+        // Disjoint groups per partition: aggregate independently, then
+        // one global key sort reproduces the sequential output order.
+        let mut pairs: Vec<(Vec<i64>, Vec<i64>)> = pool
+            .par_map(parts, |rows| {
+                let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
+                for row in rows {
+                    let key: Vec<i64> =
+                        key_idx.iter().map(|&i| table.columns[i].data[row]).collect();
+                    let state = groups.entry(key).or_insert_with(|| init.clone());
+                    self.accumulate(table, row, &agg_cols, state);
+                }
+                groups.into_iter().collect::<Vec<_>>()
+            })
+            .concat();
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out_cols: Vec<Column> = self
+            .group_cols
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Column::i64(name, pairs.iter().map(|(k, _)| k[i]).collect()))
+            .collect();
+        for (si, (name, _)) in self.aggs.iter().enumerate() {
+            out_cols.push(Column::i64(name, pairs.iter().map(|(_, s)| s[si]).collect()));
+        }
+        Table::new(out_cols)
+    }
+
+    /// Initial accumulator state, one slot per aggregate.
+    fn state_init(&self) -> Vec<i64> {
+        self.aggs
+            .iter()
+            .map(|(_, f)| match f {
+                AggFunc::Min(_) => i64::MAX,
+                AggFunc::Max(_) => i64::MIN,
+                _ => 0,
+            })
+            .collect()
+    }
+
+    /// Resolved input column indices, one pair per aggregate.
+    fn agg_col_indices(&self, table: &Table) -> Vec<(Option<usize>, Option<usize>)> {
+        self.aggs
+            .iter()
+            .map(|(_, f)| match f {
+                AggFunc::Count => (None, None),
+                AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => {
+                    (Some(table.col_index(c)), None)
+                }
+                AggFunc::SumProduct(a, b) => (Some(table.col_index(a)), Some(table.col_index(b))),
+            })
+            .collect()
+    }
+
+    /// Folds one input row into a group's accumulator state.
+    fn accumulate(
+        &self,
+        table: &Table,
+        row: usize,
+        agg_cols: &[(Option<usize>, Option<usize>)],
+        state: &mut [i64],
+    ) {
+        for (si, (_, f)) in self.aggs.iter().enumerate() {
+            let (c1, c2) = agg_cols[si];
+            match f {
+                AggFunc::Count => state[si] += 1,
+                AggFunc::Sum(_) => state[si] += table.columns[c1.unwrap()].data[row],
+                AggFunc::Min(_) => state[si] = state[si].min(table.columns[c1.unwrap()].data[row]),
+                AggFunc::Max(_) => state[si] = state[si].max(table.columns[c1.unwrap()].data[row]),
+                AggFunc::SumProduct(_, _) => {
+                    state[si] +=
+                        table.columns[c1.unwrap()].data[row] * table.columns[c2.unwrap()].data[row]
+                }
+            }
+        }
     }
 }
 
@@ -246,31 +352,32 @@ pub fn partitioned_group_by(
     fanout: u64,
     entry_bytes: u64,
 ) -> (Table, u64) {
-    use dpu_isa::hash::crc32c_u64;
     let key_idx: Vec<usize> = spec.group_cols.iter().map(|c| table.col_index(c)).collect();
     let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
     for row in 0..table.rows() {
         let k = table.columns[key_idx[0]].data[row];
         parts[(crc32c_u64(k as u64) as u64 % fanout) as usize].push(row);
     }
-    let mut max_footprint = 0u64;
-    let mut partials: Vec<Table> = Vec::new();
-    for rows in parts.iter().filter(|r| !r.is_empty()) {
-        let sub = Table::new(
-            table
-                .columns
-                .iter()
-                .map(|c| Column {
-                    name: c.name.clone(),
-                    width: c.width,
-                    data: rows.iter().map(|&r| c.data[r]).collect(),
-                })
-                .collect(),
-        );
-        let part_result = spec.execute(&sub, None);
-        max_footprint = max_footprint.max(part_result.rows() as u64 * entry_bytes);
-        partials.push(part_result);
-    }
+    // One aggregation task per non-empty partition, in partition order
+    // (par_map preserves it; the footprint max and the key-sorted merge
+    // below are both order-insensitive anyway).
+    let pool = if table.rows() >= PAR_MIN_ROWS { Pool::global() } else { Pool::new(1) };
+    let partials: Vec<Table> =
+        pool.par_map(parts.iter().filter(|r| !r.is_empty()).collect(), |rows: &Vec<usize>| {
+            let sub = Table::new(
+                table
+                    .columns
+                    .iter()
+                    .map(|c| Column {
+                        name: c.name.clone(),
+                        width: c.width,
+                        data: rows.iter().map(|&r| c.data[r]).collect(),
+                    })
+                    .collect(),
+            );
+            spec.execute(&sub, None)
+        });
+    let max_footprint = partials.iter().map(|p| p.rows() as u64 * entry_bytes).max().unwrap_or(0);
     // Merge: partitions hold disjoint groups, so concatenate and re-sort
     // (the "merge operator" has very low overhead, §5.3).
     let mut all_rows: Vec<Vec<i64>> = Vec::new();
@@ -407,6 +514,36 @@ mod tests {
         let (partitioned, max_fp) = partitioned_group_by(&spec, &t, 8, 16);
         assert_eq!(partitioned, reference);
         assert!(max_fp <= DPU_TABLE_BUDGET);
+    }
+
+    #[test]
+    fn parallel_group_by_is_bit_identical_to_sequential() {
+        let keys: Vec<i64> = (0..8000).map(|i| (i * 13) % 321).collect();
+        let keys2: Vec<i64> = (0..8000).map(|i| i % 4).collect();
+        let vals: Vec<i64> = (0..8000).map(|i| i * 3 - 5000).collect();
+        let t = Table::new(vec![
+            Column::i32("k", keys),
+            Column::i32("k2", keys2),
+            Column::i32("v", vals.clone()),
+            Column::i32("d", vals.iter().map(|v| v % 11).collect()),
+        ]);
+        let spec = GroupBySpec {
+            group_cols: vec!["k".into(), "k2".into()],
+            aggs: vec![
+                ("cnt".into(), AggFunc::Count),
+                ("s".into(), AggFunc::Sum("v".into())),
+                ("lo".into(), AggFunc::Min("v".into())),
+                ("hi".into(), AggFunc::Max("v".into())),
+                ("sp".into(), AggFunc::SumProduct("v".into(), "d".into())),
+            ],
+        };
+        for sel in [None, Some(BitVec::from_fn(8000, |i| i % 3 != 0))] {
+            let want = spec.execute_seq(&t, sel.as_ref());
+            for workers in [1usize, 2, 4, 7] {
+                let got = spec.execute_on(Pool::new(workers), &t, sel.as_ref());
+                assert_eq!(got, want, "workers={workers} sel={}", sel.is_some());
+            }
+        }
     }
 
     #[test]

@@ -9,8 +9,10 @@
 use std::collections::HashMap;
 
 use dpu_isa::hash::crc32c_u64;
+use dpu_pool::{chunk_bounds, in_worker, Pool};
 
 use crate::column::{Column, Table};
+use crate::PAR_MIN_ROWS;
 
 /// An equi-join of two tables.
 #[derive(Debug, Clone)]
@@ -30,12 +32,32 @@ impl HashJoin {
     /// returning the projected result and the largest build-partition
     /// entry count (for DMEM-budget assertions).
     ///
-    /// Output rows appear in (partition, probe-order) order.
+    /// Output rows appear in (partition, probe-order) order. Large
+    /// inputs run on the global host pool ([`Self::execute_on`]); the
+    /// result is bit-identical either way.
     ///
     /// # Panics
     ///
     /// Panics if named columns are missing or `fanout` is zero.
     pub fn execute(&self, build: &Table, probe: &Table, fanout: u64) -> (Table, u64) {
+        let pool = Pool::global();
+        if pool.threads() > 1
+            && !in_worker()
+            && fanout > 1
+            && build.rows() + probe.rows() >= PAR_MIN_ROWS
+        {
+            self.execute_on(pool, build, probe, fanout)
+        } else {
+            self.execute_seq(build, probe, fanout)
+        }
+    }
+
+    /// The sequential join kernel (the exact pre-parallelism code path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if named columns are missing or `fanout` is zero.
+    pub fn execute_seq(&self, build: &Table, probe: &Table, fanout: u64) -> (Table, u64) {
         assert!(fanout > 0, "fanout must be positive");
         let bk = build.col_index(&self.build_key);
         let pk = probe.col_index(&self.probe_key);
@@ -87,6 +109,86 @@ impl HashJoin {
         }
         (Table::new(columns), max_build)
     }
+
+    /// The pool-parallel join kernel: chunk-parallel partitioning, one
+    /// build+probe task per partition, outputs concatenated in
+    /// partition order — bit-identical to [`Self::execute_seq`]
+    /// (partitions are disjoint and each preserves probe order, which
+    /// is exactly the sequential emission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if named columns are missing or `fanout` is zero.
+    pub fn execute_on(
+        &self,
+        pool: Pool,
+        build: &Table,
+        probe: &Table,
+        fanout: u64,
+    ) -> (Table, u64) {
+        assert!(fanout > 0, "fanout must be positive");
+        let bk = build.col_index(&self.build_key);
+        let pk = probe.col_index(&self.probe_key);
+
+        let bparts = par_partition(pool, &build.columns[bk].data, fanout);
+        let pparts = par_partition(pool, &probe.columns[pk].data, fanout);
+
+        let bcols: Vec<usize> = self.build_cols.iter().map(|c| build.col_index(c)).collect();
+        let pcols: Vec<usize> = self.probe_cols.iter().map(|c| probe.col_index(c)).collect();
+
+        // One task per partition; each emits its slice of every output
+        // column in probe order.
+        let per_part = pool.par_map(bparts.iter().zip(&pparts).collect(), |(bp, pp)| {
+            let mut ht: HashMap<i64, Vec<usize>> = HashMap::new();
+            for &r in bp {
+                ht.entry(build.columns[bk].data[r]).or_default().push(r);
+            }
+            let mut out: Vec<Vec<i64>> = vec![Vec::new(); bcols.len() + pcols.len()];
+            for &pr in pp {
+                if let Some(brs) = ht.get(&probe.columns[pk].data[pr]) {
+                    for &br in brs {
+                        for (i, &c) in bcols.iter().enumerate() {
+                            out[i].push(build.columns[c].data[br]);
+                        }
+                        for (i, &c) in pcols.iter().enumerate() {
+                            out[bcols.len() + i].push(probe.columns[c].data[pr]);
+                        }
+                    }
+                }
+            }
+            out
+        });
+        let max_build = bparts.iter().map(|p| p.len() as u64).max().unwrap_or(0);
+
+        let names = self.build_cols.iter().chain(&self.probe_cols);
+        let columns = names
+            .enumerate()
+            .map(|(i, name)| {
+                Column::i64(name, per_part.iter().flat_map(|p| p[i].iter().copied()).collect())
+            })
+            .collect();
+        (Table::new(columns), max_build)
+    }
+}
+
+/// `fanout`-way CRC32 row-id partitioning, chunk-parallel on `pool`.
+/// Chunk results concatenate in chunk order, so every partition's row
+/// ids come out ascending — exactly the sequential partitioning.
+fn par_partition(pool: Pool, keys: &[i64], fanout: u64) -> Vec<Vec<usize>> {
+    let per_chunk = pool.par_map(chunk_bounds(keys.len(), pool.threads() * 4), |(lo, hi)| {
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
+        for (r, &key) in keys.iter().enumerate().take(hi).skip(lo) {
+            parts[(crc32c_u64(key as u64) as u64 % fanout) as usize].push(r);
+        }
+        parts
+    });
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
+    for chunk in per_chunk {
+        for (p, rows) in chunk.into_iter().enumerate() {
+            parts[p].extend(rows);
+        }
+    }
+    parts
 }
 
 /// Convenience: joins `probe` against `build` on integer keys and
@@ -172,6 +274,34 @@ mod tests {
         let (_, m32) = j.execute(&dim, &fact, 32);
         assert_eq!(m1, 10_000);
         assert!(m32 < 500, "32-way split should be ≈312 rows, got {m32}");
+    }
+
+    #[test]
+    fn parallel_join_is_bit_identical_to_sequential() {
+        // Many rows with duplicate keys, both projected sides.
+        let dim = Table::new(vec![
+            Column::i32("id", (0..3000).map(|i| i % 700).collect()),
+            Column::i32("cat", (0..3000).map(|i| i * 3).collect()),
+        ]);
+        let fact = Table::new(vec![
+            Column::i32("fk", (0..5000).map(|i| (i * 7) % 900).collect()),
+            Column::i32("val", (0..5000).collect()),
+        ]);
+        let j = HashJoin {
+            build_key: "id".into(),
+            probe_key: "fk".into(),
+            build_cols: vec!["cat".into()],
+            probe_cols: vec!["val".into(), "fk".into()],
+        };
+        for fanout in [1u64, 2, 32] {
+            let (want, want_max) = j.execute_seq(&dim, &fact, fanout);
+            for workers in [1usize, 2, 4, 7] {
+                let (got, got_max) = j.execute_on(Pool::new(workers), &dim, &fact, fanout);
+                // Exact row order, not just multiset equality.
+                assert_eq!(got, want, "fanout={fanout} workers={workers}");
+                assert_eq!(got_max, want_max);
+            }
+        }
     }
 
     #[test]

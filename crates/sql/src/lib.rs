@@ -16,6 +16,11 @@
 //! [`tpch`] provides a scaled TPC-H generator and eight queries used by
 //! the Figure 16 reproduction.
 
+/// Row-count floor below which the parallel join/agg paths fall back to
+/// the sequential kernels: spawning scoped workers costs more than a
+/// few thousand rows of hashing.
+pub const PAR_MIN_ROWS: usize = 4096;
+
 pub mod agg;
 pub mod bitvec;
 pub mod column;

@@ -21,6 +21,10 @@
 /// Simulation kernel (time, event queues, bandwidth servers).
 pub use dpu_sim as sim;
 
+/// Host-side scoped work-stealing thread pool (wall-clock parallelism;
+/// simulated time and results are unaffected by the thread count).
+pub use dpu_pool as pool;
+
 /// Q10.22 fixed-point arithmetic.
 pub use dpu_fixed as fixed;
 

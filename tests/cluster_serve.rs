@@ -248,3 +248,48 @@ fn pipeline_is_deterministic_across_all_features() {
     assert_eq!(a.mean_fabric_seconds, b.mean_fabric_seconds);
     assert_eq!(a.admitted, a.completed + a.backlog);
 }
+
+#[test]
+fn thread_count_never_changes_bench_relevant_output() {
+    // The full rack_tpch flow — parallel datagen, distributed suite,
+    // closed-loop serving — run with the work-stealing pool pinned to
+    // one worker and then to four. Every number a BENCH file is derived
+    // from must be bit-identical: host threads may only change how fast
+    // the simulator runs, never what it computes. This is the only test
+    // allowed to touch the process-global thread count; everything else
+    // builds explicit `Pool`s so this global stays race-free.
+    use dpu_repro::cluster::QueryOutput;
+    use dpu_repro::pool::{global_threads, set_global_threads};
+
+    #[allow(clippy::type_complexity)]
+    fn flow() -> (Vec<(QueryOutput, ClusterQueryCost)>, Vec<f64>) {
+        let db = tpch::generate_parallel(500, 13);
+        let cfg = ClusterConfig::prototype_slice(NODES, 10_000).with_replicas(2);
+        let mut c = Cluster::new(db, &ShardPolicy::hash(NODES), cfg);
+        let runs = c.run_all();
+        let templates: Vec<Template> = runs
+            .iter()
+            .map(|q| {
+                assert!(q.matches_single(), "{} diverged from single-node", q.id.name());
+                Template {
+                    name: q.id.name(),
+                    cost: q.cost.clone(),
+                    xeon_seconds: q.single_cost.xeon.seconds,
+                }
+            })
+            .collect();
+        let r = serve(&templates, c.watts(), &XeonRack::rack_42u(), &ServeConfig::default());
+        (
+            runs.into_iter().map(|q| (q.output, q.cost)).collect(),
+            vec![r.qps, r.p50, r.p95, r.p99, r.mean_latency, r.mean_batch, r.completed as f64],
+        )
+    }
+
+    let prior = global_threads();
+    set_global_threads(1);
+    let sequential = flow();
+    set_global_threads(4);
+    let parallel = flow();
+    set_global_threads(prior);
+    assert_eq!(sequential, parallel, "pool width changed a bench-relevant number");
+}

@@ -1,0 +1,107 @@
+//! Property tests for the work-stealing host pool and every parallel
+//! code path built on it: chunked TPC-H generation, the partitioned
+//! hash-join and group-by kernels, and the pool's own ordering and
+//! exactly-once guarantees. The engine's contract is that host thread
+//! count is *pure performance*: any worker count, any chunking, must be
+//! bit-identical to the sequential path.
+//!
+//! These tests build explicit `Pool`s instead of touching the process
+//! global, so they can run concurrently with the rest of the suite.
+
+use proptest::prelude::*;
+
+use dpu_repro::pool::{chunk_bounds, Pool};
+use dpu_repro::sql::tpch;
+use dpu_repro::sql::{AggFunc, Column, GroupBySpec, HashJoin, Table};
+
+proptest! {
+    #[test]
+    fn par_map_preserves_order_and_runs_each_item_exactly_once(
+        n in 0usize..300,
+        workers in 1usize..9,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let out = Pool::new(workers).par_map(items, |i| i * 3 + 1);
+        // Order and exactly-once in one shot: any duplicate, drop, or
+        // reorder breaks the expected sequence.
+        prop_assert_eq!(out, (0..n).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_bounds_tile_the_range_exactly(
+        n in 0usize..10_000,
+        chunks in 1usize..33,
+    ) {
+        let bounds = chunk_bounds(n, chunks);
+        let mut next = 0usize;
+        for &(lo, hi) in &bounds {
+            prop_assert_eq!(lo, next, "chunks must be contiguous");
+            prop_assert!(lo < hi, "chunks must be non-empty");
+            next = hi;
+        }
+        prop_assert_eq!(next, n, "chunks must cover 0..n");
+    }
+
+    #[test]
+    fn chunked_datagen_is_bit_identical_to_sequential(
+        orders_n in 1usize..160,
+        seed in any::<u64>(),
+        chunks in 1usize..12,
+        workers in 1usize..5,
+    ) {
+        let sequential = tpch::generate(orders_n, seed);
+        let chunked = tpch::generate_chunked_on(Pool::new(workers), orders_n, seed, chunks);
+        prop_assert_eq!(sequential, chunked);
+    }
+
+    #[test]
+    fn partitioned_join_is_bit_identical_to_sequential(
+        bkeys in proptest::collection::vec(0i64..40, 1..200),
+        pkeys in proptest::collection::vec(0i64..40, 1..200),
+        fanout in 1u64..9,
+        workers in 1usize..5,
+    ) {
+        let build = Table::new(vec![
+            Column::i64("k", bkeys.clone()),
+            Column::i64("bv", bkeys.iter().map(|&k| k * 10).collect()),
+        ]);
+        let probe = Table::new(vec![
+            Column::i64("k", pkeys.clone()),
+            Column::i64("pv", pkeys.iter().map(|&k| k + 1000).collect()),
+        ]);
+        let join = HashJoin {
+            build_key: "k".into(),
+            probe_key: "k".into(),
+            build_cols: vec!["bv".into()],
+            probe_cols: vec!["pv".into()],
+        };
+        let (seq, seq_max) = join.execute_seq(&build, &probe, fanout);
+        let (par, par_max) = join.execute_on(Pool::new(workers), &build, &probe, fanout);
+        prop_assert_eq!(seq, par);
+        prop_assert_eq!(seq_max, par_max);
+    }
+
+    #[test]
+    fn partitioned_group_by_is_bit_identical_to_sequential(
+        keys in proptest::collection::vec(-20i64..20, 1..300),
+        workers in 1usize..5,
+    ) {
+        let vals: Vec<i64> = keys.iter().enumerate().map(|(i, &k)| k * 7 + i as i64).collect();
+        let table = Table::new(vec![
+            Column::i64("g", keys),
+            Column::i64("v", vals),
+        ]);
+        let spec = GroupBySpec {
+            group_cols: vec!["g".into()],
+            aggs: vec![
+                ("n".into(), AggFunc::Count),
+                ("s".into(), AggFunc::Sum("v".into())),
+                ("lo".into(), AggFunc::Min("v".into())),
+                ("hi".into(), AggFunc::Max("v".into())),
+            ],
+        };
+        let seq = spec.execute_seq(&table, None);
+        let par = spec.execute_on(Pool::new(workers), &table, None);
+        prop_assert_eq!(seq, par);
+    }
+}

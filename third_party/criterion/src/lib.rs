@@ -30,6 +30,35 @@ pub enum BatchSize {
 /// Target measurement time per benchmark.
 const TARGET: Duration = Duration::from_millis(200);
 
+/// Work per iteration, for rate reporting (elements/s or bytes/s)
+/// alongside ns/iter — mirrors upstream criterion's `Throughput`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many items per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Human-readable rate for an iteration that took `ns` nanoseconds.
+    fn rate(self, ns: f64) -> String {
+        match self {
+            Throughput::Elements(n) => {
+                let eps = n as f64 / (ns / 1e9);
+                if eps >= 1e6 {
+                    format!("{:10.2} Melem/s", eps / 1e6)
+                } else {
+                    format!("{eps:10.0} elem/s")
+                }
+            }
+            Throughput::Bytes(n) => {
+                format!("{:10.2} MB/s", n as f64 / (ns / 1e9) / 1e6)
+            }
+        }
+    }
+}
+
 /// Timing context passed to benchmark closures.
 #[derive(Debug, Default)]
 pub struct Bencher {
@@ -86,13 +115,14 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
         if self.iters_done == 0 {
             println!("{name:50} (no iterations)");
             return;
         }
         let ns = self.elapsed.as_nanos() as f64 / self.iters_done as f64;
-        println!("{name:50} {ns:12.1} ns/iter ({} iters)", self.iters_done);
+        let rate = throughput.map(|t| format!("  {}", t.rate(ns))).unwrap_or_default();
+        println!("{name:50} {ns:12.1} ns/iter ({} iters){rate}", self.iters_done);
     }
 }
 
@@ -107,13 +137,13 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::default();
         f(&mut b);
-        b.report(name);
+        b.report(name, None);
         self
     }
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, prefix: name.to_string() }
+        BenchmarkGroup { _parent: self, prefix: name.to_string(), throughput: None }
     }
 }
 
@@ -122,14 +152,22 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     prefix: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work reported with each subsequent
+    /// benchmark in this group (elements/s or MB/s next to ns/iter).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher::default();
         f(&mut b);
-        b.report(&format!("{}/{}", self.prefix, name));
+        b.report(&format!("{}/{}", self.prefix, name), self.throughput);
         self
     }
 
@@ -182,6 +220,19 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("g");
         g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn throughput_reports_a_rate() {
+        // 1 element per 1000 ns = 1e6 elem/s (printed as Melem/s).
+        assert!(Throughput::Elements(1).rate(1000.0).contains("Melem/s"));
+        assert!(Throughput::Elements(1).rate(1e8).contains("elem/s"));
+        assert!(Throughput::Bytes(1_000_000).rate(1e6).contains("MB/s"));
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("rated", |b| b.iter(|| black_box(64)));
         g.finish();
     }
 }

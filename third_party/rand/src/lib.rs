@@ -151,10 +151,26 @@ impl SampleUniform for f64 {
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
+    /// SplitMix64's additive constant (Steele, Lea & Flood 2014).
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
     /// The workspace's standard deterministic generator (SplitMix64).
     #[derive(Debug, Clone)]
     pub struct StdRng {
         state: u64,
+    }
+
+    impl StdRng {
+        /// Jumps the stream forward by `draws` calls to
+        /// [`next_u64`](RngCore::next_u64) in O(1): SplitMix64's state is
+        /// a pure counter (`state += GAMMA` per draw), so advancing is
+        /// one multiply-add. Every integer `gen_range` in this crate
+        /// consumes exactly one `next_u64`, which is what makes chunked
+        /// deterministic data generation possible — a chunk's stream is
+        /// the base stream advanced past all earlier values' draws.
+        pub fn advance(&mut self, draws: u64) {
+            self.state = self.state.wrapping_add(draws.wrapping_mul(GAMMA));
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -166,7 +182,7 @@ pub mod rngs {
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // SplitMix64 (Steele, Lea & Flood 2014).
-            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.state = self.state.wrapping_add(GAMMA);
             let mut z = self.state;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -222,6 +238,45 @@ mod tests {
             let f: f64 = r.gen();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn advance_equals_discarding_draws() {
+        for k in [0u64, 1, 7, 1000] {
+            let mut jumped = StdRng::seed_from_u64(42);
+            jumped.advance(k);
+            let mut walked = StdRng::seed_from_u64(42);
+            for _ in 0..k {
+                walked.next_u64();
+            }
+            let a: Vec<u64> = (0..8).map(|_| jumped.next_u64()).collect();
+            let b: Vec<u64> = (0..8).map(|_| walked.next_u64()).collect();
+            assert_eq!(a, b, "advance({k})");
+        }
+    }
+
+    #[test]
+    fn advance_composes() {
+        let mut once = StdRng::seed_from_u64(5);
+        once.advance(30);
+        let mut twice = StdRng::seed_from_u64(5);
+        twice.advance(13);
+        twice.advance(17);
+        assert_eq!(once.next_u64(), twice.next_u64());
+    }
+
+    #[test]
+    fn every_integer_gen_range_consumes_exactly_one_draw() {
+        // The chunked TPC-H generator's offset arithmetic depends on
+        // this: one gen_range (any integer type, half-open or
+        // inclusive) = one next_u64.
+        let mut a = StdRng::seed_from_u64(11);
+        let _: i64 = a.gen_range(0..25);
+        let _: usize = a.gen_range(1..=7);
+        let _: i32 = a.gen_range(-4..9);
+        let mut b = StdRng::seed_from_u64(11);
+        b.advance(3);
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]
