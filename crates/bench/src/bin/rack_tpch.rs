@@ -29,15 +29,24 @@
 //! notes, byte-diffed by the nightly tpch-scale CI job) is only written
 //! by a default-config run — flags that reshape the cluster (replicas,
 //! kills, speculation) print their sections but leave the committed
-//! baseline untouched. Everything is seeded: the same build produces
-//! byte-identical reports on every run, at any `DPU_THREADS`.
+//! baseline untouched.
+//!
+//! Every sweep is host-parallel: the database is generated once, each
+//! (policy, k) combination is sharded once into a shared
+//! [`ClusterCore`], and every sweep cell is an O(1) [`Cluster::fork`]
+//! dispatched through `Pool::par_map`. Cell results are collected and
+//! printed in input order, so the same build produces byte-identical
+//! reports on every run, at any `DPU_THREADS`.
+
+use std::sync::Arc;
 
 use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_cluster::{
-    serve, serve_pipeline, Cluster, ClusterConfig, FaultPlan, QueryId, ServeConfig, ShardPolicy,
-    Speculation, Template,
+    serve, serve_pipeline, Cluster, ClusterConfig, ClusterCore, FaultPlan, QueryId, ServeConfig,
+    ShardPolicy, SingleRefCache, Speculation, Template,
 };
+use dpu_pool::Pool;
 use dpu_sql::tpch;
 use xeon_model::XeonRack;
 
@@ -107,10 +116,29 @@ fn main() {
     let args = parse_args();
     let replicas = args.replicas;
     let scale = 30_000u64; // cost queries at SF≈100 cardinalities
-    let db = tpch::generate(5000, 2026);
+    let db = Arc::new(tpch::generate(5000, 2026));
     let policy = ShardPolicy::hash(NODES);
-    let cfg = ClusterConfig::prototype_slice(NODES, scale).with_replicas(replicas);
-    let mut cluster = Cluster::new(db.clone(), &policy, cfg);
+    // One shared single-node reference cache for every core below: the
+    // reference is a function of the (shared) full database alone, so no
+    // sweep cell ever recomputes it.
+    let single = Arc::new(SingleRefCache::new());
+    let core_for = |k: usize| {
+        ClusterCore::with_shared(
+            db.clone(),
+            &policy,
+            ClusterConfig::prototype_slice(NODES, scale).with_replicas(k),
+            single.clone(),
+        )
+    };
+    // One core per sweep replication factor — each (policy, k) sharded
+    // exactly once. Every sweep cell below is an O(1) fork of its core.
+    let cores: Vec<Arc<ClusterCore>> = (1..=3).map(core_for).collect();
+    let main_core =
+        if (1..=3).contains(&replicas) { cores[replicas - 1].clone() } else { core_for(replicas) };
+    // Warm the shared cache once (no-op at one thread; values identical
+    // either way) so parallel sweep cells start fully warm.
+    main_core.warm_single_refs();
+    let mut cluster = Cluster::from_core(main_core);
     let mut plan = FaultPlan::none();
     for &(node, at) in &args.kills {
         plan = plan.crash(node, at);
@@ -123,7 +151,7 @@ fn main() {
     println!(
         "# Rack-scale TPC-H: {NODES} DPU nodes, hash-sharded on orderkey, k={replicas} \
          ({} lineitem rows)\n",
-        cluster.full.lineitem.rows()
+        cluster.full().lineitem.rows()
     );
     if !args.kills.is_empty() {
         for &(node, at) in &args.kills {
@@ -136,7 +164,7 @@ fn main() {
     }
     let load = cluster.load_seconds();
     println!("Initial shard load (scatter + dimension broadcast): {:.3} ms", load * 1e3);
-    let skew = cluster.sharded.skew_report();
+    let skew = cluster.sharded().skew_report();
     println!(
         "Shard balance: max {} rows vs mean {:.1} (imbalance {:.3}×, CV {:.4}, Gini {:.4})\n",
         skew.max_rows, skew.mean_rows, skew.imbalance, skew.cv, skew.gini
@@ -238,7 +266,7 @@ fn main() {
             slo_seconds: args.slo_ms.map(|ms| ms / 1e3),
             ..serve_cfg.clone()
         };
-        let fabric = cluster.cfg.fabric.clone();
+        let fabric = cluster.cfg().fabric.clone();
         let r = serve_pipeline(
             &templates,
             cluster.watts(),
@@ -326,62 +354,73 @@ fn main() {
     // replication factor. Failed sets are non-adjacent ({1}, {1, 4}) so
     // chained declustering at k = 2 still covers every shard with two
     // failures; k = 1 loses shards to any failure and reports QPS 0.
+    //
+    // Each of the nine cells forks its (policy, k) core — no database
+    // clone, no re-shard — and runs on the host pool. Results come back
+    // in input order and all printing/JSON assembly happens after the
+    // fan-out, so the report is byte-identical at any DPU_THREADS.
     println!("\n## Failover sweep (8 nodes, crash at t=0)\n");
     header(&["k", "failed nodes", "available", "QPS", "p99 (ms)", "failovers"]);
     let fail_sets: [&[usize]; 3] = [&[], &[1], &[1, 4]];
-    let mut sweep: Vec<Json> = Vec::new();
+    let mut cells: Vec<(usize, &[usize])> = Vec::new();
     for k in 1..=3usize {
         for fails in fail_sets {
-            let cfg = ClusterConfig::prototype_slice(NODES, scale).with_replicas(k);
-            let mut c = Cluster::new(db.clone(), &policy, cfg);
-            let mut plan = FaultPlan::none();
-            for &f in fails {
-                plan = plan.crash(f, 0.0);
-            }
-            c.set_faults(plan);
-            let mut available = true;
-            let mut failovers = 0usize;
-            let mut tmpls: Vec<Template> = Vec::new();
-            for id in QueryId::ALL {
-                match c.try_run_at(id, 0.0) {
-                    Ok(q) => {
-                        assert!(q.matches_single(), "{} diverged under faults", id.name());
-                        failovers += q.cost.failovers;
-                        tmpls.push(Template {
-                            name: q.id.name(),
-                            cost: q.cost.clone(),
-                            xeon_seconds: q.single_cost.xeon.seconds,
-                        });
-                    }
-                    Err(_) => {
-                        available = false;
-                        break;
-                    }
+            cells.push((k, fails));
+        }
+    }
+    let cell_results = Pool::global().par_map(cells, |(k, fails)| {
+        let mut c = Cluster::from_core(cores[k - 1].clone());
+        let mut plan = FaultPlan::none();
+        for &f in fails {
+            plan = plan.crash(f, 0.0);
+        }
+        c.set_faults(plan);
+        let mut available = true;
+        let mut failovers = 0usize;
+        let mut tmpls: Vec<Template> = Vec::new();
+        for id in QueryId::ALL {
+            match c.try_run_at(id, 0.0) {
+                Ok(q) => {
+                    assert!(q.matches_single(), "{} diverged under faults", id.name());
+                    failovers += q.cost.failovers;
+                    tmpls.push(Template {
+                        name: q.id.name(),
+                        cost: q.cost.clone(),
+                        xeon_seconds: q.single_cost.xeon.seconds,
+                    });
+                }
+                Err(_) => {
+                    available = false;
+                    break;
                 }
             }
-            let (qps, p99) = if available {
-                let r = serve(&tmpls, c.watts(), &rack, &serve_cfg);
-                (r.qps, r.p99)
-            } else {
-                (0.0, 0.0)
-            };
-            row(&[
-                format!("{k}"),
-                format!("{fails:?}"),
-                if available { "yes".into() } else { "no".into() },
-                format!("{qps:.1}"),
-                format!("{:.1}", p99 * 1e3),
-                format!("{failovers}"),
-            ]);
-            sweep.push(Json::obj([
-                ("replicas", Json::num(k as f64)),
-                ("failed_nodes", Json::num(fails.len() as f64)),
-                ("available", Json::Bool(available)),
-                ("qps", Json::num(qps)),
-                ("p99_seconds", Json::num(p99)),
-                ("failovers", Json::num(failovers as f64)),
-            ]));
         }
+        let (qps, p99) = if available {
+            let r = serve(&tmpls, c.watts(), &rack, &serve_cfg);
+            (r.qps, r.p99)
+        } else {
+            (0.0, 0.0)
+        };
+        (k, fails, available, qps, p99, failovers)
+    });
+    let mut sweep: Vec<Json> = Vec::new();
+    for (k, fails, available, qps, p99, failovers) in cell_results {
+        row(&[
+            format!("{k}"),
+            format!("{fails:?}"),
+            if available { "yes".into() } else { "no".into() },
+            format!("{qps:.1}"),
+            format!("{:.1}", p99 * 1e3),
+            format!("{failovers}"),
+        ]);
+        sweep.push(Json::obj([
+            ("replicas", Json::num(k as f64)),
+            ("failed_nodes", Json::num(fails.len() as f64)),
+            ("available", Json::Bool(available)),
+            ("qps", Json::num(qps)),
+            ("p99_seconds", Json::num(p99)),
+            ("failovers", Json::num(failovers as f64)),
+        ]));
     }
     emit(
         "rack_failover",
@@ -395,17 +434,20 @@ fn main() {
     );
 
     // ── Serving-pipeline baseline ─────────────────────────────────────
-    // Everything below runs on dedicated clusters so the emitted
+    // Everything below runs on dedicated forks so the emitted
     // BENCH_rack_serve.json is byte-identical regardless of flags.
     let slo = 1.5f64;
-    let mut base = Cluster::new(db.clone(), &policy, ClusterConfig::prototype_slice(NODES, scale));
+    let mut base = Cluster::from_core(cores[0].clone());
     let base_templates = suite_templates(&mut base);
+    let base_watts = base.watts();
 
     // Batching-policy sweep: SLO attainment of the adaptive controller
     // vs every fixed depth across offered loads. The acceptance bar is
     // weak dominance at the two highest loads, asserted here so CI fails
-    // if a controller change regresses it.
-    println!("\n## Batching policy sweep (SLO {:.1} s, concurrency 1)\n", slo);
+    // if a controller change regresses it. Each (load, policy) cell is
+    // an independent serve over the shared templates — the whole grid
+    // fans out on the host pool, then prints in input order.
+    println!("\n## Batching policy sweep (SLO {slo:.1} s, concurrency 1)\n");
     header(&["clients", "policy", "QPS", "p99 (ms)", "SLO att", "mean batch"]);
     let policies: [(&str, usize, bool); 5] = [
         ("fixed-1", 1, false),
@@ -415,35 +457,45 @@ fn main() {
         ("adaptive", 16, true),
     ];
     let load_points = [8usize, 16, 32, 64, 128];
+    let mut grid_cells: Vec<(usize, (&str, usize, bool))> = Vec::new();
+    for &clients in &load_points {
+        for p in policies {
+            grid_cells.push((clients, p));
+        }
+    }
+    let grid = Pool::global().par_map(grid_cells, |(clients, (label, mb, adaptive))| {
+        let cfg = ServeConfig {
+            clients,
+            max_batch: mb,
+            adaptive,
+            slo_seconds: Some(slo),
+            ..ServeConfig::default()
+        };
+        let r = serve(&base_templates, base_watts, &rack, &cfg);
+        (clients, label, adaptive, r)
+    });
     let mut loads_json: Vec<Json> = Vec::new();
-    for (li, &clients) in load_points.iter().enumerate() {
+    for (li, load_cells) in grid.chunks(policies.len()).enumerate() {
         let mut best_fixed = 0.0f64;
         let mut adaptive_att = 0.0f64;
-        for (label, mb, adaptive) in policies {
-            let cfg = ServeConfig {
-                clients,
-                max_batch: mb,
-                adaptive,
-                slo_seconds: Some(slo),
-                ..ServeConfig::default()
-            };
-            let r = serve(&base_templates, base.watts(), &rack, &cfg);
+        let clients = load_points[li];
+        for (clients, label, adaptive, r) in load_cells {
             row(&[
                 format!("{clients}"),
-                label.into(),
+                (*label).into(),
                 format!("{:.1}", r.qps),
                 format!("{:.1}", r.p99 * 1e3),
                 format!("{:.4}", r.slo_attainment),
                 format!("{:.2}", r.mean_batch),
             ]);
-            if adaptive {
+            if *adaptive {
                 adaptive_att = r.slo_attainment;
             } else {
                 best_fixed = best_fixed.max(r.slo_attainment);
             }
             loads_json.push(Json::obj([
-                ("clients", Json::num(clients as f64)),
-                ("policy", Json::str(label)),
+                ("clients", Json::num(*clients as f64)),
+                ("policy", Json::str(*label)),
                 ("qps", Json::num(r.qps)),
                 ("p99_seconds", Json::num(r.p99)),
                 ("slo_attainment", Json::num(r.slo_attainment)),
@@ -463,7 +515,7 @@ fn main() {
     // queue on the shared switch, so the per-batch fabric time must sit
     // strictly above the isolated cost; a lone slot pays exactly it.
     let q10 = base_templates.iter().find(|t| t.name == "Q10").expect("Q10 in suite").clone();
-    let fabric = base.cfg.fabric.clone();
+    let fabric = base.cfg().fabric.clone();
     let icfg = ServeConfig {
         clients: 32,
         think_seconds: 0.0,
@@ -507,6 +559,8 @@ fn main() {
     // Offered load sits between the unmitigated straggler's capacity and
     // the speculative one: the straggler saturates and sheds throughput,
     // speculation keeps the rack close to the healthy closed-loop rate.
+    // The three configurations fork the shared k=2 core and run
+    // concurrently on the host pool.
     let straggle = FaultPlan::none().straggle(3, 0.0, 1e9, 0.25);
     let spec_serve = ServeConfig {
         clients: 96,
@@ -515,20 +569,24 @@ fn main() {
         duration_seconds: 30.0,
         ..ServeConfig::default()
     };
-    let k2 = || ClusterConfig::prototype_slice(NODES, scale).with_replicas(2);
-    let mut healthy = Cluster::new(db.clone(), &policy, k2());
-    let healthy_qps =
-        serve(&suite_templates(&mut healthy), healthy.watts(), &rack, &spec_serve).qps;
-    let mut slow = Cluster::new(db.clone(), &policy, k2());
-    slow.set_faults(straggle.clone());
-    let straggled_qps = serve(&suite_templates(&mut slow), slow.watts(), &rack, &spec_serve).qps;
-    let mut spec = Cluster::new(db, &policy, k2());
-    spec.set_faults(straggle);
-    spec.set_speculation(Some(Speculation::default()));
-    let spec_templates = suite_templates(&mut spec);
-    let speculations: usize = spec_templates.iter().map(|t| t.cost.speculations).sum();
+    let spec_cells: Vec<(bool, bool)> = vec![(false, false), (true, false), (true, true)];
+    let spec_results = Pool::global().par_map(spec_cells, |(straggled, speculate)| {
+        let mut c = Cluster::from_core(cores[1].clone()); // k = 2
+        if straggled {
+            c.set_faults(straggle.clone());
+        }
+        if speculate {
+            c.set_speculation(Some(Speculation::default()));
+        }
+        let tmpls = suite_templates(&mut c);
+        let speculations: usize = tmpls.iter().map(|t| t.cost.speculations).sum();
+        let qps = serve(&tmpls, c.watts(), &rack, &spec_serve).qps;
+        (qps, speculations)
+    });
+    let (healthy_qps, _) = spec_results[0];
+    let (straggled_qps, _) = spec_results[1];
+    let (spec_qps, speculations) = spec_results[2];
     assert!(speculations > 0, "the 4× straggler must trip the speculation deadline");
-    let spec_qps = serve(&spec_templates, spec.watts(), &rack, &spec_serve).qps;
     let recovery = spec_qps / healthy_qps;
     assert!(
         recovery >= 0.70,

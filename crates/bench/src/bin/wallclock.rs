@@ -7,7 +7,9 @@
 //!
 //! 1. chunked deterministic TPC-H generation (`tpch::generate_parallel`),
 //! 2. single-node `Cluster::run_all` (partitioned join/agg kernels),
-//! 3. 8-node `Cluster::run_all` (shard fan-out + single-node references).
+//! 3. 8-node `Cluster::run_all` (shard fan-out + single-node references),
+//! 4. the `rack_tpch` failover matrix (replication × kill patterns), one
+//!    O(1) `Cluster` fork per cell from shared per-k cores.
 //!
 //! The 1-thread runs pin the pool to one worker, which takes the exact
 //! pre-pool sequential code paths, and every parallel result is asserted
@@ -22,13 +24,17 @@
 //! smaller hosts the binary still checks determinism and reports what it
 //! measured.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{Criterion, Throughput};
 use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
-use dpu_cluster::{Cluster, ClusterConfig, ClusterQueryCost, QueryOutput, ShardPolicy};
-use dpu_pool::set_global_threads;
+use dpu_cluster::{
+    Cluster, ClusterConfig, ClusterCore, ClusterQueryCost, FaultPlan, QueryError, QueryId,
+    QueryOutput, ShardPolicy, SingleRefCache,
+};
+use dpu_pool::{set_global_threads, Pool};
 use dpu_sql::tpch::{self, TpchDb};
 
 const SEED: u64 = 2026;
@@ -141,6 +147,64 @@ fn main() {
         ]));
     }
 
+    // ── rack_tpch failover matrix: sequential vs pool-parallel ───────
+    // The same k ∈ {1,2,3} × kill-pattern sweep `rack_tpch` runs, with
+    // the database generated once and each replication factor sharded
+    // once into a shared core; every cell is an O(1) fork. The shared
+    // single-node reference cache is warmed up front so both arms time
+    // only the distributed sweep, not reference computation.
+    let fails_sets: [&[usize]; 3] = [&[], &[1], &[1, 4]];
+    let single = Arc::new(SingleRefCache::new());
+    let shared_db = Arc::new(db.clone());
+    let policy = ShardPolicy::hash(NODES);
+    let cores: [Arc<ClusterCore>; 3] = [1, 2, 3].map(|k| {
+        ClusterCore::with_shared(
+            shared_db.clone(),
+            &policy,
+            ClusterConfig::prototype_slice(NODES, SCALE).with_replicas(k),
+            single.clone(),
+        )
+    });
+    Cluster::from_core(cores[0].clone()).run_all();
+
+    type CellResult = Vec<Result<(QueryOutput, ClusterQueryCost), QueryError>>;
+    let sweep = |cores: &[Arc<ClusterCore>; 3]| -> Vec<(usize, CellResult)> {
+        let mut cells: Vec<(usize, &[usize])> = Vec::new();
+        for k in 1..=3usize {
+            for fails in fails_sets {
+                cells.push((k, fails));
+            }
+        }
+        Pool::global().par_map(cells, |(k, fails)| {
+            let mut c = Cluster::from_core(cores[k - 1].clone());
+            let mut plan = FaultPlan::none();
+            for &node in fails {
+                plan = plan.crash(node, 0.0);
+            }
+            c.set_faults(plan);
+            let runs: CellResult = QueryId::ALL
+                .iter()
+                .map(|&id| c.try_run_at(id, 0.0).map(|q| (q.output, q.cost)))
+                .collect();
+            (k, runs)
+        })
+    };
+    set_global_threads(1);
+    let (seq_s, seq_cells) = best_of(|| sweep(&cores));
+    set_global_threads(threads);
+    let (par_s, par_cells) = best_of(|| sweep(&cores));
+    assert_eq!(seq_cells, par_cells, "failover matrix changed with thread count");
+    let matrix_speedup = seq_s / par_s;
+    println!();
+    header(&["sweep", "seq (s)", "par (s)", "speedup", "thread-invariant"]);
+    row(&[
+        format!("failover {}x{} cells", cores.len(), fails_sets.len()),
+        format!("{seq_s:.3}"),
+        format!("{par_s:.3}"),
+        format!("{matrix_speedup:.2}x"),
+        "yes".into(),
+    ]);
+
     // ── Criterion throughput report (elements/s) ──────────────────────
     // The stand-in criterion's `Throughput` prints a rate next to
     // ns/iter; datagen throughput is in generated orders per second.
@@ -166,7 +230,15 @@ fn main() {
             "{NODES}-node run_all must speed up >= 2x on {threads} threads \
              ({host_cpus} CPUs): got {cluster_speedup:.2}x"
         );
-        println!("\nSpeedup floor (>= 2.0x) holds for datagen and {NODES}-node run_all.");
+        assert!(
+            matrix_speedup >= 2.0,
+            "failover matrix must speed up >= 2x on {threads} threads \
+             ({host_cpus} CPUs): got {matrix_speedup:.2}x"
+        );
+        println!(
+            "\nSpeedup floor (>= 2.0x) holds for datagen, {NODES}-node run_all, \
+             and the failover matrix."
+        );
     } else {
         println!("\nSpeedup floor not asserted: {host_cpus} host CPUs < 4.");
     }
@@ -181,6 +253,14 @@ fn main() {
             ("deterministic", Json::Bool(true)),
             ("datagen", Json::Arr(datagen_json)),
             ("run_all", Json::Arr(suite_json)),
+            (
+                "failover_matrix",
+                Json::obj([
+                    ("cells", Json::num((cores.len() * fails_sets.len()) as f64)),
+                    ("orders_n", Json::num(CLUSTER_ORDERS as f64)),
+                    ("speedup", Json::num(matrix_speedup)),
+                ]),
+            ),
         ]),
     );
 }

@@ -43,7 +43,7 @@
 //!
 //! [failover timeout]: crate::fabric::FabricConfig::failover_timeout_cycles
 
-use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use dpu_core::rack::Rack;
 use dpu_pool::Pool;
@@ -387,25 +387,161 @@ impl ClusterConfig {
     }
 }
 
+/// Shared, memoized single-node reference results: one [`OnceLock`] slot
+/// per query, in [`QueryId::ALL`] order.
+///
+/// The reference is a pure function of the unsharded database, the Xeon
+/// baseline, and the cost scale, so clusters built over the same data may
+/// share one cache behind an `Arc` — every fork (and, in a sweep, every
+/// *core* over the same database) then computes each reference at most
+/// once process-wide instead of once per cell.
+#[derive(Debug, Default)]
+pub struct SingleRefCache {
+    slots: [OnceLock<(QueryOutput, QueryCost)>; 8],
+}
+
+impl SingleRefCache {
+    /// An empty cache (every reference computed on first use).
+    pub fn new() -> Self {
+        SingleRefCache::default()
+    }
+
+    fn slot(id: QueryId) -> usize {
+        QueryId::ALL.iter().position(|&q| q == id).expect("ALL covers every query")
+    }
+
+    fn is_warm(&self, id: QueryId) -> bool {
+        self.slots[Self::slot(id)].get().is_some()
+    }
+
+    fn get_or_compute(
+        &self,
+        full: &TpchDb,
+        xeon: &Xeon,
+        scale: u64,
+        id: QueryId,
+    ) -> (QueryOutput, QueryCost) {
+        self.slots[Self::slot(id)].get_or_init(|| compute_single(full, xeon, scale, id)).clone()
+    }
+}
+
+/// The immutable half of a cluster: configuration, the full database,
+/// its sharding, the Xeon baseline, and the shared single-node reference
+/// cache. Everything here is fixed at construction, so any number of
+/// [`Cluster`] forks can share one core behind an `Arc` — forking is
+/// O(1) in the data size.
+#[derive(Debug)]
+pub struct ClusterCore {
+    cfg: ClusterConfig,
+    full: Arc<TpchDb>,
+    sharded: ShardedTpch,
+    xeon: Xeon,
+    single: Arc<SingleRefCache>,
+}
+
+impl ClusterCore {
+    /// Shards `db` under `policy` with `cfg.replicas` copies per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's shard count differs from `cfg.n_nodes` or
+    /// `cfg.replicas` is invalid for that node count.
+    pub fn new(db: TpchDb, policy: &ShardPolicy, cfg: ClusterConfig) -> Arc<Self> {
+        Self::with_shared(Arc::new(db), policy, cfg, Arc::new(SingleRefCache::new()))
+    }
+
+    /// Builds a core around an already-shared database and reference
+    /// cache, so a sweep's (policy, k) cores over the same data clone
+    /// neither the database nor the memoized references. The shards
+    /// themselves depend only on the policy; `cfg.replicas` only affects
+    /// placement, which is cheap.
+    pub fn with_shared(
+        db: Arc<TpchDb>,
+        policy: &ShardPolicy,
+        cfg: ClusterConfig,
+        single: Arc<SingleRefCache>,
+    ) -> Arc<Self> {
+        assert_eq!(policy.shards(), cfg.n_nodes, "policy shards must equal cluster nodes");
+        let sharded = shard_tpch_replicated(&db, policy, cfg.replicas);
+        Arc::new(ClusterCore { cfg, full: db, sharded, xeon: Xeon::new(), single })
+    }
+
+    /// Sizing and rates.
+    pub fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The unsharded database (single-node references run against it).
+    pub fn full(&self) -> &TpchDb {
+        &self.full
+    }
+
+    /// The shared database handle, for building sibling cores.
+    pub fn full_shared(&self) -> Arc<TpchDb> {
+        self.full.clone()
+    }
+
+    /// The per-shard databases and their replica placement.
+    pub fn sharded(&self) -> &ShardedTpch {
+        &self.sharded
+    }
+
+    /// The baseline model used for per-socket reference costs.
+    pub fn xeon(&self) -> &Xeon {
+        &self.xeon
+    }
+
+    /// The shared single-node reference cache, for building sibling
+    /// cores over the same database.
+    pub fn single_refs(&self) -> Arc<SingleRefCache> {
+        self.single.clone()
+    }
+
+    /// The single-node reference result for `id`, computed on first use
+    /// and memoized in the shared cache.
+    fn single_ref(&self, id: QueryId) -> (QueryOutput, QueryCost) {
+        self.single.get_or_compute(&self.full, &self.xeon, self.cfg.scale, id)
+    }
+
+    /// Computes the not-yet-cached single-node references on the host
+    /// pool. A no-op at one thread, so the single-threaded path takes
+    /// the exact pre-parallelism route (lazy per-query references); the
+    /// cached values are the same either way. Warming the shared core
+    /// once covers every fork — sweep cells never recompute references.
+    pub fn warm_single_refs(&self) {
+        let pool = Pool::global();
+        if pool.threads() <= 1 || dpu_pool::in_worker() {
+            return;
+        }
+        let missing: Vec<QueryId> =
+            QueryId::ALL.into_iter().filter(|&id| !self.single.is_warm(id)).collect();
+        let computed = pool.par_map(missing.clone(), |id| {
+            compute_single(&self.full, &self.xeon, self.cfg.scale, id)
+        });
+        for (id, v) in missing.into_iter().zip(computed) {
+            let _ = self.slots_set(id, v);
+        }
+    }
+
+    fn slots_set(&self, id: QueryId, v: (QueryOutput, QueryCost)) -> bool {
+        self.single.slots[SingleRefCache::slot(id)].set(v).is_ok()
+    }
+}
+
 /// A simulated DPU cluster holding a sharded TPC-H database.
+///
+/// Split into an immutable [`ClusterCore`] (shared by every fork) and
+/// the cheap per-fork mutable state: the [`Fabric`]'s queue occupancy,
+/// the installed [`FaultPlan`], and the [`Speculation`] policy.
+/// [`fork`](Self::fork) hands out an independent pristine cluster over
+/// the same core in O(1).
 #[derive(Debug)]
 pub struct Cluster {
-    /// Sizing and rates.
-    pub cfg: ClusterConfig,
-    /// The unsharded database (single-node reference runs against it).
-    pub full: TpchDb,
-    /// The per-shard databases and their replica placement.
-    pub sharded: ShardedTpch,
-    /// The rack network.
+    core: Arc<ClusterCore>,
+    /// The rack network (per-fork mutable state).
     pub fabric: Fabric,
     faults: FaultPlan,
     speculation: Option<Speculation>,
-    xeon: Xeon,
-    /// Memoized single-node reference results. The reference is a pure
-    /// function of the unsharded database, so each query computes it at
-    /// most once per cluster; `run_all` pre-warms all eight on the host
-    /// pool (only when it has more than one thread).
-    single_cache: HashMap<QueryId, (QueryOutput, QueryCost)>,
 }
 
 impl Cluster {
@@ -417,49 +553,55 @@ impl Cluster {
     /// Panics if the policy's shard count differs from `cfg.n_nodes` or
     /// `cfg.replicas` is invalid for that node count.
     pub fn new(db: TpchDb, policy: &ShardPolicy, cfg: ClusterConfig) -> Self {
-        assert_eq!(policy.shards(), cfg.n_nodes, "policy shards must equal cluster nodes");
-        let sharded = shard_tpch_replicated(&db, policy, cfg.replicas);
-        let fabric = Fabric::new(cfg.n_nodes, cfg.fabric.clone());
-        Cluster {
-            sharded,
-            fabric,
-            full: db,
-            cfg,
-            faults: FaultPlan::none(),
-            speculation: None,
-            xeon: Xeon::new(),
-            single_cache: HashMap::new(),
-        }
+        Self::from_core(ClusterCore::new(db, policy, cfg))
     }
 
-    /// The single-node reference result for `id`, computed on first use
-    /// and memoized (the reference depends only on the unsharded
-    /// database, which never changes after construction).
-    fn single_ref(&mut self, id: QueryId) -> (QueryOutput, QueryCost) {
-        if let Some(v) = self.single_cache.get(&id) {
-            return v.clone();
-        }
-        let v = compute_single(&self.full, &self.xeon, self.cfg.scale, id);
-        self.single_cache.insert(id, v.clone());
-        v
+    /// A pristine cluster over an existing shared core: fresh fabric, no
+    /// faults, no speculation — exactly the state `Cluster::new` leaves
+    /// behind, without re-sharding or cloning the database.
+    pub fn from_core(core: Arc<ClusterCore>) -> Self {
+        let fabric = Fabric::new(core.cfg.n_nodes, core.cfg.fabric.clone());
+        Cluster { core, fabric, faults: FaultPlan::none(), speculation: None }
     }
 
-    /// Computes the not-yet-cached single-node references on the host
-    /// pool. A no-op at one thread, so the single-threaded `run_all`
-    /// takes the exact pre-parallelism route (lazy per-query
-    /// references); the cached values are the same either way.
-    fn warm_single_refs(&mut self) {
-        let pool = Pool::global();
-        if pool.threads() <= 1 || dpu_pool::in_worker() {
-            return;
-        }
-        let missing: Vec<QueryId> =
-            QueryId::ALL.into_iter().filter(|id| !self.single_cache.contains_key(id)).collect();
-        let (full, xeon, scale) = (&self.full, &self.xeon, self.cfg.scale);
-        let computed = pool.par_map(missing.clone(), |id| compute_single(full, xeon, scale, id));
-        for (id, v) in missing.into_iter().zip(computed) {
-            self.single_cache.insert(id, v);
-        }
+    /// Forks this cluster in O(1): the returned cluster shares the
+    /// immutable core (database, shards, reference cache) and starts
+    /// with pristine mutable state. Invariant: `fork()` + run is
+    /// bit-for-bit identical to a fresh `Cluster::new` + run.
+    pub fn fork(&self) -> Self {
+        Self::from_core(self.core.clone())
+    }
+
+    /// The shared immutable core.
+    pub fn core(&self) -> &Arc<ClusterCore> {
+        &self.core
+    }
+
+    /// Sizing and rates.
+    pub fn cfg(&self) -> &ClusterConfig {
+        self.core.cfg()
+    }
+
+    /// The unsharded database (single-node references run against it).
+    pub fn full(&self) -> &TpchDb {
+        self.core.full()
+    }
+
+    /// The per-shard databases and their replica placement.
+    pub fn sharded(&self) -> &ShardedTpch {
+        self.core.sharded()
+    }
+
+    /// The single-node reference result for `id` (shared memoization —
+    /// see [`SingleRefCache`]).
+    fn single_ref(&self, id: QueryId) -> (QueryOutput, QueryCost) {
+        self.core.single_ref(id)
+    }
+
+    /// Pre-warms the shared single-node reference cache on the host pool
+    /// (see [`ClusterCore::warm_single_refs`]).
+    pub fn warm_single_refs(&self) {
+        self.core.warm_single_refs();
     }
 
     /// Enables (or, with `None`, disables) deadline-based speculative
@@ -487,12 +629,12 @@ impl Cluster {
 
     /// Total provisioned cluster power, watts.
     pub fn watts(&self) -> f64 {
-        self.cfg.watts_per_node * self.cfg.n_nodes as f64
+        self.core.cfg.watts_per_node * self.core.cfg.n_nodes as f64
     }
 
     /// The baseline model used for per-socket reference costs.
     pub fn xeon(&self) -> &Xeon {
-        &self.xeon
+        &self.core.xeon
     }
 
     /// Seconds to load the database over the fabric from node 0: every
@@ -501,15 +643,15 @@ impl Cluster {
     pub fn load_seconds(&mut self) -> f64 {
         self.fabric.reset();
         let mut done = Time::ZERO;
-        for s in 0..self.sharded.n_nodes() {
-            let bytes = self.sharded.shard_fact_bytes(s);
-            for dst in self.sharded.placement.owners(s) {
+        for s in 0..self.core.sharded.n_nodes() {
+            let bytes = self.core.sharded.shard_fact_bytes(s);
+            for dst in self.core.sharded.placement.owners(s) {
                 if dst != 0 {
                     done = done.max(self.fabric.transfer(Time::ZERO, 0, dst, bytes));
                 }
             }
         }
-        done = done.max(self.fabric.broadcast(Time::ZERO, 0, self.sharded.broadcast_bytes));
+        done = done.max(self.fabric.broadcast(Time::ZERO, 0, self.core.sharded.broadcast_bytes));
         let s = self.fabric.seconds(done);
         self.fabric.reset();
         s
@@ -585,19 +727,19 @@ impl Cluster {
     pub fn recover(&mut self, node: usize, at_seconds: f64) -> RecoveryReport {
         self.fabric.reset();
         let start = self.fabric.at_seconds(at_seconds);
-        let shards = self.sharded.placement.shards_on(node);
+        let shards = self.core.sharded.placement.shards_on(node);
         let mut rebuilt = Vec::new();
         let mut bytes_moved = 0u64;
         let mut done = start;
         for &s in &shards {
             let src = self
-                .sharded
+                .sharded()
                 .placement
                 .owners(s)
                 .into_iter()
                 .find(|&o| o != node && !self.faults.is_down(o, at_seconds));
             if let Some(src) = src {
-                let bytes = self.sharded.shard_fact_bytes(s);
+                let bytes = self.core.sharded.shard_fact_bytes(s);
                 bytes_moved += bytes;
                 rebuilt.push(s);
                 done = done.max(self.fabric.transfer(start, src, node, bytes));
@@ -623,7 +765,7 @@ impl Cluster {
         costs: &[NodeCost],
         start: f64,
     ) -> Result<(Vec<ShardRun>, Vec<NodeCost>, usize, usize), QueryError> {
-        let n = self.sharded.n_nodes();
+        let n = self.core.sharded.n_nodes();
         let timeout = self.fabric.failover_timeout_seconds();
         let deadline = self.speculation.map(|p| p.deadline_seconds(costs));
         let mut node_free = vec![start; n];
@@ -642,7 +784,7 @@ impl Cluster {
                 })
                 .expect("non-empty");
             let (avail, s, chain, attempt) = pending.swap_remove(i);
-            let owners = self.sharded.placement.owners(s);
+            let owners = self.core.sharded.placement.owners(s);
             let Some((pos, &node)) = owners
                 .iter()
                 .enumerate()
@@ -741,7 +883,7 @@ impl Cluster {
             return Ok((run.node, run.done_seconds.max(t)));
         }
         let node = self
-            .sharded
+            .sharded()
             .placement
             .owners(s)
             .into_iter()
@@ -762,7 +904,7 @@ impl Cluster {
         bytes: &[u64],
         start: f64,
     ) -> Result<(usize, Time, usize), QueryError> {
-        let n = self.sharded.n_nodes();
+        let n = self.core.sharded.n_nodes();
         let timeout = self.fabric.failover_timeout_seconds();
         let mut t_try = start;
         let mut failovers = 0usize;
@@ -829,7 +971,7 @@ impl Cluster {
         start: f64,
     ) -> Result<DistributedQuery, QueryError> {
         let (single_output, single_cost) = self.single_ref(id);
-        let locals = run_shards(&self.sharded.shards, &self.xeon, self.cfg.scale, f);
+        let locals = run_shards(&self.core.sharded.shards, &self.core.xeon, self.core.cfg.scale, f);
         let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let partials: Vec<Table> = locals.into_iter().map(|(t, _)| t).collect();
@@ -859,7 +1001,7 @@ impl Cluster {
         start: f64,
     ) -> Result<DistributedQuery, QueryError> {
         let (single_output, single_cost) = self.single_ref(id);
-        let locals = run_shards(&self.sharded.shards, &self.xeon, self.cfg.scale, f);
+        let locals = run_shards(&self.core.sharded.shards, &self.core.xeon, self.core.cfg.scale, f);
         let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let partials: Vec<Table> = locals.into_iter().map(|(t, _)| t).collect();
@@ -876,7 +1018,8 @@ impl Cluster {
 
     fn run_q6(&mut self, start: f64) -> Result<DistributedQuery, QueryError> {
         let (single_output, single_cost) = self.single_ref(QueryId::Q6);
-        let locals = run_shards(&self.sharded.shards, &self.xeon, self.cfg.scale, tpch::q6);
+        let locals =
+            run_shards(&self.core.sharded.shards, &self.core.xeon, self.core.cfg.scale, tpch::q6);
         let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let total: i64 = locals.iter().map(|(v, _)| v).sum();
@@ -897,7 +1040,8 @@ impl Cluster {
 
     fn run_q14(&mut self, start: f64) -> Result<DistributedQuery, QueryError> {
         let (single_output, single_cost) = self.single_ref(QueryId::Q14);
-        let locals = run_shards(&self.sharded.shards, &self.xeon, self.cfg.scale, tpch::q14);
+        let locals =
+            run_shards(&self.core.sharded.shards, &self.core.xeon, self.core.cfg.scale, tpch::q14);
         let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         let promo: i64 = locals.iter().map(|((p, _), _)| p).sum();
@@ -931,14 +1075,14 @@ impl Cluster {
     /// replicas) and picks local top-20 candidates; phase 4 gathers
     /// candidates to the coordinator for the final top-20.
     fn run_q10(&mut self, start: f64) -> Result<DistributedQuery, QueryError> {
-        let scale = self.cfg.scale;
+        let scale = self.core.cfg.scale;
         let (single_output, single_cost) = self.single_ref(QueryId::Q10);
         let spec = spec_q10();
-        let n = self.sharded.n_nodes();
+        let n = self.core.sharded.n_nodes();
         let timeout = self.fabric.failover_timeout_seconds();
 
         // Phase 1: local filter + join + partial group-by, per shard.
-        let locals = run_shards(&self.sharded.shards, &self.xeon, scale, q10_local);
+        let locals = run_shards(&self.core.sharded.shards, &self.core.xeon, scale, q10_local);
         let per_shard: Vec<NodeCost> =
             locals.iter().map(|(_, c)| NodeCost::from_dpu(&c.dpu)).collect();
         self.fabric.reset();
@@ -1384,6 +1528,57 @@ mod tests {
     }
 
     #[test]
+    fn fork_equals_fresh_cluster_bit_for_bit() {
+        let mut fresh = cluster_k(8, 2);
+        let mut forked = {
+            // Dirty a cluster thoroughly, then fork it: the fork must be
+            // indistinguishable from a fresh Cluster::new.
+            let mut dirty = cluster_k(8, 2);
+            dirty.set_faults(FaultPlan::none().crash(1, 0.0).straggle(2, 0.0, 1e9, 0.5));
+            dirty.set_speculation(Some(Speculation::default()));
+            let _ = dirty.try_run_at(QueryId::Q10, 0.0);
+            dirty.fork()
+        };
+        assert_eq!(forked.faults(), &FaultPlan::none(), "fork starts fault-free");
+        assert_eq!(forked.speculation(), None, "fork starts without speculation");
+        assert_eq!(forked.fabric.transfers(), 0, "fork starts with an idle fabric");
+        for id in QueryId::ALL {
+            let a = fresh.run(id);
+            let b = forked.run(id);
+            assert_eq!(a.output, b.output, "{} output diverged in fork", id.name());
+            assert_eq!(a.cost, b.cost, "{} cost diverged in fork", id.name());
+        }
+        // The fork shares the core rather than re-sharding.
+        assert!(Arc::ptr_eq(forked.fork().core(), forked.core()));
+    }
+
+    #[test]
+    fn sibling_cores_share_database_and_reference_cache() {
+        let db = Arc::new(generate(800, 7));
+        let single = Arc::new(SingleRefCache::new());
+        let policy = ShardPolicy::hash(4);
+        let mk = |k: usize| {
+            ClusterCore::with_shared(
+                db.clone(),
+                &policy,
+                ClusterConfig::prototype_slice(4, 10_000).with_replicas(k),
+                single.clone(),
+            )
+        };
+        let (c1, c2) = (mk(1), mk(2));
+        assert!(Arc::ptr_eq(&c1.full_shared(), &c2.full_shared()));
+        // Warming through one core warms the other: the single-node
+        // reference ignores replication, so the memo is shared.
+        let mut a = Cluster::from_core(c1);
+        let mut b = Cluster::from_core(c2);
+        let qa = a.run(QueryId::Q6);
+        assert!(single.is_warm(QueryId::Q6), "run must populate the shared cache");
+        let qb = b.run(QueryId::Q6);
+        assert_eq!(qa.single_output, qb.single_output);
+        assert_eq!(qa.output, qb.output);
+    }
+
+    #[test]
     fn consecutive_runs_report_identical_fabric_stats() {
         // Regression (PR 2): every query resets the fabric — including
         // the per-node replication counters — so back-to-back runs are
@@ -1401,11 +1596,16 @@ mod tests {
     fn recovery_rebuilds_from_surviving_replicas() {
         let mut c = cluster_k(8, 2);
         c.set_faults(FaultPlan::none().crash(3, 0.0));
-        let expect_bytes: u64 =
-            c.sharded.placement.shards_on(3).iter().map(|&s| c.sharded.shard_fact_bytes(s)).sum();
+        let expect_bytes: u64 = c
+            .sharded()
+            .placement
+            .shards_on(3)
+            .iter()
+            .map(|&s| c.sharded().shard_fact_bytes(s))
+            .sum();
         let r = c.recover(3, 1.0);
         assert_eq!(r.node, 3);
-        assert_eq!(r.shards, c.sharded.placement.shards_on(3));
+        assert_eq!(r.shards, c.sharded().placement.shards_on(3));
         assert_eq!(r.bytes_moved, expect_bytes);
         assert!(r.rebuild_seconds > 0.0);
         // The node is live again: queries route to it without failover.
@@ -1431,11 +1631,11 @@ mod tests {
         c.set_faults(FaultPlan::none().crash(2, 0.0));
         let cfg = c.fabric.config().clone();
         let b: Vec<u64> = c
-            .sharded
+            .sharded()
             .placement
             .shards_on(2)
             .iter()
-            .map(|&s| c.sharded.shard_fact_bytes(s))
+            .map(|&s| c.sharded().shard_fact_bytes(s))
             .collect();
         assert_eq!(b.len(), 2);
         let (hop, msg) = (cfg.hop_cycles, cfg.message_overhead_cycles);

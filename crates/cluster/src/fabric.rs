@@ -246,18 +246,34 @@ impl Fabric {
         self.node_tx_bytes.iter().copied().zip(self.node_rx_bytes.iter().copied()).collect()
     }
 
+    /// A pristine fabric sharing this one's configuration and installed
+    /// fault plan: idle queues, zeroed statistics. This is the
+    /// config-vs-state split of [`dpu_sim::ServerConfig`] lifted to the
+    /// whole fabric — config (rates, latencies, faults) is carried over,
+    /// state (occupancy, counters) starts fresh. [`reset`](Self::reset)
+    /// is defined as replacing `self` with its fork, so both share one
+    /// code path.
+    pub fn fork(&self) -> Self {
+        let n = self.n_nodes();
+        Fabric {
+            cfg: self.cfg.clone(),
+            tx: self.tx.iter().map(BandwidthServer::fork).collect(),
+            rx: self.rx.iter().map(BandwidthServer::fork).collect(),
+            switch: self.switch.fork(),
+            transfers: 0,
+            payload_bytes: 0,
+            node_tx_bytes: vec![0; n],
+            node_rx_bytes: vec![0; n],
+            faults: self.faults.clone(),
+        }
+    }
+
     /// Clears all queue occupancy and statistics (between queries),
     /// including the per-node tx/rx byte counters. The installed fault
-    /// plan is preserved — faults outlive individual queries.
+    /// plan is preserved — faults outlive individual queries. Defined via
+    /// [`fork`](Self::fork): reset = become a fork of yourself.
     pub fn reset(&mut self) {
-        for s in self.tx.iter_mut().chain(self.rx.iter_mut()) {
-            s.reset();
-        }
-        self.switch.reset();
-        self.transfers = 0;
-        self.payload_bytes = 0;
-        self.node_tx_bytes.iter_mut().for_each(|b| *b = 0);
-        self.node_rx_bytes.iter_mut().for_each(|b| *b = 0);
+        *self = self.fork();
     }
 }
 
@@ -340,12 +356,20 @@ impl ServeFabric {
         (done - now).as_secs(clock) + residual
     }
 
-    /// Clears all server occupancy (between serving runs).
-    pub fn reset(&mut self) {
-        for nic in &mut self.nics {
-            nic.reset();
+    /// A pristine serving fabric with this one's configuration and idle
+    /// servers — the same config-vs-state split as [`Fabric::fork`].
+    pub fn fork(&self) -> Self {
+        ServeFabric {
+            cfg: self.cfg.clone(),
+            nics: self.nics.iter().map(BandwidthServer::fork).collect(),
+            switch: self.switch.fork(),
         }
-        self.switch.reset();
+    }
+
+    /// Clears all server occupancy (between serving runs). Defined via
+    /// [`fork`](Self::fork) — one reset/fork code path for both fabrics.
+    pub fn reset(&mut self) {
+        *self = self.fork();
     }
 }
 
@@ -440,6 +464,34 @@ mod tests {
         assert_eq!(f.node_bytes(), vec![(0, 0); 4]);
         assert_eq!(f.transfers(), 0);
         assert_eq!(f.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn fork_keeps_faults_and_matches_reset() {
+        use crate::fault::FaultPlan;
+        let mut f = fabric(2);
+        let horizon = f.seconds(Time::from_cycles(u64::MAX / 2));
+        f.set_faults(FaultPlan::none().degrade_nic(1, 0.0, horizon, 0.25));
+        f.transfer(Time::ZERO, 0, 1, 1 << 24);
+        let mut forked = f.fork();
+        assert_eq!(forked.faults(), f.faults(), "fork carries the fault plan");
+        assert_eq!(forked.transfers(), 0);
+        assert_eq!(forked.node_bytes(), vec![(0, 0); 2]);
+        // reset is the same operation applied in place: afterwards the
+        // original and the fork serve identically (faults included).
+        f.reset();
+        assert_eq!(
+            f.transfer(Time::ZERO, 0, 1, 1 << 20),
+            forked.transfer(Time::ZERO, 0, 1, 1 << 20)
+        );
+
+        let mut sf = ServeFabric::new(2, FabricConfig::infiniband());
+        sf.charge(0.0, 1 << 24, 1.0);
+        let mut sfork = sf.fork();
+        sf.reset();
+        let a = sf.charge(0.0, 1 << 20, 0.5);
+        let b = sfork.charge(0.0, 1 << 20, 0.5);
+        assert_eq!(a, b, "ServeFabric reset == fork");
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub mod serve;
 pub mod shard;
 
 pub use coordinator::{
-    Cluster, ClusterConfig, ClusterQueryCost, DistributedQuery, NodeCost, QueryError, QueryId,
-    QueryOutput, RecoveryReport, ShardRun, Speculation,
+    Cluster, ClusterConfig, ClusterCore, ClusterQueryCost, DistributedQuery, NodeCost, QueryError,
+    QueryId, QueryOutput, RecoveryReport, ShardRun, SingleRefCache, Speculation,
 };
 pub use fabric::{Fabric, FabricConfig, ServeFabric};
 pub use fault::{Fault, FaultPlan};

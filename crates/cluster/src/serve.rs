@@ -101,7 +101,7 @@ impl Default for ServeConfig {
 }
 
 /// What the serving loop measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Queries completed inside the horizon.
     pub completed: u64,

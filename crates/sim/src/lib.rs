@@ -31,6 +31,6 @@ pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
-pub use server::{BandwidthServer, PipelineStage};
+pub use server::{BandwidthServer, PipelineStage, ServerConfig};
 pub use stats::{Counter, Histogram, RateMeter};
 pub use time::{Frequency, Time};

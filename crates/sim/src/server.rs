@@ -9,6 +9,47 @@
 
 use crate::time::Time;
 
+/// The immutable service parameters of a [`BandwidthServer`]: a byte rate
+/// and a fixed per-request overhead.
+///
+/// Keeping the configuration separate from the occupancy/statistics state
+/// gives fork and reset one definition: a forked server reuses the config
+/// with pristine state, and `reset` is exactly "replace the state".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bytes moved per cycle once a request is in service.
+    pub bytes_per_cycle: u64,
+    /// Fixed cycles charged to every request regardless of size.
+    pub overhead_cycles: u64,
+}
+
+impl ServerConfig {
+    /// A config moving `bytes_per_cycle` with `overhead_cycles` of fixed
+    /// cost per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(bytes_per_cycle: u64, overhead_cycles: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "server rate must be positive");
+        ServerConfig { bytes_per_cycle, overhead_cycles }
+    }
+}
+
+/// The mutable half of a server: queue occupancy plus statistics.
+#[derive(Debug, Clone)]
+struct ServerState {
+    next_free: Time,
+    busy_cycles: u64,
+    bytes_served: u64,
+    requests: u64,
+}
+
+impl ServerState {
+    const IDLE: ServerState =
+        ServerState { next_free: Time::ZERO, busy_cycles: 0, bytes_served: 0, requests: 0 };
+}
+
 /// A single FIFO resource with a fixed per-request overhead and a byte rate.
 ///
 /// Service time for a request of `n` bytes is
@@ -27,12 +68,8 @@ use crate::time::Time;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BandwidthServer {
-    bytes_per_cycle: u64,
-    overhead: u64,
-    next_free: Time,
-    busy_cycles: u64,
-    bytes_served: u64,
-    requests: u64,
+    cfg: ServerConfig,
+    state: ServerState,
 }
 
 impl BandwidthServer {
@@ -43,15 +80,24 @@ impl BandwidthServer {
     ///
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(bytes_per_cycle: u64, overhead: u64) -> Self {
-        assert!(bytes_per_cycle > 0, "server rate must be positive");
-        BandwidthServer {
-            bytes_per_cycle,
-            overhead,
-            next_free: Time::ZERO,
-            busy_cycles: 0,
-            bytes_served: 0,
-            requests: 0,
-        }
+        Self::from_config(ServerConfig::new(bytes_per_cycle, overhead))
+    }
+
+    /// An idle server with the given configuration.
+    pub fn from_config(cfg: ServerConfig) -> Self {
+        BandwidthServer { cfg, state: ServerState::IDLE }
+    }
+
+    /// The immutable service parameters.
+    pub fn config(&self) -> ServerConfig {
+        self.cfg
+    }
+
+    /// An idle server with this server's configuration — the same split
+    /// `reset` uses, but as a value, so callers can build cheap
+    /// independent copies of a loaded server.
+    pub fn fork(&self) -> Self {
+        Self::from_config(self.cfg)
     }
 
     /// Submits a request of `bytes` arriving at `now`; returns its
@@ -63,34 +109,34 @@ impl BandwidthServer {
     /// Like [`request`](Self::request) but with `extra` additional service
     /// cycles (e.g. a DRAM row-miss penalty decided by the caller).
     pub fn request_with_extra(&mut self, now: Time, bytes: u64, extra: u64) -> Time {
-        let start = self.next_free.max(now);
-        let service = self.overhead + extra + bytes.div_ceil(self.bytes_per_cycle);
+        let start = self.state.next_free.max(now);
+        let service = self.cfg.overhead_cycles + extra + bytes.div_ceil(self.cfg.bytes_per_cycle);
         let done = start + Time::from_cycles(service);
-        self.next_free = done;
-        self.busy_cycles += service;
-        self.bytes_served += bytes;
-        self.requests += 1;
+        self.state.next_free = done;
+        self.state.busy_cycles += service;
+        self.state.bytes_served += bytes;
+        self.state.requests += 1;
         done
     }
 
     /// The earliest time a new request could begin service.
     pub fn next_free(&self) -> Time {
-        self.next_free
+        self.state.next_free
     }
 
     /// Total cycles this server has spent in service.
     pub fn busy_cycles(&self) -> u64 {
-        self.busy_cycles
+        self.state.busy_cycles
     }
 
     /// Total bytes moved through the server.
     pub fn bytes_served(&self) -> u64 {
-        self.bytes_served
+        self.state.bytes_served
     }
 
     /// Number of requests served.
     pub fn requests(&self) -> u64 {
-        self.requests
+        self.state.requests
     }
 
     /// Utilization of the server over `[0, horizon]`: busy / elapsed.
@@ -98,15 +144,14 @@ impl BandwidthServer {
         if horizon == Time::ZERO {
             return 0.0;
         }
-        self.busy_cycles as f64 / horizon.cycles() as f64
+        self.state.busy_cycles as f64 / horizon.cycles() as f64
     }
 
-    /// Resets occupancy and statistics.
+    /// Resets occupancy and statistics; the configuration is untouched.
+    /// Defined through the same config-vs-state split as
+    /// [`fork`](Self::fork): reset = replace the state, keep the config.
     pub fn reset(&mut self) {
-        self.next_free = Time::ZERO;
-        self.busy_cycles = 0;
-        self.bytes_served = 0;
-        self.requests = 0;
+        self.state = ServerState::IDLE;
     }
 }
 
@@ -233,6 +278,23 @@ mod tests {
         assert_eq!(s.next_free(), Time::ZERO);
         assert_eq!(s.busy_cycles(), 0);
         assert_eq!(s.bytes_served(), 0);
+    }
+
+    #[test]
+    fn fork_shares_config_with_pristine_state() {
+        let mut s = BandwidthServer::new(16, 4);
+        s.request(Time::ZERO, 1 << 20);
+        let mut f = s.fork();
+        assert_eq!(f.config(), s.config());
+        assert_eq!(f.next_free(), Time::ZERO);
+        assert_eq!(f.requests(), 0);
+        // The fork serves like a fresh server; the original is untouched.
+        assert_eq!(f.request(Time::ZERO, 64), BandwidthServer::new(16, 4).request(Time::ZERO, 64));
+        assert!(s.next_free() > f.next_free());
+        // reset is the same split: state replaced, config kept.
+        s.reset();
+        assert_eq!(s.config(), ServerConfig::new(16, 4));
+        assert_eq!(s.busy_cycles(), 0);
     }
 
     #[test]

@@ -106,7 +106,7 @@ fn main() {
         slo_seconds: Some(1.5),
         ..ServeConfig::default()
     };
-    let fabric = cluster.cfg.fabric.clone();
+    let fabric = cluster.cfg().fabric.clone();
     let pipe =
         serve_pipeline(&templates, cluster.watts(), &rack, &pipe_cfg, None, Some((&fabric, nodes)));
     println!(

@@ -2,18 +2,46 @@
 //! crashes with **bit-identical** results as long as each shard keeps a
 //! live replica, fail cleanly (never wrongly) when one does not, and
 //! behave deterministically under any fault plan.
+//!
+//! The database is generated once and sharded once per replication
+//! factor into shared [`ClusterCore`]s; every test case is an O(1)
+//! [`Cluster::fork`], and the big every-node / every-pair matrices fan
+//! their cells out on the host pool (results are pure per cell, so the
+//! fan-out affects wall-clock only).
+
+use std::sync::{Arc, OnceLock};
 
 use dpu_repro::cluster::{
-    Cluster, ClusterConfig, FaultPlan, QueryError, QueryId, ShardPolicy, Speculation,
+    Cluster, ClusterConfig, ClusterCore, FaultPlan, QueryError, QueryId, ShardPolicy,
+    SingleRefCache, Speculation,
 };
+use dpu_repro::pool::Pool;
 use dpu_repro::sql::tpch;
 
 const NODES: usize = 8;
 
+/// One shared core per replication factor, over one shared database and
+/// one shared single-node reference cache.
+fn core(k: usize) -> Arc<ClusterCore> {
+    static CORES: OnceLock<[Arc<ClusterCore>; 3]> = OnceLock::new();
+    CORES.get_or_init(|| {
+        let db = Arc::new(tpch::generate(500, 13));
+        let single = Arc::new(SingleRefCache::new());
+        let policy = ShardPolicy::hash(NODES);
+        [1, 2, 3].map(|k| {
+            ClusterCore::with_shared(
+                db.clone(),
+                &policy,
+                ClusterConfig::prototype_slice(NODES, 10_000).with_replicas(k),
+                single.clone(),
+            )
+        })
+    })[k - 1]
+        .clone()
+}
+
 fn cluster(k: usize) -> Cluster {
-    let db = tpch::generate(500, 13);
-    let cfg = ClusterConfig::prototype_slice(NODES, 10_000).with_replicas(k);
-    Cluster::new(db, &ShardPolicy::hash(NODES), cfg)
+    Cluster::from_core(core(k))
 }
 
 /// The healthy local-phase duration of `id`, for aiming crashes mid-query.
@@ -21,63 +49,77 @@ fn healthy_local_seconds(id: QueryId, k: usize) -> f64 {
     cluster(k).run(id).cost.local_seconds
 }
 
+/// The healthy local-phase duration of all eight queries, computed on
+/// the host pool.
+fn healthy_mids(k: usize) -> Vec<f64> {
+    Pool::global().par_map(QueryId::ALL.to_vec(), |id| healthy_local_seconds(id, k))
+}
+
 #[test]
 fn every_query_survives_every_single_node_crash_at_k2() {
-    for id in QueryId::ALL {
-        let mid = healthy_local_seconds(id, 2) * 0.5;
+    let mids = healthy_mids(2);
+    let mut cells: Vec<(QueryId, usize, f64)> = Vec::new();
+    for (qi, id) in QueryId::ALL.into_iter().enumerate() {
         for victim in 0..NODES {
-            let mut c = cluster(2);
-            c.set_faults(FaultPlan::none().crash(victim, mid));
-            let q = c
-                .try_run_at(id, 0.0)
-                .unwrap_or_else(|e| panic!("{} with node {victim} down: {e}", id.name()));
-            assert!(
-                q.matches_single(),
-                "{} diverged from single-node after node {victim} crashed mid-query",
-                id.name()
-            );
+            cells.push((id, victim, mids[qi] * 0.5));
         }
     }
+    Pool::global().par_map(cells, |(id, victim, mid)| {
+        let mut c = cluster(2);
+        c.set_faults(FaultPlan::none().crash(victim, mid));
+        let q = c
+            .try_run_at(id, 0.0)
+            .unwrap_or_else(|e| panic!("{} with node {victim} down: {e}", id.name()));
+        assert!(
+            q.matches_single(),
+            "{} diverged from single-node after node {victim} crashed mid-query",
+            id.name()
+        );
+    });
 }
 
 #[test]
 fn every_query_survives_crashes_at_query_start_at_k2() {
     // Crash at t = 0: the scheduler must route around the dead node from
     // the first placement decision, not just on failover.
+    let mut cells: Vec<(QueryId, usize)> = Vec::new();
     for id in QueryId::ALL {
         for victim in 0..NODES {
-            let mut c = cluster(2);
-            c.set_faults(FaultPlan::none().crash(victim, 0.0));
-            let q = c
-                .try_run_at(id, 0.0)
-                .unwrap_or_else(|e| panic!("{} with node {victim} down: {e}", id.name()));
-            assert!(q.matches_single(), "{} diverged (node {victim} down from start)", id.name());
+            cells.push((id, victim));
         }
     }
+    Pool::global().par_map(cells, |(id, victim)| {
+        let mut c = cluster(2);
+        c.set_faults(FaultPlan::none().crash(victim, 0.0));
+        let q = c
+            .try_run_at(id, 0.0)
+            .unwrap_or_else(|e| panic!("{} with node {victim} down: {e}", id.name()));
+        assert!(q.matches_single(), "{} diverged (node {victim} down from start)", id.name());
+    });
 }
 
 #[test]
 fn every_query_survives_every_node_pair_crash_at_k3() {
     // k = 3 tolerates any two failures: all node pairs, crashing at two
     // different instants so one failover is already in flight when the
-    // second node dies.
-    for id in QueryId::ALL {
-        let mid = healthy_local_seconds(id, 3) * 0.5;
+    // second node dies. 8 queries × 28 pairs = 224 cells on the pool.
+    let mids = healthy_mids(3);
+    let mut cells: Vec<(QueryId, usize, usize, f64)> = Vec::new();
+    for (qi, id) in QueryId::ALL.into_iter().enumerate() {
         for a in 0..NODES {
             for b in (a + 1)..NODES {
-                let mut c = cluster(3);
-                c.set_faults(FaultPlan::none().crash(a, mid * 0.6).crash(b, mid));
-                let q = c
-                    .try_run_at(id, 0.0)
-                    .unwrap_or_else(|e| panic!("{} with nodes {a},{b} down: {e}", id.name()));
-                assert!(
-                    q.matches_single(),
-                    "{} diverged after nodes {a} and {b} crashed",
-                    id.name()
-                );
+                cells.push((id, a, b, mids[qi] * 0.5));
             }
         }
     }
+    Pool::global().par_map(cells, |(id, a, b, mid)| {
+        let mut c = cluster(3);
+        c.set_faults(FaultPlan::none().crash(a, mid * 0.6).crash(b, mid));
+        let q = c
+            .try_run_at(id, 0.0)
+            .unwrap_or_else(|e| panic!("{} with nodes {a},{b} down: {e}", id.name()));
+        assert!(q.matches_single(), "{} diverged after nodes {a} and {b} crashed", id.name());
+    });
 }
 
 #[test]

@@ -114,7 +114,7 @@ fn concurrent_q10_mix_pays_for_fabric_contention() {
         concurrency: 8,
         ..ServeConfig::default()
     };
-    let fabric = c.cfg.fabric.clone();
+    let fabric = c.cfg().fabric.clone();
     let shared = serve_pipeline(
         std::slice::from_ref(&t),
         c.watts(),
@@ -237,7 +237,7 @@ fn pipeline_is_deterministic_across_all_features() {
         slo_seconds: Some(1.5),
         ..ServeConfig::default()
     };
-    let fabric = c.cfg.fabric.clone();
+    let fabric = c.cfg().fabric.clone();
     let a = serve_pipeline(&templates, c.watts(), &rack, &cfg, None, Some((&fabric, NODES)));
     let b = serve_pipeline(&templates, c.watts(), &rack, &cfg, None, Some((&fabric, NODES)));
     assert_eq!(a.completed, b.completed);
