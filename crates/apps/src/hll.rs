@@ -1,159 +1,15 @@
-//! HyperLogLog cardinality estimation (§5.4).
+//! HyperLogLog throughput models (§5.4, Figure 14).
 //!
-//! The DPU implementation exploits three hardware hooks the paper calls
-//! out: (i) the single-cycle `CRC32` instruction ("almost 9× better than
-//! the x86 implementation"), versus Murmur64 which "does poorly on the
-//! DPU due to the high latency multiplier"; (ii) counting *trailing*
-//! zeros (4 cycles via `POPC`) instead of leading zeros (13 cycles of
-//! shift-smearing) — valid because a good hash's bits are exchangeable;
-//! (iii) ATE work stealing instead of a static schedule, "essential to
-//! avoid long tail latencies" from the variable-latency multiplier.
+//! The sketch itself lives in [`dpu_sql::hll`] so the query planner can
+//! consume it for NDV statistics without pulling in the apps crate; this
+//! module re-exports it and keeps the dpCore/Xeon throughput models that
+//! reproduce the paper's Figure 14 comparison.
 
-use dpu_isa::hash::{crc32c_u64, HashKind};
+use dpu_isa::hash::HashKind;
 use dpu_isa::{OpCounts, PipelineModel};
 use xeon_model::Xeon;
 
-/// How the rank (ρ) of a hash is computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RankMethod {
-    /// Count trailing zeros — the DPU-optimized path (POPC trick).
-    TrailingZeros,
-    /// Count leading zeros — the textbook formulation.
-    LeadingZeros,
-}
-
-impl RankMethod {
-    /// dpCore cycles per rank computation (§5.4: "The NTZ operation takes
-    /// only 4 cycles on a dpCore as compared to 13 cycles for a NLZ").
-    /// These agree with running the instruction sequences on the ISA
-    /// interpreter (see `dpu-isa`'s `ntz_faster_than_nlz` test).
-    pub fn dpcore_cycles(self) -> u64 {
-        match self {
-            RankMethod::TrailingZeros => 4,
-            RankMethod::LeadingZeros => 13,
-        }
-    }
-}
-
-/// A HyperLogLog sketch.
-///
-/// # Example
-///
-/// ```
-/// use dpu_apps::HyperLogLog;
-/// use dpu_isa::hash::{crc32c_u64, HashKind};
-///
-/// let mut h = HyperLogLog::new(12, HashKind::Crc32);
-/// for i in 0..50_000u64 {
-///     h.insert(i);
-/// }
-/// let e = h.estimate();
-/// assert!((e - 50_000.0).abs() / 50_000.0 < 0.05);
-/// ```
-#[derive(Debug, Clone)]
-pub struct HyperLogLog {
-    precision: u8,
-    registers: Vec<u8>,
-    hash: HashKind,
-    rank: RankMethod,
-}
-
-impl HyperLogLog {
-    /// Creates a sketch with `2^precision` registers (4 ≤ precision ≤ 18).
-    ///
-    /// # Panics
-    ///
-    /// Panics if precision is out of range.
-    pub fn new(precision: u8, hash: HashKind) -> Self {
-        assert!((4..=18).contains(&precision), "precision out of range");
-        HyperLogLog {
-            precision,
-            registers: vec![0; 1 << precision],
-            hash,
-            rank: RankMethod::TrailingZeros,
-        }
-    }
-
-    /// Selects the rank method (default: trailing zeros, the DPU path).
-    pub fn with_rank(mut self, rank: RankMethod) -> Self {
-        self.rank = rank;
-        self
-    }
-
-    /// Number of registers.
-    pub fn registers(&self) -> usize {
-        self.registers.len()
-    }
-
-    /// The 64-bit hash: Murmur64 natively; for CRC32 the dpCore runs the
-    /// engine twice (four single-cycle steps) to fill both halves.
-    ///
-    /// CRC32 is linear over GF(2), so *sequential* integer keys collide
-    /// structurally in any fixed bit window (see the
-    /// `crc_linearity_artifact` test); the paper's "well behaving hash"
-    /// assumption holds for realistic, high-entropy keys.
-    fn hash64(&self, item: u64) -> u64 {
-        match self.hash {
-            HashKind::Crc32 => {
-                (crc32c_u64(item) as u64)
-                    | ((crc32c_u64(item ^ 0x9E37_79B9_7F4A_7C15) as u64) << 32)
-            }
-            HashKind::Murmur64 => self.hash.hash(item),
-        }
-    }
-
-    /// Inserts one item.
-    pub fn insert(&mut self, item: u64) {
-        let h = self.hash64(item);
-        let idx = (h & ((1 << self.precision) - 1)) as usize;
-        let rest = h >> self.precision;
-        let rho = match self.rank {
-            // +1 so an all-zero remainder maps to the max rank, as in the
-            // classical definition.
-            RankMethod::TrailingZeros => (rest.trailing_zeros() as u8).min(64 - self.precision) + 1,
-            RankMethod::LeadingZeros => {
-                ((rest << self.precision).leading_zeros() as u8).min(64 - self.precision) + 1
-            }
-        };
-        if rho > self.registers[idx] {
-            self.registers[idx] = rho;
-        }
-    }
-
-    /// Merges another sketch (same geometry) into this one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sketches have different precision or hash.
-    pub fn merge(&mut self, other: &HyperLogLog) {
-        assert_eq!(self.precision, other.precision, "precision mismatch");
-        assert_eq!(self.hash, other.hash, "hash mismatch");
-        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
-            *a = (*a).max(b);
-        }
-    }
-
-    /// Estimates the cardinality (harmonic mean with the standard small-
-    /// and large-range corrections).
-    pub fn estimate(&self) -> f64 {
-        let m = self.registers.len() as f64;
-        let alpha = match self.registers.len() {
-            16 => 0.673,
-            32 => 0.697,
-            64 => 0.709,
-            _ => 0.7213 / (1.0 + 1.079 / m),
-        };
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
-        let raw = alpha * m * m / sum;
-        if raw <= 2.5 * m {
-            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
-            if zeros > 0 {
-                return m * (m / zeros as f64).ln();
-            }
-        }
-        raw
-    }
-}
+pub use dpu_sql::hll::{HyperLogLog, RankMethod};
 
 /// Per-item operation counts of the DPU inner loop.
 pub fn dpu_item_counts(hash: HashKind, rank: RankMethod) -> OpCounts {
@@ -208,96 +64,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn estimates_within_3_percent_at_p12() {
-        for kind in [HashKind::Crc32, HashKind::Murmur64] {
-            let mut h = HyperLogLog::new(12, kind);
-            let n = 200_000u64;
-            for i in 0..n {
-                h.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            }
-            let e = h.estimate();
-            let err = (e - n as f64).abs() / n as f64;
-            assert!(err < 0.03, "{kind:?}: estimate {e}, err {err}");
-        }
-    }
-
-    #[test]
-    fn duplicates_do_not_inflate() {
-        let mut h = HyperLogLog::new(10, HashKind::Crc32);
-        for _ in 0..100 {
-            for i in 0..1000u64 {
-                h.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            }
-        }
-        let e = h.estimate();
-        assert!((e - 1000.0).abs() / 1000.0 < 0.1, "estimate {e}");
-    }
-
-    #[test]
-    fn crc_linearity_artifact_on_sequential_keys() {
-        // CRC32 is GF(2)-linear: 1000 *sequential* keys (spanning ~10
-        // input bits) land in at most 512 of 1024 buckets — a structural
-        // property worth knowing when reusing the DMS hash engine for
-        // sketching. High-entropy keys do not exhibit it.
-        use std::collections::HashSet;
-        let seq: HashSet<u32> = (0..1000u64).map(|k| crc32c_u64(k) & 1023).collect();
-        assert!(seq.len() <= 512, "sequential keys spread to {}", seq.len());
-        let mixed: HashSet<u32> = (0..1000u64)
-            .map(|k| crc32c_u64(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & 1023)
-            .collect();
-        assert!(mixed.len() > 560, "mixed keys spread to only {}", mixed.len());
-    }
-
-    #[test]
-    fn small_range_correction_kicks_in() {
+    fn reexported_sketch_estimates() {
+        // The sketch moved to dpu-sql; the apps-facing path must keep
+        // working (this is the old doc example).
         let mut h = HyperLogLog::new(12, HashKind::Crc32);
-        for i in 0..10u64 {
-            h.insert(i);
+        for i in 0..50_000u64 {
+            h.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         }
         let e = h.estimate();
-        assert!((5.0..20.0).contains(&e), "estimate {e}");
-    }
-
-    #[test]
-    fn ntz_and_nlz_are_statistically_equivalent() {
-        // The paper's key observation: rank by trailing zeros estimates
-        // as well as rank by leading zeros.
-        let n = 100_000u64;
-        let mut a = HyperLogLog::new(12, HashKind::Crc32).with_rank(RankMethod::TrailingZeros);
-        let mut b = HyperLogLog::new(12, HashKind::Crc32).with_rank(RankMethod::LeadingZeros);
-        for i in 0..n {
-            let k = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            a.insert(k);
-            b.insert(k);
-        }
-        let (ea, eb) = (a.estimate(), b.estimate());
-        assert!((ea - n as f64).abs() / (n as f64) < 0.05, "NTZ {ea}");
-        assert!((eb - n as f64).abs() / (n as f64) < 0.05, "NLZ {eb}");
-    }
-
-    #[test]
-    fn merge_equals_union() {
-        let mut a = HyperLogLog::new(10, HashKind::Crc32);
-        let mut b = HyperLogLog::new(10, HashKind::Crc32);
-        let mut whole = HyperLogLog::new(10, HashKind::Crc32);
-        for i in 0..50_000u64 {
-            if i % 2 == 0 {
-                a.insert(i);
-            } else {
-                b.insert(i);
-            }
-            whole.insert(i);
-        }
-        a.merge(&b);
-        assert_eq!(a.registers, whole.registers);
-    }
-
-    #[test]
-    #[should_panic(expected = "precision mismatch")]
-    fn merge_geometry_checked() {
-        let mut a = HyperLogLog::new(10, HashKind::Crc32);
-        let b = HyperLogLog::new(11, HashKind::Crc32);
-        a.merge(&b);
+        assert!((e - 50_000.0).abs() / 50_000.0 < 0.05, "estimate {e}");
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! - `--speculate` — race deadline-missing shard sub-plans against a
 //!   backup replica (visible under `--kill`/straggler fault plans; a
 //!   healthy cluster never trips the deadline).
+//! - `--explain` — print the cost-based planner's chosen plan for every
+//!   query, with estimated vs actual rows per operator (the rendering
+//!   snapshot-tested in `dpu-planner`).
+//! - `--planner <off|static|adaptive>` — re-serve the suite through
+//!   planner-selected plans: `static` trusts the estimates for the whole
+//!   run, `adaptive` re-ranks candidates from observed traffic and
+//!   prints any plan switches (`off`, the default, skips the section).
 //!
 //! Regardless of flags, the binary also sweeps k ∈ {1, 2, 3} ×
 //! {0, 1, 2} failed nodes and emits `BENCH_rack_failover.json`, plus the
@@ -43,9 +50,10 @@ use std::sync::Arc;
 use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_cluster::{
-    serve, serve_pipeline, Cluster, ClusterConfig, ClusterCore, FaultPlan, QueryId, ServeConfig,
-    ShardPolicy, SingleRefCache, Speculation, Template,
+    serve, serve_pipeline, serve_pipeline_hooked, Cluster, ClusterConfig, ClusterCore, FaultPlan,
+    QueryId, ServeConfig, ShardPolicy, SingleRefCache, Speculation, Template,
 };
+use dpu_planner::{explain, AdaptiveServer, CandidatePlan, Planner, PlannerMode};
 use dpu_pool::Pool;
 use dpu_sql::tpch;
 use xeon_model::XeonRack;
@@ -56,11 +64,20 @@ struct Args {
     concurrency: usize,
     slo_ms: Option<f64>,
     speculate: bool,
+    explain: bool,
+    planner: Option<PlannerMode>,
 }
 
 fn parse_args() -> Args {
-    let mut parsed =
-        Args { replicas: 1, kills: Vec::new(), concurrency: 1, slo_ms: None, speculate: false };
+    let mut parsed = Args {
+        replicas: 1,
+        kills: Vec::new(),
+        concurrency: 1,
+        slo_ms: None,
+        speculate: false,
+        explain: false,
+        planner: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -85,9 +102,20 @@ fn parse_args() -> Args {
                 parsed.slo_ms = Some(v.parse().expect("--slo-ms takes milliseconds"));
             }
             "--speculate" => parsed.speculate = true,
+            "--explain" => parsed.explain = true,
+            "--planner" => {
+                let v = args.next().expect("--planner needs off|static|adaptive");
+                parsed.planner = match v.as_str() {
+                    "off" => None,
+                    "static" => Some(PlannerMode::Static),
+                    "adaptive" => Some(PlannerMode::Adaptive),
+                    other => panic!("--planner takes off|static|adaptive, got {other}"),
+                };
+            }
             other => panic!(
                 "unknown flag {other} (use --replicas <k> / --kill <node>@<seconds> / \
-                 --concurrency <n> / --slo-ms <ms> / --speculate)"
+                 --concurrency <n> / --slo-ms <ms> / --speculate / --explain / \
+                 --planner <off|static|adaptive>)"
             ),
         }
     }
@@ -109,6 +137,64 @@ fn suite_templates(c: &mut Cluster) -> Vec<Template> {
             }
         })
         .collect()
+}
+
+/// The `--planner` serving re-run: every suite query is served through
+/// its planner-selected plan (profiled by an instrumented execution);
+/// `adaptive` mode may re-rank candidates from observed traffic.
+/// Print-only — the committed JSON baselines never depend on it.
+fn planner_serve(mode: PlannerMode, planner: &Planner, cluster: &mut Cluster, suite: &[Template]) {
+    let candidate_sets: Vec<Vec<CandidatePlan>> = QueryId::ALL
+        .iter()
+        .map(|&id| {
+            planner
+                .candidates(id)
+                .into_iter()
+                .map(|(plan, est)| {
+                    let run = cluster.run_planned(&plan, 0.0).expect("healthy cluster");
+                    assert!(run.query.matches_single(), "{} planner plan diverged", id.name());
+                    CandidatePlan {
+                        name: plan.merge.name().into(),
+                        plan,
+                        est_seconds: est.total_seconds(),
+                        profiled: run.query.cost.clone(),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let rack = XeonRack::rack_42u();
+    let cfg = ServeConfig::default();
+    let fabric = cluster.cfg().fabric.clone();
+    let n = cluster.cfg().n_nodes;
+    let mut hook = AdaptiveServer::new(mode, 8, candidate_sets);
+    let report = serve_pipeline_hooked(
+        suite,
+        cluster.watts(),
+        &rack,
+        &cfg,
+        None,
+        Some((&fabric, n)),
+        Some(&mut hook),
+    );
+    let mode_name = match mode {
+        PlannerMode::Static => "static",
+        PlannerMode::Adaptive => "adaptive",
+    };
+    println!("\n## Serving through the {mode_name} planner\n");
+    println!(
+        "QPS {:.1}, mean latency {:.2} ms, p99 {:.2} ms, plan switches {}.",
+        report.qps,
+        report.mean_latency * 1e3,
+        report.p99 * 1e3,
+        hook.switches.len()
+    );
+    for s in &hook.switches {
+        println!(
+            "Plan switch: {} {} → {} at t={:.3} s",
+            suite[s.template].name, s.from, s.to, s.at_seconds
+        );
+    }
 }
 
 fn main() {
@@ -219,6 +305,26 @@ fn main() {
     if args.speculate {
         let specs: usize = templates.iter().map(|t| t.cost.speculations).sum();
         println!("Speculative backups launched across the suite: {specs}.");
+    }
+
+    // Print-only planner sections: EXPLAIN and/or a planner-driven
+    // serving re-run. Neither touches the emitted JSON.
+    if args.explain || args.planner.is_some() {
+        let planner = Planner::new(cluster.core());
+        if args.explain {
+            println!("\n## EXPLAIN (planner-chosen plans, est vs actual)\n");
+            for id in QueryId::ALL {
+                let choice = planner.plan(id);
+                let run = cluster
+                    .run_planned(&choice.plan, 0.0)
+                    .expect("planner plans run on the same cluster as the suite");
+                assert!(run.query.matches_single(), "{} planner plan diverged", id.name());
+                println!("{}", explain(&choice.plan, &choice.estimate, Some(&run)));
+            }
+        }
+        if let Some(mode) = args.planner {
+            planner_serve(mode, &planner, &mut cluster, &templates);
+        }
     }
 
     // Serve the suite to a closed-loop client population.

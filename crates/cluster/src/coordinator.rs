@@ -172,7 +172,7 @@ impl NodeCost {
     /// No work.
     pub const ZERO: NodeCost = NodeCost { mem_seconds: 0.0, cpu_seconds: 0.0 };
 
-    fn from_dpu(p: &PlatformCost) -> Self {
+    pub(crate) fn from_dpu(p: &PlatformCost) -> Self {
         NodeCost {
             mem_seconds: p.bytes as f64 / DPU_STREAM_BW,
             cpu_seconds: p.compute_cycles as f64 / (DPU_CORES * DPU_CLOCK),
@@ -594,7 +594,7 @@ impl Cluster {
 
     /// The single-node reference result for `id` (shared memoization —
     /// see [`SingleRefCache`]).
-    fn single_ref(&self, id: QueryId) -> (QueryOutput, QueryCost) {
+    pub(crate) fn single_ref(&self, id: QueryId) -> (QueryOutput, QueryCost) {
         self.core.single_ref(id)
     }
 
@@ -760,7 +760,7 @@ impl Cluster {
     /// `tc` voids every sub-plan unfinished at `tc`, which re-enters the
     /// pool at `tc + failover_timeout` targeted at the shard's next live
     /// replica.
-    fn schedule_local(
+    pub(crate) fn schedule_local(
         &self,
         costs: &[NodeCost],
         start: f64,
@@ -871,7 +871,7 @@ impl Cluster {
     /// A source able to ship shard `s`'s partial at or after `t`: the
     /// original executor if still alive (its result is ready), else the
     /// first live replica, which must re-derive the partial first.
-    fn partial_source(
+    pub(crate) fn partial_source(
         &self,
         s: usize,
         t: f64,
@@ -897,7 +897,7 @@ impl Cluster {
     /// coordinator over (next live node in ring order) if it crashes
     /// before the last byte lands. Returns the destination, the landing
     /// time, and extra failover count.
-    fn gather_with_failover(
+    pub(crate) fn gather_with_failover(
         &mut self,
         runs: &[ShardRun],
         costs: &[NodeCost],
@@ -935,7 +935,7 @@ impl Cluster {
     /// The shared scatter → local → gather costing for single-gather
     /// plans: schedules local phases with failover, gathers the per-shard
     /// partials, and prices the coordinator merge over their rows.
-    fn scatter_gather_cost(
+    pub(crate) fn scatter_gather_cost(
         &mut self,
         per_shard: Vec<NodeCost>,
         partials: &[Table],
@@ -1257,14 +1257,19 @@ fn run_shards<R: Send>(
 
 /// Coordinator-side merge compute: hash re-aggregation at the same
 /// cycles/row as the engine's group-by, on one node's 32 cores.
-fn merge_cpu_seconds(rows: usize) -> f64 {
+pub(crate) fn merge_cpu_seconds(rows: usize) -> f64 {
     rows as f64 * tpch::AGG_DPU / (DPU_CORES * DPU_CLOCK)
 }
 
 /// Merges per-shard top-k candidate tables: sort by value descending,
 /// break ties by `tie_cols` ascending (the single-node engine's order),
 /// keep `k`.
-fn merge_topk(partials: &[Table], value_col: &str, k: usize, tie_cols: &[&str]) -> Table {
+pub(crate) fn merge_topk(
+    partials: &[Table],
+    value_col: &str,
+    k: usize,
+    tie_cols: &[&str],
+) -> Table {
     let all = Table::concat(partials);
     let v = all.col_index(value_col);
     let ties: Vec<usize> = tie_cols.iter().map(|c| all.col_index(c)).collect();

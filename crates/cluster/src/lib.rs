@@ -46,6 +46,7 @@
 pub mod coordinator;
 pub mod fabric;
 pub mod fault;
+pub mod planned;
 pub mod replica;
 pub mod serve;
 pub mod shard;
@@ -56,10 +57,13 @@ pub use coordinator::{
 };
 pub use fabric::{Fabric, FabricConfig, ServeFabric};
 pub use fault::{Fault, FaultPlan};
+pub use planned::{
+    handwired_physical, q10_gather_physical, MergeStrategy, PhysicalPlan, PlannedRun,
+};
 pub use replica::Placement;
 pub use serve::{
-    serve, serve_pipeline, serve_with_faults, AdaptiveBatch, DegradedWindow, ServeConfig,
-    ServeReport, Template,
+    serve, serve_pipeline, serve_pipeline_hooked, serve_with_faults, AdaptiveBatch, DegradedWindow,
+    ServeConfig, ServeHook, ServeReport, Template,
 };
 pub use shard::{
     shard_table, shard_tpch, shard_tpch_replicated, ShardPolicy, ShardedTpch, SkewReport,

@@ -1,0 +1,487 @@
+//! Planner-chosen distributed execution (ISSUE 6 tentpole).
+//!
+//! The hand-wired plans in [`coordinator`](crate::coordinator) pair a
+//! fixed per-shard local phase with a fixed merge. This module makes both
+//! halves data: a [`PhysicalPlan`] carries an arbitrary per-shard
+//! [`LogicalPlan`] plus a [`MergeStrategy`], and
+//! [`Cluster::run_planned`] executes it through the *same* scheduling,
+//! failover, and fabric machinery the hand-wired paths use — so a
+//! planner-chosen plan inherits every fault-tolerance property the
+//! coordinator already proves, and its results stay bit-identical to the
+//! single-node engine under any survivable fault pattern.
+//!
+//! The merge strategies mirror the placement options the paper's rack
+//! design exposes: gather-and-merge at one coordinator (cheap for small
+//! partials), or an all-to-all hash shuffle to owner nodes (cheap when
+//! partial groups are large and the group key is not the sharding key).
+//! Q10 genuinely has both options; the planner costs them against the
+//! fabric model and picks.
+
+use dpu_pool::Pool;
+use dpu_sql::logical::{Finish, LogicalOutput, LogicalPlan, OpRows};
+use dpu_sql::tpch::project_rows;
+use dpu_sql::{top_k, Column, GroupBySpec, QueryCost, Table};
+
+use crate::coordinator::{
+    merge_cpu_seconds, merge_topk, Cluster, ClusterQueryCost, DistributedQuery, NodeCost,
+    QueryError, QueryId, QueryOutput,
+};
+use crate::shard::{shard_table, ShardPolicy};
+
+/// How per-shard partials combine into the final answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeStrategy {
+    /// Gather partial aggregates to a coordinator and re-aggregate
+    /// (valid whenever the local plan ends in the same group-by).
+    Reagg(GroupBySpec),
+    /// Gather per-shard top-k candidate lists and merge them under the
+    /// engine's total order (valid when the ranked entity lives on
+    /// exactly one shard, i.e. its key is co-sharded).
+    TopKMerge {
+        /// Ranked column.
+        value: String,
+        /// Keep this many rows.
+        k: usize,
+        /// Tie-break columns, ascending.
+        ties: Vec<String>,
+    },
+    /// Sum per-shard scalar vectors elementwise (Q6's single revenue,
+    /// Q14's promo/total pair). `names` label the shipped partials.
+    SumScalars {
+        /// Column names of the shipped one-row partial tables.
+        names: Vec<String>,
+    },
+    /// Gather *partial groups* to one coordinator, re-aggregate there,
+    /// then take the top-k centrally. Correct for re-keyed aggregations
+    /// at any key; cheap only while the partials stay small, since every
+    /// byte lands on one RX port.
+    GatherTopK {
+        /// The grouping the partials carry.
+        spec: GroupBySpec,
+        /// Ranked column.
+        value: String,
+        /// Keep this many rows.
+        k: usize,
+        /// Tie-break columns, ascending.
+        ties: Vec<String>,
+    },
+    /// All-to-all hash shuffle of partial groups to owner nodes, owner
+    /// re-aggregation + local top-k, then a candidate gather — the
+    /// generalized form of the hand-wired Q10 plan.
+    ShuffleTopK {
+        /// The column partials are hashed on (the re-keyed group key).
+        key: String,
+        /// The grouping the partials carry.
+        spec: GroupBySpec,
+        /// Ranked column.
+        value: String,
+        /// Keep this many rows.
+        k: usize,
+        /// Tie-break columns, ascending.
+        ties: Vec<String>,
+    },
+}
+
+impl MergeStrategy {
+    /// Stable display name for EXPLAIN output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MergeStrategy::Reagg(_) => "reagg",
+            MergeStrategy::TopKMerge { .. } => "topk-merge",
+            MergeStrategy::SumScalars { .. } => "sum-scalars",
+            MergeStrategy::GatherTopK { .. } => "gather-topk",
+            MergeStrategy::ShuffleTopK { .. } => "shuffle-topk",
+        }
+    }
+}
+
+/// A fully decided distributed plan: what each shard runs locally and
+/// how the partials combine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// Which query this plan answers (keys the single-node reference).
+    pub id: QueryId,
+    /// The per-shard local phase.
+    pub local: LogicalPlan,
+    /// The merge.
+    pub merge: MergeStrategy,
+}
+
+/// The result of a planned run, with the per-shard operator traces the
+/// adaptive planner feeds back into its cost model.
+#[derive(Debug, Clone)]
+pub struct PlannedRun {
+    /// The distributed result + cost, same shape as the hand-wired path.
+    pub query: DistributedQuery,
+    /// Per-shard per-operator actual row counts, in shard order.
+    pub shard_traces: Vec<Vec<OpRows>>,
+    /// Per-shard local-phase costs, in shard order.
+    pub local_costs: Vec<QueryCost>,
+}
+
+impl Cluster {
+    /// Executes a planner-chosen plan at absolute time `start`, through
+    /// the same failover-aware scheduling as the hand-wired queries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_run_at`](Cluster::try_run_at): shard loss
+    /// and coordinator loss surface as errors, never as wrong results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's local phase output shape does not match its
+    /// merge strategy (e.g. scalar output with a table merge).
+    pub fn run_planned(
+        &mut self,
+        plan: &PhysicalPlan,
+        start: f64,
+    ) -> Result<PlannedRun, QueryError> {
+        let core = self.core().clone();
+        let (single_output, single_cost) = self.single_ref(plan.id);
+        let scale = core.cfg().scale;
+        let locals: Vec<(LogicalOutput, QueryCost, Vec<OpRows>)> = Pool::global()
+            .par_map(core.sharded().shards.iter().collect(), |db| {
+                plan.local.execute_costed(db, core.xeon(), scale)
+            });
+        let per_shard: Vec<NodeCost> =
+            locals.iter().map(|(_, c, _)| NodeCost::from_dpu(&c.dpu)).collect();
+        let shard_traces: Vec<Vec<OpRows>> = locals.iter().map(|(_, _, t)| t.clone()).collect();
+        let local_costs: Vec<QueryCost> = locals.iter().map(|(_, c, _)| *c).collect();
+
+        let (output, cost) = match &plan.merge {
+            MergeStrategy::Reagg(spec) => {
+                let partials = tables(locals);
+                let merged = spec.merge_partials(&partials);
+                let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+                (QueryOutput::Table(merged), cost)
+            }
+            MergeStrategy::TopKMerge { value, k, ties } => {
+                let partials = tables(locals);
+                let tie_refs: Vec<&str> = ties.iter().map(String::as_str).collect();
+                let merged = merge_topk(&partials, value, *k, &tie_refs);
+                let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+                (QueryOutput::Table(merged), cost)
+            }
+            MergeStrategy::SumScalars { names } => {
+                let shards: Vec<Vec<i64>> = locals
+                    .into_iter()
+                    .map(|(o, _, _)| match o {
+                        LogicalOutput::Scalars(v) => v,
+                        LogicalOutput::Table(_) => panic!("table output under scalar merge"),
+                    })
+                    .collect();
+                let partials: Vec<Table> = shards
+                    .iter()
+                    .map(|vals| {
+                        Table::new(
+                            names.iter().zip(vals).map(|(n, &v)| Column::i64(n, vec![v])).collect(),
+                        )
+                    })
+                    .collect();
+                let totals: Vec<i64> =
+                    (0..names.len()).map(|i| shards.iter().map(|v| v[i]).sum()).collect();
+                let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+                let out = match totals[..] {
+                    [one] => QueryOutput::Scalar(one),
+                    [a, b] => QueryOutput::Pair(a, b),
+                    _ => panic!("unsupported scalar arity {}", totals.len()),
+                };
+                (out, cost)
+            }
+            MergeStrategy::GatherTopK { spec, value, k, ties } => {
+                let partials = tables(locals);
+                let complete = spec.merge_partials(&partials);
+                let top = top_k(&complete, value, (*k).min(complete.rows().max(1)), 32);
+                let _ = ties; // the central top_k already imposes the engine's total order
+                let merged = project_rows(&complete, &top);
+                let cost = self.scatter_gather_cost(per_shard, &partials, start)?;
+                (QueryOutput::Table(merged), cost)
+            }
+            MergeStrategy::ShuffleTopK { key, spec, value, k, ties } => {
+                let partials = tables(locals);
+                let tie_refs: Vec<&str> = ties.iter().map(String::as_str).collect();
+                let (merged, cost) = self
+                    .shuffle_topk(&partials, &per_shard, key, spec, value, *k, &tie_refs, start)?;
+                (QueryOutput::Table(merged), cost)
+            }
+        };
+        Ok(PlannedRun {
+            query: DistributedQuery { id: plan.id, output, single_output, cost, single_cost },
+            shard_traces,
+            local_costs,
+        })
+    }
+
+    /// The generalized two-phase re-keyed aggregation: partials hashed on
+    /// `key` all-to-all to owner nodes (live at shuffle time), owner
+    /// re-aggregation + local top-k candidates, candidate gather, final
+    /// merge. Structure and failover routing are identical to the
+    /// hand-wired Q10 plan; only the key/spec/k are parameters.
+    #[allow(clippy::too_many_arguments)]
+    fn shuffle_topk(
+        &mut self,
+        partials: &[Table],
+        per_shard: &[NodeCost],
+        key: &str,
+        spec: &GroupBySpec,
+        value: &str,
+        k: usize,
+        ties: &[&str],
+        start: f64,
+    ) -> Result<(Table, ClusterQueryCost), QueryError> {
+        let n = self.core().sharded().n_nodes();
+        let faults = self.faults().clone();
+        let timeout = self.fabric.failover_timeout_seconds();
+
+        // Phase 1: schedule the already-computed local phases.
+        self.fabric.reset();
+        let (runs, per_node, mut failovers, speculations) =
+            self.schedule_local(per_shard, start)?;
+        let local_end = runs.iter().map(|r| r.done_seconds).fold(start, f64::max);
+
+        // Phase 2: all-to-all reshuffle to owners live at shuffle time.
+        let live = faults.live_nodes(n, local_end);
+        if live.is_empty() {
+            return Err(QueryError::NoLiveNodes);
+        }
+        let owner_policy = ShardPolicy::hash(live.len());
+        let chunks: Vec<Vec<Table>> = Pool::global()
+            .par_map(partials.iter().collect(), |p| shard_table(p, key, &owner_policy));
+        let mut matrix = vec![vec![0u64; n]; n];
+        let mut ready = vec![self.fabric.at_seconds(local_end); n];
+        for run in &runs {
+            ready[run.node] = self.fabric.at_seconds(run.done_seconds);
+        }
+        for (s, row) in chunks.iter().enumerate() {
+            for (j, chunk) in row.iter().enumerate() {
+                matrix[runs[s].node][live[j]] += chunk.bytes();
+            }
+        }
+        let shuffled = self.fabric.all_to_all(&ready, &matrix);
+
+        // Phase 3: owners re-aggregate their complete groups and pick
+        // local top-k candidates, failing over ring-wise on crashes.
+        let owner_cands: Vec<(usize, Table)> =
+            Pool::global().par_map((0..live.len()).collect(), |j| {
+                let received: Vec<Table> = chunks.iter().map(|row| row[j].clone()).collect();
+                let rows_in: usize = received.iter().map(Table::rows).sum();
+                let complete = spec.merge_partials(&received);
+                let top = top_k(&complete, value, k.min(complete.rows().max(1)), 32);
+                (rows_in, project_rows(&complete, &top))
+            });
+        let mut candidates = Vec::with_capacity(live.len());
+        let mut cand_parts = Vec::with_capacity(live.len());
+        for ((j, &owner), (rows_in, cand)) in live.iter().enumerate().zip(owner_cands) {
+            let mut host = owner;
+            let mut done_s = self.fabric.seconds(shuffled[owner])
+                + merge_cpu_seconds(rows_in) / faults.compute_factor(owner, local_end);
+            for _ in 0..=n {
+                match faults.crash_time(host) {
+                    Some(tc) if tc < done_s => {
+                        failovers += 1;
+                        let t_retry = tc + timeout;
+                        let Some(next) = (0..n)
+                            .map(|d| (host + 1 + d) % n)
+                            .find(|&v| !faults.is_down(v, t_retry))
+                        else {
+                            return Err(QueryError::NoLiveNodes);
+                        };
+                        let mut landed = self.fabric.at_seconds(t_retry);
+                        for (s, row) in chunks.iter().enumerate() {
+                            if row[j].bytes() == 0 {
+                                continue;
+                            }
+                            let (src, src_ready) =
+                                self.partial_source(s, t_retry, &runs, per_shard)?;
+                            landed = landed.max(self.fabric.transfer(
+                                self.fabric.at_seconds(src_ready),
+                                src,
+                                next,
+                                row[j].bytes(),
+                            ));
+                        }
+                        host = next;
+                        done_s = self.fabric.seconds(landed)
+                            + merge_cpu_seconds(rows_in) / faults.compute_factor(next, t_retry);
+                    }
+                    _ => break,
+                }
+            }
+            cand_parts.push((host, self.fabric.at_seconds(done_s), cand.bytes()));
+            candidates.push(cand);
+        }
+
+        // Phase 4: gather candidates; final merge at the coordinator.
+        let Some(dst) = (0..n).find(|&v| !faults.is_down(v, local_end)) else {
+            return Err(QueryError::NoLiveNodes);
+        };
+        let done = self.fabric.gather(&cand_parts, dst);
+        let merged = merge_topk(&candidates, value, k, ties);
+        let end = self.fabric.seconds(done).max(local_end);
+        let cand_rows: usize = candidates.iter().map(Table::rows).sum();
+        let cost = ClusterQueryCost {
+            per_node,
+            local_seconds: local_end - start,
+            fabric_seconds: end - local_end,
+            merge_seconds: merge_cpu_seconds(cand_rows),
+            fabric_bytes: self.fabric.payload_bytes(),
+            failovers,
+            speculations,
+        };
+        Ok((merged, cost))
+    }
+}
+
+fn tables(locals: Vec<(LogicalOutput, QueryCost, Vec<OpRows>)>) -> Vec<Table> {
+    locals
+        .into_iter()
+        .map(|(o, _, _)| match o {
+            LogicalOutput::Table(t) => t,
+            LogicalOutput::Scalars(_) => panic!("scalar output under table merge"),
+        })
+        .collect()
+}
+
+/// The physical plan matching each hand-wired query exactly: same local
+/// pipeline, same merge. The planner's `off`/baseline mode and the
+/// bit-identity tests both anchor on these.
+pub fn handwired_physical(id: QueryId) -> PhysicalPlan {
+    use dpu_sql::logical::{
+        q10_partial_plan, q12_plan, q14_plan, q18_plan, q1_plan, q3_plan, q5_plan, q6_plan,
+    };
+    let (local, merge) = match id {
+        QueryId::Q1 => {
+            let p = q1_plan();
+            let Finish::Agg(spec) = p.finish.clone() else { unreachable!() };
+            (p, MergeStrategy::Reagg(spec))
+        }
+        QueryId::Q3 => (
+            q3_plan(),
+            MergeStrategy::TopKMerge {
+                value: "revenue".into(),
+                k: 10,
+                ties: vec!["l_orderkey".into(), "o_orderdate".into()],
+            },
+        ),
+        QueryId::Q5 => {
+            let p = q5_plan();
+            let Finish::Agg(spec) = p.finish.clone() else { unreachable!() };
+            (p, MergeStrategy::Reagg(spec))
+        }
+        QueryId::Q6 => (q6_plan(), MergeStrategy::SumScalars { names: vec!["revenue".into()] }),
+        QueryId::Q10 => {
+            let p = q10_partial_plan();
+            let Finish::Agg(spec) = p.finish.clone() else { unreachable!() };
+            (
+                p,
+                MergeStrategy::ShuffleTopK {
+                    key: "o_custkey".into(),
+                    spec,
+                    value: "revenue".into(),
+                    k: 20,
+                    ties: vec!["o_custkey".into()],
+                },
+            )
+        }
+        QueryId::Q12 => {
+            let p = q12_plan();
+            let Finish::Agg(spec) = p.finish.clone() else { unreachable!() };
+            (p, MergeStrategy::Reagg(spec))
+        }
+        QueryId::Q14 => {
+            (q14_plan(), MergeStrategy::SumScalars { names: vec!["promo".into(), "total".into()] })
+        }
+        QueryId::Q18 => (
+            q18_plan(),
+            MergeStrategy::TopKMerge {
+                value: "o_totalprice".into(),
+                k: 100,
+                ties: vec!["o_orderkey".into()],
+            },
+        ),
+    };
+    PhysicalPlan { id, local, merge }
+}
+
+/// Q10 with the gather-everything placement — the alternative the
+/// planner weighs against [`handwired_physical`]'s shuffle.
+pub fn q10_gather_physical() -> PhysicalPlan {
+    let p = dpu_sql::logical::q10_partial_plan();
+    let Finish::Agg(spec) = p.finish.clone() else { unreachable!() };
+    PhysicalPlan {
+        id: QueryId::Q10,
+        local: p,
+        merge: MergeStrategy::GatherTopK {
+            spec,
+            value: "revenue".into(),
+            k: 20,
+            ties: vec!["o_custkey".into()],
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::ClusterConfig;
+    use crate::fault::FaultPlan;
+    use dpu_sql::tpch::generate;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(
+            generate(1200, 42),
+            &ShardPolicy::hash(n),
+            ClusterConfig::prototype_slice(n, 10_000),
+        )
+    }
+
+    #[test]
+    fn planned_runs_match_hand_wired_and_single_node() {
+        let mut c = cluster(8);
+        for id in QueryId::ALL {
+            let hand = c.run(id);
+            let planned = c.run_planned(&handwired_physical(id), 0.0).unwrap();
+            assert_eq!(planned.query.output, hand.output, "{id:?} planned ≠ hand-wired");
+            assert!(planned.query.matches_single(), "{id:?} planned ≠ single-node");
+            assert!(!planned.shard_traces.is_empty());
+            assert_eq!(planned.local_costs.len(), 8);
+        }
+    }
+
+    #[test]
+    fn q10_gather_placement_is_bit_identical_to_shuffle() {
+        let mut c = cluster(8);
+        let shuffle = c.run_planned(&handwired_physical(QueryId::Q10), 0.0).unwrap();
+        let gather = c.run_planned(&q10_gather_physical(), 0.0).unwrap();
+        assert_eq!(shuffle.query.output, gather.query.output);
+        assert!(gather.query.matches_single());
+        // The placements cost differently — that is the planner's choice.
+        assert_ne!(
+            shuffle.query.cost.fabric_bytes, gather.query.cost.fabric_bytes,
+            "shuffle and gather should move different byte volumes"
+        );
+    }
+
+    #[test]
+    fn planned_runs_survive_faults_bit_identically() {
+        let mut healthy = cluster(8);
+        let mut faulty = Cluster::new(
+            generate(1200, 42),
+            &ShardPolicy::hash(8),
+            ClusterConfig::prototype_slice(8, 10_000).with_replicas(2),
+        );
+        faulty.set_faults(FaultPlan::none().crash(3, 1e-7).straggle(5, 0.0, 1e9, 0.5));
+        for id in QueryId::ALL {
+            for plan in [handwired_physical(id)]
+                .into_iter()
+                .chain((id == QueryId::Q10).then(q10_gather_physical))
+            {
+                let h = healthy.run_planned(&plan, 0.0).unwrap();
+                let f = faulty.run_planned(&plan, 0.0).unwrap();
+                assert_eq!(h.query.output, f.query.output, "{id:?} diverged under faults");
+                assert!(f.query.matches_single());
+            }
+        }
+    }
+}

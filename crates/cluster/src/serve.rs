@@ -302,6 +302,25 @@ pub fn serve_with_faults(
 /// server `i` is encoded as `COMPLETE_BASE + i`.
 const COMPLETE_BASE: usize = usize::MAX / 2;
 
+/// A dispatcher-side observer that can substitute the cost a template is
+/// served with — the planner's insertion point for adaptive
+/// re-optimization. The serving loop consults it at every dispatch and
+/// reports every batch completion back, so an implementation can start
+/// from the plan its estimates favored, watch actual runtimes, and swap
+/// in a cheaper plan mid-run (optd-style). Returning `None` from
+/// [`template_cost`](Self::template_cost) leaves the static
+/// [`Template::cost`] in force, reproducing the unhooked pipeline
+/// event for event.
+pub trait ServeHook {
+    /// The cost to serve template `tmpl` with for a batch dispatched at
+    /// `now` (`None` = the template's static cost).
+    fn template_cost(&mut self, tmpl: usize, now: f64) -> Option<ClusterQueryCost>;
+
+    /// One batch of `k` queries of `tmpl` finished; `exec_seconds` is its
+    /// dispatch-to-completion time and `done` the absolute finish time.
+    fn on_batch(&mut self, tmpl: usize, k: usize, exec_seconds: f64, done: f64);
+}
+
 /// The full concurrent pipeline: [`serve_with_faults`] plus an optional
 /// shared fabric `(rates, node count)` against which every in-flight
 /// batch's fabric phase is charged, so concurrent shuffle-heavy queries
@@ -317,6 +336,27 @@ pub fn serve_pipeline(
     cfg: &ServeConfig,
     window: Option<&DegradedWindow>,
     fabric: Option<(&FabricConfig, usize)>,
+) -> ServeReport {
+    serve_pipeline_hooked(templates, cluster_watts, xeon_rack, cfg, window, fabric, None)
+}
+
+/// [`serve_pipeline`] with an optional [`ServeHook`] consulted at every
+/// dispatch and notified of every completion. With `hook = None` (or a
+/// hook that always returns `None`) the run is event-for-event identical
+/// to the unhooked pipeline.
+///
+/// # Panics
+///
+/// Panics like [`serve_with_faults`].
+#[allow(clippy::too_many_arguments)]
+pub fn serve_pipeline_hooked(
+    templates: &[Template],
+    cluster_watts: f64,
+    xeon_rack: &XeonRack,
+    cfg: &ServeConfig,
+    window: Option<&DegradedWindow>,
+    fabric: Option<(&FabricConfig, usize)>,
+    mut hook: Option<&mut dyn ServeHook>,
 ) -> ServeReport {
     assert!(!templates.is_empty(), "need at least one template");
     assert!(cfg.clients > 0 && cfg.duration_seconds > 0.0, "degenerate config");
@@ -428,7 +468,8 @@ pub fn serve_pipeline(
                 _ => 1.0,
             };
             let k = batch.len();
-            let cost = &templates[tmpl].cost;
+            let hooked_cost = hook.as_deref_mut().and_then(|h| h.template_cost(tmpl, now));
+            let cost = hooked_cost.as_ref().unwrap_or(&templates[tmpl].cost);
             let iso_fabric = cost.fabric_seconds;
             let done = match &mut shared {
                 Some(sf) => {
@@ -449,6 +490,9 @@ pub fn serve_pipeline(
                 }
             };
             fabric_iso_sum += k as f64 * iso_fabric;
+            if let Some(h) = hook.as_deref_mut() {
+                h.on_batch(tmpl, k, done - start, done);
+            }
             server_free_at[srv] = done;
             server_busy[srv] = true;
             batches += 1;
@@ -733,6 +777,56 @@ mod tests {
         assert_eq!(ctl.depth(0), 1);
         assert_eq!(ctl.depth(3), 3);
         assert_eq!(ctl.depth(100), 8);
+    }
+
+    #[test]
+    fn noop_hook_reproduces_the_unhooked_pipeline() {
+        struct Spy {
+            batches: usize,
+        }
+        impl ServeHook for Spy {
+            fn template_cost(&mut self, _: usize, _: f64) -> Option<ClusterQueryCost> {
+                None
+            }
+            fn on_batch(&mut self, _: usize, _: usize, _: f64, _: f64) {
+                self.batches += 1;
+            }
+        }
+        let templates = vec![template("Q1", 0.02, 0.5), template("Q6", 0.01, 0.3)];
+        let rack = XeonRack::rack_42u();
+        let cfg = ServeConfig { duration_seconds: 10.0, ..ServeConfig::default() };
+        let plain = serve(&templates, 88.0, &rack, &cfg);
+        let mut spy = Spy { batches: 0 };
+        let hooked =
+            serve_pipeline_hooked(&templates, 88.0, &rack, &cfg, None, None, Some(&mut spy));
+        assert_eq!(plain, hooked, "a pass-through hook must not perturb the run");
+        assert!(spy.batches > 0, "the hook must see every completion");
+    }
+
+    #[test]
+    fn cost_overriding_hook_changes_latency() {
+        struct Slow;
+        impl ServeHook for Slow {
+            fn template_cost(&mut self, _: usize, _: f64) -> Option<ClusterQueryCost> {
+                let mut c = template("x", 0.2, 0.5).cost;
+                c.merge_seconds = 0.5;
+                Some(c)
+            }
+            fn on_batch(&mut self, _: usize, _: usize, _: f64, _: f64) {}
+        }
+        let templates = vec![template("Q1", 0.02, 0.5)];
+        let rack = XeonRack::rack_42u();
+        let cfg = ServeConfig { duration_seconds: 10.0, ..ServeConfig::default() };
+        let plain = serve(&templates, 88.0, &rack, &cfg);
+        let mut slow = Slow;
+        let hooked =
+            serve_pipeline_hooked(&templates, 88.0, &rack, &cfg, None, None, Some(&mut slow));
+        assert!(
+            hooked.mean_latency > plain.mean_latency,
+            "serving with a costlier plan must raise latency ({} vs {})",
+            hooked.mean_latency,
+            plain.mean_latency
+        );
     }
 
     #[test]

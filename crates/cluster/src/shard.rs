@@ -17,7 +17,7 @@
 
 use dpu_isa::hash::crc32c_u64;
 use dpu_sql::tpch::{project_rows, TpchDb};
-use dpu_sql::{sample_bounds, Table};
+use dpu_sql::{sample_bounds, BaseTable, Table};
 
 use crate::replica::Placement;
 
@@ -118,9 +118,17 @@ impl ShardedTpch {
         self.placement.k()
     }
 
+    /// Per-shard row counts of one base table — the single statistics
+    /// source shared by the planner's cardinality catalog and
+    /// [`skew_report`](Self::skew_report). Dimension tables report their
+    /// replicated (identical) per-node counts.
+    pub fn table_rows(&self, table: BaseTable) -> Vec<usize> {
+        self.shards.iter().map(|n| table.of(n).rows()).collect()
+    }
+
     /// Lineitem rows per shard (the skew metric).
     pub fn lineitem_rows(&self) -> Vec<usize> {
-        self.shards.iter().map(|n| n.lineitem.rows()).collect()
+        self.table_rows(BaseTable::Lineitem)
     }
 
     /// The load-balance report over [`lineitem_rows`](Self::lineitem_rows)
@@ -352,6 +360,21 @@ mod tests {
         assert!(b.imbalance < 1.3, "hash sharding should balance (got {})", b.imbalance);
         assert!(b.gini < 0.2, "hash sharding Gini should be near 0 (got {})", b.gini);
         assert!(s.gini > b.gini && s.cv > b.cv && s.imbalance > b.imbalance);
+    }
+
+    #[test]
+    fn table_rows_is_the_single_statistics_source() {
+        let db = generate(500, 7);
+        let sharded = shard_tpch(&db, &ShardPolicy::hash(8));
+        let li = sharded.table_rows(BaseTable::Lineitem);
+        assert_eq!(li, sharded.lineitem_rows());
+        assert_eq!(sharded.skew_report(), SkewReport::from_rows(&li));
+        // Facts partition exactly; dimensions replicate in full.
+        assert_eq!(li.iter().sum::<usize>(), db.lineitem.rows());
+        let orders = sharded.table_rows(BaseTable::Orders);
+        assert_eq!(orders.iter().sum::<usize>(), db.orders.rows());
+        let cust = sharded.table_rows(BaseTable::Customer);
+        assert!(cust.iter().all(|&c| c == db.customer.rows()));
     }
 
     #[test]

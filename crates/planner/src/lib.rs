@@ -1,0 +1,37 @@
+//! Cost-based distributed query planner (ISSUE 6).
+//!
+//! The rack so far executed eight hand-wired TPC-H pipelines. This
+//! crate closes the loop from declarative query to distributed plan:
+//!
+//! - [`stats`] — per-shard statistics: row counts (shared with the skew
+//!   report's source of truth), min/max bands, and HyperLogLog NDV
+//!   sketches merged across shards at the coordinator.
+//! - [`cost`] — an estimator that walks a logical plan with the *same*
+//!   roofline and per-operator constants the executor charges, driven
+//!   by estimated instead of actual cardinalities, plus a fabric model
+//!   of each merge strategy (a gather serializes one RX NIC; a shuffle
+//!   spreads the bytes over all of them).
+//! - [`optimizer`] — predicate pushdown, DP join-order search over the
+//!   query's join graph, and merge placement; any chosen plan is
+//!   bit-identical to the hand-wired pipeline because every finishing
+//!   operator canonicalizes its output.
+//! - [`explain`] — a stable text rendering with estimated vs actual
+//!   rows per operator.
+//! - [`profile`] — adaptive re-optimization: a [`ServeHook`] that
+//!   charges each template its selected plan's profiled cost and
+//!   re-ranks candidates mid-run once observed traffic contradicts the
+//!   estimates, logging every plan switch.
+//!
+//! [`ServeHook`]: dpu_cluster::ServeHook
+
+pub mod cost;
+pub mod explain;
+pub mod optimizer;
+pub mod profile;
+pub mod stats;
+
+pub use cost::{CostModel, EstRows, PlanEstimate, HAVING_SELECTIVITY};
+pub use explain::explain;
+pub use optimizer::{hoist_filters, pushdown, PlanChoice, Planner};
+pub use profile::{AdaptiveServer, CandidatePlan, PlanSwitch, PlannerMode, TemplateProfile};
+pub use stats::{Catalog, ColumnStats, TableStats, SKETCH_PRECISION};

@@ -1,0 +1,41 @@
+//! Snapshot test for the EXPLAIN rendering: the planner-chosen plan of
+//! every TPC-H query on a fixed 4-shard fixture, byte-compared against
+//! the committed `tests/snapshots/explain.txt`.
+//!
+//! The fixture and every estimate in it are deterministic (seeded
+//! generator, integer statistics, simulated costs), so the snapshot is
+//! machine-independent. If an intentional change to the planner or the
+//! rendering shifts the output, regenerate with
+//! `UPDATE_SNAPSHOT=1 cargo test -p dpu-planner --test explain_snapshot`
+//! and commit the diff.
+
+use dpu_cluster::{ClusterConfig, ClusterCore, QueryId, ShardPolicy};
+use dpu_planner::{explain, Planner};
+use dpu_sql::tpch::generate;
+
+#[test]
+fn explain_snapshot_covers_all_eight_queries() {
+    let core = ClusterCore::new(
+        generate(1000, 5),
+        &ShardPolicy::hash(4),
+        ClusterConfig::prototype_slice(4, 10_000),
+    );
+    let planner = Planner::new(&core);
+    let mut rendered = String::new();
+    for id in QueryId::ALL {
+        let choice = planner.plan(id);
+        rendered.push_str(&explain(&choice.plan, &choice.estimate, None));
+        rendered.push('\n');
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/snapshots/explain.txt");
+    if std::env::var_os("UPDATE_SNAPSHOT").is_some() {
+        std::fs::write(path, &rendered).expect("write snapshot");
+    }
+    let committed = std::fs::read_to_string(path)
+        .expect("committed snapshot missing — regenerate with UPDATE_SNAPSHOT=1");
+    assert!(
+        rendered == committed,
+        "EXPLAIN output drifted from tests/snapshots/explain.txt; if the change is \
+         intentional, regenerate with UPDATE_SNAPSHOT=1 and commit.\n--- got ---\n{rendered}"
+    );
+}

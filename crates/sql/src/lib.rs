@@ -26,7 +26,9 @@ pub mod bitvec;
 pub mod column;
 pub mod expr;
 pub mod filter;
+pub mod hll;
 pub mod join;
+pub mod logical;
 pub mod plan;
 pub mod sort;
 pub mod topk;
@@ -37,7 +39,11 @@ pub use bitvec::BitVec;
 pub use column::{Column, Table};
 pub use expr::Expr;
 pub use filter::{measure_filter_kernel, CompareOp, FilterSpec};
+pub use hll::{HyperLogLog, RankMethod};
 pub use join::HashJoin;
+pub use logical::{
+    BaseTable, ColFilter, Finish, JoinEdge, JoinGraph, LogicalOutput, LogicalPlan, Relation, Source,
+};
 pub use plan::{CostAcc, PlatformCost, QueryCost};
 pub use sort::{sample_bounds, sort_indices};
 pub use topk::top_k;

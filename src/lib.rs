@@ -57,3 +57,7 @@ pub use dpu_apps as apps;
 
 /// Rack-scale distributed query execution over simulated DPU nodes.
 pub use dpu_cluster as cluster;
+
+/// Cost-based distributed query planner with statistics sketches and
+/// adaptive re-optimization from serve traffic.
+pub use dpu_planner as planner;
