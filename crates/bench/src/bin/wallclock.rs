@@ -9,7 +9,10 @@
 //! 2. single-node `Cluster::run_all` (partitioned join/agg kernels),
 //! 3. 8-node `Cluster::run_all` (shard fan-out + single-node references),
 //! 4. the `rack_tpch` failover matrix (replication × kill patterns), one
-//!    O(1) `Cluster` fork per cell from shared per-k cores.
+//!    O(1) `Cluster` fork per cell from shared per-k cores,
+//! 5. the SWAR kernels (`DPU_VECTOR`): scalar vs vector filter,
+//!    CRC32 partition, and single-key group-by inner loops, single-
+//!    threaded so the comparison isolates the kernel itself.
 //!
 //! The 1-thread runs pin the pool to one worker, which takes the exact
 //! pre-pool sequential code paths, and every parallel result is asserted
@@ -20,9 +23,9 @@
 //! so the file carries no machine-speed noise. Because speedups still
 //! vary run to run, this file is informational and is NOT byte-diffed in
 //! CI (unlike the simulated-time `BENCH_rack_*.json` baselines). The
-//! ≥2× speedup assertions only arm when the host has ≥ 4 CPUs; on
-//! smaller hosts the binary still checks determinism and reports what it
-//! measured.
+//! ≥2× (pool) and ≥1.3× (SWAR kernel) speedup assertions only arm when
+//! the host has ≥ 4 CPUs; on smaller hosts the binary still checks
+//! determinism and reports what it measured.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,6 +39,9 @@ use dpu_cluster::{
 };
 use dpu_pool::{set_global_threads, Pool};
 use dpu_sql::tpch::{self, TpchDb};
+use dpu_sql::{
+    partition_row_ids_with, AggFunc, Column, CompareOp, FilterSpec, GroupBySpec, Kernel, Table,
+};
 
 const SEED: u64 = 2026;
 const NODES: usize = 8;
@@ -205,6 +211,75 @@ fn main() {
         "yes".into(),
     ]);
 
+    // ── SWAR kernels: scalar vs vector inner loops ───────────────────
+    // Single-threaded, bit-identity asserted before any time is
+    // reported. The ≥1.3× floor arms with the others (≥ 4 CPUs) even
+    // though the comparison itself is width-independent, so small CI
+    // hosts never fail on scheduling noise.
+    let kernel_rows = 2_000_000usize;
+    let mut splitmix = {
+        let mut state = SEED;
+        move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    };
+    let keys: Vec<i64> = (0..kernel_rows).map(|_| (splitmix() % 65_536) as i64 - 32_768).collect();
+    let vals: Vec<i64> = (0..kernel_rows).map(|_| (splitmix() % 1_000_000) as i64).collect();
+    let kt = Table::new(vec![Column::i64("k", keys.clone()), Column::i64("v", vals)]);
+
+    println!();
+    header(&["kernel", "scalar (s)", "vector (s)", "speedup", "Mrows/s", "bit-identical"]);
+    let mut kernels_json: Vec<Json> = Vec::new();
+    let mut kernel_speedups: Vec<(&'static str, f64)> = Vec::new();
+    let mut kernel_row = |name: &'static str, scalar_s: f64, vector_s: f64| {
+        let speedup = scalar_s / vector_s;
+        let mrows = kernel_rows as f64 / vector_s / 1e6;
+        row(&[
+            name.to_string(),
+            format!("{scalar_s:.3}"),
+            format!("{vector_s:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{mrows:.0}"),
+            "yes".into(),
+        ]);
+        kernels_json.push(Json::obj([
+            ("kernel", Json::str(name)),
+            ("rows", Json::num(kernel_rows as f64)),
+            ("speedup", Json::num(speedup)),
+            ("scalar_mrows_s", Json::num(kernel_rows as f64 / scalar_s / 1e6)),
+            ("vector_mrows_s", Json::num(mrows)),
+        ]));
+        kernel_speedups.push((name, speedup));
+    };
+
+    let fspec = FilterSpec::new("v", CompareOp::Between(100_000, 700_000));
+    let (f_scalar_s, f_scalar) = best_of(|| fspec.apply_with(&kt, Kernel::Scalar));
+    let (f_vector_s, f_vector) = best_of(|| fspec.apply_with(&kt, Kernel::Swar));
+    assert_eq!(f_scalar, f_vector, "SWAR filter diverged from scalar");
+    kernel_row("filter", f_scalar_s, f_vector_s);
+
+    let (p_scalar_s, p_scalar) = best_of(|| partition_row_ids_with(&keys, 0, 32, Kernel::Scalar));
+    let (p_vector_s, p_vector) = best_of(|| partition_row_ids_with(&keys, 0, 32, Kernel::Swar));
+    assert_eq!(p_scalar, p_vector, "SWAR partition diverged from scalar");
+    kernel_row("partition", p_scalar_s, p_vector_s);
+
+    let gspec = GroupBySpec {
+        group_cols: vec!["k".into()],
+        aggs: vec![
+            ("cnt".into(), AggFunc::Count),
+            ("s".into(), AggFunc::Sum("v".into())),
+            ("hi".into(), AggFunc::Max("v".into())),
+        ],
+    };
+    let (a_scalar_s, a_scalar) = best_of(|| gspec.execute_seq(&kt, None));
+    let (a_vector_s, a_vector) = best_of(|| gspec.execute_vector(&kt, None));
+    assert_eq!(a_scalar, a_vector, "SWAR group-by diverged from scalar");
+    kernel_row("agg", a_scalar_s, a_vector_s);
+
     // ── Criterion throughput report (elements/s) ──────────────────────
     // The stand-in criterion's `Throughput` prints a rate next to
     // ns/iter; datagen throughput is in generated orders per second.
@@ -235,9 +310,16 @@ fn main() {
             "failover matrix must speed up >= 2x on {threads} threads \
              ({host_cpus} CPUs): got {matrix_speedup:.2}x"
         );
+        for &(name, speedup) in &kernel_speedups {
+            assert!(
+                speedup >= 1.3,
+                "SWAR {name} kernel must speed up >= 1.3x over scalar \
+                 ({host_cpus} CPUs): got {speedup:.2}x"
+            );
+        }
         println!(
             "\nSpeedup floor (>= 2.0x) holds for datagen, {NODES}-node run_all, \
-             and the failover matrix."
+             and the failover matrix; SWAR kernels hold >= 1.3x over scalar."
         );
     } else {
         println!("\nSpeedup floor not asserted: {host_cpus} host CPUs < 4.");
@@ -253,6 +335,7 @@ fn main() {
             ("deterministic", Json::Bool(true)),
             ("datagen", Json::Arr(datagen_json)),
             ("run_all", Json::Arr(suite_json)),
+            ("kernels", Json::Arr(kernels_json)),
             (
                 "failover_matrix",
                 Json::obj([

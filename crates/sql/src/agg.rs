@@ -12,11 +12,12 @@
 
 use std::collections::HashMap;
 
-use dpu_isa::hash::crc32c_u64;
+use dpu_isa::hash::{crc32c_u64, crc32c_u64_table, crc32c_u64_x4};
 use dpu_pool::{chunk_bounds, in_worker, Pool};
 
 use crate::bitvec::BitVec;
 use crate::column::{Column, Table};
+use crate::vector::{self, Kernel};
 use crate::PAR_MIN_ROWS;
 
 /// An aggregate function over a named column.
@@ -99,6 +100,8 @@ impl GroupBySpec {
             && table.rows() >= PAR_MIN_ROWS
         {
             self.execute_on(pool, table, sel)
+        } else if vector::kernel() == Kernel::Swar && self.group_cols.len() == 1 {
+            self.execute_vector(table, sel)
         } else {
             self.execute_seq(table, sel)
         }
@@ -144,17 +147,122 @@ impl GroupBySpec {
         Table::new(out_cols)
     }
 
+    /// The SWAR group-by kernel for a single grouping column: selected
+    /// rows stream in ascending order (selection consumed a word at a
+    /// time) through lane-batched key hashing — four keys per
+    /// table-driven CRC batch — into an open-addressed accumulator
+    /// table with branch-free min/max/sum updates; the collected groups
+    /// sort by key. Per-group accumulation visits rows in the same
+    /// ascending order as [`Self::execute_seq`], so the result is
+    /// bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named column is missing, the selection length
+    /// mismatches, or there is not exactly one group column.
+    pub fn execute_vector(&self, table: &Table, sel: Option<&BitVec>) -> Table {
+        if let Some(bv) = sel {
+            assert_eq!(bv.len(), table.rows(), "selection length mismatch");
+        }
+        assert_eq!(self.group_cols.len(), 1, "vector group-by needs exactly one key column");
+        let key_col = table.col_index(&self.group_cols[0]);
+        let rows: Vec<usize> = match sel {
+            Some(bv) => bv.iter_set().collect(),
+            None => (0..table.rows()).collect(),
+        };
+        let mut pairs = self.aggregate_swar(table, &rows, key_col);
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+
+        let mut out_cols: Vec<Column> =
+            vec![Column::i64(&self.group_cols[0], pairs.iter().map(|&(k, _)| k).collect())];
+        for (si, (name, _)) in self.aggs.iter().enumerate() {
+            out_cols.push(Column::i64(name, pairs.iter().map(|(_, g)| g[si]).collect()));
+        }
+        Table::new(out_cols)
+    }
+
+    /// The open-addressed probe/accumulate loop shared by
+    /// [`Self::execute_vector`] and the parallel leaf tasks: returns
+    /// unsorted `(key, state)` pairs in first-seen order. Capacity is
+    /// fixed at `2 × rows` rounded up to a power of two, so the table
+    /// never rehashes and stays at most half full.
+    fn aggregate_swar(
+        &self,
+        table: &Table,
+        rows: &[usize],
+        key_col: usize,
+    ) -> Vec<(i64, Vec<i64>)> {
+        assert!(rows.len() < u32::MAX as usize, "row count exceeds the u32 slot encoding");
+        let init = self.state_init();
+        let agg_cols = self.agg_col_indices(table);
+        let stride = self.aggs.len();
+        let kd = &table.columns[key_col].data;
+
+        let cap = (rows.len() * 2).next_power_of_two().max(16);
+        let mut groups = SwarGroups {
+            mask: cap - 1,
+            // Slot 0 = empty, else group index + 1 (dense, first-seen).
+            slots: vec![0u32; cap],
+            keys: Vec::new(),
+            states: Vec::new(),
+        };
+
+        let mut quads = rows.chunks_exact(4);
+        for quad in &mut quads {
+            // Lane-batched hashing: four independent CRC streams per batch.
+            let h = crc32c_u64_x4([
+                kd[quad[0]] as u64,
+                kd[quad[1]] as u64,
+                kd[quad[2]] as u64,
+                kd[quad[3]] as u64,
+            ]);
+            for (j, &row) in quad.iter().enumerate() {
+                let g = groups.group_of(kd[row], h[j], &init);
+                self.accumulate(table, row, &agg_cols, &mut groups.states[g * stride..][..stride]);
+            }
+        }
+        for &row in quads.remainder() {
+            let g = groups.group_of(kd[row], crc32c_u64_table(kd[row] as u64), &init);
+            self.accumulate(table, row, &agg_cols, &mut groups.states[g * stride..][..stride]);
+        }
+
+        groups
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(g, &k)| (k, groups.states[g * stride..g * stride + stride].to_vec()))
+            .collect()
+    }
+
     /// The pool-parallel group-by kernel: selected rows partition by
     /// CRC32 of the *first* key column (a group's rows all share it, so
     /// partitions hold disjoint groups), each partition aggregates
     /// independently, and the merged pairs sort by full key — exactly
-    /// the key-sorted table [`Self::execute_seq`] produces.
+    /// the key-sorted table [`Self::execute_seq`] produces. Leaf
+    /// aggregation runs the process-wide kernel (`DPU_VECTOR`).
     ///
     /// # Panics
     ///
     /// Panics if a named column is missing, the selection length
     /// mismatches, or there are no group columns.
     pub fn execute_on(&self, pool: Pool, table: &Table, sel: Option<&BitVec>) -> Table {
+        self.execute_on_with(pool, table, sel, vector::kernel())
+    }
+
+    /// [`Self::execute_on`] with an explicit kernel for the hash and
+    /// leaf-aggregation inner loops, for differential tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named column is missing, the selection length
+    /// mismatches, or there are no group columns.
+    pub fn execute_on_with(
+        &self,
+        pool: Pool,
+        table: &Table,
+        sel: Option<&BitVec>,
+        kernel: Kernel,
+    ) -> Table {
         if let Some(bv) = sel {
             assert_eq!(bv.len(), table.rows(), "selection length mismatch");
         }
@@ -162,6 +270,10 @@ impl GroupBySpec {
         let first = *key_idx.first().expect("parallel group-by needs a key column");
         let init = self.state_init();
         let agg_cols = self.agg_col_indices(table);
+        // Same CRC32-C values either way; the table-driven path is the
+        // SWAR fast variant, the bit-serial one the scalar reference.
+        let hash_of: fn(u64) -> u32 =
+            if kernel == Kernel::Swar { crc32c_u64_table } else { crc32c_u64 };
 
         // Chunk-parallel partitioning of the selected row ids.
         let parts_n = (pool.threads() * 4).max(2);
@@ -170,7 +282,7 @@ impl GroupBySpec {
             for row in lo..hi {
                 if sel.is_none_or(|bv| bv.get(row)) {
                     let k = table.columns[first].data[row];
-                    parts[(crc32c_u64(k as u64) as usize) % parts_n].push(row);
+                    parts[(hash_of(k as u64) as usize) % parts_n].push(row);
                 }
             }
             parts
@@ -184,8 +296,16 @@ impl GroupBySpec {
 
         // Disjoint groups per partition: aggregate independently, then
         // one global key sort reproduces the sequential output order.
+        let single_key_swar = kernel == Kernel::Swar && key_idx.len() == 1;
         let mut pairs: Vec<(Vec<i64>, Vec<i64>)> = pool
             .par_map(parts, |rows| {
+                if single_key_swar {
+                    return self
+                        .aggregate_swar(table, &rows, first)
+                        .into_iter()
+                        .map(|(k, s)| (vec![k], s))
+                        .collect::<Vec<_>>();
+                }
                 let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
                 for row in rows {
                     let key: Vec<i64> =
@@ -256,6 +376,39 @@ impl GroupBySpec {
                         table.columns[c1.unwrap()].data[row] * table.columns[c2.unwrap()].data[row]
                 }
             }
+        }
+    }
+}
+
+/// Open-addressed group table for the SWAR probe loop: linear probing
+/// over power-of-two slots, groups stored densely in first-seen order
+/// with flattened accumulator states. Never grows (callers size it at
+/// twice the row count), so probes always terminate on an empty slot.
+struct SwarGroups {
+    mask: usize,
+    slots: Vec<u32>,
+    keys: Vec<i64>,
+    states: Vec<i64>,
+}
+
+impl SwarGroups {
+    /// Dense index of `key`'s group, inserting a fresh `init` state on
+    /// first sight.
+    #[inline]
+    fn group_of(&mut self, key: i64, hash: u32, init: &[i64]) -> usize {
+        let mut i = hash as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                self.keys.push(key);
+                self.states.extend_from_slice(init);
+                self.slots[i] = self.keys.len() as u32;
+                return self.keys.len() - 1;
+            }
+            if self.keys[s as usize - 1] == key {
+                return s as usize - 1;
+            }
+            i = (i + 1) & self.mask;
         }
     }
 }

@@ -28,6 +28,26 @@ impl BitVec {
         BitVec { words: vec![0; len.div_ceil(64)], len }
     }
 
+    /// Builds from packed 64-bit words (little-endian bit order), the
+    /// form the SWAR filter kernel and the FILT accumulator both emit.
+    /// Bits of the final word at positions `>= len % 64` are masked off,
+    /// preserving the invariant that tail bits beyond `len` are zero
+    /// (so [`Self::count`] and word-level consumers never see garbage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(len: usize, mut words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch for {len} bits");
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+        BitVec { words, len }
+    }
+
     /// Builds from a predicate over row indices.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
         let mut bv = BitVec::new(len);
@@ -186,5 +206,42 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oob_panics() {
         BitVec::new(5).get(5);
+    }
+
+    #[test]
+    fn from_words_masks_the_tail_word() {
+        // 70 bits over 2 words: bits 6..64 of the second word are junk
+        // and must be cleared so popcount sees only real rows.
+        let bv = BitVec::from_words(70, vec![u64::MAX, u64::MAX]);
+        assert_eq!(bv.count(), 70);
+        assert_eq!(bv.words()[1], (1 << 6) - 1);
+        // Exact multiples of 64 keep every word bit.
+        let full = BitVec::from_words(128, vec![u64::MAX, u64::MAX]);
+        assert_eq!(full.count(), 128);
+        // Zero-length vectors carry no words.
+        assert_eq!(BitVec::from_words(0, vec![]).count(), 0);
+    }
+
+    #[test]
+    fn word_popcount_equals_per_bit_count() {
+        // The word-level POPC path must agree with counting bits one by
+        // one via get(), including a masked tail word.
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            let bv = BitVec::from_words(
+                len,
+                (0..len.div_ceil(64))
+                    .map(|w| 0xA5A5_5A5A_DEAD_BEEFu64.rotate_left(w as u32))
+                    .collect(),
+            );
+            let per_bit = (0..len).filter(|&i| bv.get(i)).count();
+            assert_eq!(bv.count(), per_bit, "len={len}");
+            assert_eq!(bv.iter_set().count(), per_bit, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_word_count() {
+        BitVec::from_words(65, vec![0]);
     }
 }

@@ -12,6 +12,7 @@ use dpu_isa::interp::{Cpu, Trap};
 
 use crate::bitvec::BitVec;
 use crate::column::Table;
+use crate::vector::{self, Kernel};
 
 /// Comparison operators supported by the engine's scan predicates; all
 /// lower to the FILT band `[lo, hi]` on signed 32-bit values.
@@ -68,10 +69,25 @@ impl FilterSpec {
 
     /// Applies the filter to a table, producing a selection vector
     /// (reference semantics; the timed path runs on the DPU models).
+    /// Runs the process-wide kernel ([`vector::kernel`], `DPU_VECTOR`):
+    /// the scalar per-row loop or the SWAR 64-rows-per-word kernel —
+    /// bit-identical either way.
     pub fn apply(&self, table: &Table) -> BitVec {
+        self.apply_with(table, vector::kernel())
+    }
+
+    /// Applies the filter with an explicit kernel choice (differential
+    /// tests and benches compare both arms in one process).
+    pub fn apply_with(&self, table: &Table, kernel: Kernel) -> BitVec {
         let col =
             table.column(&self.column).unwrap_or_else(|| panic!("no column {:?}", self.column));
-        BitVec::from_fn(col.data.len(), |i| self.op.matches(col.data[i]))
+        match kernel {
+            Kernel::Scalar => BitVec::from_fn(col.data.len(), |i| self.op.matches(col.data[i])),
+            Kernel::Swar => {
+                let (lo, hi) = self.op.band();
+                vector::filter_band(&col.data, lo, hi)
+            }
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use dpu_isa::hash::crc32c_u64;
 use dpu_pool::{chunk_bounds, in_worker, Pool};
 
 use crate::column::{Column, Table};
+use crate::vector::{self, Kernel};
 use crate::PAR_MIN_ROWS;
 
 /// An equi-join of two tables.
@@ -52,26 +53,37 @@ impl HashJoin {
         }
     }
 
-    /// The sequential join kernel (the exact pre-parallelism code path).
+    /// The sequential join kernel (the exact pre-parallelism code path),
+    /// partitioning with the process-wide kernel — bit-identical at
+    /// either setting, since the SWAR CRC equals the bit-serial one.
     ///
     /// # Panics
     ///
     /// Panics if named columns are missing or `fanout` is zero.
     pub fn execute_seq(&self, build: &Table, probe: &Table, fanout: u64) -> (Table, u64) {
+        self.execute_seq_with(build, probe, fanout, vector::kernel())
+    }
+
+    /// [`Self::execute_seq`] with an explicit partitioning kernel, for
+    /// differential tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if named columns are missing or `fanout` is zero.
+    pub fn execute_seq_with(
+        &self,
+        build: &Table,
+        probe: &Table,
+        fanout: u64,
+        kernel: Kernel,
+    ) -> (Table, u64) {
         assert!(fanout > 0, "fanout must be positive");
         let bk = build.col_index(&self.build_key);
         let pk = probe.col_index(&self.probe_key);
-        let part_of = |key: i64| (crc32c_u64(key as u64) as u64 % fanout) as usize;
 
         // Partition row ids on both sides.
-        let mut bparts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
-        for r in 0..build.rows() {
-            bparts[part_of(build.columns[bk].data[r])].push(r);
-        }
-        let mut pparts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
-        for r in 0..probe.rows() {
-            pparts[part_of(probe.columns[pk].data[r])].push(r);
-        }
+        let bparts = partition_row_ids_with(&build.columns[bk].data, 0, fanout, kernel);
+        let pparts = partition_row_ids_with(&probe.columns[pk].data, 0, fanout, kernel);
 
         let bcols: Vec<usize> = self.build_cols.iter().map(|c| build.col_index(c)).collect();
         let pcols: Vec<usize> = self.probe_cols.iter().map(|c| probe.col_index(c)).collect();
@@ -171,16 +183,50 @@ impl HashJoin {
     }
 }
 
+/// `fanout`-way CRC32 row-id partitioning of a whole column with the
+/// process-wide kernel (scalar bit-serial CRC or the 4-lane SWAR
+/// stream) — bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if `fanout` is zero.
+pub fn partition_row_ids(keys: &[i64], fanout: u64) -> Vec<Vec<usize>> {
+    partition_row_ids_with(keys, 0, fanout, vector::kernel())
+}
+
+/// [`partition_row_ids`] with an explicit base row id (for chunked
+/// callers partitioning `[base, base + keys.len())` of a larger column)
+/// and kernel choice.
+///
+/// # Panics
+///
+/// Panics if `fanout` is zero.
+pub fn partition_row_ids_with(
+    keys: &[i64],
+    base: usize,
+    fanout: u64,
+    kernel: Kernel,
+) -> Vec<Vec<usize>> {
+    match kernel {
+        Kernel::Swar => vector::partition_row_ids(keys, base, fanout),
+        Kernel::Scalar => {
+            assert!(fanout > 0, "fanout must be positive");
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
+            for (r, &key) in keys.iter().enumerate() {
+                parts[(crc32c_u64(key as u64) as u64 % fanout) as usize].push(base + r);
+            }
+            parts
+        }
+    }
+}
+
 /// `fanout`-way CRC32 row-id partitioning, chunk-parallel on `pool`.
 /// Chunk results concatenate in chunk order, so every partition's row
 /// ids come out ascending — exactly the sequential partitioning.
 fn par_partition(pool: Pool, keys: &[i64], fanout: u64) -> Vec<Vec<usize>> {
+    let kernel = vector::kernel();
     let per_chunk = pool.par_map(chunk_bounds(keys.len(), pool.threads() * 4), |(lo, hi)| {
-        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
-        for (r, &key) in keys.iter().enumerate().take(hi).skip(lo) {
-            parts[(crc32c_u64(key as u64) as u64 % fanout) as usize].push(r);
-        }
-        parts
+        partition_row_ids_with(&keys[lo..hi], lo, fanout, kernel)
     });
     let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
     for chunk in per_chunk {

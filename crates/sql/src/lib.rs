@@ -12,6 +12,9 @@
 //! Every operator executes *functionally* (results are checked against
 //! naive reference implementations) while reporting the byte volumes and
 //! operation counts that the DPU simulator and the Xeon model price.
+//! The host inner loops (filter evaluation, CRC32 partitioning, group-by
+//! probes) run hand-rolled SWAR kernels by default — see [`vector`] and
+//! the `DPU_VECTOR` knob — bit-identical to the scalar reference paths.
 //!
 //! [`tpch`] provides a scaled TPC-H generator and eight queries used by
 //! the Figure 16 reproduction.
@@ -33,6 +36,7 @@ pub mod plan;
 pub mod sort;
 pub mod topk;
 pub mod tpch;
+pub mod vector;
 
 pub use agg::{partitioned_group_by, AggFunc, GroupByPlan, GroupBySpec};
 pub use bitvec::BitVec;
@@ -40,10 +44,11 @@ pub use column::{Column, Table};
 pub use expr::Expr;
 pub use filter::{measure_filter_kernel, CompareOp, FilterSpec};
 pub use hll::{HyperLogLog, RankMethod};
-pub use join::HashJoin;
+pub use join::{partition_row_ids, partition_row_ids_with, HashJoin};
 pub use logical::{
     BaseTable, ColFilter, Finish, JoinEdge, JoinGraph, LogicalOutput, LogicalPlan, Relation, Source,
 };
 pub use plan::{CostAcc, PlatformCost, QueryCost};
 pub use sort::{sample_bounds, sort_indices};
 pub use topk::top_k;
+pub use vector::{kernel as vector_kernel, set_kernel as set_vector_kernel, Kernel};
