@@ -10,9 +10,13 @@
 //! 3. 8-node `Cluster::run_all` (shard fan-out + single-node references),
 //! 4. the `rack_tpch` failover matrix (replication × kill patterns), one
 //!    O(1) `Cluster` fork per cell from shared per-k cores,
-//! 5. the SWAR kernels (`DPU_VECTOR`): scalar vs vector filter,
-//!    CRC32 partition, and single-key group-by inner loops, single-
-//!    threaded so the comparison isolates the kernel itself.
+//! 5. the SWAR kernels (`DPU_VECTOR`): scalar vs vector filter, CRC32
+//!    partition (table and, where SSE4.2 exists, hardware CRC),
+//!    single- and multi-key group-by, threshold-prefiltered top-k,
+//!    word-key sort, and lane-batched expression evaluation, single-
+//!    threaded so the comparison isolates the kernel itself. The
+//!    expression row is informational (the scalar arm is already
+//!    columnar) and carries no speedup floor.
 //!
 //! The 1-thread runs pin the pool to one worker, which takes the exact
 //! pre-pool sequential code paths, and every parallel result is asserted
@@ -37,10 +41,12 @@ use dpu_cluster::{
     Cluster, ClusterConfig, ClusterCore, ClusterQueryCost, FaultPlan, QueryError, QueryId,
     QueryOutput, ShardPolicy, SingleRefCache,
 };
+use dpu_isa::hash::hw_crc_available;
 use dpu_pool::{set_global_threads, Pool};
 use dpu_sql::tpch::{self, TpchDb};
 use dpu_sql::{
-    partition_row_ids_with, AggFunc, Column, CompareOp, FilterSpec, GroupBySpec, Kernel, Table,
+    partition_row_ids_with, sort_indices_multi_with, top_k_with, AggFunc, Column, CompareOp, Expr,
+    FilterSpec, GroupBySpec, Kernel, Table,
 };
 
 const SEED: u64 = 2026;
@@ -229,13 +235,26 @@ fn main() {
     };
     let keys: Vec<i64> = (0..kernel_rows).map(|_| (splitmix() % 65_536) as i64 - 32_768).collect();
     let vals: Vec<i64> = (0..kernel_rows).map(|_| (splitmix() % 1_000_000) as i64).collect();
-    let kt = Table::new(vec![Column::i64("k", keys.clone()), Column::i64("v", vals)]);
+    // Extra columns for the multi-key and sort kernels, drawn *after*
+    // keys/vals so the established streams stay seed-stable.
+    let g2: Vec<i64> = (0..kernel_rows).map(|_| (splitmix() % 256) as i64).collect();
+    let s2: Vec<i64> = (0..kernel_rows).map(|_| (splitmix() % 1024) as i64 - 512).collect();
+    let kt = Table::new(vec![Column::i64("k", keys.clone()), Column::i64("v", vals.clone())]);
+    let mt = Table::new(vec![
+        Column::i64("s1", keys.iter().map(|&k| k.rem_euclid(256)).collect()),
+        Column::i64("g2", g2),
+        Column::i64("s2", s2),
+        Column::i64("v", vals),
+    ]);
 
     println!();
     header(&["kernel", "scalar (s)", "vector (s)", "speedup", "Mrows/s", "bit-identical"]);
     let mut kernels_json: Vec<Json> = Vec::new();
     let mut kernel_speedups: Vec<(&'static str, f64)> = Vec::new();
-    let mut kernel_row = |name: &'static str, scalar_s: f64, vector_s: f64| {
+    // `floored`: whether this kernel participates in the ≥1.3× speedup
+    // assertion. Informational rows (where the scalar arm is already
+    // columnar) report but never gate.
+    let mut kernel_row = |name: &'static str, scalar_s: f64, vector_s: f64, floored: bool| {
         let speedup = scalar_s / vector_s;
         let mrows = kernel_rows as f64 / vector_s / 1e6;
         row(&[
@@ -253,19 +272,30 @@ fn main() {
             ("scalar_mrows_s", Json::num(kernel_rows as f64 / scalar_s / 1e6)),
             ("vector_mrows_s", Json::num(mrows)),
         ]));
-        kernel_speedups.push((name, speedup));
+        if floored {
+            kernel_speedups.push((name, speedup));
+        }
     };
 
     let fspec = FilterSpec::new("v", CompareOp::Between(100_000, 700_000));
     let (f_scalar_s, f_scalar) = best_of(|| fspec.apply_with(&kt, Kernel::Scalar));
     let (f_vector_s, f_vector) = best_of(|| fspec.apply_with(&kt, Kernel::Swar));
     assert_eq!(f_scalar, f_vector, "SWAR filter diverged from scalar");
-    kernel_row("filter", f_scalar_s, f_vector_s);
+    kernel_row("filter", f_scalar_s, f_vector_s, true);
 
     let (p_scalar_s, p_scalar) = best_of(|| partition_row_ids_with(&keys, 0, 32, Kernel::Scalar));
     let (p_vector_s, p_vector) = best_of(|| partition_row_ids_with(&keys, 0, 32, Kernel::Swar));
     assert_eq!(p_scalar, p_vector, "SWAR partition diverged from scalar");
-    kernel_row("partition", p_scalar_s, p_vector_s);
+    kernel_row("partition", p_scalar_s, p_vector_s, true);
+
+    if hw_crc_available() {
+        let (h_vector_s, h_vector) =
+            best_of(|| partition_row_ids_with(&keys, 0, 32, Kernel::HwCrc));
+        assert_eq!(p_scalar, h_vector, "hardware-CRC partition diverged from scalar");
+        kernel_row("partition_hwcrc", p_scalar_s, h_vector_s, true);
+    } else {
+        println!("  (partition_hwcrc skipped: host lacks SSE4.2)");
+    }
 
     let gspec = GroupBySpec {
         group_cols: vec!["k".into()],
@@ -278,7 +308,48 @@ fn main() {
     let (a_scalar_s, a_scalar) = best_of(|| gspec.execute_seq(&kt, None));
     let (a_vector_s, a_vector) = best_of(|| gspec.execute_vector(&kt, None));
     assert_eq!(a_scalar, a_vector, "SWAR group-by diverged from scalar");
-    kernel_row("agg", a_scalar_s, a_vector_s);
+    kernel_row("agg", a_scalar_s, a_vector_s, true);
+
+    // Multi-key group-by: two-column composite keys (≤65 536 groups)
+    // through the flattened wide-CRC probe.
+    let mspec = GroupBySpec {
+        group_cols: vec!["s1".into(), "g2".into()],
+        aggs: vec![
+            ("cnt".into(), AggFunc::Count),
+            ("s".into(), AggFunc::Sum("v".into())),
+            ("hi".into(), AggFunc::Max("v".into())),
+        ],
+    };
+    let (m_scalar_s, m_scalar) = best_of(|| mspec.execute_seq(&mt, None));
+    let (m_vector_s, m_vector) = best_of(|| mspec.execute_vector(&mt, None));
+    assert_eq!(m_scalar, m_vector, "SWAR multi-key group-by diverged from scalar");
+    kernel_row("groupby_multi", m_scalar_s, m_vector_s, true);
+
+    // Top-k: the threshold pre-filter rejects whole 64-row blocks once
+    // the heap fills (k=100 over 2M uniform rows ⇒ almost all of them).
+    let (t_scalar_s, t_scalar) = best_of(|| top_k_with(&kt, "v", 100, 1, None, Kernel::Scalar));
+    let (t_vector_s, t_vector) = best_of(|| top_k_with(&kt, "v", 100, 1, None, Kernel::Swar));
+    assert_eq!(t_scalar, t_vector, "SWAR top-k diverged from scalar");
+    kernel_row("topk", t_scalar_s, t_vector_s, true);
+
+    // Sort-key extraction: duplicate-heavy two-column sort where the
+    // scalar arm runs a per-row column-by-column comparator and the
+    // vector arm compares materialized order-normalized words.
+    let (s_scalar_s, s_scalar) =
+        best_of(|| sort_indices_multi_with(&mt, &["s1", "s2"], 1, None, Kernel::Scalar));
+    let (s_vector_s, s_vector) =
+        best_of(|| sort_indices_multi_with(&mt, &["s1", "s2"], 1, None, Kernel::Swar));
+    assert_eq!(s_scalar, s_vector, "SWAR sort diverged from scalar");
+    kernel_row("sortkey", s_scalar_s, s_vector_s, true);
+
+    // Expression evaluation: the TPC-H revenue shape. Informational —
+    // the scalar arm is already columnar, so no floor is armed.
+    let revenue =
+        Expr::col("v") * (Expr::lit(100) - Expr::col("s1")) * (Expr::lit(100) + Expr::col("g2"));
+    let (e_scalar_s, e_scalar) = best_of(|| revenue.eval_with(&mt, Kernel::Scalar));
+    let (e_vector_s, e_vector) = best_of(|| revenue.eval_with(&mt, Kernel::Swar));
+    assert_eq!(e_scalar, e_vector, "SWAR expression eval diverged from scalar");
+    kernel_row("expr", e_scalar_s, e_vector_s, false);
 
     // ── Criterion throughput report (elements/s) ──────────────────────
     // The stand-in criterion's `Throughput` prints a rate next to

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use dpu_isa::hash::{crc32c_u64, crc32c_u64_table, crc32c_u64_x4};
+use dpu_isa::hash::crc32c_u64;
 use dpu_pool::{chunk_bounds, in_worker, Pool};
 
 use crate::bitvec::BitVec;
@@ -100,7 +100,7 @@ impl GroupBySpec {
             && table.rows() >= PAR_MIN_ROWS
         {
             self.execute_on(pool, table, sel)
-        } else if vector::kernel() == Kernel::Swar && self.group_cols.len() == 1 {
+        } else if vector::kernel().vectorized() && !self.group_cols.is_empty() {
             self.execute_vector(table, sel)
         } else {
             self.execute_seq(table, sel)
@@ -147,34 +147,56 @@ impl GroupBySpec {
         Table::new(out_cols)
     }
 
-    /// The SWAR group-by kernel for a single grouping column: selected
-    /// rows stream in ascending order (selection consumed a word at a
-    /// time) through lane-batched key hashing — four keys per
-    /// table-driven CRC batch — into an open-addressed accumulator
-    /// table with branch-free min/max/sum updates; the collected groups
-    /// sort by key. Per-group accumulation visits rows in the same
-    /// ascending order as [`Self::execute_seq`], so the result is
-    /// bit-identical.
+    vector::kernel_entry! {
+        /// The SWAR group-by kernel ([`Self::execute_vector_with`]) on
+        /// the process-wide kernel's CRC engine.
+        ///
+        /// # Panics
+        ///
+        /// Panics if a named column is missing, the selection length
+        /// mismatches, or there are no group columns.
+        pub fn execute_vector(&self, table: &Table, sel: Option<&BitVec>) -> Table
+            => |kernel| self.execute_vector_with(table, sel, kernel)
+    }
+
+    /// The SWAR group-by kernel for any number of grouping columns:
+    /// selected rows stream in ascending order (selection consumed a
+    /// word at a time) through lane-batched key hashing — four keys per
+    /// CRC batch, composite keys flattened into contiguous `u64` words —
+    /// into an open-addressed accumulator table with branch-free
+    /// min/max/sum updates; the collected groups sort by full key.
+    /// Per-group accumulation visits rows in the same ascending order as
+    /// [`Self::execute_seq`], so the result is bit-identical. `kernel`
+    /// selects the CRC engine (every arm hashes identically).
     ///
     /// # Panics
     ///
     /// Panics if a named column is missing, the selection length
-    /// mismatches, or there is not exactly one group column.
-    pub fn execute_vector(&self, table: &Table, sel: Option<&BitVec>) -> Table {
+    /// mismatches, or there are no group columns.
+    pub fn execute_vector_with(
+        &self,
+        table: &Table,
+        sel: Option<&BitVec>,
+        kernel: Kernel,
+    ) -> Table {
         if let Some(bv) = sel {
             assert_eq!(bv.len(), table.rows(), "selection length mismatch");
         }
-        assert_eq!(self.group_cols.len(), 1, "vector group-by needs exactly one key column");
-        let key_col = table.col_index(&self.group_cols[0]);
+        assert!(!self.group_cols.is_empty(), "vector group-by needs a key column");
+        let key_idx: Vec<usize> = self.group_cols.iter().map(|c| table.col_index(c)).collect();
         let rows: Vec<usize> = match sel {
             Some(bv) => bv.iter_set().collect(),
             None => (0..table.rows()).collect(),
         };
-        let mut pairs = self.aggregate_swar(table, &rows, key_col);
-        pairs.sort_unstable_by_key(|&(k, _)| k);
+        let mut pairs = self.aggregate_swar(table, &rows, &key_idx, kernel);
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
 
-        let mut out_cols: Vec<Column> =
-            vec![Column::i64(&self.group_cols[0], pairs.iter().map(|&(k, _)| k).collect())];
+        let mut out_cols: Vec<Column> = self
+            .group_cols
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Column::i64(name, pairs.iter().map(|(k, _)| k[i]).collect()))
+            .collect();
         for (si, (name, _)) in self.aggs.iter().enumerate() {
             out_cols.push(Column::i64(name, pairs.iter().map(|(_, g)| g[si]).collect()));
         }
@@ -182,71 +204,125 @@ impl GroupBySpec {
     }
 
     /// The open-addressed probe/accumulate loop shared by
-    /// [`Self::execute_vector`] and the parallel leaf tasks: returns
-    /// unsorted `(key, state)` pairs in first-seen order. Capacity is
-    /// fixed at `2 × rows` rounded up to a power of two, so the table
-    /// never rehashes and stays at most half full.
+    /// [`Self::execute_vector_with`] and the parallel leaf tasks:
+    /// returns unsorted `(key, state)` pairs in first-seen order.
+    /// Capacity is fixed at `2 × rows` rounded up to a power of two, so
+    /// the table never rehashes and stays at most half full. Single-key
+    /// specs hash the column values directly; wider specs pack each
+    /// row's key tuple into a contiguous `u64`-word region and hash the
+    /// flattened words — both through four CRC lanes on `kernel`'s
+    /// engine.
     fn aggregate_swar(
         &self,
         table: &Table,
         rows: &[usize],
-        key_col: usize,
-    ) -> Vec<(i64, Vec<i64>)> {
+        key_idx: &[usize],
+        kernel: Kernel,
+    ) -> Vec<(Vec<i64>, Vec<i64>)> {
         assert!(rows.len() < u32::MAX as usize, "row count exceeds the u32 slot encoding");
         let init = self.state_init();
         let agg_cols = self.agg_col_indices(table);
         let stride = self.aggs.len();
-        let kd = &table.columns[key_col].data;
+        let width = key_idx.len();
 
         let cap = (rows.len() * 2).next_power_of_two().max(16);
         let mut groups = SwarGroups {
             mask: cap - 1,
             // Slot 0 = empty, else group index + 1 (dense, first-seen).
             slots: vec![0u32; cap],
+            width,
             keys: Vec::new(),
             states: Vec::new(),
         };
 
-        let mut quads = rows.chunks_exact(4);
-        for quad in &mut quads {
-            // Lane-batched hashing: four independent CRC streams per batch.
-            let h = crc32c_u64_x4([
-                kd[quad[0]] as u64,
-                kd[quad[1]] as u64,
-                kd[quad[2]] as u64,
-                kd[quad[3]] as u64,
-            ]);
-            for (j, &row) in quad.iter().enumerate() {
-                let g = groups.group_of(kd[row], h[j], &init);
+        if width == 1 {
+            let kd = &table.columns[key_idx[0]].data;
+            let mut quads = rows.chunks_exact(4);
+            for quad in &mut quads {
+                // Lane-batched hashing: four independent CRC streams.
+                let h = vector::hash_x4(
+                    kernel,
+                    [
+                        kd[quad[0]] as u64,
+                        kd[quad[1]] as u64,
+                        kd[quad[2]] as u64,
+                        kd[quad[3]] as u64,
+                    ],
+                );
+                for (j, &row) in quad.iter().enumerate() {
+                    let g = groups.group_of(&[kd[row] as u64], h[j], &init);
+                    let state = &mut groups.states[g * stride..][..stride];
+                    self.accumulate(table, row, &agg_cols, state);
+                }
+            }
+            for &row in quads.remainder() {
+                let g = groups.group_of(
+                    &[kd[row] as u64],
+                    vector::hash1(kernel, kd[row] as u64),
+                    &init,
+                );
+                self.accumulate(table, row, &agg_cols, &mut groups.states[g * stride..][..stride]);
+            }
+        } else {
+            // Flattened composite-key encoding: row j's key tuple packs
+            // into flat[j*width .. (j+1)*width], hashed as one wide key.
+            let mut flat = vec![0u64; rows.len() * width];
+            for (c, &ki) in key_idx.iter().enumerate() {
+                let kd = &table.columns[ki].data;
+                for (j, &row) in rows.iter().enumerate() {
+                    flat[j * width + c] = kd[row] as u64;
+                }
+            }
+            let mut quads = rows.chunks_exact(4);
+            for (q, quad) in (&mut quads).enumerate() {
+                let b = q * 4 * width;
+                let h = vector::hash_wide_x4(
+                    kernel,
+                    [
+                        &flat[b..b + width],
+                        &flat[b + width..b + 2 * width],
+                        &flat[b + 2 * width..b + 3 * width],
+                        &flat[b + 3 * width..b + 4 * width],
+                    ],
+                );
+                for (j, &row) in quad.iter().enumerate() {
+                    let key = &flat[(q * 4 + j) * width..][..width];
+                    let g = groups.group_of(key, h[j], &init);
+                    let state = &mut groups.states[g * stride..][..stride];
+                    self.accumulate(table, row, &agg_cols, state);
+                }
+            }
+            let tail_base = rows.len() - quads.remainder().len();
+            for (j, &row) in quads.remainder().iter().enumerate() {
+                let key = &flat[(tail_base + j) * width..][..width];
+                let g = groups.group_of(key, vector::hash_wide(kernel, key), &init);
                 self.accumulate(table, row, &agg_cols, &mut groups.states[g * stride..][..stride]);
             }
         }
-        for &row in quads.remainder() {
-            let g = groups.group_of(kd[row], crc32c_u64_table(kd[row] as u64), &init);
-            self.accumulate(table, row, &agg_cols, &mut groups.states[g * stride..][..stride]);
-        }
 
-        groups
-            .keys
-            .iter()
-            .enumerate()
-            .map(|(g, &k)| (k, groups.states[g * stride..g * stride + stride].to_vec()))
+        (0..groups.keys.len() / width)
+            .map(|g| {
+                let key = groups.keys[g * width..(g + 1) * width].iter().map(|&w| w as i64);
+                (key.collect(), groups.states[g * stride..g * stride + stride].to_vec())
+            })
             .collect()
     }
 
-    /// The pool-parallel group-by kernel: selected rows partition by
-    /// CRC32 of the *first* key column (a group's rows all share it, so
-    /// partitions hold disjoint groups), each partition aggregates
-    /// independently, and the merged pairs sort by full key — exactly
-    /// the key-sorted table [`Self::execute_seq`] produces. Leaf
-    /// aggregation runs the process-wide kernel (`DPU_VECTOR`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a named column is missing, the selection length
-    /// mismatches, or there are no group columns.
-    pub fn execute_on(&self, pool: Pool, table: &Table, sel: Option<&BitVec>) -> Table {
-        self.execute_on_with(pool, table, sel, vector::kernel())
+    vector::kernel_entry! {
+        /// The pool-parallel group-by kernel: selected rows partition by
+        /// CRC32 of the *first* key column (a group's rows all share it,
+        /// so partitions hold disjoint groups), each partition
+        /// aggregates independently, and the merged pairs sort by full
+        /// key — exactly the key-sorted table [`Self::execute_seq`]
+        /// produces. Leaf aggregation runs the process-wide kernel
+        /// (`DPU_VECTOR`).
+        ///
+        /// # Panics
+        ///
+        /// Panics if a named column is missing, the selection length
+        /// mismatches, or there are no group columns.
+        pub fn execute_on(&self, pool: Pool, table: &Table, sel: Option<&BitVec>) -> Table
+            => |kernel| self.execute_on_with(pool, table, sel, kernel)
     }
 
     /// [`Self::execute_on`] with an explicit kernel for the hash and
@@ -270,20 +346,20 @@ impl GroupBySpec {
         let first = *key_idx.first().expect("parallel group-by needs a key column");
         let init = self.state_init();
         let agg_cols = self.agg_col_indices(table);
-        // Same CRC32-C values either way; the table-driven path is the
-        // SWAR fast variant, the bit-serial one the scalar reference.
-        let hash_of: fn(u64) -> u32 =
-            if kernel == Kernel::Swar { crc32c_u64_table } else { crc32c_u64 };
 
-        // Chunk-parallel partitioning of the selected row ids.
+        // Chunk-parallel partitioning of the selected row ids; the
+        // selection is consumed a word at a time, never via per-row
+        // bit reads.
         let parts_n = (pool.threads() * 4).max(2);
         let per_chunk = pool.par_map(chunk_bounds(table.rows(), pool.threads() * 4), |(lo, hi)| {
             let mut parts: Vec<Vec<usize>> = vec![Vec::new(); parts_n];
-            for row in lo..hi {
-                if sel.is_none_or(|bv| bv.get(row)) {
-                    let k = table.columns[first].data[row];
-                    parts[(hash_of(k as u64) as usize) % parts_n].push(row);
-                }
+            let kd = &table.columns[first].data;
+            let mut route = |row: usize| {
+                parts[(vector::hash1(kernel, kd[row] as u64) as usize) % parts_n].push(row);
+            };
+            match sel {
+                Some(bv) => bv.iter_set_in(lo, hi).for_each(&mut route),
+                None => (lo..hi).for_each(&mut route),
             }
             parts
         });
@@ -296,15 +372,10 @@ impl GroupBySpec {
 
         // Disjoint groups per partition: aggregate independently, then
         // one global key sort reproduces the sequential output order.
-        let single_key_swar = kernel == Kernel::Swar && key_idx.len() == 1;
         let mut pairs: Vec<(Vec<i64>, Vec<i64>)> = pool
             .par_map(parts, |rows| {
-                if single_key_swar {
-                    return self
-                        .aggregate_swar(table, &rows, first)
-                        .into_iter()
-                        .map(|(k, s)| (vec![k], s))
-                        .collect::<Vec<_>>();
+                if kernel.vectorized() {
+                    return self.aggregate_swar(table, &rows, &key_idx, kernel);
                 }
                 let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
                 for row in rows {
@@ -382,31 +453,36 @@ impl GroupBySpec {
 
 /// Open-addressed group table for the SWAR probe loop: linear probing
 /// over power-of-two slots, groups stored densely in first-seen order
-/// with flattened accumulator states. Never grows (callers size it at
-/// twice the row count), so probes always terminate on an empty slot.
+/// with flattened keys (`width` bit-cast `u64` words per group) and
+/// flattened accumulator states. Never grows (callers size it at twice
+/// the row count), so probes always terminate on an empty slot.
 struct SwarGroups {
     mask: usize,
     slots: Vec<u32>,
-    keys: Vec<i64>,
+    width: usize,
+    keys: Vec<u64>,
     states: Vec<i64>,
 }
 
 impl SwarGroups {
-    /// Dense index of `key`'s group, inserting a fresh `init` state on
-    /// first sight.
+    /// Dense index of `key`'s group (a `width`-word flattened tuple),
+    /// inserting a fresh `init` state on first sight.
     #[inline]
-    fn group_of(&mut self, key: i64, hash: u32, init: &[i64]) -> usize {
+    fn group_of(&mut self, key: &[u64], hash: u32, init: &[i64]) -> usize {
+        let w = self.width;
         let mut i = hash as usize & self.mask;
         loop {
             let s = self.slots[i];
             if s == 0 {
-                self.keys.push(key);
+                self.keys.extend_from_slice(key);
                 self.states.extend_from_slice(init);
-                self.slots[i] = self.keys.len() as u32;
-                return self.keys.len() - 1;
+                let g = self.keys.len() / w - 1;
+                self.slots[i] = (g + 1) as u32;
+                return g;
             }
-            if self.keys[s as usize - 1] == key {
-                return s as usize - 1;
+            let g = s as usize - 1;
+            if &self.keys[g * w..g * w + w] == key {
+                return g;
             }
             i = (i + 1) & self.mask;
         }

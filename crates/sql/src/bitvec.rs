@@ -128,6 +128,40 @@ impl BitVec {
         })
     }
 
+    /// Iterator over set bit indices within `[lo, hi)`, ascending —
+    /// word-driven like [`Self::iter_set`] (the first and last partial
+    /// words are masked once; no per-row `get` calls), so chunked
+    /// consumers of filter output pay per set bit, not per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= len`.
+    pub fn iter_set_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(lo <= hi && hi <= self.len, "range [{lo}, {hi}) out of bounds");
+        let (wlo, whi) = (lo / 64, hi.div_ceil(64));
+        self.words[wlo..whi].iter().enumerate().flat_map(move |(i, &w)| {
+            let wi = wlo + i;
+            let mut w = w;
+            if wi * 64 < lo {
+                w &= !0u64 << (lo - wi * 64);
+            }
+            if (wi + 1) * 64 > hi {
+                // hi > wi*64 (the word overlaps the range), so the
+                // shift distance stays in 1..=63 ... unless hi == wi*64,
+                // excluded by whi = ceil(hi / 64).
+                w &= !0u64 >> ((wi + 1) * 64 - hi);
+            }
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
     /// Bitwise AND of two equal-length vectors.
     ///
     /// # Panics
@@ -177,6 +211,25 @@ mod tests {
         let got: Vec<usize> = bv.iter_set().collect();
         let want: Vec<usize> = (0..200).filter(|i| i % 7 == 0).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_iteration_matches_filtered_full_iteration() {
+        let bv = BitVec::from_fn(300, |i| i % 3 == 0 || i % 7 == 0);
+        for (lo, hi) in
+            [(0, 300), (0, 0), (300, 300), (5, 5), (0, 64), (63, 65), (64, 128), (1, 299), (70, 71)]
+        {
+            let got: Vec<usize> = bv.iter_set_in(lo, hi).collect();
+            let want: Vec<usize> = bv.iter_set().filter(|&i| (lo..hi).contains(&i)).collect();
+            assert_eq!(got, want, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_iteration_rejects_backwards_ranges() {
+        let bv = BitVec::new(10);
+        let _ = bv.iter_set_in(5, 4);
     }
 
     #[test]

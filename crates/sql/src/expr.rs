@@ -10,6 +10,7 @@
 use dpu_isa::OpCounts;
 
 use crate::column::Table;
+use crate::vector::{self, Kernel};
 
 /// A scalar expression over a table's columns.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,25 +45,91 @@ impl Expr {
         Expr::Lit(v)
     }
 
-    /// Evaluates over every row, columnar style.
+    vector::kernel_entry! {
+        /// Evaluates over every row, columnar style, on the process-wide
+        /// kernel (`DPU_VECTOR`): the reference per-row zip loop or the
+        /// SWAR lane arithmetic — bit-identical (both wrap, and both
+        /// trip the same division-by-zero assert at the same first row).
+        ///
+        /// # Panics
+        ///
+        /// Panics on missing columns or division by zero.
+        pub fn eval(&self, table: &Table) -> Vec<i64> => |kernel| self.eval_with(table, kernel)
+    }
+
+    /// [`eval`](Expr::eval) with an explicit kernel choice, for
+    /// differential tests and benches.
     ///
     /// # Panics
     ///
     /// Panics on missing columns or division by zero.
-    pub fn eval(&self, table: &Table) -> Vec<i64> {
+    pub fn eval_with(&self, table: &Table, kernel: Kernel) -> Vec<i64> {
+        if kernel.vectorized() {
+            self.eval_vector(table)
+        } else {
+            self.eval_scalar(table)
+        }
+    }
+
+    /// The reference per-row evaluator.
+    fn eval_scalar(&self, table: &Table) -> Vec<i64> {
         let rows = table.rows();
         match self {
             Expr::Col(name) => table.columns[table.col_index(name)].data.clone(),
             Expr::Lit(v) => vec![*v; rows],
-            Expr::Add(a, b) => zip(a.eval(table), b.eval(table), |x, y| x.wrapping_add(y)),
-            Expr::Sub(a, b) => zip(a.eval(table), b.eval(table), |x, y| x.wrapping_sub(y)),
-            Expr::Mul(a, b) => zip(a.eval(table), b.eval(table), |x, y| x.wrapping_mul(y)),
-            Expr::Div(a, b) => zip(a.eval(table), b.eval(table), |x, y| {
+            Expr::Add(a, b) => {
+                zip(a.eval_scalar(table), b.eval_scalar(table), |x, y| x.wrapping_add(y))
+            }
+            Expr::Sub(a, b) => {
+                zip(a.eval_scalar(table), b.eval_scalar(table), |x, y| x.wrapping_sub(y))
+            }
+            Expr::Mul(a, b) => {
+                zip(a.eval_scalar(table), b.eval_scalar(table), |x, y| x.wrapping_mul(y))
+            }
+            Expr::Div(a, b) => zip(a.eval_scalar(table), b.eval_scalar(table), |x, y| {
                 assert!(y != 0, "expression division by zero");
                 x / y
             }),
             Expr::Clamp(a, lo, hi) => {
-                a.eval(table).into_iter().map(|v| v.clamp(*lo, *hi)).collect()
+                a.eval_scalar(table).into_iter().map(|v| v.clamp(*lo, *hi)).collect()
+            }
+        }
+    }
+
+    /// The SWAR evaluator: each binary node materializes its operands
+    /// and combines them in place with quad-unrolled lane ops
+    /// ([`vector::add_lanes`] and friends) instead of a fresh allocation
+    /// per node. Wrapping semantics, clamp bounds, and the per-row
+    /// division assert match the scalar arm exactly.
+    fn eval_vector(&self, table: &Table) -> Vec<i64> {
+        let rows = table.rows();
+        match self {
+            Expr::Col(name) => table.columns[table.col_index(name)].data.clone(),
+            Expr::Lit(v) => vec![*v; rows],
+            Expr::Add(a, b) => {
+                let mut x = a.eval_vector(table);
+                vector::add_lanes(&mut x, &b.eval_vector(table));
+                x
+            }
+            Expr::Sub(a, b) => {
+                let mut x = a.eval_vector(table);
+                vector::sub_lanes(&mut x, &b.eval_vector(table));
+                x
+            }
+            Expr::Mul(a, b) => {
+                let mut x = a.eval_vector(table);
+                vector::mul_lanes(&mut x, &b.eval_vector(table));
+                x
+            }
+            Expr::Div(a, b) => {
+                let mut x = a.eval_vector(table);
+                vector::div_lanes(&mut x, &b.eval_vector(table));
+                x
+            }
+            Expr::Clamp(a, lo, hi) => {
+                let mut x = a.eval_vector(table);
+                vector::clamp_lanes(&mut x, *lo, *hi);
+                x
             }
         }
     }
@@ -214,6 +281,29 @@ mod tests {
     fn columns_read_deduplicates() {
         let e = (Expr::col("price") + Expr::col("price")) * Expr::col("disc");
         assert_eq!(e.columns_read(), vec!["disc".to_string(), "price".to_string()]);
+    }
+
+    #[test]
+    fn kernels_agree_including_overflow_wrap() {
+        let t = Table::new(vec![
+            Column::i64("a", vec![i64::MAX, i64::MIN, 7, -3]),
+            Column::i64("b", vec![2, -1, i64::MAX, 5]),
+        ]);
+        let e = Expr::Clamp(
+            Box::new(
+                (Expr::col("a") * Expr::col("b") + Expr::col("a") - Expr::col("b"))
+                    / (Expr::lit(3)),
+            ),
+            -1_000_000,
+            1_000_000,
+        );
+        assert_eq!(e.eval_with(&t, Kernel::Scalar), e.eval_with(&t, Kernel::Swar));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn vector_division_by_zero_panics_too() {
+        (Expr::col("price") / Expr::col("tax")).eval_with(&t(), Kernel::Swar);
     }
 
     #[test]

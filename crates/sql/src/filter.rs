@@ -67,26 +67,25 @@ impl FilterSpec {
         FilterSpec { column: column.to_string(), op }
     }
 
-    /// Applies the filter to a table, producing a selection vector
-    /// (reference semantics; the timed path runs on the DPU models).
-    /// Runs the process-wide kernel ([`vector::kernel`], `DPU_VECTOR`):
-    /// the scalar per-row loop or the SWAR 64-rows-per-word kernel —
-    /// bit-identical either way.
-    pub fn apply(&self, table: &Table) -> BitVec {
-        self.apply_with(table, vector::kernel())
+    vector::kernel_entry! {
+        /// Applies the filter to a table, producing a selection vector
+        /// (reference semantics; the timed path runs on the DPU models).
+        /// Runs the process-wide kernel ([`vector::kernel`],
+        /// `DPU_VECTOR`): the scalar per-row loop or the SWAR
+        /// 64-rows-per-word kernel — bit-identical either way.
+        pub fn apply(&self, table: &Table) -> BitVec => |kernel| self.apply_with(table, kernel)
     }
 
     /// Applies the filter with an explicit kernel choice (differential
-    /// tests and benches compare both arms in one process).
+    /// tests and benches compare the arms in one process).
     pub fn apply_with(&self, table: &Table, kernel: Kernel) -> BitVec {
         let col =
             table.column(&self.column).unwrap_or_else(|| panic!("no column {:?}", self.column));
-        match kernel {
-            Kernel::Scalar => BitVec::from_fn(col.data.len(), |i| self.op.matches(col.data[i])),
-            Kernel::Swar => {
-                let (lo, hi) = self.op.band();
-                vector::filter_band(&col.data, lo, hi)
-            }
+        if kernel.vectorized() {
+            let (lo, hi) = self.op.band();
+            vector::filter_band(&col.data, lo, hi)
+        } else {
+            BitVec::from_fn(col.data.len(), |i| self.op.matches(col.data[i]))
         }
     }
 }

@@ -53,15 +53,17 @@ impl HashJoin {
         }
     }
 
-    /// The sequential join kernel (the exact pre-parallelism code path),
-    /// partitioning with the process-wide kernel — bit-identical at
-    /// either setting, since the SWAR CRC equals the bit-serial one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if named columns are missing or `fanout` is zero.
-    pub fn execute_seq(&self, build: &Table, probe: &Table, fanout: u64) -> (Table, u64) {
-        self.execute_seq_with(build, probe, fanout, vector::kernel())
+    vector::kernel_entry! {
+        /// The sequential join kernel (the exact pre-parallelism code
+        /// path), partitioning with the process-wide kernel —
+        /// bit-identical at any setting, since every CRC arm computes
+        /// the same CRC32-C.
+        ///
+        /// # Panics
+        ///
+        /// Panics if named columns are missing or `fanout` is zero.
+        pub fn execute_seq(&self, build: &Table, probe: &Table, fanout: u64) -> (Table, u64)
+            => |kernel| self.execute_seq_with(build, probe, fanout, kernel)
     }
 
     /// [`Self::execute_seq`] with an explicit partitioning kernel, for
@@ -183,15 +185,17 @@ impl HashJoin {
     }
 }
 
-/// `fanout`-way CRC32 row-id partitioning of a whole column with the
-/// process-wide kernel (scalar bit-serial CRC or the 4-lane SWAR
-/// stream) — bit-identical either way.
-///
-/// # Panics
-///
-/// Panics if `fanout` is zero.
-pub fn partition_row_ids(keys: &[i64], fanout: u64) -> Vec<Vec<usize>> {
-    partition_row_ids_with(keys, 0, fanout, vector::kernel())
+vector::kernel_entry! {
+    /// `fanout`-way CRC32 row-id partitioning of a whole column with the
+    /// process-wide kernel (scalar bit-serial CRC, the 4-lane SWAR
+    /// table stream, or the SSE4.2 hardware stream) — bit-identical in
+    /// every case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn partition_row_ids(keys: &[i64], fanout: u64) -> Vec<Vec<usize>>
+        => |kernel| partition_row_ids_with(keys, 0, fanout, kernel)
 }
 
 /// [`partition_row_ids`] with an explicit base row id (for chunked
@@ -208,7 +212,7 @@ pub fn partition_row_ids_with(
     kernel: Kernel,
 ) -> Vec<Vec<usize>> {
     match kernel {
-        Kernel::Swar => vector::partition_row_ids(keys, base, fanout),
+        Kernel::Swar | Kernel::HwCrc => vector::partition_row_ids(keys, base, fanout, kernel),
         Kernel::Scalar => {
             assert!(fanout > 0, "fanout must be positive");
             let mut parts: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];

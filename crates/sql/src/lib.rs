@@ -49,6 +49,8 @@ pub use logical::{
     BaseTable, ColFilter, Finish, JoinEdge, JoinGraph, LogicalOutput, LogicalPlan, Relation, Source,
 };
 pub use plan::{CostAcc, PlatformCost, QueryCost};
-pub use sort::{sample_bounds, sort_indices};
-pub use topk::top_k;
+pub use sort::{
+    sample_bounds, sort_indices, sort_indices_multi, sort_indices_multi_with, sort_indices_with,
+};
+pub use topk::{top_k, top_k_with};
 pub use vector::{kernel as vector_kernel, set_kernel as set_vector_kernel, Kernel};

@@ -8,7 +8,7 @@
 //! stable Rust, no `std::simd` — behind the existing `execute` entry
 //! points.
 //!
-//! Three kernels, mirroring the paper's primitives:
+//! The kernels, mirroring the paper's primitives:
 //!
 //! 1. **Filter** ([`filter_band`]): predicate evaluation emits whole
 //!    [`BitVec`] words 64 rows at a time. Four interleaved lane
@@ -17,25 +17,41 @@
 //!    compare-and-mask (`setcc`) — the host analogue of FILT shifting
 //!    bits into its accumulator.
 //! 2. **Partition** ([`partition_row_ids`]): CRC32-C row-id
-//!    partitioning using the table-driven 4-lane
-//!    [`dpu_isa::hash::crc32c_u64_x4`] — four independent CRC streams
-//!    in flight, the stream-split trick hardware CRC units use.
+//!    partitioning with four independent CRC streams in flight — the
+//!    stream-split trick hardware CRC units use — table-driven on the
+//!    SWAR arm, `crc32q` on the hardware arm.
 //! 3. **Group-by probe** ([`crate::agg::GroupBySpec::execute_vector`]):
-//!    lane-batched key hashing (4 keys per CRC batch) feeding an
-//!    open-addressed, allocation-free accumulator table with
-//!    branch-free min/max/sum updates.
+//!    lane-batched key hashing (4 keys per CRC batch, composite keys
+//!    flattened into contiguous `u64` words) feeding an open-addressed,
+//!    allocation-free accumulator table with branch-free min/max/sum
+//!    updates.
+//! 4. **Top-k pre-filter** ([`gt_mask_word`]): a branch-free 64-row
+//!    band test against the current k-th value, so the heap only sees
+//!    rows that can change it ([`crate::topk::top_k_with`]).
+//! 5. **Sort keys** ([`sort_keys`], [`composite_sort_keys`]):
+//!    order-normalized `u64` sort keys materialized in lane batches, so
+//!    [`crate::sort`] compares words instead of per-row multi-column
+//!    comparators.
+//! 6. **Expression lanes** ([`add_lanes`] and friends): the expression
+//!    evaluator's arithmetic over column slices, four rows per unrolled
+//!    step ([`crate::expr::Expr::eval_with`]).
 //!
 //! Every kernel is **bit-identical** to its scalar twin — same words,
 //! same row order, same accumulator values — at every table size,
 //! chunking, and `DPU_THREADS`; `tests/vector_properties.rs` pins this
-//! differentially. The `DPU_VECTOR` env knob (`off`/`0`/`false`/
-//! `scalar` → scalar, anything else → SWAR, default SWAR) selects the
-//! kernel process-wide; [`set_kernel`] overrides it in-process for
-//! benches that compare both arms.
+//! differentially. The `DPU_VECTOR` env knob selects the kernel
+//! process-wide: `off`/`0`/`false`/`scalar` → scalar reference loops,
+//! `hwcrc`/`hw` → SWAR with the SSE4.2 `crc32q` hash (degrading to the
+//! table CRC where the instruction is absent), anything else → the
+//! table-driven SWAR arm (the default). [`set_kernel`] overrides it
+//! in-process for benches that compare the arms.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
-use dpu_isa::hash::{crc32c_u64_table, crc32c_u64_x4};
+use dpu_isa::hash::{
+    crc32c_u64, crc32c_u64_hw, crc32c_u64_table, crc32c_u64_x4, crc32c_u64_x4_hw, crc32c_wide,
+    crc32c_wide_hw, crc32c_wide_table, crc32c_wide_x4, crc32c_wide_x4_hw, hw_crc_available,
+};
 
 use crate::bitvec::BitVec;
 
@@ -44,35 +60,133 @@ use crate::bitvec::BitVec;
 pub enum Kernel {
     /// The reference scalar loops (the exact pre-vectorization paths).
     Scalar,
-    /// The multi-lane SWAR kernels (bit-identical, faster).
+    /// The multi-lane SWAR kernels with the table-driven CRC
+    /// (bit-identical to scalar, faster).
     Swar,
+    /// The SWAR kernels hashing with the SSE4.2 `crc32q` instruction
+    /// (bit-identical to both other arms; selectable only where the
+    /// instruction exists).
+    HwCrc,
+}
+
+impl Kernel {
+    /// True for the SWAR arms (everything except the scalar reference);
+    /// the vectorized execution paths differ only in their CRC engine.
+    pub fn vectorized(self) -> bool {
+        self != Kernel::Scalar
+    }
 }
 
 /// The resolved kernel choice; 0 = not yet resolved from `DPU_VECTOR`.
 static KERNEL: AtomicU8 = AtomicU8::new(0);
 
 /// The process-wide kernel: the last [`set_kernel`] value, else
-/// `DPU_VECTOR` (`off`, `0`, `false` or `scalar` → [`Kernel::Scalar`]),
-/// else [`Kernel::Swar`]. Resolved once, like `DPU_THREADS`.
+/// `DPU_VECTOR` (`off`, `0`, `false` or `scalar` → [`Kernel::Scalar`];
+/// `hwcrc` or `hw` → [`Kernel::HwCrc`] where SSE4.2 exists, else
+/// [`Kernel::Swar`]), else [`Kernel::Swar`]. Resolved once, like
+/// `DPU_THREADS`.
 pub fn kernel() -> Kernel {
     match KERNEL.load(Ordering::SeqCst) {
         1 => Kernel::Scalar,
         2 => Kernel::Swar,
+        3 => Kernel::HwCrc,
         _ => {
             let k = match std::env::var("DPU_VECTOR").ok().as_deref() {
                 Some("off") | Some("0") | Some("false") | Some("scalar") => Kernel::Scalar,
+                Some("hwcrc") | Some("hw") => Kernel::HwCrc,
                 _ => Kernel::Swar,
             };
             set_kernel(k);
-            k
+            kernel()
         }
     }
 }
 
 /// Overrides the kernel choice for subsequent [`kernel`] calls (benches
-/// and tests that compare both arms in one process).
+/// and tests that compare the arms in one process). [`Kernel::HwCrc`]
+/// degrades to [`Kernel::Swar`] on hosts without the instruction, so a
+/// resolved `HwCrc` always means the hardware path really runs.
 pub fn set_kernel(k: Kernel) {
-    KERNEL.store(if k == Kernel::Scalar { 1 } else { 2 }, Ordering::SeqCst);
+    let code = match k {
+        Kernel::Scalar => 1,
+        Kernel::Swar => 2,
+        Kernel::HwCrc if hw_crc_available() => 3,
+        Kernel::HwCrc => 2,
+    };
+    KERNEL.store(code, Ordering::SeqCst);
+}
+
+/// Declares the knob-resolving twin of a `*_with` kernel entry point:
+/// the public wrapper resolves [`kernel`] once and forwards. One macro
+/// call per operator keeps the `apply`/`apply_with` pair boilerplate
+/// from multiplying across kernels; the `|kernel| expr` body spells out
+/// the forward so argument reordering and extra defaults (`None`
+/// selections, base offsets) stay visible at the declaration site.
+macro_rules! kernel_entry {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident(&$self_:ident $(, $arg:ident: $ty:ty)* $(,)?)
+        -> $ret:ty => |$k:ident| $body:expr) => {
+        $(#[$meta])*
+        $vis fn $name(&$self_ $(, $arg: $ty)*) -> $ret {
+            let $k = $crate::vector::kernel();
+            $body
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $ty:ty),* $(,)?)
+        -> $ret:ty => |$k:ident| $body:expr) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) -> $ret {
+            let $k = $crate::vector::kernel();
+            $body
+        }
+    };
+}
+pub(crate) use kernel_entry;
+
+/// CRC32-C of one 64-bit key on `kernel`'s engine: bit-serial reference,
+/// table-driven SWAR, or `crc32q`. All three produce the same value —
+/// the arms differ only in cost.
+#[inline]
+pub(crate) fn hash1(kernel: Kernel, key: u64) -> u32 {
+    match kernel {
+        Kernel::Scalar => crc32c_u64(key),
+        Kernel::Swar => crc32c_u64_table(key),
+        Kernel::HwCrc => crc32c_u64_hw(key),
+    }
+}
+
+/// Four independent CRC streams on `kernel`'s engine.
+#[inline]
+pub(crate) fn hash_x4(kernel: Kernel, keys: [u64; 4]) -> [u32; 4] {
+    match kernel {
+        Kernel::Scalar => keys.map(crc32c_u64),
+        Kernel::Swar => crc32c_u64_x4(keys),
+        Kernel::HwCrc => crc32c_u64_x4_hw(keys),
+    }
+}
+
+/// CRC32-C of a flattened composite key on `kernel`'s engine.
+#[inline]
+pub(crate) fn hash_wide(kernel: Kernel, words: &[u64]) -> u32 {
+    match kernel {
+        Kernel::Scalar => crc32c_wide(words),
+        Kernel::Swar => crc32c_wide_table(words),
+        Kernel::HwCrc => crc32c_wide_hw(words),
+    }
+}
+
+/// Four independent wide-key CRC streams on `kernel`'s engine.
+#[inline]
+pub(crate) fn hash_wide_x4(kernel: Kernel, lanes: [&[u64]; 4]) -> [u32; 4] {
+    match kernel {
+        Kernel::Scalar => [
+            crc32c_wide(lanes[0]),
+            crc32c_wide(lanes[1]),
+            crc32c_wide(lanes[2]),
+            crc32c_wide(lanes[3]),
+        ],
+        Kernel::Swar => crc32c_wide_x4(lanes),
+        Kernel::HwCrc => crc32c_wide_x4_hw(lanes),
+    }
 }
 
 /// Branch-free inclusive band test: 1 if `lo <= x <= hi`, else 0. Both
@@ -114,13 +228,160 @@ pub fn filter_band(data: &[i64], lo: i64, hi: i64) -> BitVec {
     BitVec::from_words(len, words)
 }
 
+/// The top-k pre-filter word: bit `k` set iff `block[k] > threshold`,
+/// over one 64-row block. Four interleaved lane accumulators, exactly
+/// the [`filter_band`] structure with a one-sided band — the SWAR test
+/// that lets the heap skip every row that cannot displace its minimum.
+///
+/// # Panics
+///
+/// Panics unless `block` holds exactly 64 rows.
+pub fn gt_mask_word(block: &[i64], threshold: i64) -> u64 {
+    assert_eq!(block.len(), 64, "pre-filter blocks are one selection word wide");
+    let (mut l0, mut l1, mut l2, mut l3) = (0u64, 0u64, 0u64, 0u64);
+    for k in 0..16 {
+        let b = k * 4;
+        l0 |= ((block[b] > threshold) as u64) << b;
+        l1 |= ((block[b + 1] > threshold) as u64) << (b + 1);
+        l2 |= ((block[b + 2] > threshold) as u64) << (b + 2);
+        l3 |= ((block[b + 3] > threshold) as u64) << (b + 3);
+    }
+    (l0 | l1) | (l2 | l3)
+}
+
+/// The sign-bit flip that makes unsigned `u64` comparison agree with
+/// signed `i64` comparison — the order-normalized sort-key encoding.
+#[inline(always)]
+pub fn sort_key(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Materializes order-normalized `u64` sort keys for a whole column in
+/// lane batches (four rows per unrolled step): `sort_key(a) <
+/// sort_key(b)` iff `a < b`, so sorting compares words instead of
+/// signed values.
+pub fn sort_keys(values: &[i64]) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(values.len());
+    let mut quads = values.chunks_exact(4);
+    for q in &mut quads {
+        keys.extend_from_slice(&[sort_key(q[0]), sort_key(q[1]), sort_key(q[2]), sort_key(q[3])]);
+    }
+    for &v in quads.remainder() {
+        keys.push(sort_key(v));
+    }
+    keys
+}
+
+/// Flattens a multi-column sort key into a contiguous row-major `u64`
+/// region (`width = cols.len()` words per row), each word
+/// order-normalized: comparing `&flat[a*w..a*w+w]` with
+/// `&flat[b*w..b*w+w]` lexicographically equals comparing the rows
+/// column by column. The same flattened encoding the composite-key
+/// group-by hashes.
+///
+/// # Panics
+///
+/// Panics if `cols` is empty or the columns disagree on length.
+pub fn composite_sort_keys(cols: &[&[i64]]) -> Vec<u64> {
+    let rows = cols.first().expect("composite key needs at least one column").len();
+    assert!(cols.iter().all(|c| c.len() == rows), "key columns must share one length");
+    let width = cols.len();
+    let mut flat = vec![0u64; rows * width];
+    for (j, col) in cols.iter().enumerate() {
+        // Column-at-a-time writes keep the inner loop a strided store of
+        // one normalized word, lane-friendly for the compiler.
+        for (r, &v) in col.iter().enumerate() {
+            flat[r * width + j] = sort_key(v);
+        }
+    }
+    flat
+}
+
+/// In-place lane-batched wrapping addition: `a[i] += b[i]`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn add_lanes(a: &mut [i64], b: &[i64]) {
+    binop_lanes(a, b, i64::wrapping_add);
+}
+
+/// In-place lane-batched wrapping subtraction: `a[i] -= b[i]`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn sub_lanes(a: &mut [i64], b: &[i64]) {
+    binop_lanes(a, b, i64::wrapping_sub);
+}
+
+/// In-place lane-batched wrapping multiplication: `a[i] *= b[i]`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn mul_lanes(a: &mut [i64], b: &[i64]) {
+    binop_lanes(a, b, i64::wrapping_mul);
+}
+
+#[inline(always)]
+fn binop_lanes(a: &mut [i64], b: &[i64], f: impl Fn(i64, i64) -> i64) {
+    assert_eq!(a.len(), b.len(), "lane length mismatch");
+    let mut aq = a.chunks_exact_mut(4);
+    let mut bq = b.chunks_exact(4);
+    for (x, y) in (&mut aq).zip(&mut bq) {
+        x[0] = f(x[0], y[0]);
+        x[1] = f(x[1], y[1]);
+        x[2] = f(x[2], y[2]);
+        x[3] = f(x[3], y[3]);
+    }
+    for (x, &y) in aq.into_remainder().iter_mut().zip(bq.remainder()) {
+        *x = f(*x, y);
+    }
+}
+
+/// In-place division `a[i] /= b[i]`, checking divisors in row order so a
+/// zero divisor panics on exactly the row (and with exactly the message)
+/// the scalar evaluator would.
+///
+/// # Panics
+///
+/// Panics on length mismatch or a zero divisor.
+pub fn div_lanes(a: &mut [i64], b: &[i64]) {
+    assert_eq!(a.len(), b.len(), "lane length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        assert!(y != 0, "expression division by zero");
+        *x /= y;
+    }
+}
+
+/// In-place lane-batched two-sided clamp.
+pub fn clamp_lanes(a: &mut [i64], lo: i64, hi: i64) {
+    let mut aq = a.chunks_exact_mut(4);
+    for x in &mut aq {
+        x[0] = x[0].clamp(lo, hi);
+        x[1] = x[1].clamp(lo, hi);
+        x[2] = x[2].clamp(lo, hi);
+        x[3] = x[3].clamp(lo, hi);
+    }
+    for x in aq.into_remainder() {
+        *x = (*x).clamp(lo, hi);
+    }
+}
+
 /// The SWAR partition kernel: `fanout`-way CRC32-C row-id partitioning
 /// of `keys`, row ids offset by `base` (callers partition chunk
 /// `[base, base + keys.len())` of a larger column). Keys stream through
-/// the 4-lane table-driven CRC; the tail (< 4 keys) uses the single-key
-/// table CRC. Hash values — and therefore partition contents and row
-/// order — are bit-identical to the bit-serial scalar loop.
-pub fn partition_row_ids(keys: &[i64], base: usize, fanout: u64) -> Vec<Vec<usize>> {
+/// four CRC lanes on `kernel`'s engine (table-driven or `crc32q`); the
+/// tail (< 4 keys) uses the single-key engine. Hash values — and
+/// therefore partition contents and row order — are bit-identical to
+/// the bit-serial scalar loop.
+pub fn partition_row_ids(
+    keys: &[i64],
+    base: usize,
+    fanout: u64,
+    kernel: Kernel,
+) -> Vec<Vec<usize>> {
     assert!(fanout > 0, "fanout must be positive");
     // CRC spreads rows near-uniformly; sizing each bucket for its
     // expected share (plus slack) keeps the hot loop free of realloc
@@ -130,7 +391,7 @@ pub fn partition_row_ids(keys: &[i64], base: usize, fanout: u64) -> Vec<Vec<usiz
     let mut quads = keys.chunks_exact(4);
     let mut r = base;
     for quad in &mut quads {
-        let h = crc32c_u64_x4([quad[0] as u64, quad[1] as u64, quad[2] as u64, quad[3] as u64]);
+        let h = hash_x4(kernel, [quad[0] as u64, quad[1] as u64, quad[2] as u64, quad[3] as u64]);
         parts[(h[0] as u64 % fanout) as usize].push(r);
         parts[(h[1] as u64 % fanout) as usize].push(r + 1);
         parts[(h[2] as u64 % fanout) as usize].push(r + 2);
@@ -138,15 +399,13 @@ pub fn partition_row_ids(keys: &[i64], base: usize, fanout: u64) -> Vec<Vec<usiz
         r += 4;
     }
     for (j, &k) in quads.remainder().iter().enumerate() {
-        parts[(crc32c_u64_table(k as u64) as u64 % fanout) as usize].push(r + j);
+        parts[(hash1(kernel, k as u64) as u64 % fanout) as usize].push(r + j);
     }
     parts
 }
 
 #[cfg(test)]
 mod tests {
-    use dpu_isa::hash::crc32c_u64;
-
     use super::*;
 
     #[test]
@@ -158,7 +417,29 @@ mod tests {
         assert_eq!(kernel(), Kernel::Scalar);
         set_kernel(Kernel::Swar);
         assert_eq!(kernel(), Kernel::Swar);
+        set_kernel(Kernel::HwCrc);
+        // HwCrc resolves to itself on SSE4.2 hosts and degrades to Swar
+        // elsewhere — never to Scalar, and always vectorized.
+        let resolved = kernel();
+        assert_eq!(resolved, if hw_crc_available() { Kernel::HwCrc } else { Kernel::Swar });
+        assert!(resolved.vectorized());
+        assert!(!Kernel::Scalar.vectorized());
         set_kernel(before);
+    }
+
+    #[test]
+    fn hash_dispatch_is_engine_invariant() {
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let want = crc32c_u64(key);
+            for k in [Kernel::Scalar, Kernel::Swar, Kernel::HwCrc] {
+                assert_eq!(hash1(k, key), want, "{k:?} key {key:#x}");
+                assert_eq!(hash_x4(k, [key; 4]), [want; 4], "{k:?} key {key:#x}");
+                assert_eq!(hash_wide(k, &[key]), want, "{k:?} key {key:#x}");
+                assert_eq!(hash_wide_x4(k, [&[key, 1], &[key, 1], &[key, 1], &[key, 1]]), {
+                    [crc32c_wide(&[key, 1]); 4]
+                });
+            }
+        }
     }
 
     #[test]
@@ -184,15 +465,89 @@ mod tests {
     }
 
     #[test]
+    fn gt_mask_matches_per_row_compares() {
+        let block: Vec<i64> =
+            (0..64).map(|i| [i64::MIN, -3, 0, 7, i64::MAX][i as usize % 5]).collect();
+        for t in [i64::MIN, -3, 0, 6, 7, i64::MAX] {
+            let w = gt_mask_word(&block, t);
+            for (i, &v) in block.iter().enumerate() {
+                assert_eq!(w >> i & 1 == 1, v > t, "t={t} row={i}");
+            }
+        }
+        // No row exceeds i64::MAX, so the word is empty (the guard the
+        // top-k kernel relies on instead of computing t + 1).
+        assert_eq!(gt_mask_word(&block, i64::MAX), 0);
+    }
+
+    #[test]
+    fn sort_keys_preserve_order() {
+        let vals = [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+        let keys = sort_keys(&vals);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "normalization must preserve order");
+        // Lane batches and tail agree with the per-value map.
+        let many: Vec<i64> = (0..103).map(|i| i * 31 - 1500).collect();
+        assert_eq!(sort_keys(&many), many.iter().map(|&v| sort_key(v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn composite_keys_compare_like_rows() {
+        let a: Vec<i64> = vec![1, 1, -5, i64::MIN, 1];
+        let b: Vec<i64> = vec![9, -9, 0, i64::MAX, 9];
+        let flat = composite_sort_keys(&[&a, &b]);
+        assert_eq!(flat.len(), 10);
+        for x in 0..a.len() {
+            for y in 0..a.len() {
+                let want = (a[x], b[x]).cmp(&(a[y], b[y]));
+                let got = flat[x * 2..x * 2 + 2].cmp(&flat[y * 2..y * 2 + 2]);
+                assert_eq!(got, want, "rows {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_binops_match_scalar_ops() {
+        let a: Vec<i64> = (0..11).map(|i| i * 1000 - 5000).collect();
+        let b: Vec<i64> = (0..11).map(|i| i - 5).collect();
+        let mut add = a.clone();
+        add_lanes(&mut add, &b);
+        let mut sub = a.clone();
+        sub_lanes(&mut sub, &b);
+        let mut mul = a.clone();
+        mul_lanes(&mut mul, &b);
+        let mut clamp = a.clone();
+        clamp_lanes(&mut clamp, -100, 100);
+        for i in 0..a.len() {
+            assert_eq!(add[i], a[i].wrapping_add(b[i]));
+            assert_eq!(sub[i], a[i].wrapping_sub(b[i]));
+            assert_eq!(mul[i], a[i].wrapping_mul(b[i]));
+            assert_eq!(clamp[i], a[i].clamp(-100, 100));
+        }
+        let mut div = a.clone();
+        let ones: Vec<i64> = (0..11).map(|i| i + 1).collect();
+        div_lanes(&mut div, &ones);
+        for i in 0..a.len() {
+            assert_eq!(div[i], a[i] / ones[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expression division by zero")]
+    fn div_lanes_panics_like_the_evaluator() {
+        div_lanes(&mut [1, 2], &[1, 0]);
+    }
+
+    #[test]
     fn partition_matches_scalar_crc_and_offsets() {
         let keys: Vec<i64> = (0..103).map(|i| i * 7919 - 400).collect();
         for fanout in [1u64, 2, 7, 32] {
-            let parts = partition_row_ids(&keys, 10, fanout);
             let mut want: Vec<Vec<usize>> = vec![Vec::new(); fanout as usize];
             for (r, &k) in keys.iter().enumerate() {
                 want[(crc32c_u64(k as u64) as u64 % fanout) as usize].push(10 + r);
             }
-            assert_eq!(parts, want, "fanout={fanout}");
+            for kernel in [Kernel::Swar, Kernel::HwCrc] {
+                let parts = partition_row_ids(&keys, 10, fanout, kernel);
+                assert_eq!(parts, want, "fanout={fanout} kernel={kernel:?}");
+            }
         }
     }
 }
