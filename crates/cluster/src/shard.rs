@@ -16,7 +16,7 @@
 //! original one-copy layout exactly.
 
 use dpu_isa::hash::crc32c_u64;
-use dpu_sql::tpch::{project_rows, TpchDb};
+use dpu_sql::tpch::{project_rows, TableCompression, TpchDb};
 use dpu_sql::{sample_bounds, BaseTable, Table};
 
 use crate::replica::Placement;
@@ -147,6 +147,21 @@ impl ShardedTpch {
     pub fn node_fact_bytes(&self, node: usize) -> u64 {
         self.placement.shards_on(node).iter().map(|&s| self.shard_fact_bytes(s)).sum()
     }
+
+    /// Per-table compression totals merged across every shard. Dimension
+    /// tables count once per shard — they really are replicated to every
+    /// node — so the sums are the rack's actual resident bytes (for one
+    /// replica of each fact shard; multiply fact rows by
+    /// [`k`](Self::k) for the replicated footprint).
+    pub fn compression_report(&self) -> Vec<TableCompression> {
+        let mut merged = self.shards[0].compression_report();
+        for s in &self.shards[1..] {
+            for (dst, src) in merged.iter_mut().zip(s.compression_report()) {
+                dst.merge(&src);
+            }
+        }
+        merged
+    }
 }
 
 /// How evenly the fact rows spread across shards. `imbalance` is the
@@ -216,7 +231,7 @@ pub fn shard_tpch(db: &TpchDb, policy: &ShardPolicy) -> ShardedTpch {
 pub fn shard_tpch_replicated(db: &TpchDb, policy: &ShardPolicy, k: usize) -> ShardedTpch {
     let orders = shard_table(&db.orders, "o_orderkey", policy);
     let lineitem = shard_table(&db.lineitem, "l_orderkey", policy);
-    let shards: Vec<TpchDb> = orders
+    let mut shards: Vec<TpchDb> = orders
         .into_iter()
         .zip(lineitem)
         .map(|(o, l)| TpchDb {
@@ -229,6 +244,12 @@ pub fn shard_tpch_replicated(db: &TpchDb, policy: &ShardPolicy, k: usize) -> Sha
             region: db.region.clone(),
         })
         .collect();
+    // The fact shards are freshly projected (flat) tables; the cloned
+    // dimensions arrive pre-packed. Re-encode so every shard stores its
+    // facts FOR/bit-packed too (encoding is idempotent per column).
+    for s in &mut shards {
+        s.encode_packed();
+    }
     let placement = Placement::new(shards.len(), k);
     let broadcast_bytes = db.customer.bytes()
         + db.part.bytes()

@@ -33,7 +33,9 @@ pub struct ColumnStats {
     pub max: i64,
     /// Estimated number of distinct values (merged HLL estimate, ≥ 1).
     pub ndv: f64,
-    /// Total stored bytes across the cluster (replicas counted once).
+    /// Total *resident* bytes across the cluster (replicas counted
+    /// once): packed columns report their FOR/bit-packed size, so the
+    /// roofline prices scans by the bytes the engine actually streams.
     pub bytes: u64,
     /// The merged sketch itself (kept so error bounds can be audited).
     pub sketch: HyperLogLog,
@@ -113,7 +115,7 @@ impl Catalog {
                 } else {
                     vec![proto]
                 };
-                columns.insert(c.name.clone(), column_stats(&c.name, &shard_tables, rows));
+                columns.insert(c.name.clone(), column_stats(&c.name, &shard_tables));
             }
             tables.push((t, TableStats { rows, per_shard_rows, sharded: t.is_sharded(), columns }));
         }
@@ -162,28 +164,34 @@ impl Catalog {
     }
 }
 
-fn column_stats(name: &str, shard_tables: &[&Table], total_rows: u64) -> ColumnStats {
+fn column_stats(name: &str, shard_tables: &[&Table]) -> ColumnStats {
     let mut merged = HyperLogLog::new(SKETCH_PRECISION, HashKind::Murmur64);
     let (mut min, mut max) = (i64::MAX, i64::MIN);
-    let mut width = 8u64;
+    let mut bytes = 0u64;
     for t in shard_tables {
         let col = t.column(name).expect("column present on every shard");
-        width = col.width as u64;
+        bytes += col.resident_bytes();
         let mut local = HyperLogLog::new(SKETCH_PRECISION, HashKind::Murmur64);
-        for &v in &col.data {
-            local.insert(v as u64);
-            min = min.min(v);
-            max = max.max(v);
+        if let Some(p) = &col.packed {
+            // Packed columns carry exact per-chunk frame/max zone maps —
+            // min/max fold over the headers instead of the row stream.
+            for ch in p.chunks() {
+                min = min.min(ch.frame);
+                max = max.max(ch.max);
+            }
+            for &v in &col.data {
+                local.insert(v as u64);
+            }
+        } else {
+            for &v in &col.data {
+                local.insert(v as u64);
+                min = min.min(v);
+                max = max.max(v);
+            }
         }
         merged.merge(&local);
     }
-    ColumnStats {
-        min,
-        max,
-        ndv: merged.estimate().max(1.0),
-        bytes: total_rows * width,
-        sketch: merged,
-    }
+    ColumnStats { min, max, ndv: merged.estimate().max(1.0), bytes, sketch: merged }
 }
 
 #[cfg(test)]
@@ -230,6 +238,39 @@ mod tests {
         let nation = catalog.table(BaseTable::Nation);
         assert!(!nation.sharded);
         assert_eq!(nation.rows as usize, nation.per_shard_rows[0]);
+    }
+
+    #[test]
+    fn packed_headers_reproduce_scanned_stats() {
+        // The catalog reads min/max from FOR chunk headers and bytes from
+        // the resident (packed) sizes; both must equal what a full scan
+        // of the flat data would have produced.
+        let core = core();
+        let catalog = Catalog::from_core(&core);
+        let sharded = core.sharded();
+        let mut packed_cols = 0usize;
+        for &t in &BaseTable::ALL {
+            let shard_tables: Vec<&Table> = if t.is_sharded() {
+                sharded.shards.iter().map(|db| t.of(db)).collect()
+            } else {
+                vec![t.of(&sharded.shards[0])]
+            };
+            for c in &shard_tables[0].columns {
+                let (mut min, mut max, mut bytes) = (i64::MAX, i64::MIN, 0u64);
+                for st in &shard_tables {
+                    let col = st.column(&c.name).expect("column on every shard");
+                    packed_cols += usize::from(col.packed.is_some());
+                    bytes += col.resident_bytes();
+                    for &v in &col.data {
+                        min = min.min(v);
+                        max = max.max(v);
+                    }
+                }
+                let s = &catalog.table(t).columns[&c.name];
+                assert_eq!((s.min, s.max, s.bytes), (min, max, bytes), "{}", c.name);
+            }
+        }
+        assert!(packed_cols > 0, "no packed columns — the header path went untested");
     }
 
     #[test]

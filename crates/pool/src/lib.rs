@@ -35,8 +35,71 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The resolved global worker count; 0 = not yet resolved.
-static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+/// A parse-once process-wide environment knob: the shared resolution
+/// cell behind `DPU_THREADS`, `DPU_VECTOR` and `DPU_PACK`.
+///
+/// All three knobs follow one contract: the environment variable is
+/// read **once** per process, the resolved choice is cached, and
+/// benches or tests that compare settings in one process override the
+/// cache with [`EnvKnob::set`]. The cache is a plain atomic rather
+/// than a `OnceLock` precisely because the override must be able to
+/// *re*-store after resolution (the wallclock bench flips a knob back
+/// and forth); `0` is reserved as the unresolved sentinel, so every
+/// parser maps its choices onto non-zero codes.
+#[derive(Debug)]
+pub struct EnvKnob {
+    var: &'static str,
+    cell: AtomicUsize,
+}
+
+impl EnvKnob {
+    /// A knob bound to environment variable `var`, initially unresolved.
+    pub const fn new(var: &'static str) -> Self {
+        EnvKnob { var, cell: AtomicUsize::new(0) }
+    }
+
+    /// The resolved non-zero code: the cached value if the knob has
+    /// been resolved or overridden, else `parse` applied to the
+    /// environment variable's value (`None` when unset), cached for
+    /// every later call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parse` returns the reserved unresolved code `0`.
+    pub fn get(&self, parse: impl FnOnce(Option<&str>) -> usize) -> usize {
+        let cached = self.cell.load(Ordering::SeqCst);
+        if cached != 0 {
+            return cached;
+        }
+        let v = std::env::var(self.var).ok();
+        let code = parse(v.as_deref());
+        assert!(code != 0, "{}: parser returned the unresolved sentinel", self.var);
+        self.cell.store(code, Ordering::SeqCst);
+        code
+    }
+
+    /// Overrides the cached code for subsequent [`EnvKnob::get`] calls
+    /// (in-process comparisons; the environment is no longer consulted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the reserved unresolved code `0`.
+    pub fn set(&self, code: usize) {
+        assert!(code != 0, "{}: cannot store the unresolved sentinel", self.var);
+        self.cell.store(code, Ordering::SeqCst);
+    }
+}
+
+/// The resolved global worker count (0 = not yet resolved from
+/// `DPU_THREADS`).
+static GLOBAL_THREADS: EnvKnob = EnvKnob::new("DPU_THREADS");
+
+/// Parses a `DPU_THREADS`-style spelling: a positive integer is taken
+/// verbatim, anything else (unset, `0`, garbage) yields `fallback`.
+/// Public so `dpu_sql::knob`'s spelling tests cover all three knobs.
+pub fn parse_threads(v: Option<&str>, fallback: usize) -> usize {
+    v.and_then(|s| s.parse::<usize>().ok()).filter(|&n| n >= 1).unwrap_or(fallback)
+}
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -53,24 +116,15 @@ pub fn in_worker() -> bool {
 /// [`Pool::global`] calls. `DPU_THREADS` is read once per process, so
 /// benches and tests that compare thread counts in-process use this.
 pub fn set_global_threads(threads: usize) {
-    GLOBAL_THREADS.store(threads.max(1), Ordering::SeqCst);
+    GLOBAL_THREADS.set(threads.max(1));
 }
 
 /// The global worker count: the last [`set_global_threads`] value, else
 /// `DPU_THREADS` (if set to a positive integer), else
 /// [`std::thread::available_parallelism`], else 1.
 pub fn global_threads() -> usize {
-    let cached = GLOBAL_THREADS.load(Ordering::SeqCst);
-    if cached != 0 {
-        return cached;
-    }
-    let resolved = std::env::var("DPU_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    GLOBAL_THREADS.store(resolved, Ordering::SeqCst);
-    resolved
+    GLOBAL_THREADS
+        .get(|v| parse_threads(v, std::thread::available_parallelism().map_or(1, |n| n.get())))
 }
 
 /// Splits `0..n` into at most `chunks` contiguous non-empty ranges of

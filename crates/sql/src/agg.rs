@@ -16,7 +16,7 @@ use dpu_isa::hash::crc32c_u64;
 use dpu_pool::{chunk_bounds, in_worker, Pool};
 
 use crate::bitvec::BitVec;
-use crate::column::{Column, Table};
+use crate::column::{pack, Column, Table};
 use crate::vector::{self, Kernel};
 use crate::PAR_MIN_ROWS;
 
@@ -93,6 +93,40 @@ impl GroupBySpec {
     /// Panics if a named column is missing or the selection length
     /// mismatches.
     pub fn execute(&self, table: &Table, sel: Option<&BitVec>) -> Table {
+        // Packed execution (`DPU_PACK`): unpack the referenced columns
+        // in lane batches once, then run the flat kernels unchanged —
+        // bit-identical results either way.
+        if let Some(decoded) = {
+            let cols = self.columns_read();
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            table.decode_for(&refs, pack())
+        } {
+            return self.execute_flat(&decoded, sel);
+        }
+        self.execute_flat(table, sel)
+    }
+
+    /// Set of column names the spec reads (group keys plus aggregate
+    /// inputs), sorted and deduplicated — the byte-accounting and
+    /// packed-decode reference set.
+    pub fn columns_read(&self) -> Vec<String> {
+        let mut out = self.group_cols.clone();
+        for (_, f) in &self.aggs {
+            match f {
+                AggFunc::Count => {}
+                AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) => out.push(c.clone()),
+                AggFunc::SumProduct(a, b) => {
+                    out.push(a.clone());
+                    out.push(b.clone());
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn execute_flat(&self, table: &Table, sel: Option<&BitVec>) -> Table {
         let pool = Pool::global();
         if pool.threads() > 1
             && !in_worker()
@@ -601,6 +635,7 @@ pub fn partitioned_group_by(
                         name: c.name.clone(),
                         width: c.width,
                         data: rows.iter().map(|&r| c.data[r]).collect(),
+                        packed: None,
                     })
                     .collect(),
             );
@@ -627,6 +662,7 @@ pub fn partitioned_group_by(
                 name: c.name.clone(),
                 width: c.width,
                 data: all_rows.iter().map(|r| r[i]).collect(),
+                packed: None,
             })
             .collect(),
     );

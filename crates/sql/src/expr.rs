@@ -9,7 +9,7 @@
 
 use dpu_isa::OpCounts;
 
-use crate::column::Table;
+use crate::column::{pack, Pack, Table};
 use crate::vector::{self, Kernel};
 
 /// A scalar expression over a table's columns.
@@ -54,7 +54,8 @@ impl Expr {
         /// # Panics
         ///
         /// Panics on missing columns or division by zero.
-        pub fn eval(&self, table: &Table) -> Vec<i64> => |kernel| self.eval_with(table, kernel)
+        pub fn eval(&self, table: &Table) -> Vec<i64> =>
+            |kernel| self.eval_packed_with(table, kernel, pack())
     }
 
     /// [`eval`](Expr::eval) with an explicit kernel choice, for
@@ -68,6 +69,23 @@ impl Expr {
             self.eval_vector(table)
         } else {
             self.eval_scalar(table)
+        }
+    }
+
+    /// [`eval_with`](Expr::eval_with) with an explicit pack choice:
+    /// packed referenced columns are unpacked in lane batches once up
+    /// front, then the chosen evaluator runs unchanged — bit-identical
+    /// results (including panic rows) either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics on missing columns or division by zero.
+    pub fn eval_packed_with(&self, table: &Table, kernel: Kernel, pack: Pack) -> Vec<i64> {
+        let cols = self.columns_read();
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        match table.decode_for(&refs, pack) {
+            Some(decoded) => self.eval_with(&decoded, kernel),
+            None => self.eval_with(table, kernel),
         }
     }
 

@@ -15,6 +15,10 @@
 //! The host inner loops (filter evaluation, CRC32 partitioning, group-by
 //! probes) run hand-rolled SWAR kernels by default — see [`vector`] and
 //! the `DPU_VECTOR` knob — bit-identical to the scalar reference paths.
+//! Columns additionally carry a frame-of-reference bit-packed resident
+//! form ([`column::PackedColumn`], the `DPU_PACK` knob): filters execute
+//! in the encoded domain, everything else unpacks in lane batches, and
+//! results stay bit-identical to flat execution.
 //!
 //! [`tpch`] provides a scaled TPC-H generator and eight queries used by
 //! the Figure 16 reproduction.
@@ -31,6 +35,7 @@ pub mod expr;
 pub mod filter;
 pub mod hll;
 pub mod join;
+pub mod knob;
 pub mod logical;
 pub mod plan;
 pub mod sort;
@@ -40,7 +45,7 @@ pub mod vector;
 
 pub use agg::{partitioned_group_by, AggFunc, GroupByPlan, GroupBySpec};
 pub use bitvec::BitVec;
-pub use column::{Column, Table};
+pub use column::{pack, set_pack, Column, Pack, PackChunk, PackedColumn, Table};
 pub use expr::Expr;
 pub use filter::{measure_filter_kernel, CompareOp, FilterSpec};
 pub use hll::{HyperLogLog, RankMethod};
@@ -50,7 +55,8 @@ pub use logical::{
 };
 pub use plan::{CostAcc, PlatformCost, QueryCost};
 pub use sort::{
-    sample_bounds, sort_indices, sort_indices_multi, sort_indices_multi_with, sort_indices_with,
+    sample_bounds, sort_indices, sort_indices_multi, sort_indices_multi_packed_with,
+    sort_indices_multi_with, sort_indices_packed_with, sort_indices_with,
 };
-pub use topk::{top_k, top_k_with};
+pub use topk::{top_k, top_k_packed_with, top_k_with};
 pub use vector::{kernel as vector_kernel, set_kernel as set_vector_kernel, Kernel};

@@ -435,8 +435,14 @@ impl LogicalPlan {
     ) -> Table {
         let rel = &self.scans[i];
         let base = rel.source.table().of(db);
-        let touched: u64 =
-            rel.touched.iter().map(|n| base.column(n).expect("touched column").bytes()).sum();
+        // Scans stream *resident* bytes: packed columns move their
+        // FOR/bit-packed words through the memory system, not the flat
+        // width. Knob-independent (packing is unconditional at load).
+        let touched: u64 = rel
+            .touched
+            .iter()
+            .map(|n| base.column(n).expect("touched column").resident_bytes())
+            .sum();
         acc.stream_both(touched);
         acc.compute(base.rows() as u64, SCAN_DPU, SCAN_XEON);
         let staged = match &rel.source {

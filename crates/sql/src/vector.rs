@@ -46,14 +46,14 @@
 //! table-driven SWAR arm (the default). [`set_kernel`] overrides it
 //! in-process for benches that compare the arms.
 
-use std::sync::atomic::{AtomicU8, Ordering};
-
 use dpu_isa::hash::{
     crc32c_u64, crc32c_u64_hw, crc32c_u64_table, crc32c_u64_x4, crc32c_u64_x4_hw, crc32c_wide,
     crc32c_wide_hw, crc32c_wide_table, crc32c_wide_x4, crc32c_wide_x4_hw, hw_crc_available,
 };
 
 use crate::bitvec::BitVec;
+use crate::column::PackedColumn;
+use crate::knob::{self, EnvKnob};
 
 /// Which implementation the SQL kernels run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,28 +77,20 @@ impl Kernel {
     }
 }
 
-/// The resolved kernel choice; 0 = not yet resolved from `DPU_VECTOR`.
-static KERNEL: AtomicU8 = AtomicU8::new(0);
+/// The resolved kernel choice (1 = scalar, 2 = SWAR, 3 = hardware CRC;
+/// 0 = not yet resolved from `DPU_VECTOR`).
+static KERNEL: EnvKnob = EnvKnob::new("DPU_VECTOR");
 
 /// The process-wide kernel: the last [`set_kernel`] value, else
 /// `DPU_VECTOR` (`off`, `0`, `false` or `scalar` → [`Kernel::Scalar`];
 /// `hwcrc` or `hw` → [`Kernel::HwCrc`] where SSE4.2 exists, else
 /// [`Kernel::Swar`]), else [`Kernel::Swar`]. Resolved once, like
-/// `DPU_THREADS`.
+/// `DPU_THREADS` and `DPU_PACK` ([`crate::knob`] owns the spellings).
 pub fn kernel() -> Kernel {
-    match KERNEL.load(Ordering::SeqCst) {
+    match KERNEL.get(knob::kernel_code) {
         1 => Kernel::Scalar,
-        2 => Kernel::Swar,
-        3 => Kernel::HwCrc,
-        _ => {
-            let k = match std::env::var("DPU_VECTOR").ok().as_deref() {
-                Some("off") | Some("0") | Some("false") | Some("scalar") => Kernel::Scalar,
-                Some("hwcrc") | Some("hw") => Kernel::HwCrc,
-                _ => Kernel::Swar,
-            };
-            set_kernel(k);
-            kernel()
-        }
+        3 if hw_crc_available() => Kernel::HwCrc,
+        _ => Kernel::Swar,
     }
 }
 
@@ -107,13 +99,12 @@ pub fn kernel() -> Kernel {
 /// degrades to [`Kernel::Swar`] on hosts without the instruction, so a
 /// resolved `HwCrc` always means the hardware path really runs.
 pub fn set_kernel(k: Kernel) {
-    let code = match k {
+    KERNEL.set(match k {
         Kernel::Scalar => 1,
         Kernel::Swar => 2,
         Kernel::HwCrc if hw_crc_available() => 3,
         Kernel::HwCrc => 2,
-    };
-    KERNEL.store(code, Ordering::SeqCst);
+    });
 }
 
 /// Declares the knob-resolving twin of a `*_with` kernel entry point:
@@ -226,6 +217,145 @@ pub fn filter_band(data: &[i64], lo: i64, hi: i64) -> BitVec {
         words.push(w);
     }
     BitVec::from_words(len, words)
+}
+
+/// Per-field unsigned `x ≤ c` over `u64` words split into equal bit
+/// fields: `cb` is the comparand broadcast to every field, `h` the
+/// per-field MSB mask. Returns the result flags at the MSB positions.
+///
+/// Classic SWAR compare: the low bits decide via a borrow test — each
+/// minuend field is `(c_low | MSB)`, always ≥ its subtrahend `x_low`,
+/// so no borrow ever crosses a field boundary — and the MSBs decide
+/// directly (`x` MSB clear, `c` MSB set → less; equal MSBs → defer to
+/// the low-bit borrow).
+#[inline(always)]
+fn le_flags(x: u64, cb: u64, h: u64) -> u64 {
+    let low = ((cb & !h) | h).wrapping_sub(x & !h) & h;
+    let (xh, ch) = (x & h, cb & h);
+    (!xh & ch) | (!(xh ^ ch) & low)
+}
+
+/// Per-field unsigned `x ≥ c`; the mirror of [`le_flags`].
+#[inline(always)]
+fn ge_flags(x: u64, cb: u64, h: u64) -> u64 {
+    let low = ((x & !h) | h).wrapping_sub(cb & !h) & h;
+    let (xh, ch) = (x & h, cb & h);
+    (xh & !ch) | (!(xh ^ ch) & low)
+}
+
+/// Moves the bits at even positions (0, 2, 4, …) to contiguous low
+/// positions (0, 1, 2, …) — one round of Morton-order bit compaction.
+/// After masking, each OR merges disjoint bit sets, so the shifts never
+/// collide.
+#[inline(always)]
+fn compress_even(mut x: u64) -> u64 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// Compacts bits at stride `stride` (a power of two: positions 0,
+/// `stride`, `2·stride`, …) to contiguous low positions — `log2(stride)`
+/// rounds of [`compress_even`]. This gathers per-field compare flags
+/// into selection-word bits; the multiply-and-shift movemask trick is
+/// *not* equivalent here (partial products collide for 4-bit fields),
+/// so the compaction ladder is the correct branch-free gather.
+#[inline(always)]
+fn compress_stride(mut x: u64, mut stride: usize) -> u64 {
+    while stride > 1 {
+        x = compress_even(x);
+        stride >>= 1;
+    }
+    x
+}
+
+/// The packed-column filter kernel: evaluates the band `[lo, hi]`
+/// directly on a [`PackedColumn`]'s words — no unpacking — emitting the
+/// same selection words as [`filter_band`] over the decoded values.
+///
+/// Per chunk, in the *encoded domain*:
+///
+/// 1. **Zone map**: the chunk header's exact `[min, max]` short-circuits
+///    chunks entirely outside the band to all-zeros words and chunks
+///    entirely inside to all-ones words, without touching the payload.
+/// 2. **Rebase**: otherwise the band is clamped to the chunk range and
+///    rebased by the frame — `elo = max(lo, min) − min`,
+///    `ehi = min(hi, max) − min` — so the test becomes an unsigned
+///    compare against the stored deltas (exact for every `i64`: deltas
+///    live in unsigned `[0, max − min]`).
+/// 3. **SWAR compare**: [`le_flags`]`/`[`ge_flags`] test all `64/bits`
+///    delta lanes of each packed word at once; [`compress_stride`]
+///    gathers the per-field flags into selection-bit order. 1-bit
+///    chunks reduce to whole-word Boolean ops and 64-bit chunks to one
+///    compare per row.
+///
+/// Chunk size is a multiple of 64, so chunk outputs tile whole
+/// selection words; garbage lanes in a final partial word only ever
+/// touch the globally-final word, which [`BitVec::from_words`] masks.
+pub fn filter_band_packed(col: &PackedColumn, lo: i64, hi: i64) -> BitVec {
+    let len = col.len();
+    let mut out: Vec<u64> = Vec::with_capacity(len.div_ceil(64));
+    for (ci, ch) in col.chunks().iter().enumerate() {
+        let rows = col.chunk_rows(ci);
+        let words = col.chunk_words(ci);
+        let chunk_out = rows.div_ceil(64);
+        if hi < ch.frame || lo > ch.max || lo > hi {
+            out.resize(out.len() + chunk_out, 0);
+            continue;
+        }
+        if lo <= ch.frame && hi >= ch.max {
+            out.resize(out.len() + chunk_out, !0u64);
+            continue;
+        }
+        let elo = lo.max(ch.frame).wrapping_sub(ch.frame) as u64;
+        let ehi = hi.min(ch.max).wrapping_sub(ch.frame) as u64;
+        match ch.bits {
+            64 => {
+                // One row per word: plain unsigned compares, 64 rows
+                // per selection word.
+                for group in words.chunks(64) {
+                    let mut ow = 0u64;
+                    for (k, &d) in group.iter().enumerate() {
+                        ow |= ((d >= elo && d <= ehi) as u64) << k;
+                    }
+                    out.push(ow);
+                }
+            }
+            1 => {
+                // 64 rows per word; after the zone map only one-sided
+                // bands remain, so each word maps by a Boolean op.
+                for &x in words {
+                    out.push(if elo == 1 { x } else { !x });
+                }
+            }
+            bits => {
+                let w = bits as usize;
+                let vpw = 64 / w;
+                let ones = u64::MAX / ((1u64 << w) - 1);
+                let h = ones << (w - 1);
+                let (lo_b, hi_b) = (elo.wrapping_mul(ones), ehi.wrapping_mul(ones));
+                let mut ow = 0u64;
+                let mut j = 0;
+                for &x in words {
+                    let flags = le_flags(x, hi_b, h) & ge_flags(x, lo_b, h);
+                    ow |= compress_stride(flags >> (w - 1), w) << (j * vpw);
+                    j += 1;
+                    if j * vpw == 64 {
+                        out.push(ow);
+                        ow = 0;
+                        j = 0;
+                    }
+                }
+                if j > 0 {
+                    out.push(ow);
+                }
+            }
+        }
+    }
+    BitVec::from_words(len, out)
 }
 
 /// The top-k pre-filter word: bit `k` set iff `block[k] > threshold`,
@@ -534,6 +664,104 @@ mod tests {
     #[should_panic(expected = "expression division by zero")]
     fn div_lanes_panics_like_the_evaluator() {
         div_lanes(&mut [1, 2], &[1, 0]);
+    }
+
+    #[test]
+    fn swar_field_compares_match_scalar() {
+        // Every field width against exhaustive small fields / sampled
+        // large ones: flags must sit at MSB positions and agree with
+        // the per-field unsigned compares.
+        for w in [2usize, 4, 8, 16, 32] {
+            let fields = 64 / w;
+            let fmax = (1u128 << w) - 1;
+            let ones = u64::MAX / (fmax as u64);
+            let h = ones << (w - 1);
+            let samples: Vec<u64> = (0..=fmax.min(40))
+                .map(|v| v as u64)
+                .chain([fmax as u64, fmax as u64 - 1, fmax as u64 / 2])
+                .collect();
+            let mut x = 0u64;
+            for (f, &s) in samples.iter().cycle().take(fields).enumerate() {
+                x |= s.rotate_left(f as u32) & ((fmax as u64) << (f * w));
+            }
+            for &c in &samples {
+                let cb = c.wrapping_mul(ones);
+                let le = le_flags(x, cb, h);
+                let ge = ge_flags(x, cb, h);
+                assert_eq!(le & !h, 0, "w={w}: le flags must stay at MSBs");
+                assert_eq!(ge & !h, 0, "w={w}: ge flags must stay at MSBs");
+                for f in 0..fields {
+                    let field = (x >> (f * w)) & (fmax as u64);
+                    let bit = 1u64 << (f * w + w - 1);
+                    assert_eq!(le & bit != 0, field <= c, "w={w} f={f} x={field} c={c} le");
+                    assert_eq!(ge & bit != 0, field >= c, "w={w} f={f} x={field} c={c} ge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_gathers_strided_bits() {
+        assert_eq!(compress_even(0xAAAA_AAAA_AAAA_AAAA), 0); // odd bits drop
+        assert_eq!(compress_even(0x5555_5555_5555_5555), 0xFFFF_FFFF);
+        for stride in [1usize, 2, 4, 8, 16, 32] {
+            let fields = 64 / stride;
+            // An alternating flag pattern at stride positions.
+            let mut x = 0u64;
+            for f in (0..fields).step_by(2) {
+                x |= 1u64 << (f * stride);
+            }
+            let got = compress_stride(x, stride);
+            let mut want = 0u64;
+            for f in (0..fields).step_by(2) {
+                want |= 1u64 << f;
+            }
+            assert_eq!(got, want, "stride={stride}");
+        }
+    }
+
+    #[test]
+    fn packed_filter_matches_flat_filter() {
+        use crate::column::PACK_CHUNK_ROWS;
+        // One dataset per bit width (plus extremes), several bands each
+        // — including bands that zone-map whole chunks in and out,
+        // empty bands, and chunk-straddling lengths.
+        let datasets: Vec<Vec<i64>> = vec![
+            vec![],
+            vec![7; 2 * PACK_CHUNK_ROWS + 17],  // constant chunks
+            (0..2049).map(|i| i % 2).collect(), // 1 bit
+            (0..1500).map(|i| -2 + (i * 7) % 4).collect(), // 2 bits
+            (0..1025).map(|i| (i * 11) % 13).collect(), // 4 bits
+            (0..4096).map(|i| 1000 + (i * 37) % 200).collect(), // 8 bits
+            (0..777).map(|i| (i * 997) % 40_000 - 20_000).collect(), // 16 bits
+            (0..2500).map(|i| (i * 2_654_435_761) % (1i64 << 31)).collect(), // 32 bits
+            (0..300).map(|i| i * (1i64 << 40) - (1i64 << 47)).collect(), // 64 bits
+            vec![i64::MIN, i64::MAX, 0, -1, 1, i64::MIN + 1, i64::MAX - 1],
+        ];
+        for data in &datasets {
+            let p = PackedColumn::encode(data);
+            let mut bands: Vec<(i64, i64)> = vec![
+                (i64::MIN, i64::MAX),
+                (0, 0),
+                (3, 2), // empty (lo > hi)
+                (i64::MIN, 0),
+                (0, i64::MAX),
+            ];
+            if !data.is_empty() {
+                let (&lo, &hi) = (data.iter().min().unwrap(), data.iter().max().unwrap());
+                bands.extend([
+                    (lo, hi),
+                    (lo.saturating_add(1), hi.saturating_sub(1)),
+                    (lo, lo),
+                    (hi, hi),
+                ]);
+            }
+            for (lo, hi) in bands {
+                let want = filter_band(data, lo, hi);
+                let got = filter_band_packed(&p, lo, hi);
+                assert_eq!(got.words(), want.words(), "rows={} band=[{lo},{hi}]", data.len());
+            }
+        }
     }
 
     #[test]
