@@ -25,6 +25,18 @@
 //!   planner-selected plans: `static` trusts the estimates for the whole
 //!   run, `adaptive` re-ranks candidates from observed traffic and
 //!   prints any plan switches (`off`, the default, skips the section).
+//! - `--racks <r>` — spread the 8 nodes over `r` racks behind a
+//!   spine/leaf fabric (default 1, the flat committed baseline).
+//! - `--oversub <x>` — leaf-uplink oversubscription ratio ≥ 1 (default
+//!   1, a non-blocking spine). Only meaningful with `--racks > 1`.
+//! - `--tenants <t>` — serve the suite to `t` open-loop tenants
+//!   (weighted-fair shares, priority preemption) and print the
+//!   per-tenant breakdown (default 1: section skipped unless the trace
+//!   is open-loop).
+//! - `--trace <closed|diurnal|burst>` — arrival shape for the tenant
+//!   section: `closed` keeps the default closed-loop serving only,
+//!   `diurnal`/`burst` run the open-loop multi-tenant loop under the
+//!   corresponding trace.
 //!
 //! Regardless of flags, the binary also sweeps k ∈ {1, 2, 3} ×
 //! {0, 1, 2} failed nodes and emits `BENCH_rack_failover.json`, plus the
@@ -50,8 +62,9 @@ use std::sync::Arc;
 use dpu_bench::json::{emit, Json};
 use dpu_bench::{header, row};
 use dpu_cluster::{
-    serve, serve_pipeline, serve_pipeline_hooked, Cluster, ClusterConfig, ClusterCore, FaultPlan,
-    QueryId, ServeConfig, ShardPolicy, SingleRefCache, Speculation, Template,
+    serve, serve_pipeline, serve_pipeline_hooked, serve_tenants, Cluster, ClusterConfig,
+    ClusterCore, FaultPlan, QueryId, ServeConfig, ShardPolicy, SingleRefCache, Speculation,
+    Template, Tenant, TenantServeConfig, TraceShape,
 };
 use dpu_planner::{explain, AdaptiveServer, CandidatePlan, Planner, PlannerMode};
 use dpu_pool::Pool;
@@ -66,6 +79,10 @@ struct Args {
     speculate: bool,
     explain: bool,
     planner: Option<PlannerMode>,
+    racks: usize,
+    oversub: f64,
+    tenants: usize,
+    trace: Option<TraceShape>,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +94,10 @@ fn parse_args() -> Args {
         speculate: false,
         explain: false,
         planner: None,
+        racks: 1,
+        oversub: 1.0,
+        tenants: 1,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -112,10 +133,38 @@ fn parse_args() -> Args {
                     other => panic!("--planner takes off|static|adaptive, got {other}"),
                 };
             }
+            "--racks" => {
+                let v = args.next().expect("--racks needs a value");
+                parsed.racks = v.parse().expect("--racks takes an integer");
+            }
+            "--oversub" => {
+                let v = args.next().expect("--oversub needs a value");
+                parsed.oversub = v.parse().expect("--oversub takes a ratio");
+            }
+            "--tenants" => {
+                let v = args.next().expect("--tenants needs a value");
+                parsed.tenants = v.parse().expect("--tenants takes an integer");
+            }
+            "--trace" => {
+                let v = args.next().expect("--trace needs closed|diurnal|burst");
+                parsed.trace = match v.as_str() {
+                    "closed" => None,
+                    "diurnal" => {
+                        Some(TraceShape::Diurnal { period_seconds: 20.0, amplitude: 0.8 })
+                    }
+                    "burst" => Some(TraceShape::Burst {
+                        period_seconds: 10.0,
+                        burst_seconds: 2.0,
+                        multiplier: 4.0,
+                    }),
+                    other => panic!("--trace takes closed|diurnal|burst, got {other}"),
+                };
+            }
             other => panic!(
                 "unknown flag {other} (use --replicas <k> / --kill <node>@<seconds> / \
                  --concurrency <n> / --slo-ms <ms> / --speculate / --explain / \
-                 --planner <off|static|adaptive>)"
+                 --planner <off|static|adaptive> / --racks <r> / --oversub <x> / \
+                 --tenants <t> / --trace <closed|diurnal|burst>)"
             ),
         }
     }
@@ -219,8 +268,19 @@ fn main() {
     // One core per sweep replication factor — each (policy, k) sharded
     // exactly once. Every sweep cell below is an O(1) fork of its core.
     let cores: Vec<Arc<ClusterCore>> = (1..=3).map(core_for).collect();
-    let main_core =
-        if (1..=3).contains(&replicas) { cores[replicas - 1].clone() } else { core_for(replicas) };
+    let default_topology = args.racks == 1 && args.oversub == 1.0;
+    let main_core = if (1..=3).contains(&replicas) && default_topology {
+        cores[replicas - 1].clone()
+    } else {
+        ClusterCore::with_shared(
+            db.clone(),
+            &policy,
+            ClusterConfig::prototype_slice(NODES, scale)
+                .with_replicas(replicas)
+                .with_topology(args.racks, args.oversub),
+            single.clone(),
+        )
+    };
     // Warm the shared cache once (no-op at one thread; values identical
     // either way) so parallel sweep cells start fully warm.
     main_core.warm_single_refs();
@@ -239,6 +299,16 @@ fn main() {
          ({} lineitem rows)\n",
         cluster.full().lineitem.rows()
     );
+    if !default_topology {
+        println!(
+            "Topology: {} racks of {} nodes, spine/leaf, {}:1 oversubscription \
+             (failover timeout {:.1} µs)\n",
+            args.racks,
+            NODES / args.racks,
+            args.oversub,
+            cluster.fabric.failover_timeout_seconds() * 1e6
+        );
+    }
     if !args.kills.is_empty() {
         for &(node, at) in &args.kills {
             println!("Injected fault: node {node} crashes at t={at:.3} s");
@@ -445,11 +515,65 @@ fn main() {
         );
     }
 
+    // Open-loop multi-tenant serving: weighted-fair shares, priority
+    // preemption, and the flagged arrival trace over this cluster's
+    // topology. Printed only — the emitted JSON never depends on it.
+    if args.tenants > 1 || args.trace.is_some() {
+        const TENANT_NAMES: [&str; 8] = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"];
+        let t = args.tenants.clamp(1, TENANT_NAMES.len());
+        // Tenant 0 is the latency class (highest priority, tightest
+        // share); the rest split the remaining weight evenly.
+        let tenants: Vec<Tenant> = (0..t)
+            .map(|i| Tenant {
+                name: TENANT_NAMES[i],
+                weight: if i == 0 { 2.0 } else { 1.0 },
+                priority: u8::from(i == 0),
+                slo_seconds: 1.0,
+                rate_qps: 24.0 / t as f64,
+            })
+            .collect();
+        let tcfg = TenantServeConfig {
+            trace: args.trace.unwrap_or(TraceShape::Steady),
+            ..TenantServeConfig::default()
+        };
+        let fabric = cluster.cfg().fabric.clone();
+        let topo = cluster.cfg().topology();
+        let mt = serve_tenants(&templates, &tenants, &tcfg, Some((&fabric, &topo)), None);
+        println!(
+            "\n## Multi-tenant serving ({} tenants, {:?} trace, preemption {})\n",
+            t,
+            tcfg.trace,
+            if tcfg.preemption { "on" } else { "off" }
+        );
+        header(&["tenant", "arrived", "rejected", "QPS", "p50 (ms)", "p99 (ms)", "SLO att"]);
+        for r in &mt.tenants {
+            row(&[
+                r.name.into(),
+                format!("{}", r.arrived),
+                format!("{}", r.rejected),
+                format!("{:.2}", r.qps),
+                format!("{:.1}", r.p50 * 1e3),
+                format!("{:.1}", r.p99 * 1e3),
+                format!("{:.4}", r.slo_attainment),
+            ]);
+        }
+        println!(
+            "\nAggregate: {:.1} QPS, {} preemptions ({:.3} s wasted), fabric {:.3} ms \
+             shared vs {:.3} ms isolated.",
+            mt.qps,
+            mt.preemptions,
+            mt.wasted_seconds,
+            mt.mean_fabric_seconds * 1e3,
+            mt.mean_fabric_isolated_seconds * 1e3
+        );
+    }
+
     // The suite baseline is a committed, nightly-byte-diffed file, so a
     // run whose flags reshape the cluster (and hence costs, failovers,
     // or load) must not rewrite it. Serving flags don't matter: the
     // flagged serving run above is print-only.
-    let default_cluster = replicas == 1 && args.kills.is_empty() && !args.speculate;
+    let default_cluster =
+        replicas == 1 && args.kills.is_empty() && !args.speculate && default_topology;
     if !default_cluster {
         println!(
             "\n(BENCH_rack_tpch.json not rewritten: cluster flags are set; the \

@@ -33,6 +33,18 @@
 //! - the gather destination and Q10's shuffle owners fail over the same
 //!   way (next live node in ring order, one timeout per detection).
 //!
+//! # Topology awareness
+//!
+//! Routing reads the cluster's [`Topology`]: replicas are placed with
+//! [`Placement::rack_aware`] so a shard's copies span `min(k, racks)`
+//! failure domains, gathers re-derive lost partials from a rack-local
+//! replica first ([`Placement::gather_order`]), the gather destination
+//! is the live node minimizing hop-weighted inbound bytes, and the
+//! failover timeout is derived from the topology's worst-case probe
+//! round trip ([`Topology::failover_timeout_cycles`]) instead of a
+//! hard-coded constant. With one rack every one of these reduces
+//! exactly to the original single-rack behavior.
+//!
 //! Every distributed result stays **bit-identical** to the single-node
 //! engine's output under any fault pattern that leaves at least one live
 //! replica per shard — partials are always computed from a replica of the
@@ -41,7 +53,7 @@
 //! pattern that kills *every* replica of some shard yields
 //! [`QueryError::ShardUnavailable`] — never a wrong answer.
 //!
-//! [failover timeout]: crate::fabric::FabricConfig::failover_timeout_cycles
+//! [failover timeout]: crate::topology::Topology::failover_timeout_cycles
 
 use std::sync::{Arc, OnceLock};
 
@@ -57,7 +69,9 @@ use xeon_model::Xeon;
 
 use crate::fabric::{Fabric, FabricConfig};
 use crate::fault::FaultPlan;
-use crate::shard::{shard_table, shard_tpch_replicated, ShardPolicy, ShardedTpch};
+use crate::replica::Placement;
+use crate::shard::{shard_table, shard_tpch_placed, ShardPolicy, ShardedTpch};
+use crate::topology::Topology;
 
 /// The eight TPC-H queries of Figure 16.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -358,6 +372,12 @@ pub struct ClusterConfig {
     pub scale: u64,
     /// The fabric connecting the nodes.
     pub fabric: FabricConfig,
+    /// Racks the nodes split over (spine/leaf once > 1; 1 = the flat
+    /// single-switch fabric).
+    pub racks: usize,
+    /// Leaf-uplink oversubscription ratio (≥ 1; only meaningful with
+    /// `racks > 1`).
+    pub oversub: f64,
     /// Provisioned watts per node (SoC + DRAM + NIC).
     pub watts_per_node: f64,
 }
@@ -371,6 +391,8 @@ impl ClusterConfig {
             replicas: 1,
             scale,
             fabric: FabricConfig::from_provision(&p),
+            racks: 1,
+            oversub: 1.0,
             watts_per_node: p.watts_per_node,
         }
     }
@@ -384,6 +406,25 @@ impl ClusterConfig {
     pub fn with_replicas(mut self, k: usize) -> Self {
         self.replicas = k;
         self
+    }
+
+    /// The same config spread over `racks` racks behind a spine with the
+    /// given uplink oversubscription ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at construction) if `racks` does not divide `n_nodes` or
+    /// `oversub < 1` — validated by [`Topology::new`].
+    pub fn with_topology(mut self, racks: usize, oversub: f64) -> Self {
+        self.racks = racks;
+        self.oversub = oversub;
+        let _ = self.topology(); // validate eagerly
+        self
+    }
+
+    /// The spine/leaf geometry this config describes.
+    pub fn topology(&self) -> Topology {
+        Topology::new(self.n_nodes, self.racks, self.oversub)
     }
 }
 
@@ -462,7 +503,8 @@ impl ClusterCore {
         single: Arc<SingleRefCache>,
     ) -> Arc<Self> {
         assert_eq!(policy.shards(), cfg.n_nodes, "policy shards must equal cluster nodes");
-        let sharded = shard_tpch_replicated(&db, policy, cfg.replicas);
+        let placement = Placement::rack_aware(cfg.n_nodes, cfg.racks, cfg.replicas);
+        let sharded = shard_tpch_placed(&db, policy, placement);
         Arc::new(ClusterCore { cfg, full: db, sharded, xeon: Xeon::new(), single })
     }
 
@@ -560,7 +602,7 @@ impl Cluster {
     /// faults, no speculation — exactly the state `Cluster::new` leaves
     /// behind, without re-sharding or cloning the database.
     pub fn from_core(core: Arc<ClusterCore>) -> Self {
-        let fabric = Fabric::new(core.cfg.n_nodes, core.cfg.fabric.clone());
+        let fabric = Fabric::with_topology(core.cfg.topology(), core.cfg.fabric.clone());
         Cluster { core, fabric, faults: FaultPlan::none(), speculation: None }
     }
 
@@ -732,10 +774,12 @@ impl Cluster {
         let mut bytes_moved = 0u64;
         let mut done = start;
         for &s in &shards {
+            // Rack-local surviving replicas are preferred (2 hops instead
+            // of 4); with one rack this is the plain owner chain.
             let src = self
                 .sharded()
                 .placement
-                .owners(s)
+                .gather_order(s, node)
                 .into_iter()
                 .find(|&o| o != node && !self.faults.is_down(o, at_seconds));
             if let Some(src) = src {
@@ -868,15 +912,20 @@ impl Cluster {
         Ok((runs, per_node, failovers, speculations))
     }
 
-    /// A source able to ship shard `s`'s partial at or after `t`: the
-    /// original executor if still alive (its result is ready), else the
-    /// first live replica, which must re-derive the partial first.
+    /// A source able to ship shard `s`'s partial at or after `t` toward
+    /// destination `dst`: the original executor if still alive (its
+    /// result is ready), else the first live replica in
+    /// [`Placement::gather_order`] — replicas in `dst`'s rack first, so
+    /// a re-derivation ships over 2 hops instead of 4 when it can. With
+    /// one rack the order is the plain owner chain, preserving the
+    /// original routing exactly.
     pub(crate) fn partial_source(
         &self,
         s: usize,
         t: f64,
         runs: &[ShardRun],
         costs: &[NodeCost],
+        dst: usize,
     ) -> Result<(usize, f64), QueryError> {
         let run = &runs[s];
         if !self.faults.is_down(run.node, t) {
@@ -885,12 +934,32 @@ impl Cluster {
         let node = self
             .sharded()
             .placement
-            .owners(s)
+            .gather_order(s, dst)
             .into_iter()
             .find(|&o| !self.faults.is_down(o, t))
             .ok_or(QueryError::ShardUnavailable { shard: s })?;
         let slow = self.faults.compute_factor(node, t);
         Ok((node, t + costs[s].seconds() / slow))
+    }
+
+    /// The gather coordinator among the nodes live at `t`: the one
+    /// minimizing hop-weighted inbound bytes (2 units per intra-rack
+    /// byte, 4 per cross-rack byte, sources taken from where each
+    /// shard's partial actually ran), ties to the lowest node id. With
+    /// one rack every candidate scores identically and the lowest live
+    /// id wins — exactly the original `(0..n).find(live)` choice.
+    pub(crate) fn gather_destination(&self, sources: &[(usize, u64)], t: f64) -> Option<usize> {
+        let topo = self.fabric.topology();
+        let n = topo.n_nodes();
+        (0..n).filter(|&v| !self.faults.is_down(v, t)).min_by_key(|&v| {
+            sources
+                .iter()
+                .map(|&(src, b)| {
+                    let units = if topo.same_rack(src, v) { 2u128 } else { 4 };
+                    units * b as u128
+                })
+                .sum::<u128>()
+        })
     }
 
     /// Gathers every shard's partial to a coordinator node, failing the
@@ -906,15 +975,17 @@ impl Cluster {
     ) -> Result<(usize, Time, usize), QueryError> {
         let n = self.core.sharded.n_nodes();
         let timeout = self.fabric.failover_timeout_seconds();
+        let sources: Vec<(usize, u64)> =
+            runs.iter().zip(bytes).map(|(r, &b)| (r.node, b)).collect();
         let mut t_try = start;
         let mut failovers = 0usize;
         for _ in 0..=n {
-            let Some(dst) = (0..n).find(|&v| !self.faults.is_down(v, t_try)) else {
+            let Some(dst) = self.gather_destination(&sources, t_try) else {
                 return Err(QueryError::NoLiveNodes);
             };
             let mut parts = Vec::with_capacity(runs.len());
             for (s, &b) in bytes.iter().enumerate().take(runs.len()) {
-                let (src, ready) = self.partial_source(s, t_try, runs, costs)?;
+                let (src, ready) = self.partial_source(s, t_try, runs, costs, dst)?;
                 parts.push((src, self.fabric.at_seconds(ready), b));
             }
             let done = self.fabric.gather(&parts, dst);
@@ -1155,7 +1226,7 @@ impl Cluster {
                                 continue;
                             }
                             let (src, src_ready) =
-                                self.partial_source(s, t_retry, &runs, &per_shard)?;
+                                self.partial_source(s, t_retry, &runs, &per_shard, next)?;
                             landed = landed.max(self.fabric.transfer(
                                 self.fabric.at_seconds(src_ready),
                                 src,
@@ -1175,8 +1246,12 @@ impl Cluster {
             candidates.push(cand);
         }
 
-        // Phase 4: gather candidates; final merge at the coordinator.
-        let Some(dst) = (0..n).find(|&v| !self.faults.is_down(v, local_end)) else {
+        // Phase 4: gather candidates; final merge at the coordinator
+        // (the live node with the cheapest hop-weighted inbound — the
+        // lowest live id with one rack).
+        let cand_sources: Vec<(usize, u64)> =
+            cand_parts.iter().map(|&(host, _, b)| (host, b)).collect();
+        let Some(dst) = self.gather_destination(&cand_sources, local_end) else {
             return Err(QueryError::NoLiveNodes);
         };
         let done = self.fabric.gather(&cand_parts, dst);
@@ -1666,6 +1741,52 @@ mod tests {
         // floor on any schedule.
         let floor = (b[0] + b[1]) as f64 / (cfg.nic_bytes_per_cycle as f64 * cfg.clock.hz());
         assert!(r.rebuild_seconds > floor);
+    }
+
+    #[test]
+    fn failover_timeout_pins_the_old_constant_at_one_rack() {
+        // Satellite regression: the timeout is now topology-derived, but
+        // a single-rack cluster must reproduce the retired hard-coded
+        // formula `2*(4*hop + 2*msg)` — 11 264 cycles on the prototype
+        // fabric — to the cycle.
+        let c = cluster(8);
+        let fc = &c.cfg().fabric;
+        assert_eq!(fc.hop_cycles, 1280);
+        assert_eq!(fc.message_overhead_cycles, 256);
+        let pinned_cycles = 2 * (4 * 1280 + 2 * 256);
+        assert_eq!(pinned_cycles, 11_264u64);
+        assert_eq!(c.cfg().topology().failover_timeout_cycles(fc), pinned_cycles);
+        let pinned_seconds = Time::from_cycles(pinned_cycles).as_secs(fc.clock);
+        assert_eq!(c.fabric.failover_timeout_seconds(), pinned_seconds);
+        // A spine topology probes over 4 hops each way: strictly longer.
+        let db = generate(600, 42);
+        let spread = Cluster::new(
+            db,
+            &ShardPolicy::hash(8),
+            ClusterConfig::prototype_slice(8, 10_000).with_topology(2, 4.0),
+        );
+        assert!(spread.fabric.failover_timeout_seconds() > pinned_seconds);
+    }
+
+    #[test]
+    fn multirack_cluster_stays_bit_identical_to_single_node() {
+        let db = generate(1200, 42);
+        let mut flat = Cluster::new(
+            db.clone(),
+            &ShardPolicy::hash(8),
+            ClusterConfig::prototype_slice(8, 10_000).with_replicas(2),
+        );
+        let mut spread = Cluster::new(
+            db,
+            &ShardPolicy::hash(8),
+            ClusterConfig::prototype_slice(8, 10_000).with_replicas(2).with_topology(4, 8.0),
+        );
+        for (a, b) in flat.run_all().iter().zip(spread.run_all().iter()) {
+            assert!(b.matches_single(), "{} diverged on 4 racks", b.id.name());
+            assert_eq!(a.output, b.output, "{} racks changed the answer", a.id.name());
+            // Topology prices the fabric differently but never the rows.
+            assert_eq!(b.cost.failovers, 0, "healthy multirack run must not fail over");
+        }
     }
 
     #[test]

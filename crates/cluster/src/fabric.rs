@@ -1,12 +1,22 @@
-//! The shared-Infiniband rack fabric.
+//! The spine/leaf cluster fabric.
 //!
 //! The paper rejects a PCIe NIC per node (10 W minimum) and instead runs
 //! Infiniband off each DPU's integrated A9 over a shared switch (§2).
-//! This module models that fabric as three queuing resources per
-//! transfer — the sender's NIC, the shared switch, the receiver's NIC —
-//! each a [`BandwidthServer`], plus a fixed per-hop latency. Congestion
-//! falls out of the queuing: two nodes sending to one receiver serialize
-//! on its NIC; an all-to-all shuffle saturates the switch.
+//! This module models that fabric as queuing resources per transfer —
+//! the sender's NIC, the rack's leaf switch, the receiver's NIC — each a
+//! [`BandwidthServer`], plus a fixed per-hop latency. Congestion falls
+//! out of the queuing: two nodes sending to one receiver serialize on
+//! its NIC; an all-to-all shuffle saturates the switch.
+//!
+//! Past one rack, a second switching tier appears ([`Topology`]): each
+//! rack keeps its leaf switch, the leaves interconnect through a
+//! non-blocking spine over per-rack uplinks carrying
+//! `switch_bytes_per_cycle / oversub`. An inter-rack transfer crosses
+//! sender NIC → leaf → uplink → spine → downlink → leaf → receiver NIC
+//! (4 hop latencies); an intra-rack transfer crosses exactly the
+//! original 2-hop path. With `racks = 1` no spine resource is ever
+//! requested, so the flat fabric is reproduced cycle for cycle — the
+//! committed `BENCH_rack_*.json` baselines pin that equivalence.
 //!
 //! All times are in dpCore cycles ([`dpu_sim::Time`]), matching the rest
 //! of the simulator.
@@ -15,13 +25,15 @@ use dpu_core::rack::FabricProvision;
 use dpu_sim::{BandwidthServer, Frequency, Time};
 
 use crate::fault::FaultPlan;
+use crate::topology::Topology;
 
 /// Fabric rates and latencies, in dpCore-cycle units.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
     /// Per-node NIC bandwidth, bytes per cycle (each direction).
     pub nic_bytes_per_cycle: u64,
-    /// Shared switch bandwidth, bytes per cycle.
+    /// Leaf switch bandwidth, bytes per cycle (the shared switch of a
+    /// single-rack fabric).
     pub switch_bytes_per_cycle: u64,
     /// One-hop propagation + forwarding latency, cycles.
     pub hop_cycles: u64,
@@ -56,48 +68,77 @@ impl FabricConfig {
         }
     }
 
-    /// The coordinator's per-attempt failover timeout, in cycles: the
-    /// round trip of a control probe over the fabric (two hops each way
-    /// plus descriptor setup on both A9s), doubled for scheduling slack.
-    /// A node that has not acknowledged a re-issued sub-plan within this
-    /// window is treated as dead and the next replica is tried.
+    /// The single-rack failover timeout, in cycles: the round trip of a
+    /// control probe over a flat fabric (two hops each way plus
+    /// descriptor setup on both A9s), doubled for scheduling slack.
+    /// Equal to [`Topology::failover_timeout_cycles`] for a single-rack
+    /// topology; multi-rack fabrics stretch the probe to their own
+    /// worst-case hop count.
     pub fn failover_timeout_cycles(&self) -> u64 {
         2 * (4 * self.hop_cycles + 2 * self.message_overhead_cycles)
     }
 }
 
-/// The rack network: per-node NICs around a shared switch.
+/// The cluster network: per-node NICs around per-rack leaf switches,
+/// interconnected by a spine when the topology has more than one rack.
 #[derive(Debug)]
 pub struct Fabric {
     cfg: FabricConfig,
+    topo: Topology,
     tx: Vec<BandwidthServer>,
     rx: Vec<BandwidthServer>,
-    switch: BandwidthServer,
+    /// One leaf switch per rack; `leaves[0]` is the shared switch of the
+    /// flat single-rack fabric.
+    leaves: Vec<BandwidthServer>,
+    /// Per-rack uplink (rack → spine) and downlink (spine → rack)
+    /// serialization, `switch_bytes_per_cycle / oversub` each. Never
+    /// requested when `racks == 1`.
+    up: Vec<BandwidthServer>,
+    down: Vec<BandwidthServer>,
+    /// The non-blocking spine core: `racks ×` the uplink rate, so the
+    /// oversubscribed uplinks — not the core — are where a leaf tier
+    /// saturates.
+    spine: BandwidthServer,
     transfers: u64,
     payload_bytes: u64,
+    spine_bytes: u64,
     node_tx_bytes: Vec<u64>,
     node_rx_bytes: Vec<u64>,
     faults: FaultPlan,
 }
 
 impl Fabric {
-    /// A fabric connecting `n_nodes` DPUs.
+    /// A flat single-rack fabric connecting `n_nodes` DPUs.
     ///
     /// # Panics
     ///
     /// Panics if `n_nodes` is zero.
     pub fn new(n_nodes: usize, cfg: FabricConfig) -> Self {
-        assert!(n_nodes > 0, "a fabric needs nodes");
+        Fabric::with_topology(Topology::single_rack(n_nodes), cfg)
+    }
+
+    /// A spine/leaf fabric over `topo`.
+    pub fn with_topology(topo: Topology, cfg: FabricConfig) -> Self {
+        let n_nodes = topo.n_nodes();
+        let racks = topo.racks();
+        let uplink = topo.uplink_bytes_per_cycle(&cfg);
         let nic = |c: &FabricConfig| {
             BandwidthServer::new(c.nic_bytes_per_cycle, c.message_overhead_cycles)
         };
         Fabric {
             tx: (0..n_nodes).map(|_| nic(&cfg)).collect(),
             rx: (0..n_nodes).map(|_| nic(&cfg)).collect(),
-            switch: BandwidthServer::new(cfg.switch_bytes_per_cycle, 0),
+            leaves: (0..racks)
+                .map(|_| BandwidthServer::new(cfg.switch_bytes_per_cycle, 0))
+                .collect(),
+            up: (0..racks).map(|_| BandwidthServer::new(uplink, 0)).collect(),
+            down: (0..racks).map(|_| BandwidthServer::new(uplink, 0)).collect(),
+            spine: BandwidthServer::new(uplink * racks as u64, 0),
             cfg,
+            topo,
             transfers: 0,
             payload_bytes: 0,
+            spine_bytes: 0,
             node_tx_bytes: vec![0; n_nodes],
             node_rx_bytes: vec![0; n_nodes],
             faults: FaultPlan::none(),
@@ -116,10 +157,12 @@ impl Fabric {
         &self.faults
     }
 
-    /// The coordinator's per-attempt failover timeout, seconds (see
-    /// [`FabricConfig::failover_timeout_cycles`]).
+    /// The coordinator's per-attempt failover timeout, seconds: the
+    /// topology's worst-case probe round trip (see
+    /// [`Topology::failover_timeout_cycles`]). A single-rack fabric
+    /// reproduces [`FabricConfig::failover_timeout_cycles`] exactly.
     pub fn failover_timeout_seconds(&self) -> f64 {
-        self.seconds(Time::from_cycles(self.cfg.failover_timeout_cycles()))
+        self.seconds(Time::from_cycles(self.topo.failover_timeout_cycles(&self.cfg)))
     }
 
     /// Node count.
@@ -130,6 +173,11 @@ impl Fabric {
     /// The configured rates.
     pub fn config(&self) -> &FabricConfig {
         &self.cfg
+    }
+
+    /// The spine/leaf geometry this fabric realizes.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// Converts a fabric timestamp to seconds.
@@ -145,9 +193,13 @@ impl Fabric {
 
     /// One point-to-point transfer of `bytes` from `src` to `dst`,
     /// injected at `now`; returns delivery time. A local "transfer"
-    /// (`src == dst`) is free. A NIC-degradation fault active at `now` on
-    /// either endpoint inflates that NIC's wire time by `1/factor` (the
-    /// link carries the same payload at a fraction of its rate).
+    /// (`src == dst`) is free. An intra-rack transfer crosses sender NIC
+    /// → leaf → receiver NIC (2 hops); an inter-rack transfer additionally
+    /// serializes on the source rack's uplink, the spine core, and the
+    /// destination rack's downlink and leaf (4 hops). A NIC-degradation
+    /// fault active at `now` on either endpoint inflates that NIC's wire
+    /// time by `1/factor` (the link carries the same payload at a
+    /// fraction of its rate).
     pub fn transfer(&mut self, now: Time, src: usize, dst: usize, bytes: u64) -> Time {
         if src == dst {
             return now;
@@ -164,10 +216,23 @@ impl Fabric {
                 (bytes as f64 / factor).ceil() as u64
             }
         };
+        let hop = Time::from_cycles(self.cfg.hop_cycles);
+        let (ra, rb) = (self.topo.rack_of(src), self.topo.rack_of(dst));
         let injected = self.tx[src].request(now, wire(bytes, self.faults.nic_factor(src, t_secs)));
-        let through = self.switch.request(injected + Time::from_cycles(self.cfg.hop_cycles), bytes);
+        let at_leaf = self.leaves[ra].request(injected + hop, bytes);
+        let at_dst_leaf = if ra == rb {
+            at_leaf
+        } else {
+            self.spine_bytes += bytes;
+            // The uplink/downlink serialize at the leaf and spine ports
+            // they attach to — no extra propagation hop of their own.
+            let lifted = self.up[ra].request(at_leaf, bytes);
+            let crossed = self.spine.request(lifted + hop, bytes);
+            let dropped = self.down[rb].request(crossed, bytes);
+            self.leaves[rb].request(dropped + hop, bytes)
+        };
         self.rx[dst].request(
-            through + Time::from_cycles(self.cfg.hop_cycles),
+            at_dst_leaf + hop,
             wire(bytes, self.faults.nic_factor(dst, t_secs)),
         )
     }
@@ -231,6 +296,13 @@ impl Fabric {
         self.payload_bytes
     }
 
+    /// Payload bytes that crossed the spine tier (inter-rack transfers
+    /// only) since construction or [`reset`](Self::reset). Zero on a
+    /// single-rack fabric.
+    pub fn spine_bytes(&self) -> u64 {
+        self.spine_bytes
+    }
+
     /// Payload bytes sent by `node` since construction or reset.
     pub fn node_tx_bytes(&self, node: usize) -> u64 {
         self.node_tx_bytes[node]
@@ -249,19 +321,24 @@ impl Fabric {
     /// A pristine fabric sharing this one's configuration and installed
     /// fault plan: idle queues, zeroed statistics. This is the
     /// config-vs-state split of [`dpu_sim::ServerConfig`] lifted to the
-    /// whole fabric — config (rates, latencies, faults) is carried over,
-    /// state (occupancy, counters) starts fresh. [`reset`](Self::reset)
-    /// is defined as replacing `self` with its fork, so both share one
-    /// code path.
+    /// whole fabric — config (rates, latencies, topology, faults) is
+    /// carried over, state (occupancy, counters) starts fresh.
+    /// [`reset`](Self::reset) is defined as replacing `self` with its
+    /// fork, so both share one code path.
     pub fn fork(&self) -> Self {
         let n = self.n_nodes();
         Fabric {
             cfg: self.cfg.clone(),
+            topo: self.topo.clone(),
             tx: self.tx.iter().map(BandwidthServer::fork).collect(),
             rx: self.rx.iter().map(BandwidthServer::fork).collect(),
-            switch: self.switch.fork(),
+            leaves: self.leaves.iter().map(BandwidthServer::fork).collect(),
+            up: self.up.iter().map(BandwidthServer::fork).collect(),
+            down: self.down.iter().map(BandwidthServer::fork).collect(),
+            spine: self.spine.fork(),
             transfers: 0,
             payload_bytes: 0,
+            spine_bytes: 0,
             node_tx_bytes: vec![0; n],
             node_rx_bytes: vec![0; n],
             faults: self.faults.clone(),
@@ -281,13 +358,17 @@ impl Fabric {
 ///
 /// The per-query [`Fabric`] model prices one query's shuffle/gather in
 /// isolation. When the serving front-end keeps several queries in flight
-/// at once, their fabric phases compete for the same switch and NICs —
+/// at once, their fabric phases compete for the same switches and NICs —
 /// a Q10 reshuffle running next to another Q10 reshuffle cannot see the
 /// full switch. `ServeFabric` models that sharing with the same
-/// [`BandwidthServer`] queuing primitive: one server for the switch and
+/// [`BandwidthServer`] queuing primitive: one server per leaf switch and
 /// one per node NIC (each query's aggregate flow touches every NIC with
-/// a `1/n` share — exact for an all-to-all, conservative for a gather,
-/// whose single hot receiver is already priced into the isolated cost).
+/// a `1/n` share and every leaf with a `1/racks` share — exact for an
+/// all-to-all, conservative for a gather, whose single hot receiver is
+/// already priced into the isolated cost). On a multi-rack topology the
+/// cross-rack fraction of each flow additionally occupies the per-rack
+/// uplinks/downlinks and the spine core, so oversubscription throttles
+/// concurrent serving exactly where it throttles isolated queries.
 ///
 /// A query's fabric phase is charged as its isolated cost plus whatever
 /// queueing delay the shared servers impose: with nothing else in
@@ -296,24 +377,42 @@ impl Fabric {
 #[derive(Debug)]
 pub struct ServeFabric {
     cfg: FabricConfig,
+    topo: Topology,
     nics: Vec<BandwidthServer>,
-    switch: BandwidthServer,
+    leaves: Vec<BandwidthServer>,
+    up: Vec<BandwidthServer>,
+    down: Vec<BandwidthServer>,
+    spine: BandwidthServer,
 }
 
 impl ServeFabric {
-    /// A shared serving fabric over `n_nodes` NICs. The servers carry no
-    /// per-request overhead — fixed message costs are already inside each
-    /// template's isolated fabric seconds.
+    /// A shared serving fabric over `n_nodes` NICs in one flat rack. The
+    /// servers carry no per-request overhead — fixed message costs are
+    /// already inside each template's isolated fabric seconds.
     ///
     /// # Panics
     ///
     /// Panics if `n_nodes` is zero.
     pub fn new(n_nodes: usize, cfg: FabricConfig) -> Self {
-        assert!(n_nodes > 0, "a serving fabric needs nodes");
+        ServeFabric::with_topology(Topology::single_rack(n_nodes), cfg)
+    }
+
+    /// A shared serving fabric over a spine/leaf topology.
+    pub fn with_topology(topo: Topology, cfg: FabricConfig) -> Self {
+        let racks = topo.racks();
+        let uplink = topo.uplink_bytes_per_cycle(&cfg);
         ServeFabric {
-            nics: (0..n_nodes).map(|_| BandwidthServer::new(cfg.nic_bytes_per_cycle, 0)).collect(),
-            switch: BandwidthServer::new(cfg.switch_bytes_per_cycle, 0),
+            nics: (0..topo.n_nodes())
+                .map(|_| BandwidthServer::new(cfg.nic_bytes_per_cycle, 0))
+                .collect(),
+            leaves: (0..racks)
+                .map(|_| BandwidthServer::new(cfg.switch_bytes_per_cycle, 0))
+                .collect(),
+            up: (0..racks).map(|_| BandwidthServer::new(uplink, 0)).collect(),
+            down: (0..racks).map(|_| BandwidthServer::new(uplink, 0)).collect(),
+            spine: BandwidthServer::new(uplink * racks as u64, 0),
             cfg,
+            topo,
         }
     }
 
@@ -322,13 +421,30 @@ impl ServeFabric {
         self.nics.len()
     }
 
+    /// The cross-rack fraction of a `bytes` flow: `(racks-1)/racks`,
+    /// the uniform-destination expectation.
+    fn inter_rack_bytes(&self, bytes: u64) -> u64 {
+        let racks = self.topo.racks() as u64;
+        bytes - bytes / racks
+    }
+
     /// The serialization cycles an uncontended `bytes` flow spends on the
-    /// bottleneck shared resource (switch, or the per-node NIC share).
+    /// bottleneck shared resource (leaf share, NIC share, or — across
+    /// racks — the uplink share or spine core).
     fn serialization_cycles(&self, bytes: u64) -> u64 {
-        let sw = bytes.div_ceil(self.cfg.switch_bytes_per_cycle);
+        let racks = self.topo.racks() as u64;
+        let leaf = bytes.div_ceil(racks).div_ceil(self.cfg.switch_bytes_per_cycle);
         let share = bytes.div_ceil(self.nics.len() as u64);
         let nic = share.div_ceil(self.cfg.nic_bytes_per_cycle);
-        sw.max(nic)
+        let mut serial = leaf.max(nic);
+        if racks > 1 {
+            let inter = self.inter_rack_bytes(bytes);
+            let uplink = self.topo.uplink_bytes_per_cycle(&self.cfg);
+            serial = serial
+                .max(inter.div_ceil(racks).div_ceil(uplink))
+                .max(inter.div_ceil(racks * uplink));
+        }
+        serial
     }
 
     /// Charges one fabric phase of `bytes` payload starting at
@@ -336,20 +452,35 @@ impl ServeFabric {
     /// `isolated_seconds`; returns the actual duration under whatever
     /// contention the shared servers currently carry.
     ///
-    /// The flow occupies the switch for all `bytes` and every NIC for a
-    /// `1/n` share; the isolated duration minus the bottleneck
-    /// serialization rides along as fixed latency (hops, message setup,
-    /// the receiver-side serialization already priced per query).
+    /// The flow occupies each leaf for a `1/racks` share, every NIC for a
+    /// `1/n` share, and (across racks) each uplink/downlink for its
+    /// cross-rack share plus the spine core for the full cross-rack
+    /// payload; the isolated duration minus the bottleneck serialization
+    /// rides along as fixed latency (hops, message setup, the
+    /// receiver-side serialization already priced per query).
     pub fn charge(&mut self, start_seconds: f64, bytes: u64, isolated_seconds: f64) -> f64 {
         if bytes == 0 {
             return isolated_seconds;
         }
         let clock = self.cfg.clock;
         let now = Time::from_cycles((start_seconds * clock.hz()).ceil() as u64);
-        let share = bytes.div_ceil(self.nics.len() as u64);
-        let mut done = self.switch.request(now, bytes);
+        let racks = self.topo.racks() as u64;
+        let leaf_share = bytes.div_ceil(racks);
+        let nic_share = bytes.div_ceil(self.nics.len() as u64);
+        let mut done = Time::ZERO;
+        for leaf in &mut self.leaves {
+            done = done.max(leaf.request(now, leaf_share));
+        }
         for nic in &mut self.nics {
-            done = done.max(nic.request(now, share));
+            done = done.max(nic.request(now, nic_share));
+        }
+        if racks > 1 {
+            let inter = self.inter_rack_bytes(bytes);
+            let link_share = inter.div_ceil(racks);
+            for link in self.up.iter_mut().chain(self.down.iter_mut()) {
+                done = done.max(link.request(now, link_share));
+            }
+            done = done.max(self.spine.request(now, inter));
         }
         let serial_seconds = Time::from_cycles(self.serialization_cycles(bytes)).as_secs(clock);
         let residual = (isolated_seconds - serial_seconds).max(0.0);
@@ -361,8 +492,12 @@ impl ServeFabric {
     pub fn fork(&self) -> Self {
         ServeFabric {
             cfg: self.cfg.clone(),
+            topo: self.topo.clone(),
             nics: self.nics.iter().map(BandwidthServer::fork).collect(),
-            switch: self.switch.fork(),
+            leaves: self.leaves.iter().map(BandwidthServer::fork).collect(),
+            up: self.up.iter().map(BandwidthServer::fork).collect(),
+            down: self.down.iter().map(BandwidthServer::fork).collect(),
+            spine: self.spine.fork(),
         }
     }
 
@@ -379,6 +514,10 @@ mod tests {
 
     fn fabric(n: usize) -> Fabric {
         Fabric::new(n, FabricConfig::infiniband())
+    }
+
+    fn spine_fabric(n: usize, racks: usize, oversub: f64) -> Fabric {
+        Fabric::with_topology(Topology::new(n, racks, oversub), FabricConfig::infiniband())
     }
 
     #[test]
@@ -531,6 +670,107 @@ mod tests {
             2 * (4 * cfg.hop_cycles + 2 * cfg.message_overhead_cycles)
         );
         assert!(f.failover_timeout_seconds() > 0.0);
+        // Multi-rack fabrics probe over 4 hops instead of 2, so their
+        // timeout is strictly longer.
+        let spine = spine_fabric(4, 2, 1.0);
+        assert!(spine.failover_timeout_seconds() > f.failover_timeout_seconds());
+    }
+
+    #[test]
+    fn single_rack_topology_is_cycle_identical_to_flat() {
+        // The refactor's load-bearing invariant: Fabric::new and an
+        // explicit single-rack topology issue identical server requests,
+        // so every committed baseline is unchanged.
+        let mut flat = fabric(4);
+        let mut topo = Fabric::with_topology(Topology::single_rack(4), FabricConfig::infiniband());
+        for (s, d, b) in [(0, 1, 1 << 20), (2, 0, 4096), (1, 3, 123_456), (3, 0, 1 << 18)] {
+            assert_eq!(
+                flat.transfer(Time::ZERO, s, d, b),
+                topo.transfer(Time::ZERO, s, d, b),
+                "transfer {s}->{d} of {b} bytes diverged"
+            );
+        }
+        assert_eq!(flat.spine_bytes(), 0);
+        assert_eq!(topo.spine_bytes(), 0);
+    }
+
+    #[test]
+    fn cross_rack_transfer_pays_four_hops_and_feeds_the_spine() {
+        let mut f = spine_fabric(8, 2, 1.0);
+        let b = 1u64 << 20;
+        let intra = f.transfer(Time::ZERO, 0, 1, b);
+        f.reset();
+        let inter = f.transfer(Time::ZERO, 0, 4, b);
+        // Beyond the shared NIC→leaf→NIC path, the cross-rack transfer
+        // pays two more propagation hops plus store-and-forward
+        // serialization at the uplink, downlink and destination leaf
+        // (uplink rate = leaf rate at oversub 1) and at the spine core
+        // (racks × the uplink rate).
+        let switch = f.config().switch_bytes_per_cycle;
+        let extra =
+            2 * f.config().hop_cycles + 3 * b.div_ceil(switch) + b.div_ceil(2 * switch);
+        assert_eq!(
+            inter.cycles() - intra.cycles(),
+            extra,
+            "non-blocking cross-rack transfer = two extra hops + spine-tier serialization"
+        );
+        assert_eq!(f.spine_bytes(), 1 << 20);
+        // An intra-rack transfer never touches the spine tier.
+        f.reset();
+        f.transfer(Time::ZERO, 0, 3, 1 << 20);
+        assert_eq!(f.spine_bytes(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_uplink_throttles_cross_rack_flows() {
+        // Two simultaneous cross-rack flows from one rack: under a
+        // non-blocking fabric they ride the 64 B/cycle uplink together;
+        // at oversub 32 the uplink matches one NIC and the flows must
+        // serialize on it.
+        let run = |oversub: f64| {
+            let mut f = spine_fabric(8, 2, oversub);
+            let a = f.transfer(Time::ZERO, 0, 4, 1 << 20);
+            let b = f.transfer(Time::ZERO, 1, 5, 1 << 20);
+            a.max(b)
+        };
+        let fast = run(1.0);
+        let slow = run(32.0);
+        let wire = (1u64 << 20) / FabricConfig::infiniband().nic_bytes_per_cycle;
+        assert!(
+            slow.cycles() >= fast.cycles() + wire / 2,
+            "oversubscription must queue the second flow: {} vs {}",
+            slow.cycles(),
+            fast.cycles()
+        );
+    }
+
+    #[test]
+    fn serve_fabric_single_rack_topology_matches_flat() {
+        let mut flat = ServeFabric::new(8, FabricConfig::infiniband());
+        let mut topo =
+            ServeFabric::with_topology(Topology::single_rack(8), FabricConfig::infiniband());
+        for (start, bytes, iso) in [(0.0, 1u64 << 20, 0.01), (0.001, 4096, 0.0005), (0.002, 0, 0.1)]
+        {
+            assert_eq!(flat.charge(start, bytes, iso), topo.charge(start, bytes, iso));
+        }
+    }
+
+    #[test]
+    fn serve_fabric_oversubscription_stretches_shared_phases() {
+        let charge_all = |racks: usize, oversub: f64| {
+            let mut sf = ServeFabric::with_topology(
+                Topology::new(8, racks, oversub),
+                FabricConfig::infiniband(),
+            );
+            // Four overlapping 1 MiB fabric phases.
+            (0..4).map(|_| sf.charge(0.0, 1 << 20, 0.001)).fold(0.0f64, f64::max)
+        };
+        let non_blocking = charge_all(2, 1.0);
+        let oversubscribed = charge_all(2, 32.0);
+        assert!(
+            oversubscribed > non_blocking,
+            "oversub 32 must throttle concurrent serving: {oversubscribed} vs {non_blocking}"
+        );
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //!   nodes + fabric transfer + merge. Distributed results stay
 //!   bit-identical to the single-node engine's under any fault pattern
 //!   that leaves each shard one live replica.
+//! - [`topology`] — the spine/leaf geometry past one rack: leaf
+//!   switches per rack behind a non-blocking spine, per-rack uplinks
+//!   carrying `switch / oversub` bytes per cycle, hop counts (2 intra-
+//!   rack, 4 inter-rack) that derive the failover timeout and the
+//!   planner's hop pricing. `racks = 1` reproduces the flat fabric
+//!   cycle for cycle.
+//! - [`tenant`] — open-loop multi-tenant serving: per-tenant SLOs and
+//!   arrival rates under diurnal/bursty traces, weighted-fair queuing
+//!   with per-tenant admission caps, and priority preemption, reported
+//!   per tenant (QPS, p50/p99, SLO attainment, preempted work).
 //! - [`serve`] — a closed-loop multi-client serving front-end, since
 //!   PR 3 an event-driven concurrent pipeline: up to
 //!   [`ServeConfig::concurrency`] batches in flight, each charged for
@@ -50,6 +60,8 @@ pub mod planned;
 pub mod replica;
 pub mod serve;
 pub mod shard;
+pub mod tenant;
+pub mod topology;
 
 pub use coordinator::{
     Cluster, ClusterConfig, ClusterCore, ClusterQueryCost, DistributedQuery, NodeCost, QueryError,
@@ -66,5 +78,10 @@ pub use serve::{
     ServeConfig, ServeHook, ServeReport, Template,
 };
 pub use shard::{
-    shard_table, shard_tpch, shard_tpch_replicated, ShardPolicy, ShardedTpch, SkewReport,
+    shard_table, shard_tpch, shard_tpch_placed, shard_tpch_replicated, ShardPolicy, ShardedTpch,
+    SkewReport,
 };
+pub use tenant::{
+    serve_tenants, MultiTenantReport, Tenant, TenantReport, TenantServeConfig, TraceShape,
+};
+pub use topology::Topology;

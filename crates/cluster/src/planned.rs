@@ -293,7 +293,7 @@ impl Cluster {
                                 continue;
                             }
                             let (src, src_ready) =
-                                self.partial_source(s, t_retry, &runs, per_shard)?;
+                                self.partial_source(s, t_retry, &runs, per_shard, next)?;
                             landed = landed.max(self.fabric.transfer(
                                 self.fabric.at_seconds(src_ready),
                                 src,
@@ -312,8 +312,11 @@ impl Cluster {
             candidates.push(cand);
         }
 
-        // Phase 4: gather candidates; final merge at the coordinator.
-        let Some(dst) = (0..n).find(|&v| !faults.is_down(v, local_end)) else {
+        // Phase 4: gather candidates; final merge at the coordinator
+        // (hop-weighted destination choice, same as the hand-wired plan).
+        let cand_sources: Vec<(usize, u64)> =
+            cand_parts.iter().map(|&(host, _, b)| (host, b)).collect();
+        let Some(dst) = self.gather_destination(&cand_sources, local_end) else {
             return Err(QueryError::NoLiveNodes);
         };
         let done = self.fabric.gather(&cand_parts, dst);

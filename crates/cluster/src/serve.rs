@@ -248,9 +248,10 @@ impl AdaptiveBatch {
     }
 }
 
-/// f64 with a total order, for the event heap.
+/// f64 with a total order, for the event heap (shared with the
+/// open-loop multi-tenant loop in [`crate::tenant`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF64(f64);
+pub(crate) struct OrdF64(pub(crate) f64);
 
 impl Eq for OrdF64 {}
 impl PartialOrd for OrdF64 {

@@ -222,13 +222,32 @@ pub fn shard_tpch(db: &TpchDb, policy: &ShardPolicy) -> ShardedTpch {
 }
 
 /// Distributes `db` across shards with `k` replicas per fact shard under
-/// chained-declustering placement. Dimensions are replicated to every
-/// node regardless of `k`.
+/// single-rack chained-declustering placement. Dimensions are replicated
+/// to every node regardless of `k`. Equivalent to
+/// [`shard_tpch_placed`] with [`Placement::new`].
 ///
 /// # Panics
 ///
 /// Panics if `k` is zero or exceeds the shard count.
 pub fn shard_tpch_replicated(db: &TpchDb, policy: &ShardPolicy, k: usize) -> ShardedTpch {
+    shard_tpch_placed(db, policy, Placement::new(policy.shards(), k))
+}
+
+/// Distributes `db` across shards under an explicit replica `placement`
+/// (e.g. [`Placement::rack_aware`], which spreads each shard's copies
+/// over `min(k, racks)` failure domains). Dimensions are replicated to
+/// every node regardless of the placement.
+///
+/// # Panics
+///
+/// Panics if the placement's node count differs from the policy's shard
+/// count.
+pub fn shard_tpch_placed(db: &TpchDb, policy: &ShardPolicy, placement: Placement) -> ShardedTpch {
+    assert_eq!(
+        placement.n_nodes(),
+        policy.shards(),
+        "placement nodes must match policy shards"
+    );
     let orders = shard_table(&db.orders, "o_orderkey", policy);
     let lineitem = shard_table(&db.lineitem, "l_orderkey", policy);
     let mut shards: Vec<TpchDb> = orders
@@ -250,7 +269,7 @@ pub fn shard_tpch_replicated(db: &TpchDb, policy: &ShardPolicy, k: usize) -> Sha
     for s in &mut shards {
         s.encode_packed();
     }
-    let placement = Placement::new(shards.len(), k);
+    let k = placement.k();
     let broadcast_bytes = db.customer.bytes()
         + db.part.bytes()
         + db.supplier.bytes()

@@ -15,7 +15,7 @@
 //! `n` NICs and pays a second small candidate gather — the placement
 //! asymmetry the optimizer exploits on Q10.
 
-use dpu_cluster::{FabricConfig, MergeStrategy, PhysicalPlan};
+use dpu_cluster::{FabricConfig, MergeStrategy, PhysicalPlan, Topology};
 use dpu_sql::agg::GroupByPlan;
 use dpu_sql::logical::{Finish, LogicalPlan, Relation, Source};
 use dpu_sql::tpch::{join_cost, AGG_DPU, AGG_XEON, SCAN_DPU, SCAN_XEON, XEON_DB_EFFICIENCY};
@@ -69,6 +69,11 @@ pub struct CostModel<'a> {
     pub catalog: &'a Catalog,
     /// The rack fabric the merge is priced against.
     pub fabric: FabricConfig,
+    /// The spine/leaf geometry: sources outside the coordinator's rack
+    /// pay doubled hop latency and their bytes share the rack uplinks
+    /// (see [`CostModel::merge_estimate`]). A single-rack topology
+    /// prices exactly like the flat model.
+    pub topo: Topology,
     /// Nodes in the rack.
     pub n_nodes: usize,
     /// Full-scale multiplier (`ClusterConfig::scale`).
@@ -263,6 +268,16 @@ impl CostModel<'_> {
     /// Fabric + merge estimate for a strategy, given total partial rows
     /// across shards and the partial row width in columns.
     /// Returns `(fabric_seconds, merge_seconds, fabric_bytes)`.
+    ///
+    /// Topology pricing: of the `n` sources, the `m = n/racks` sharing
+    /// the coordinator's rack pay one hop of latency each; the other
+    /// `n - m` pay two (leaf → spine → leaf), and their bytes — an
+    /// `(n-m)/n` fraction under uniform placement — must also clear the
+    /// rack uplinks (`switch / oversub` bytes per cycle), so an
+    /// oversubscribed spine raises the bandwidth term to
+    /// `max(NIC time, uplink time)`. With one rack the inter-rack
+    /// fraction is zero and every expression reduces exactly to the
+    /// flat single-switch model.
     fn merge_estimate(
         &self,
         merge: &MergeStrategy,
@@ -270,11 +285,15 @@ impl CostModel<'_> {
         arity: u64,
     ) -> (f64, f64, u64) {
         let n = self.catalog.n_shards as f64;
+        let m = self.topo.nodes_per_rack() as f64;
         let clock = self.fabric.clock.hz();
         let nic = self.fabric.nic_bytes_per_cycle as f64 * clock;
+        let uplink = self.topo.uplink_bytes_per_cycle(&self.fabric) as f64 * clock;
         let per_row = AGG_DPU / (32.0 * clock);
-        let hops =
-            n * (self.fabric.hop_cycles + self.fabric.message_overhead_cycles) as f64 / clock;
+        let hop = self.fabric.hop_cycles as f64;
+        let msg = self.fabric.message_overhead_cycles as f64;
+        let hops = (m * (hop + msg) + (n - m) * (2.0 * hop + msg)) / clock;
+        let inter_frac = (n - m) / n;
         let row_bytes = (arity * 8) as f64;
         let bytes = partial_rows * row_bytes;
         match merge {
@@ -282,17 +301,22 @@ impl CostModel<'_> {
             | MergeStrategy::TopKMerge { .. }
             | MergeStrategy::SumScalars { .. }
             | MergeStrategy::GatherTopK { .. } => {
-                // Every partial lands on the coordinator's single RX NIC.
-                (bytes / nic + hops, partial_rows * per_row, bytes as u64)
+                // Every partial lands on the coordinator's single RX
+                // NIC; the cross-rack share also clears its downlink.
+                let xfer = (bytes / nic).max(bytes * inter_frac / uplink);
+                (xfer + hops, partial_rows * per_row, bytes as u64)
             }
             MergeStrategy::ShuffleTopK { k, .. } => {
-                // All-to-all: each NIC carries ~1/n of the cross traffic,
+                // All-to-all: each NIC carries ~1/n of the cross traffic
+                // and each rack uplink ~1/racks of the inter-rack share;
                 // owners reduce in parallel, then k candidates per owner
                 // gather at the coordinator.
+                let racks = self.topo.racks() as f64;
                 let cross = bytes * (n - 1.0) / n;
-                let shuffle = cross / n / nic + hops;
+                let inter_cross = bytes * inter_frac;
+                let shuffle = (cross / n / nic).max(inter_cross / racks / uplink) + hops;
                 let cand_bytes = n * *k as f64 * row_bytes;
-                let gather = cand_bytes / nic + hops;
+                let gather = (cand_bytes / nic).max(cand_bytes * inter_frac / uplink) + hops;
                 let merge = partial_rows / n * per_row + n * *k as f64 * per_row;
                 (shuffle + gather, merge, (cross + cand_bytes) as u64)
             }
@@ -345,6 +369,7 @@ mod tests {
         let model = CostModel {
             catalog: &catalog,
             fabric: core.cfg().fabric.clone(),
+            topo: core.cfg().topology(),
             n_nodes: core.cfg().n_nodes,
             scale: core.cfg().scale,
         };
@@ -361,6 +386,7 @@ mod tests {
         let model = CostModel {
             catalog: &catalog,
             fabric: core.cfg().fabric.clone(),
+            topo: core.cfg().topology(),
             n_nodes: core.cfg().n_nodes,
             scale: core.cfg().scale,
         };
@@ -374,11 +400,42 @@ mod tests {
     }
 
     #[test]
+    fn oversubscribed_topology_prices_cross_rack_merges_higher() {
+        let (core, catalog) = model_fixture();
+        let flat = CostModel {
+            catalog: &catalog,
+            fabric: core.cfg().fabric.clone(),
+            topo: core.cfg().topology(),
+            n_nodes: core.cfg().n_nodes,
+            scale: core.cfg().scale,
+        };
+        let spine = CostModel { topo: Topology::new(8, 4, 32.0), ..flat.clone() };
+        for id in QueryId::ALL {
+            let a = flat.estimate(&handwired_physical(id));
+            let b = spine.estimate(&handwired_physical(id));
+            // 6 of 8 sources sit outside the coordinator's rack: every
+            // query pays extra hop latency, and (at 32:1) bandwidth-
+            // bound merges queue on the uplinks too.
+            assert!(
+                b.fabric_seconds > a.fabric_seconds,
+                "{id:?}: spine {} vs flat {}",
+                b.fabric_seconds,
+                a.fabric_seconds
+            );
+            // Topology only reprices the fabric phase.
+            assert_eq!(b.local_seconds, a.local_seconds, "{id:?}");
+            assert_eq!(b.merge_seconds, a.merge_seconds, "{id:?}");
+            assert_eq!(b.fabric_bytes, a.fabric_bytes, "{id:?}");
+        }
+    }
+
+    #[test]
     fn estimated_trace_labels_match_actual_trace_labels() {
         let (core, catalog) = model_fixture();
         let model = CostModel {
             catalog: &catalog,
             fabric: core.cfg().fabric.clone(),
+            topo: core.cfg().topology(),
             n_nodes: core.cfg().n_nodes,
             scale: core.cfg().scale,
         };

@@ -13,6 +13,7 @@
 
 use dpu_cluster::{
     handwired_physical, q10_gather_physical, ClusterCore, FabricConfig, PhysicalPlan, QueryId,
+    Topology,
 };
 use dpu_sql::logical::{q10_graph, q3_graph, q5_graph, Finish, JoinGraph, LogicalPlan, Source};
 
@@ -26,6 +27,9 @@ pub struct Planner {
     pub catalog: Catalog,
     /// Fabric the merge phase is priced against.
     pub fabric: FabricConfig,
+    /// Spine/leaf geometry the merge phase is priced over (single-rack
+    /// reproduces the flat pricing exactly).
+    pub topo: Topology,
     /// Nodes in the rack.
     pub n_nodes: usize,
     /// Full-scale multiplier.
@@ -51,6 +55,7 @@ impl Planner {
         Planner {
             catalog: Catalog::from_core(core),
             fabric: core.cfg().fabric.clone(),
+            topo: core.cfg().topology(),
             n_nodes: core.cfg().n_nodes,
             scale: core.cfg().scale,
         }
@@ -61,6 +66,7 @@ impl Planner {
         CostModel {
             catalog: &self.catalog,
             fabric: self.fabric.clone(),
+            topo: self.topo.clone(),
             n_nodes: self.n_nodes,
             scale: self.scale,
         }

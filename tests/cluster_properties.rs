@@ -329,3 +329,127 @@ fn all_queries_match_single_node_on_one_randomish_db() {
         assert!(r.matches_single(), "{} diverged from single-node", r.id.name());
     }
 }
+
+proptest! {
+    /// Rack-aware chained declustering must spread every shard's
+    /// replica chain over `min(k, racks)` distinct failure domains —
+    /// the guarantee that lets a whole rack die without losing data
+    /// (for k >= 2) — while keeping owners distinct and the primary on
+    /// the shard's own node.
+    #[test]
+    fn rack_aware_placement_spans_min_k_racks(
+        racks in 1usize..6,
+        per_rack in 1usize..6,
+        k_seed in 1usize..36,
+    ) {
+        let nodes = racks * per_rack;
+        let k = (k_seed - 1) % nodes + 1;
+        let p = Placement::rack_aware(nodes, racks, k);
+        for s in 0..nodes {
+            let owners = p.owners(s);
+            prop_assert_eq!(owners.len(), k);
+            prop_assert_eq!(owners[0], s, "primary must be the shard's own node");
+            prop_assert_eq!(p.primary(s), s);
+            let mut distinct = owners.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k, "replicas must land on distinct nodes");
+            prop_assert_eq!(
+                p.spanned_racks(s),
+                k.min(racks),
+                "shard {} replicas must span min(k, racks) failure domains", s
+            );
+        }
+    }
+
+    /// With one rack the rack-aware chain is exactly the classic flat
+    /// chained-declustering ring — the bit-identity anchor for the
+    /// committed single-rack baselines.
+    #[test]
+    fn rack_aware_collapses_to_flat_ring_at_one_rack(
+        nodes in 1usize..16,
+        k_seed in 1usize..16,
+    ) {
+        let k = (k_seed - 1) % nodes + 1;
+        let flat = Placement::new(nodes, k);
+        let one_rack = Placement::rack_aware(nodes, 1, k);
+        for s in 0..nodes {
+            prop_assert_eq!(flat.owners(s), one_rack.owners(s));
+            prop_assert_eq!(flat.gather_order(s, s % nodes), one_rack.gather_order(s, s % nodes));
+        }
+    }
+
+    /// A gather landing on `dst` must try every replica in `dst`'s own
+    /// rack (2 hops) before any cross-rack replica (4 hops), preserving
+    /// chain order within each group — a stable partition of `owners`.
+    #[test]
+    fn gather_order_prefers_rack_local_replicas(
+        racks in 1usize..6,
+        per_rack in 1usize..6,
+        k_seed in 1usize..36,
+        dst_seed in 0usize..36,
+    ) {
+        let nodes = racks * per_rack;
+        let k = (k_seed - 1) % nodes + 1;
+        let dst = dst_seed % nodes;
+        let p = Placement::rack_aware(nodes, racks, k);
+        let dst_rack = p.rack_of(dst);
+        for s in 0..nodes {
+            let owners = p.owners(s);
+            let order = p.gather_order(s, dst);
+            let mut sorted_owners = owners.clone();
+            let mut sorted_order = order.clone();
+            sorted_owners.sort_unstable();
+            sorted_order.sort_unstable();
+            prop_assert_eq!(sorted_owners, sorted_order, "gather order must permute owners");
+            // Rack-local prefix, then cross-rack: never a cross-rack
+            // owner before a rack-local one.
+            let first_remote = order.iter().position(|&o| p.rack_of(o) != dst_rack);
+            if let Some(i) = first_remote {
+                for &o in &order[i..] {
+                    prop_assert!(
+                        p.rack_of(o) != dst_rack,
+                        "rack-local replica ordered after a cross-rack one"
+                    );
+                }
+            }
+            // Stable within each group: chain (failover-preference)
+            // order preserved among locals and among remotes.
+            let locals: Vec<usize> =
+                order.iter().copied().filter(|&o| p.rack_of(o) == dst_rack).collect();
+            let chain_locals: Vec<usize> =
+                owners.iter().copied().filter(|&o| p.rack_of(o) == dst_rack).collect();
+            prop_assert_eq!(locals, chain_locals);
+            let remotes: Vec<usize> =
+                order.iter().copied().filter(|&o| p.rack_of(o) != dst_rack).collect();
+            let chain_remotes: Vec<usize> =
+                owners.iter().copied().filter(|&o| p.rack_of(o) != dst_rack).collect();
+            prop_assert_eq!(remotes, chain_remotes);
+        }
+    }
+
+    /// `shards_on` is the exact inverse of `owners`: node n stores
+    /// shard s iff n appears in s's replica chain, and every node
+    /// stores exactly k shards (the chain is a permutation per step).
+    #[test]
+    fn shards_on_inverts_owners(
+        racks in 1usize..6,
+        per_rack in 1usize..6,
+        k_seed in 1usize..36,
+    ) {
+        let nodes = racks * per_rack;
+        let k = (k_seed - 1) % nodes + 1;
+        let p = Placement::rack_aware(nodes, racks, k);
+        for node in 0..nodes {
+            let stored = p.shards_on(node);
+            prop_assert_eq!(stored.len(), k, "storage must balance: k shards per node");
+            for s in 0..nodes {
+                prop_assert_eq!(
+                    stored.contains(&s),
+                    p.owners(s).contains(&node),
+                    "shards_on({}) disagrees with owners({})", node, s
+                );
+            }
+        }
+    }
+}
